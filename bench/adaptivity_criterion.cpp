@@ -1,0 +1,59 @@
+// Section 2.2's NAFTA adaptivity criterion, measured: "for wormhole-routing
+// it is known how long the remainder of a message is ... This is exploited
+// by using the amount of data that still has to pass a node as adaptivity
+// criterion."
+//
+// Credit-based selection sees only free buffer slots — a 64-flit worm that
+// has just grabbed an output looks as attractive as an idle one until its
+// flits arrive. The assigned-data criterion knows the commitment up front.
+// Bimodal traffic (mostly 2-flit packets, a few 64-flit worms) shows the
+// difference.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/nara.hpp"
+
+int main() {
+  using namespace flexrouter;
+  Mesh m = Mesh::two_d(8, 8);
+  UniformTraffic tr(m);
+
+  bench::print_header(
+      "VA adaptivity criterion: credits vs assigned-data (NARA, 8x8 mesh, "
+      "bimodal 2/64-flit traffic)");
+  bench::print_row({"criterion", "rate", "avg lat", "p50", "p99"});
+  for (const double rate : {0.10, 0.20, 0.30}) {
+    for (const bool assigned : {false, true}) {
+      Nara nara;
+      NetworkConfig ncfg;
+      ncfg.router.adaptivity = assigned ? AdaptivityCriterion::AssignedData
+                                        : AdaptivityCriterion::Credits;
+      Network net(m, nara, ncfg);
+      SimConfig cfg;
+      cfg.injection_rate = rate;
+      cfg.packet_length = 2;
+      cfg.long_packet_length = 64;
+      cfg.long_packet_fraction = 0.05;
+      cfg.warmup_cycles = 800;
+      cfg.measure_cycles = 2500;
+      cfg.seed = 21;
+      Simulator sim(net, tr, cfg);
+      const SimResult r = sim.run();
+      if (r.deadlock_suspected || r.delivered_packets != r.injected_packets) {
+        std::cout << "saturated at rate " << rate << " ("
+                  << (assigned ? "assigned-data" : "credits") << ")\n";
+        continue;
+      }
+      bench::print_row({assigned ? "assigned-data" : "credits",
+                        bench::fmt(rate), bench::fmt(r.avg_latency),
+                        bench::fmt(r.p50_latency), bench::fmt(r.p99_latency)});
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Reading: with length knowledge the router steers short\n"
+               "packets away from outputs committed to long worms; the\n"
+               "credit-only criterion walks them into the queue. The gap\n"
+               "grows with load — the paper's argument for exploiting the\n"
+               "known message remainder as the adaptivity measure.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The introduction's motivation, made concrete: "applications like
+// multimedia, number crunching or data warehousing require different and
+// flexible behavior in order to achieve an optimized network usage. This
+// leads to the fact that switches with configurable behavior are highly
+// desirable."
+//
+// Head-to-head of every mesh routing algorithm in the repository across
+// four traffic patterns: no single algorithm wins everywhere, which is why
+// a router whose algorithm is a loadable rule base (rather than baked
+// silicon) earns its keep.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/routing.hpp"
+
+int main() {
+  using namespace flexrouter;
+  Mesh m = Mesh::two_d(8, 8);
+
+  const char* algorithms[] = {"dor-mesh", "nara", "nafta", "planar-adaptive",
+                              "updown"};
+  const char* patterns[] = {"uniform", "transpose", "tornado", "hotspot"};
+
+  for (const double rate : {0.08, 0.16}) {
+    bench::print_header("Mesh 8x8, offered load " + bench::fmt(rate) +
+                        " flits/node/cycle — avg latency (p99) in cycles");
+    std::vector<std::string> head = {"algorithm"};
+    for (const char* p : patterns) head.push_back(p);
+    bench::print_row(head, 18);
+    for (const char* aname : algorithms) {
+      std::vector<std::string> row = {aname};
+      for (const char* pname : patterns) {
+        auto algo = make_algorithm(aname);
+        auto traffic = make_traffic(pname, m, 5);
+        const SimResult r =
+            bench::run_point(m, *algo, *traffic, rate, 4, 31, {}, 600, 1500);
+        if (r.deadlock_suspected ||
+            r.delivered_packets != r.injected_packets) {
+          row.push_back("saturated");
+        } else {
+          row.push_back(bench::fmt(r.avg_latency, 1) + " (" +
+                        bench::fmt(r.p99_latency, 0) + ")");
+        }
+      }
+      bench::print_row(row, 18);
+    }
+  }
+  std::cout
+      << "\nReading: no fixed choice wins every workload — dimension order\n"
+         "collapses on transpose yet edges out minimal-adaptive routing on\n"
+         "tornado under load (a classic effect: adaptivity spreads tornado\n"
+         "traffic onto already-congested rings), the adaptive algorithms\n"
+         "own uniform/transpose, and the tree router is only a fallback.\n"
+         "A switch whose algorithm is a loadable rule base can pick the\n"
+         "right one per application — the paper's introduction, measured.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the experiment-reproduction binaries: aligned table
+// printing and a canonical simulation runner so every bench reports the
+// same metrics the same way.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace flexrouter::bench {
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n" << std::string(78, '=') << "\n"
+            << title << "\n"
+            << std::string(78, '=') << "\n";
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells)
+    std::cout << std::left << std::setw(width) << c;
+  std::cout << "\n";
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+/// Run one (network, traffic, config) point and return the result.
+inline SimResult run_point(const Topology& topo, RoutingAlgorithm& algo,
+                           TrafficPattern& traffic, double rate,
+                           int packet_length, std::uint64_t seed,
+                           const std::function<void(FaultSet&)>& faults = {},
+                           Cycle warmup = 800, Cycle measure = 2000) {
+  Network net(topo, algo);
+  if (faults) net.apply_faults(faults);
+  SimConfig cfg;
+  cfg.injection_rate = rate;
+  cfg.packet_length = packet_length;
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = measure;
+  cfg.seed = seed;
+  Simulator sim(net, traffic, cfg);
+  return sim.run();
+}
+
+}  // namespace flexrouter::bench

@@ -1,0 +1,35 @@
+// Experiment E4: the exponential blow-up of merging rule interpretation
+// steps. The paper: "the combination of the two rule bases of ROUTE_C
+// decide_dir and decide_vc requires a rule interpreter configuration with
+// 1024 * 2^d x (d+1+a) bits rule table" — i.e. integrating several steps
+// into one is possible but prohibitively expensive, which justifies the
+// two-interpretation decision pipeline.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hwcost/evaluation.hpp"
+
+int main() {
+  using namespace flexrouter;
+  bench::print_header(
+      "E4 — combined decide_dir+decide_vc table vs the two-step tables");
+  bench::print_row({"d", "a", "two-step bits", "combined bits", "blow-up x"});
+  for (int d = 3; d <= 10; ++d) {
+    for (int a = 1; a <= 3; ++a) {
+      const auto rep = hwcost::table2_route_c(d, a);
+      std::int64_t two_step = 0;
+      for (const auto& r : rep.rows)
+        if (r.name == "decide_dir" || r.name == "decide_vc")
+          two_step += r.table_bits;
+      const auto combined = hwcost::combined_rulebase_bits(d, a);
+      bench::print_row({std::to_string(d), std::to_string(a),
+                        std::to_string(two_step), std::to_string(combined),
+                        bench::fmt(static_cast<double>(combined) /
+                                   static_cast<double>(two_step), 1)});
+    }
+  }
+  std::cout << "\nThe separated interpretation keeps the table memory linear"
+               " in d;\nthe merged one grows as 2^d — the paper's argument "
+               "for multi-step\nrule interpretation stands.\n";
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Experiment E3: rule interpretations per routing decision.
+//
+// Paper (Section 5): "While NAFTA in the fault-free case proceeds with one
+// step and in the worst case needs three, ROUTE_C always needs two steps.
+// ... The non-fault-tolerant routing algorithm NARA and a stripped down
+// variant of ROUTE_C can be implemented with only one interpretation per
+// message."
+//
+// Measured two ways: (a) static — route() over every (src, dest) pair and
+// fault situation, reporting min/avg/max steps; (b) dynamic — full
+// simulations reporting the average interpretations per decision under
+// uniform traffic.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/nafta.hpp"
+#include "routing/nara.hpp"
+#include "routing/route_c.hpp"
+
+namespace {
+
+using namespace flexrouter;
+
+struct StepStats {
+  int min = 1 << 30, max = 0;
+  double sum = 0;
+  std::int64_t n = 0;
+  void add(int s) {
+    min = std::min(min, s);
+    max = std::max(max, s);
+    sum += s;
+    ++n;
+  }
+  std::string row() const {
+    std::ostringstream os;
+    os << min << " / " << bench::fmt(sum / static_cast<double>(n)) << " / "
+       << max;
+    return os.str();
+  }
+};
+
+StepStats static_steps(const Topology& topo, const RoutingAlgorithm& algo) {
+  StepStats st;
+  for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (NodeId t = 0; t < topo.num_nodes(); ++t) {
+      if (s == t) continue;
+      RouteContext ctx;
+      ctx.node = s;
+      ctx.dest = t;
+      ctx.src = s;
+      ctx.in_port = topo.degree();
+      ctx.in_vc = 0;
+      st.add(algo.route(ctx).steps);
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E3 — rule interpretations per routing decision (min / avg / max)");
+  bench::print_row({"algorithm", "situation", "paper", "measured"}, 22);
+
+  {  // NARA — always one.
+    Mesh m = Mesh::two_d(8, 8);
+    FaultSet f(m);
+    Nara nara;
+    nara.attach(m, f);
+    bench::print_row({"NARA", "fault-free", "1", static_steps(m, nara).row()},
+                     22);
+  }
+  {  // NAFTA fault-free / with faults / worst case.
+    Mesh m = Mesh::two_d(8, 8);
+    FaultSet f(m);
+    Nafta nafta;
+    nafta.attach(m, f);
+    bench::print_row(
+        {"NAFTA", "fault-free", "1", static_steps(m, nafta).row()}, 22);
+    Rng rng(1);
+    inject_random_link_faults(f, 6, rng);
+    nafta.reconfigure();
+    bench::print_row(
+        {"NAFTA", "6 link faults", "2..3", static_steps(m, nafta).row()}, 22);
+    // Worst case: all minimal links of some source broken.
+    FaultSet f2(m);
+    Nafta nafta2;
+    nafta2.attach(m, f2);
+    f2.fail_link(m.at(0, 0), port_of(Compass::East));
+    nafta2.reconfigure();
+    RouteContext ctx;
+    ctx.node = m.at(0, 0);
+    ctx.dest = m.at(3, 0);
+    ctx.src = ctx.node;
+    ctx.in_port = m.degree();
+    ctx.in_vc = 0;
+    bench::print_row({"NAFTA", "blocked minimal (worst)", "3",
+                      std::to_string(nafta2.route(ctx).steps)},
+                     22);
+  }
+  {  // ROUTE_C — always two; stripped — one.
+    Hypercube h(6);
+    FaultSet f(h);
+    RouteC rc;
+    rc.attach(h, f);
+    bench::print_row(
+        {"ROUTE_C", "fault-free", "2", static_steps(h, rc).row()}, 22);
+    Rng rng(2);
+    inject_random_node_faults(f, 3, rng);
+    rc.reconfigure();
+    bench::print_row(
+        {"ROUTE_C", "3 node faults", "2", static_steps(h, rc).row()}, 22);
+    FaultSet f2(h);
+    StrippedRouteC nft;
+    nft.attach(h, f2);
+    bench::print_row(
+        {"ROUTE_C nft", "fault-free", "1", static_steps(h, nft).row()}, 22);
+  }
+
+  bench::print_header(
+      "E3 (dynamic) — average interpretations per decision under uniform "
+      "traffic");
+  bench::print_row({"algorithm", "faults", "paper", "avg steps"}, 22);
+  {
+    Mesh m = Mesh::two_d(8, 8);
+    UniformTraffic tr(m);
+    Nara nara;
+    auto r = bench::run_point(m, nara, tr, 0.05, 4, 1);
+    bench::print_row({"NARA", "0", "1", bench::fmt(r.avg_decision_steps)},
+                     22);
+    Nafta nafta0;
+    r = bench::run_point(m, nafta0, tr, 0.05, 4, 1);
+    bench::print_row({"NAFTA", "0", "1", bench::fmt(r.avg_decision_steps)},
+                     22);
+    for (const int k : {2, 6, 10}) {
+      Nafta nafta;
+      Rng rng(static_cast<std::uint64_t>(k));
+      r = bench::run_point(m, nafta, tr, 0.05, 4, 1, [&](FaultSet& f) {
+        inject_random_link_faults(f, k, rng);
+      });
+      bench::print_row({"NAFTA", std::to_string(k), "2..3",
+                        bench::fmt(r.avg_decision_steps)},
+                       22);
+    }
+  }
+  {
+    Hypercube h(5);
+    UniformTraffic tr(h);
+    StrippedRouteC nft;
+    auto r = bench::run_point(h, nft, tr, 0.05, 4, 1);
+    bench::print_row(
+        {"ROUTE_C nft", "0", "1", bench::fmt(r.avg_decision_steps)}, 22);
+    for (const int k : {0, 2, 4}) {
+      RouteC rc;
+      Rng rng(static_cast<std::uint64_t>(k) + 7);
+      r = bench::run_point(h, rc, tr, 0.05, 4, 1, [&](FaultSet& f) {
+        inject_random_node_faults(f, k, rng);
+      });
+      bench::print_row({"ROUTE_C", std::to_string(k), "2",
+                        bench::fmt(r.avg_decision_steps)},
+                       22);
+    }
+  }
+  return 0;
+}

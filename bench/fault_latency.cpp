@@ -1,0 +1,84 @@
+// Experiment X2: graceful degradation — latency/throughput series under an
+// increasing number of faults, for NAFTA on a mesh and ROUTE_C on a
+// hypercube. The paper's motivation: a fault-tolerant network keeps
+// operating (with measurable but bounded degradation) where an oblivious
+// one would have to stop for system-level reconfiguration.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/nafta.hpp"
+#include "routing/route_c.hpp"
+
+int main() {
+  using namespace flexrouter;
+
+  bench::print_header(
+      "X2a — NAFTA on an 8x8 mesh, uniform traffic: latency vs offered load "
+      "for 0/2/4/8 link faults");
+  bench::print_row({"faults", "rate", "avg lat", "p99 lat", "throughput",
+                    "hops/min", "misrouted %"});
+  {
+    Mesh m = Mesh::two_d(8, 8);
+    UniformTraffic tr(m);
+    for (const int k : {0, 2, 4, 8}) {
+      for (const double rate : {0.02, 0.06, 0.10, 0.14, 0.18}) {
+        Nafta nafta;
+        Rng rng(static_cast<std::uint64_t>(k) * 31 + 5);
+        const SimResult r = bench::run_point(
+            m, nafta, tr, rate, 4, static_cast<std::uint64_t>(k * 100 + 1),
+            k == 0 ? std::function<void(FaultSet&)>{}
+                   : [&](FaultSet& f) {
+                       inject_random_link_faults(f, k, rng);
+                     });
+        bench::print_row(
+            {std::to_string(k), bench::fmt(rate), bench::fmt(r.avg_latency),
+             bench::fmt(r.p99_latency), bench::fmt(r.throughput, 4),
+             bench::fmt(r.min_hops_ratio),
+             bench::fmt(r.misrouted_fraction * 100, 1)});
+        if (r.deadlock_suspected) {
+          std::cout << "DEADLOCK SUSPECTED at faults=" << k
+                    << " rate=" << rate << "\n";
+          return 1;
+        }
+      }
+      std::cout << "\n";
+    }
+  }
+
+  bench::print_header(
+      "X2b — ROUTE_C on a 32-node hypercube: 0/1/2/4 node faults");
+  bench::print_row({"faults", "rate", "avg lat", "p99 lat", "throughput",
+                    "hops/min", "misrouted %"});
+  {
+    Hypercube h(5);
+    UniformTraffic tr(h);
+    for (const int k : {0, 1, 2, 4}) {
+      for (const double rate : {0.03, 0.08, 0.13, 0.18}) {
+        RouteC rc;
+        Rng rng(static_cast<std::uint64_t>(k) * 17 + 3);
+        const SimResult r = bench::run_point(
+            h, rc, tr, rate, 4, static_cast<std::uint64_t>(k * 100 + 2),
+            k == 0 ? std::function<void(FaultSet&)>{}
+                   : [&](FaultSet& f) {
+                       inject_random_node_faults(f, k, rng);
+                     });
+        bench::print_row(
+            {std::to_string(k), bench::fmt(rate), bench::fmt(r.avg_latency),
+             bench::fmt(r.p99_latency), bench::fmt(r.throughput, 4),
+             bench::fmt(r.min_hops_ratio),
+             bench::fmt(r.misrouted_fraction * 100, 1)});
+        if (r.deadlock_suspected) {
+          std::cout << "DEADLOCK SUSPECTED at faults=" << k
+                    << " rate=" << rate << "\n";
+          return 1;
+        }
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "Reading: latency rises and saturation throughput falls\n"
+               "gradually with the fault count — graceful degradation — "
+               "instead\nof the hard stop an oblivious network would "
+               "suffer.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Experiment F2: the paper's Figure 2 — a chain of faulty links attached to
+// a border splits the neighbourhood into two regions; a router at the top
+// of the chain needs Omega(|F|) fault knowledge to forward messages to the
+// correct side. NAFTA's constant-size per-node state cannot represent the
+// chain exactly, so traffic pays detours that grow with the chain length,
+// while a full-knowledge router (the up*/down* table, whose distributed
+// construction cost also grows with |F|) routes tightly.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/nafta.hpp"
+#include "routing/updown.hpp"
+
+int main() {
+  using namespace flexrouter;
+  const int kW = 16, kH = 16;
+  bench::print_header(
+      "F2 — wall of faulty links between columns 7 and 8 of a 16x16 mesh");
+  bench::print_row({"chain |F|", "algorithm", "avg hops", "hops/minimal",
+                    "misrouted %", "avg latency", "reconf. msgs"});
+
+  for (const int len : {1, 3, 6, 9, 12, 15}) {
+    Mesh m = Mesh::two_d(kW, kH);
+    UniformTraffic traffic(m);
+    for (const bool full_knowledge : {false, true}) {
+      std::unique_ptr<RoutingAlgorithm> algo;
+      if (full_knowledge)
+        algo = std::make_unique<UpDownRouting>();
+      else
+        algo = std::make_unique<Nafta>();
+      Network net(m, *algo);
+      const int exchanges = net.apply_faults([&](FaultSet& f) {
+        inject_figure2_chain(f, m, 7, len);
+      });
+      SimConfig cfg;
+      // Low offered load: the wall funnels all cross traffic through one
+      // gap, so higher rates saturate and hide the per-packet detour trend.
+      cfg.injection_rate = 0.02;
+      cfg.packet_length = 4;
+      cfg.warmup_cycles = 600;
+      cfg.measure_cycles = 1500;
+      cfg.seed = static_cast<std::uint64_t>(len);
+      Simulator sim(net, traffic, cfg);
+      const SimResult r = sim.run();
+      bench::print_row(
+          {std::to_string(len),
+           full_knowledge ? "full-knowledge" : "NAFTA (const state)",
+           bench::fmt(r.avg_hops), bench::fmt(r.min_hops_ratio),
+           bench::fmt(r.misrouted_fraction * 100, 1),
+           bench::fmt(r.avg_latency),
+           std::to_string(exchanges)});
+      if (r.deadlock_suspected) {
+        std::cout << "DEADLOCK SUSPECTED — experiment invalid\n";
+        return 1;
+      }
+      if (r.delivered_packets != r.injected_packets) {
+        std::cout << "LOST PACKETS — experiment invalid\n";
+        return 1;
+      }
+    }
+  }
+  std::cout
+      << "\nReading: detours (hops/minimal) grow with the chain length for\n"
+         "both routers — messages that start on the wrong side must walk\n"
+         "around the wall — but the information cost differs: NAFTA keeps\n"
+         "constant per-node state and pays misroute markings, while the\n"
+         "full-knowledge table pays reconfiguration messages that grow with\n"
+         "|F| (last column), the paper's Omega(|F|) memory/knowledge bound.\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// The conclusion's headline, quantified: "fault tolerance implies a
+// considerable overhead in hardware cost and in the time required for a
+// routing decision. ... While NAFTA shows an increase mainly in the
+// complexity for updating states and choosing the right output, the
+// additional hardware cost for ROUTE_C is dominated by the fivefold
+// virtual channel demands."
+//
+// Full per-router hardware account for each algorithm: rule-table bits,
+// register bits, FCFB area (relative units), and VC buffer bits
+// (vcs x buffer depth x flit width x network ports). FT share = total minus
+// the non-fault-tolerant baseline.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hwcost/evaluation.hpp"
+#include "routing/negative_hop.hpp"
+#include "rulebases/corpus.hpp"
+#include "ruleengine/parser.hpp"
+
+namespace {
+
+using namespace flexrouter;
+
+constexpr int kFlitBits = 64;     // data-path width
+constexpr int kBufferDepth = 4;   // flits per VC FIFO
+
+std::int64_t buffer_bits(int vcs, int ports) {
+  return static_cast<std::int64_t>(vcs) * kBufferDepth * kFlitBits * ports;
+}
+
+double fcfb_area(const rules::Program& prog) {
+  rules::Interpreter interp(prog);
+  double area = 0;
+  for (const auto& rb : prog.rule_bases)
+    area += rules::compile_rule_base(prog, rb, interp).all_fcfbs().total_area();
+  return area;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Hardware cost summary per router (buffers: 4-flit FIFOs, 64-bit "
+      "flits)");
+  bench::print_row({"design", "VCs", "table bits", "reg bits", "FCFB area",
+                    "buffer bits", "total bits"},
+                   16);
+
+  struct Row {
+    std::string name;
+    int vcs;
+    int ports;
+    std::int64_t table, regs;
+    double area;
+  };
+  std::vector<Row> rows;
+
+  {  // Mesh family (4 network ports).
+    const auto nara =
+        rules::parse_program(rulebases::nara_program_source(16, 16));
+    const auto nafta =
+        rules::parse_program(rulebases::nafta_program_source(16, 16));
+    const auto nara_rep = rules::report_program(nara);
+    const auto nafta_rep = rules::report_program(nafta);
+    rows.push_back({"NARA (non-FT)", 2, 4, nara_rep.total_table_bits,
+                    nara_rep.total_register_bits, fcfb_area(nara)});
+    rows.push_back({"NAFTA", 3, 4, nafta_rep.total_table_bits,
+                    nafta_rep.total_register_bits, fcfb_area(nafta)});
+    // Negative-hop: trivial control (distance-vector tables modelled as the
+    // register file: N*log(diam) bits per router), all cost in VCs.
+    Mesh m = Mesh::two_d(16, 16);
+    const int vcs = NegativeHop::vcs_needed_for(m);
+    rows.push_back({"negative-hop", vcs, 4, 0,
+                    static_cast<std::int64_t>(m.num_nodes()) * 6, 4.0});
+  }
+  {  // Hypercube family (d = 6 -> 6 network ports).
+    const auto nft =
+        rules::parse_program(rulebases::route_c_nft_program_source(6, 2));
+    const auto ft =
+        rules::parse_program(rulebases::route_c_program_source(6, 2));
+    const auto nft_rep = rules::report_program(nft);
+    const auto ft_rep = rules::report_program(ft);
+    rows.push_back({"ROUTE_C nft", 2, 6, nft_rep.total_table_bits,
+                    nft_rep.total_register_bits, fcfb_area(nft)});
+    rows.push_back({"ROUTE_C", 5, 6, ft_rep.total_table_bits,
+                    ft_rep.total_register_bits, fcfb_area(ft)});
+  }
+
+  for (const Row& r : rows) {
+    const auto buf = buffer_bits(r.vcs, r.ports);
+    bench::print_row({r.name, std::to_string(r.vcs), std::to_string(r.table),
+                      std::to_string(r.regs), bench::fmt(r.area, 1),
+                      std::to_string(buf),
+                      std::to_string(r.table + r.regs + buf)},
+                     16);
+  }
+
+  bench::print_header("Fault-tolerance overhead decomposition");
+  auto get = [&](const std::string& n) -> const Row& {
+    for (const Row& r : rows)
+      if (r.name == n) return r;
+    throw std::logic_error("row");
+  };
+  {
+    const Row& base = get("NARA (non-FT)");
+    const Row& ft = get("NAFTA");
+    const auto dbuf = buffer_bits(ft.vcs, 4) - buffer_bits(base.vcs, 4);
+    const auto dstate = (ft.table - base.table) + (ft.regs - base.regs);
+    std::cout << "NAFTA over NARA:   +" << dstate
+              << " bits of tables/registers (state & output choice), +"
+              << dbuf << " bits of buffers (1 extra VC)\n"
+              << "  -> state/update complexity dominates ("
+              << bench::fmt(100.0 * dstate / (dstate + dbuf), 1)
+              << "% of the added bits are control state)\n";
+    const Row& rbase = get("ROUTE_C nft");
+    const Row& rft = get("ROUTE_C");
+    const auto rdbuf = buffer_bits(rft.vcs, 6) - buffer_bits(rbase.vcs, 6);
+    const auto rdstate =
+        (rft.table - rbase.table) + (rft.regs - rbase.regs);
+    std::cout << "ROUTE_C over nft:  +" << rdstate
+              << " bits of tables/registers, +" << rdbuf
+              << " bits of buffers (3 extra VCs)\n"
+              << "  -> the fivefold virtual-channel demand dominates ("
+              << bench::fmt(100.0 * rdbuf / (rdstate + rdbuf), 1)
+              << "% of the added bits are buffers), exactly the paper's "
+                 "conclusion.\n";
+    const Row& nh = get("negative-hop");
+    std::cout << "negative-hop:      near-zero control cost but "
+              << nh.vcs << " VCs = " << buffer_bits(nh.vcs, 4)
+              << " buffer bits — the other end of the trade-off the paper "
+                 "sketches\n  (deadlock avoidance untouched by faults, paid "
+                 "for in diameter-many VCs).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reconfiguration cost of the diagnosis phase: neighbour exchanges and
+// settle rounds as faults accumulate.
+//
+// Paper claims exercised here: ROUTE_C's "propagation scheme settles fast"
+// (the state combination forms a partial order — rounds stay small and
+// bounded by the lattice height, not the network size), NAFTA's wave
+// propagation cost, and the full-table rebuild cost of the up*/down* and
+// spanning-tree layers for comparison.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/nafta.hpp"
+#include "routing/route_c.hpp"
+#include "routing/spanning_tree.hpp"
+#include "routing/updown.hpp"
+
+int main() {
+  using namespace flexrouter;
+
+  bench::print_header(
+      "ROUTE_C (d=6, 64 nodes): state-propagation settle rounds vs faults");
+  bench::print_row({"node faults", "settle rounds", "exchanges", "unsafe"});
+  {
+    Rng rng(1);
+    Hypercube h(6);
+    FaultSet f(h);
+    RouteC rc;
+    rc.attach(h, f);
+    for (const int k : {0, 1, 2, 4, 8, 12}) {
+      FaultSet fk(h);
+      RouteC rck;
+      rck.attach(h, fk);
+      Rng r2(static_cast<std::uint64_t>(k) + 3);
+      inject_random_node_faults(fk, k, r2);
+      const int ex = rck.reconfigure();
+      bench::print_row({std::to_string(k),
+                        std::to_string(rck.last_settle_rounds()),
+                        std::to_string(ex),
+                        std::to_string(rck.num_unsafe())});
+    }
+    std::cout << "Settle rounds stay at the lattice height (<= 3) even as\n"
+                 "faults grow — the partial-order argument of the paper.\n";
+  }
+
+  bench::print_header(
+      "NAFTA (16x16 mesh): reconfiguration cost vs link faults");
+  bench::print_row({"link faults", "deact rounds", "exchanges", "deactivated"});
+  {
+    for (const int k : {0, 2, 4, 8, 16, 32}) {
+      Mesh m = Mesh::two_d(16, 16);
+      FaultSet f(m);
+      Nafta nafta;
+      nafta.attach(m, f);
+      Rng rng(static_cast<std::uint64_t>(k) + 11);
+      inject_random_link_faults(f, k, rng);
+      const int ex = nafta.reconfigure();
+      bench::print_row({std::to_string(k),
+                        std::to_string(nafta.last_settle_rounds()),
+                        std::to_string(ex),
+                        std::to_string(nafta.num_deactivated())});
+    }
+  }
+
+  bench::print_header(
+      "Escape-layer rebuild (up*/down*) and spanning-tree recompute "
+      "(16x16 mesh)");
+  bench::print_row({"link faults", "updown exchanges", "tree exchanges"});
+  for (const int k : {0, 4, 16, 32}) {
+    Mesh m = Mesh::two_d(16, 16);
+    FaultSet f(m);
+    UpDownRouting ud;
+    ud.attach(m, f);
+    SpanningTreeRouting st;
+    st.attach(m, f);
+    Rng rng(static_cast<std::uint64_t>(k) + 29);
+    inject_random_link_faults(f, k, rng);
+    bench::print_row({std::to_string(k), std::to_string(ud.reconfigure()),
+                      std::to_string(st.reconfigure())});
+  }
+  std::cout << "\nNAFTA's exchange totals are dominated by its embedded\n"
+               "escape-layer (up*/down*) rebuild; the rule-state part is the\n"
+               "dead-end ripple (2(w-1)h + 2(h-1)w = 960 exchanges on 16x16)\n"
+               "plus the handful of deactivation rounds shown above. The\n"
+               "table-driven layers pay a network-sized rebuild per fault\n"
+               "epoch either way — the paper's case for cheap per-node fault\n"
+               "states with a rarely-rebuilt escape structure.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Deadlock lab: the channel-dependency-graph checker as a design tool.
+//
+// A naive "fully adaptive minimal, one VC" mesh router looks harmless and
+// works at low load — and deadlocks in the field. This example (1) shows
+// the CDG checker catching the cycle statically, with a witness, (2) shows
+// the repaired double-network version (NARA) passing, and (3) demonstrates
+// the dynamic counterpart: the naive router locking up in the simulator at
+// load while NARA sails through. Verification before silicon — the point
+// of having routing algorithms as analysable objects.
+//
+//   $ ./deadlock_lab
+#include <iostream>
+
+#include "routing/cdg.hpp"
+#include "routing/nara.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace flexrouter;
+
+/// The classic mistake: all minimal directions, one virtual channel.
+class NaiveAdaptive final : public RoutingAlgorithm {
+ public:
+  std::string name() const override { return "naive-adaptive"; }
+  int num_vcs() const override { return 1; }
+  void attach(const Topology& topo, const FaultSet&) override {
+    mesh_ = dynamic_cast<const Mesh*>(&topo);
+    FR_REQUIRE(mesh_ != nullptr);
+  }
+  RouteDecision route(const RouteContext& ctx) const override {
+    RouteDecision d;
+    if (ctx.dest == ctx.node) {
+      d.candidates.push_back({mesh_->degree(), 0, 0});
+      return d;
+    }
+    const int dx = mesh_->x_of(ctx.dest) - mesh_->x_of(ctx.node);
+    const int dy = mesh_->y_of(ctx.dest) - mesh_->y_of(ctx.node);
+    if (dx > 0) d.candidates.push_back({port_of(Compass::East), 0, 0});
+    if (dx < 0) d.candidates.push_back({port_of(Compass::West), 0, 0});
+    if (dy > 0) d.candidates.push_back({port_of(Compass::North), 0, 0});
+    if (dy < 0) d.candidates.push_back({port_of(Compass::South), 0, 0});
+    return d;
+  }
+
+ private:
+  const Mesh* mesh_ = nullptr;
+};
+
+}  // namespace
+
+int main() {
+  Mesh mesh = Mesh::two_d(5, 5);
+  FaultSet faults(mesh);
+
+  std::cout << "1) Static analysis\n";
+  NaiveAdaptive naive;
+  naive.attach(mesh, faults);
+  const CdgReport bad = check_full_cdg(mesh, faults, naive);
+  std::cout << "   naive-adaptive: " << bad.to_string() << "\n";
+
+  Nara nara;
+  nara.attach(mesh, faults);
+  const CdgReport good = check_full_cdg(mesh, faults, nara);
+  std::cout << "   nara (double networks, 2 VCs): " << good.to_string()
+            << "\n\n";
+
+  std::cout << "2) The same verdicts, dynamically (uniform traffic, load "
+               "0.45, 10-flit worms, 2-flit buffers, 6x6 mesh)\n";
+  Mesh big = Mesh::two_d(6, 6);
+  for (const bool use_nara : {false, true}) {
+    std::unique_ptr<RoutingAlgorithm> algo;
+    if (use_nara) algo = std::make_unique<Nara>();
+    else algo = std::make_unique<NaiveAdaptive>();
+    NetworkConfig ncfg;
+    ncfg.router.buffer_depth = 2;  // long worms span many routers
+    Network net(big, *algo, ncfg);
+    UniformTraffic traffic(big);
+    SimConfig cfg;
+    cfg.injection_rate = 0.45;
+    cfg.packet_length = 10;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 1500;
+    cfg.drain_limit = 60000;
+    cfg.watchdog_window = 2500;
+    cfg.seed = 3;
+    Simulator sim(net, traffic, cfg);
+    const SimResult r = sim.run();
+    std::cout << "   " << algo->name() << ": " << r.to_string() << "\n";
+  }
+  std::cout << "\nThe CDG cycle above is not a theoretical nicety: the naive\n"
+               "router wedges (watchdog fires, packets stranded) exactly as\n"
+               "the static check predicted, while NARA — same adaptivity,\n"
+               "one more VC, cycle-free by construction — delivers all of\n"
+               "it. Every algorithm in this repository ships with this check\n"
+               "in its test suite.\n";
+  return 0;
+}

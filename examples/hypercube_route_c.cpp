@@ -1,0 +1,84 @@
+// ROUTE_C on a 64-node hypercube: watch the safe/unsafe node-state lattice
+// evolve as node faults accumulate (the paper's Figure 4 state machine at
+// network scale), up to the easily detected "totally unsafe" situation —
+// and verify the network delivers the whole way.
+//
+//   $ ./hypercube_route_c
+#include <iostream>
+
+#include "routing/route_c.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace flexrouter;
+
+void print_states(const Hypercube& h, const RouteC& rc) {
+  int safe = 0, ounsafe = 0, sunsafe = 0, faulty = 0;
+  for (NodeId n = 0; n < h.num_nodes(); ++n) {
+    switch (rc.state(n)) {
+      case NodeState::Safe: ++safe; break;
+      case NodeState::OrdinarilyUnsafe: ++ounsafe; break;
+      case NodeState::StronglyUnsafe: ++sunsafe; break;
+      case NodeState::Faulty: ++faulty; break;
+    }
+  }
+  std::cout << "  states: " << safe << " safe, " << ounsafe
+            << " ordinarily-unsafe, " << sunsafe << " strongly-unsafe, "
+            << faulty << " faulty"
+            << (rc.totally_unsafe() ? "  [TOTALLY UNSAFE]" : "") << "\n";
+  // Dump the unsafe nodes with their addresses (binary).
+  for (NodeId n = 0; n < h.num_nodes(); ++n) {
+    if (rc.state(n) == NodeState::Safe) continue;
+    std::cout << "    node " << n << " (";
+    for (int b = h.dimension() - 1; b >= 0; --b)
+      std::cout << ((n >> b) & 1);
+    std::cout << ") -> " << to_string(rc.state(n)) << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  Hypercube cube(6);  // 64 nodes, the paper's evaluation size
+  RouteC route_c;
+  Network net(cube, route_c);
+  UniformTraffic traffic(cube);
+  SimConfig cfg;
+  cfg.injection_rate = 0.05;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 800;
+  Simulator sim(net, traffic, cfg);
+
+  Rng rng(64);
+  for (int round = 0; round <= 4; ++round) {
+    if (round > 0) {
+      if (!sim.quiesce()) {
+        std::cerr << "drain failed\n";
+        return 1;
+      }
+      const int exchanges = net.apply_faults([&](FaultSet& f) {
+        inject_random_node_faults(f, 2, rng);
+        inject_random_link_faults(f, 1, rng);
+      });
+      std::cout << "\n=== round " << round
+                << ": +2 node faults, +1 link fault (reconfiguration: "
+                << exchanges << " exchanges) ===\n";
+    } else {
+      std::cout << "=== round 0: fault-free ===\n";
+    }
+    print_states(cube, route_c);
+    const SimResult r = sim.run();
+    std::cout << "  " << r.to_string() << "\n";
+    if (r.deadlock_suspected) {
+      std::cerr << "deadlock suspected\n";
+      return 1;
+    }
+  }
+  std::cout << "\nEvery decision took exactly 2 rule interpretations "
+               "(decide_dir + decide_vc),\nthe constant fault-tolerance "
+               "time cost of ROUTE_C.\n";
+  return 0;
+}

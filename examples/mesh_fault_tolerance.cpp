@@ -1,0 +1,81 @@
+// The paper's Figure 2, live: a chain of faulty links attached to the
+// southern border of a mesh. Shows NAFTA's propagated per-node fault state
+// (deactivation, dead-end flags) as an ASCII map, then routes traffic
+// across the wall and reports the detour cost as the chain grows.
+//
+//   $ ./mesh_fault_tolerance
+#include <iostream>
+
+#include "routing/nafta.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace flexrouter;
+
+void print_state_map(const Mesh& m, const FaultSet& f, const Nafta& nafta) {
+  std::cout << "    (X faulty node, # deactivated, e/w/n/s dead-end flag, "
+               ". healthy; | marks a broken east link)\n";
+  for (int y = m.radix(1) - 1; y >= 0; --y) {
+    std::cout << "  ";
+    for (int x = 0; x < m.radix(0); ++x) {
+      const NodeId n = m.at(x, y);
+      char c = '.';
+      if (f.node_faulty(n)) c = 'X';
+      else if (nafta.deactivated(n)) c = '#';
+      else if (nafta.dead_end(n, Compass::East)) c = 'e';
+      else if (nafta.dead_end(n, Compass::West)) c = 'w';
+      else if (nafta.dead_end(n, Compass::North)) c = 'n';
+      else if (nafta.dead_end(n, Compass::South)) c = 's';
+      std::cout << c;
+      const bool east_ok =
+          x + 1 < m.radix(0) &&
+          f.link_usable(n, port_of(Compass::East));
+      std::cout << (x + 1 < m.radix(0) ? (east_ok ? '-' : '|') : ' ');
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int kW = 12, kH = 12;
+  Mesh mesh = Mesh::two_d(kW, kH);
+  UniformTraffic traffic(mesh);
+
+  for (const int chain : {4, 8, 11}) {
+    Nafta nafta;
+    Network net(mesh, nafta);
+    net.apply_faults([&](FaultSet& f) {
+      inject_figure2_chain(f, mesh, 5, chain);   // wall between cols 5 and 6
+      inject_concave_faults(f, mesh, 8, 8, 10, 10);  // plus an L-block
+    });
+
+    std::cout << "\n=== chain length " << chain
+              << " (plus a concave fault block) ===\n";
+    print_state_map(mesh, net.faults(), nafta);
+    std::cout << "  deactivated nodes: " << nafta.num_deactivated() << "\n";
+
+    SimConfig cfg;
+    cfg.injection_rate = 0.02;
+    cfg.packet_length = 4;
+    cfg.warmup_cycles = 400;
+    cfg.measure_cycles = 1200;
+    cfg.seed = static_cast<std::uint64_t>(chain);
+    Simulator sim(net, traffic, cfg);
+    const SimResult r = sim.run();
+    std::cout << "  " << r.to_string() << "\n";
+    if (r.deadlock_suspected || r.delivered_packets != r.injected_packets) {
+      std::cerr << "delivery failure\n";
+      return 1;
+    }
+    // A packet that has to round the wall: bottom-left to bottom-right.
+    std::cout << "  corner-to-corner across the wall: minimal "
+              << mesh.distance(mesh.at(0, 0), mesh.at(kW - 1, 0))
+              << " hops fault-free, now detouring above row " << chain
+              << ".\n";
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: build an 8x8 mesh network running the fault-tolerant NAFTA
+// router, break two links at runtime (quiescent reconfiguration), and watch
+// the network keep delivering.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "routing/nafta.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace flexrouter;
+
+  // 1. Topology + routing algorithm + network.
+  Mesh mesh = Mesh::two_d(8, 8);
+  Nafta nafta;                 // 3 VCs: 2 adaptive + 1 escape
+  Network net(mesh, nafta);    // wires routers and links
+
+  // 2. Drive it with uniform random traffic.
+  UniformTraffic traffic(mesh);
+  SimConfig cfg;
+  cfg.injection_rate = 0.08;   // flits per node per cycle
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 1500;
+  Simulator sim(net, traffic, cfg);
+
+  std::cout << "fault-free:\n  " << sim.run().to_string() << "\n";
+
+  // 3. Break two links. apply_faults requires a quiesced network (the
+  //    paper's fault assumption iv: messages are not affected during the
+  //    diagnosis phase), so drain first.
+  if (!sim.quiesce()) {
+    std::cerr << "network failed to drain\n";
+    return 1;
+  }
+  const int exchanges = net.apply_faults([&](FaultSet& f) {
+    f.fail_link(mesh.at(3, 3), port_of(Compass::East));
+    f.fail_link(mesh.at(4, 2), port_of(Compass::North));
+  });
+  std::cout << "\ninjected 2 link faults; reconfiguration cost "
+            << exchanges << " neighbour exchanges\n";
+
+  // 4. Same traffic, degraded network: everything still arrives, decisions
+  //    now take 2-3 rule interpretations instead of 1.
+  std::cout << "with faults:\n  " << sim.run().to_string() << "\n";
+  return 0;
+}

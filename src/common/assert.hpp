@@ -1,0 +1,63 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.6, I.8):
+// preconditions (FR_REQUIRE), postconditions (FR_ENSURE) and internal
+// invariants (FR_ASSERT). Violations throw ContractViolation so that tests
+// can assert on them; they are never compiled out, because the simulator is
+// a correctness tool first and its hot paths are table lookups, not checks.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flexrouter {
+
+/// Thrown when a contract (precondition, postcondition, invariant) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const std::string& msg,
+                    std::source_location loc)
+      : std::logic_error(format(kind, expr, msg, loc)) {}
+
+ private:
+  static std::string format(const char* kind, const char* expr,
+                            const std::string& msg, std::source_location loc) {
+    std::ostringstream os;
+    os << kind << " failed: (" << expr << ") at " << loc.file_name() << ':'
+       << loc.line();
+    if (!msg.empty()) os << " — " << msg;
+    return os.str();
+  }
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::string& msg,
+                                       std::source_location loc) {
+  throw ContractViolation(kind, expr, msg, loc);
+}
+}  // namespace detail
+
+}  // namespace flexrouter
+
+#define FR_CONTRACT_IMPL(kind, cond, msg)                        \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::flexrouter::detail::contract_fail(                       \
+          kind, #cond, (msg), std::source_location::current()); \
+    }                                                            \
+  } while (false)
+
+/// Precondition: caller passed bad arguments / called in a bad state.
+#define FR_REQUIRE(cond) FR_CONTRACT_IMPL("precondition", cond, "")
+#define FR_REQUIRE_MSG(cond, msg) FR_CONTRACT_IMPL("precondition", cond, msg)
+/// Postcondition: we computed something inconsistent.
+#define FR_ENSURE(cond) FR_CONTRACT_IMPL("postcondition", cond, "")
+#define FR_ENSURE_MSG(cond, msg) FR_CONTRACT_IMPL("postcondition", cond, msg)
+/// Internal invariant.
+#define FR_ASSERT(cond) FR_CONTRACT_IMPL("invariant", cond, "")
+#define FR_ASSERT_MSG(cond, msg) FR_CONTRACT_IMPL("invariant", cond, msg)
+
+/// Marks unreachable code paths.
+#define FR_UNREACHABLE(msg) \
+  FR_CONTRACT_IMPL("unreachable", false, msg)

@@ -1,0 +1,37 @@
+// Small bit-manipulation helpers used by the rule compiler's table sizing
+// and the hypercube topology.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace flexrouter {
+
+/// Number of bits needed to represent `count` distinct values (>=1).
+/// ceil(log2(count)) with bits_for(1) == 0.
+inline constexpr int bits_for(std::uint64_t count) {
+  FR_REQUIRE(count >= 1);
+  return count == 1 ? 0 : 64 - std::countl_zero(count - 1);
+}
+
+/// ceil(log2(x)) for x >= 1.
+inline constexpr int log2_ceil(std::uint64_t x) {
+  FR_REQUIRE(x >= 1);
+  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1.
+inline constexpr int log2_floor(std::uint64_t x) {
+  FR_REQUIRE(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+inline constexpr bool is_pow2(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+inline constexpr int popcount64(std::uint64_t x) { return std::popcount(x); }
+
+}  // namespace flexrouter

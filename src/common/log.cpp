@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace flexrouter {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) { sink_ = sink; }
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::ostream& out = sink_ ? *sink_ : std::cerr;
+  out << "[" << to_string(level) << "] " << message << "\n";
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace flexrouter

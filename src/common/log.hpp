@@ -1,0 +1,50 @@
+// Minimal leveled logger. Simulation code logs through FR_LOG so tests can
+// silence output and examples can turn on tracing.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace flexrouter {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Redirect output (nullptr restores stderr).
+  void set_sink(std::ostream* sink);
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::ostream* sink_ = nullptr;
+};
+
+const char* to_string(LogLevel level);
+
+}  // namespace flexrouter
+
+#define FR_LOG(level, expr)                                              \
+  do {                                                                   \
+    auto& fr_logger = ::flexrouter::Logger::instance();                  \
+    if (fr_logger.enabled(level)) {                                      \
+      std::ostringstream fr_log_os;                                      \
+      fr_log_os << expr;                                                 \
+      fr_logger.write(level, fr_log_os.str());                           \
+    }                                                                    \
+  } while (false)
+
+#define FR_TRACE(expr) FR_LOG(::flexrouter::LogLevel::Trace, expr)
+#define FR_DEBUG(expr) FR_LOG(::flexrouter::LogLevel::Debug, expr)
+#define FR_INFO(expr) FR_LOG(::flexrouter::LogLevel::Info, expr)
+#define FR_WARN(expr) FR_LOG(::flexrouter::LogLevel::Warn, expr)
+#define FR_ERROR(expr) FR_LOG(::flexrouter::LogLevel::Error, expr)

@@ -1,0 +1,107 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Simulation results must be bit-reproducible across platforms and runs, so
+// we implement the generators ourselves instead of relying on unspecified
+// standard-library distributions: xoshiro256** for the stream, SplitMix64
+// for seeding, and explicit bounded-integer / unit-double derivations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace flexrouter {
+
+/// SplitMix64 — used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), bound > 0. Uses Lemire's method with
+  /// rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    FR_REQUIRE(bound > 0);
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    FR_REQUIRE(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_unit() < p; }
+
+  /// Fisher–Yates shuffle of a random-access range.
+  template <typename Range>
+  void shuffle(Range& r) {
+    const auto n = static_cast<std::uint64_t>(r.size());
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = next_below(i);
+      using std::swap;
+      swap(r[i - 1], r[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng split() { return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,119 @@
+#include "hwcost/evaluation.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "rulebases/corpus.hpp"
+#include "ruleengine/parser.hpp"
+
+namespace flexrouter::hwcost {
+
+using rules::CompileOptions;
+using rules::parse_program;
+using rules::Program;
+using rules::ProgramReport;
+using rules::report_program;
+
+namespace {
+
+TableReport from_program_report(const std::string& title,
+                                const ProgramReport& rep,
+                                const std::map<std::string, std::string>&
+                                    meanings) {
+  TableReport out;
+  out.title = title;
+  for (const auto& rb : rep.rule_bases) {
+    TableRow row;
+    row.name = rb.name;
+    row.entries = rb.entries;
+    row.width_bits = rb.width_bits;
+    row.table_bits = rb.table_bits;
+    row.fcfbs = rb.fcfbs;
+    const auto it = meanings.find(rb.name);
+    row.meaning = it == meanings.end() ? "" : it->second;
+    row.nft = rb.in_nft;
+    out.rows.push_back(std::move(row));
+  }
+  out.total_table_bits = rep.total_table_bits;
+  out.register_bits = rep.total_register_bits;
+  out.num_registers = rep.num_registers;
+  out.ft_register_bits = rep.ft_register_bits;
+  return out;
+}
+
+}  // namespace
+
+std::string TableReport::render() const {
+  std::ostringstream os;
+  os << title << "\n";
+  os << std::left << std::setw(26) << "Name" << std::right << std::setw(12)
+     << "Size (bits)" << std::setw(5) << "nft"
+     << "  FCFBs | Meaning\n";
+  os << std::string(100, '-') << "\n";
+  for (const TableRow& r : rows) {
+    std::ostringstream size;
+    size << r.entries << " x " << r.width_bits;
+    os << std::left << std::setw(26) << r.name << std::right << std::setw(12)
+       << size.str() << std::setw(5) << (r.nft ? "*" : "") << "  " << r.fcfbs
+       << " | " << r.meaning << "\n";
+  }
+  os << std::string(100, '-') << "\n";
+  os << "total rule table memory: " << total_table_bits << " bits\n";
+  os << "registers: " << num_registers << " holding " << register_bits
+     << " bits";
+  if (ft_register_bits > 0)
+    os << ", " << ft_register_bits << " bits account for fault tolerance";
+  os << "\n";
+  return os.str();
+}
+
+TableReport table1_nafta(int width, int height) {
+  const Program ft =
+      parse_program(rulebases::nafta_program_source(width, height));
+  const Program nft =
+      parse_program(rulebases::nara_program_source(width, height));
+  const ProgramReport rep = report_program(ft, CompileOptions{}, &nft);
+  std::ostringstream title;
+  title << "Table 1 — rule bases of NAFTA (" << width << "x" << height
+        << " mesh; * = needed by the non-fault-tolerant NARA)";
+  return from_program_report(title.str(), rep, rulebases::nafta_meanings());
+}
+
+TableReport table2_route_c(int dimension, int adaptivity_bits) {
+  const Program ft = parse_program(
+      rulebases::route_c_program_source(dimension, adaptivity_bits));
+  const Program nft = parse_program(
+      rulebases::route_c_nft_program_source(dimension, adaptivity_bits));
+  // decide_vc's direction parameter indexes the table directly (paper: 4d
+  // entries) via the default direct_param_threshold.
+  const ProgramReport rep = report_program(ft, CompileOptions{}, &nft);
+  std::ostringstream title;
+  title << "Table 2 — rule bases of ROUTE_C (d = " << dimension
+        << ", a = " << adaptivity_bits
+        << "; * = needed by the stripped non-FT variant)";
+  return from_program_report(title.str(), rep, rulebases::route_c_meanings());
+}
+
+std::int64_t combined_rulebase_bits(int dimension, int adaptivity_bits) {
+  // "the combination of the two rule bases decide_dir and decide_vc requires
+  //  a rule interpreter configuration with 1024 * 2^d x (d + 1 + a) bits"
+  FR_REQUIRE(dimension >= 1 && dimension < 40);
+  return (std::int64_t{1024} << dimension) *
+         (dimension + 1 + adaptivity_bits);
+}
+
+std::int64_t route_c_register_formula(int dimension) {
+  FR_REQUIRE(dimension >= 2);
+  return 15 * static_cast<std::int64_t>(dimension) +
+         2 * log2_ceil(static_cast<std::uint64_t>(dimension)) + 3;
+}
+
+std::int64_t route_c_register_measured(int dimension, int adaptivity_bits) {
+  const Program p = parse_program(
+      rulebases::route_c_program_source(dimension, adaptivity_bits));
+  return p.total_register_bits();
+}
+
+}  // namespace flexrouter::hwcost

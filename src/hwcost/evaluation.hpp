@@ -1,0 +1,53 @@
+// Section 5 reproduction: regenerate Table 1 (NAFTA) and Table 2 (ROUTE_C)
+// from the rule-base corpus through the ARON compiler, the register-bit
+// accounting, and the combined-rule-base blow-up model that justifies
+// multi-step interpretation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ruleengine/hwcost.hpp"
+
+namespace flexrouter::hwcost {
+
+struct TableRow {
+  std::string name;
+  std::uint64_t entries = 0;
+  int width_bits = 0;
+  std::int64_t table_bits = 0;
+  std::string fcfbs;
+  std::string meaning;
+  bool nft = false;
+};
+
+struct TableReport {
+  std::string title;
+  std::vector<TableRow> rows;
+  std::int64_t total_table_bits = 0;
+  std::int64_t register_bits = 0;
+  int num_registers = 0;
+  std::int64_t ft_register_bits = 0;
+
+  std::string render() const;
+};
+
+/// Table 1: NAFTA on a width x height mesh, diffed against NARA.
+TableReport table1_nafta(int width = 16, int height = 16);
+
+/// Table 2: ROUTE_C on a d-dimensional hypercube with a adaptivity bits,
+/// diffed against the stripped variant. (The paper's headline: d = 6,
+/// a = 2 — "the total size of 2960 bits ... is really small".)
+TableReport table2_route_c(int dimension = 6, int adaptivity_bits = 2);
+
+/// The paper's in-text blow-up: merging ROUTE_C's decide_dir and decide_vc
+/// into one interpretation step needs a 1024 * 2^d x (d + 1 + a) bit table.
+std::int64_t combined_rulebase_bits(int dimension, int adaptivity_bits);
+
+/// Register-bit formula check: the paper's 15d + 2*ceil(log2 d) + 3.
+std::int64_t route_c_register_formula(int dimension);
+/// Register bits actually declared by the corpus program for dimension d.
+std::int64_t route_c_register_measured(int dimension, int adaptivity_bits);
+
+}  // namespace flexrouter::hwcost

@@ -1,0 +1,38 @@
+#include "router/arbiter.hpp"
+
+namespace flexrouter {
+
+RoundRobinArbiter::RoundRobinArbiter(int size)
+    : size_(size),
+      priority_(static_cast<std::size_t>(size), 0),
+      requested_(static_cast<std::size_t>(size), 0) {
+  FR_REQUIRE(size >= 1);
+}
+
+void RoundRobinArbiter::begin() {
+  std::fill(requested_.begin(), requested_.end(), 0);
+}
+
+void RoundRobinArbiter::request(int idx, int priority) {
+  FR_REQUIRE(idx >= 0 && idx < size_);
+  requested_[static_cast<std::size_t>(idx)] = 1;
+  priority_[static_cast<std::size_t>(idx)] = priority;
+}
+
+int RoundRobinArbiter::grant() {
+  int best = -1;
+  // Scan cyclically starting after the last grant so equal-priority
+  // requesters are served round-robin.
+  for (int k = 1; k <= size_; ++k) {
+    const int idx = (last_grant_ + k) % size_;
+    if (!requested_[static_cast<std::size_t>(idx)]) continue;
+    if (best == -1 || priority_[static_cast<std::size_t>(idx)] >
+                          priority_[static_cast<std::size_t>(best)]) {
+      best = idx;
+    }
+  }
+  if (best >= 0) last_grant_ = best;
+  return best;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,37 @@
+// Arbiters for VC allocation and switch allocation. Round-robin grant
+// rotation provides the fairness guarantee of Section 3 ("scheduling and
+// fairness"): no requester starves while others are served, and misrouted
+// messages can be boosted via a priority input to compensate their "double
+// disadvantage".
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace flexrouter {
+
+/// Round-robin arbiter over `size` requesters with integer priorities:
+/// the highest priority wins; among equals the one closest (cyclically)
+/// after the last grant wins.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int size);
+
+  /// Begin an arbitration round.
+  void begin();
+  /// Register requester `idx` with `priority`.
+  void request(int idx, int priority = 0);
+  /// Grant one requester (-1 if none requested); rotates the pointer.
+  int grant();
+
+  int size() const { return size_; }
+
+ private:
+  int size_;
+  int last_grant_ = -1;
+  std::vector<int> priority_;
+  std::vector<char> requested_;
+};
+
+}  // namespace flexrouter

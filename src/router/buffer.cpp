@@ -1,0 +1,28 @@
+#include "router/buffer.hpp"
+
+#include "common/assert.hpp"
+
+namespace flexrouter {
+
+FlitBuffer::FlitBuffer(int depth) : depth_(depth) {
+  FR_REQUIRE_MSG(depth >= 1, "flit buffer needs depth >= 1");
+}
+
+void FlitBuffer::push(const Flit& f) {
+  FR_REQUIRE_MSG(!full(), "flit buffer overflow (credit protocol violated)");
+  fifo_.push_back(f);
+}
+
+const Flit& FlitBuffer::front() const {
+  FR_REQUIRE(!empty());
+  return fifo_.front();
+}
+
+Flit FlitBuffer::pop() {
+  FR_REQUIRE(!empty());
+  Flit f = fifo_.front();
+  fifo_.pop_front();
+  return f;
+}
+
+}  // namespace flexrouter

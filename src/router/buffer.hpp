@@ -1,0 +1,34 @@
+// Per-virtual-channel input FIFO with bounded depth. The buffers "include
+// the interface to the physical link and handle errors on the data link
+// layer" (Section 4.1); occupancy doubles as the local load measure that
+// Information Units report.
+#pragma once
+
+#include <deque>
+
+#include "router/flit.hpp"
+
+namespace flexrouter {
+
+class FlitBuffer {
+ public:
+  explicit FlitBuffer(int depth);
+
+  bool empty() const { return fifo_.empty(); }
+  bool full() const { return static_cast<int>(fifo_.size()) >= depth_; }
+  int size() const { return static_cast<int>(fifo_.size()); }
+  int depth() const { return depth_; }
+  int free_slots() const { return depth_ - size(); }
+
+  /// Contract: not full.
+  void push(const Flit& f);
+  /// Contract: not empty.
+  const Flit& front() const;
+  Flit pop();
+
+ private:
+  int depth_;
+  std::deque<Flit> fifo_;
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,38 @@
+#include "router/crossbar.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace flexrouter {
+
+Crossbar::Crossbar(int num_inputs, int num_outputs)
+    : in_used_(static_cast<std::size_t>(num_inputs), 0),
+      out_used_(static_cast<std::size_t>(num_outputs), 0) {
+  FR_REQUIRE(num_inputs >= 1 && num_outputs >= 1);
+}
+
+void Crossbar::begin_cycle() {
+  std::fill(in_used_.begin(), in_used_.end(), 0);
+  std::fill(out_used_.begin(), out_used_.end(), 0);
+}
+
+bool Crossbar::input_free(PortId in) const {
+  FR_REQUIRE(in >= 0 && in < num_inputs());
+  return !in_used_[static_cast<std::size_t>(in)];
+}
+
+bool Crossbar::output_free(PortId out) const {
+  FR_REQUIRE(out >= 0 && out < num_outputs());
+  return !out_used_[static_cast<std::size_t>(out)];
+}
+
+void Crossbar::connect(PortId in, PortId out) {
+  FR_REQUIRE(input_free(in));
+  FR_REQUIRE(output_free(out));
+  in_used_[static_cast<std::size_t>(in)] = 1;
+  out_used_[static_cast<std::size_t>(out)] = 1;
+  ++traversals_;
+}
+
+}  // namespace flexrouter

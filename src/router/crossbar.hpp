@@ -1,0 +1,38 @@
+// Connection Unit (Figure 3): the crossbar connecting input to output ports.
+// It switches at most one flit per input port and one per output port per
+// cycle; this class tracks per-cycle port usage and cumulative traversal
+// statistics for the switch-allocation stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace flexrouter {
+
+class Crossbar {
+ public:
+  Crossbar(int num_inputs, int num_outputs);
+
+  /// Start a new cycle: all ports become available.
+  void begin_cycle();
+
+  bool input_free(PortId in) const;
+  bool output_free(PortId out) const;
+
+  /// Reserve the path in -> out for this cycle.
+  /// Contract: both ports are free.
+  void connect(PortId in, PortId out);
+
+  std::int64_t total_traversals() const { return traversals_; }
+  int num_inputs() const { return static_cast<int>(in_used_.size()); }
+  int num_outputs() const { return static_cast<int>(out_used_.size()); }
+
+ private:
+  std::vector<char> in_used_;
+  std::vector<char> out_used_;
+  std::int64_t traversals_ = 0;
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,62 @@
+// Flits and packet headers.
+//
+// Wormhole switching (Section 2.2): a message is divided into flits
+// transmitted in a pipelined fashion; only the head flit carries routing
+// information. For simulation convenience every flit carries a copy of the
+// header, but routers only read it on head flits, and only the message
+// interface mutates it (misroute marking, path-length counter, checksum).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace flexrouter {
+
+struct Header {
+  PacketId packet = -1;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  /// Total message length in flits (known up front — NAFTA's adaptivity
+  /// criterion exploits this).
+  int length = 0;
+  /// Lifelock handling (Section 3): set once the message leaves a minimal
+  /// path due to faults.
+  bool misrouted = false;
+  /// Hops travelled so far; used with misrouted for lifelock avoidance.
+  int path_len = 0;
+  /// Header checksum; must be updated whenever the header is modified
+  /// ("the hardware has to be capable to support this").
+  std::uint32_t checksum = 0;
+};
+
+/// Computes the header checksum over all routing-relevant fields.
+std::uint32_t header_checksum(const Header& h);
+
+struct Flit {
+  Header hdr;
+  bool head = false;
+  bool tail = false;
+  /// Sequence number within the packet (0 = head).
+  int seq = 0;
+};
+
+inline Flit make_head_flit(const Header& h) {
+  Flit f;
+  f.hdr = h;
+  f.head = true;
+  f.tail = h.length == 1;
+  f.seq = 0;
+  return f;
+}
+
+inline Flit make_body_flit(const Header& h, int seq) {
+  Flit f;
+  f.hdr = h;
+  f.head = false;
+  f.tail = seq == h.length - 1;
+  f.seq = seq;
+  return f;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,73 @@
+// Unidirectional link channel: carries flits (tagged with their virtual
+// channel) forward with a fixed pipeline latency, and credits backward.
+// Each link has an Information Unit (Figure 3) producing link load and
+// fault status for the control unit.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/flit.hpp"
+
+namespace flexrouter {
+
+/// Per-link measurement block ("Information Units generate information about
+/// the links, like load ... and faults. For instance they could produce and
+/// check heartbeat messages.").
+class LinkInfoUnit {
+ public:
+  void record_transfer(Cycle now) {
+    ++flits_total_;
+    last_transfer_ = now;
+  }
+  /// Exponentially smoothed load in [0, 1]: fraction of recent cycles busy.
+  void tick(Cycle now, bool busy) {
+    (void)now;
+    load_ = load_ * (1.0 - kAlpha) + (busy ? kAlpha : 0.0);
+  }
+  double load() const { return load_; }
+  std::int64_t flits_total() const { return flits_total_; }
+  Cycle last_transfer() const { return last_transfer_; }
+
+ private:
+  static constexpr double kAlpha = 1.0 / 64.0;
+  double load_ = 0.0;
+  std::int64_t flits_total_ = 0;
+  Cycle last_transfer_ = -1;
+};
+
+class Link {
+ public:
+  /// `latency` >= 1 cycles flit transport; credits return with the same
+  /// latency.
+  Link(int num_vcs, int latency);
+
+  int num_vcs() const { return num_vcs_; }
+  int latency() const { return latency_; }
+
+  void send_flit(Cycle now, VcId vc, const Flit& flit);
+  /// Flit arriving at `now`, if any (at most one per cycle per link).
+  std::optional<std::pair<VcId, Flit>> receive_flit(Cycle now);
+
+  void send_credit(Cycle now, VcId vc);
+  /// All credits arriving at `now`.
+  std::vector<VcId> receive_credits(Cycle now);
+
+  bool idle() const { return flits_.empty() && credits_.empty(); }
+
+  LinkInfoUnit& info() { return info_; }
+  const LinkInfoUnit& info() const { return info_; }
+
+ private:
+  int num_vcs_;
+  int latency_;
+  std::deque<std::tuple<Cycle, VcId, Flit>> flits_;
+  std::deque<std::pair<Cycle, VcId>> credits_;
+  LinkInfoUnit info_;
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,51 @@
+#include "router/message_interface.hpp"
+
+#include "common/assert.hpp"
+
+namespace flexrouter {
+
+std::uint32_t header_checksum(const Header& h) {
+  // FNV-1a over the routing-relevant fields; models a link-layer CRC.
+  std::uint32_t x = 2166136261u;
+  auto mix = [&x](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      x ^= static_cast<std::uint32_t>(v & 0xff);
+      x *= 16777619u;
+      v >>= 8;
+    }
+  };
+  mix(static_cast<std::uint64_t>(h.packet));
+  mix(static_cast<std::uint64_t>(h.src));
+  mix(static_cast<std::uint64_t>(h.dest));
+  mix(static_cast<std::uint64_t>(h.length));
+  mix(static_cast<std::uint64_t>(h.path_len));
+  mix(h.misrouted ? 1u : 0u);
+  return x;
+}
+
+Header MessageInterface::extract(const Flit& flit) {
+  FR_REQUIRE_MSG(flit.head, "header extraction on a non-head flit");
+  FR_REQUIRE_MSG(checksum_ok(flit.hdr), "header checksum mismatch");
+  return flit.hdr;
+}
+
+int MessageInterface::update_on_forward(Flit& flit, bool mark_misrouted) {
+  FR_REQUIRE(flit.head);
+  int changed = 0;
+  ++flit.hdr.path_len;
+  ++changed;
+  if (mark_misrouted && !flit.hdr.misrouted) {
+    flit.hdr.misrouted = true;
+    ++changed;
+  }
+  flit.hdr.checksum = header_checksum(flit.hdr);
+  return changed;
+}
+
+void MessageInterface::seal(Header& h) { h.checksum = header_checksum(h); }
+
+bool MessageInterface::checksum_ok(const Header& h) {
+  return h.checksum == header_checksum(h);
+}
+
+}  // namespace flexrouter

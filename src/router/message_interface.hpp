@@ -1,0 +1,31 @@
+// Message interface: the coupling between control unit and data path
+// (Figure 3). It is the only component allowed to modify message headers —
+// misroute marking and path-length counting for lifelock avoidance require
+// "much more effort in the interface between the control portion and the
+// data path than just copying some information" (Section 3), including
+// checksum maintenance, which this module models explicitly.
+#pragma once
+
+#include "router/flit.hpp"
+
+namespace flexrouter {
+
+class MessageInterface {
+ public:
+  /// Extract the header of a head flit, verifying its checksum.
+  /// Contract: the flit is a head flit with a valid checksum.
+  static Header extract(const Flit& flit);
+
+  /// Apply control-unit modifications to a head flit's header: bump the
+  /// path-length counter on every hop, set the misroute mark when requested,
+  /// and re-seal the checksum. Returns the number of header fields changed
+  /// (the hardware-effort statistic).
+  static int update_on_forward(Flit& flit, bool mark_misrouted);
+
+  /// Seal a freshly generated header (computes the checksum).
+  static void seal(Header& h);
+
+  static bool checksum_ok(const Header& h);
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,285 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+
+namespace flexrouter {
+
+Router::Router(NodeId id, const Topology& topo, const FaultSet& faults,
+               const RoutingAlgorithm& algo, const RouterConfig& cfg)
+    : id_(id),
+      topo_(&topo),
+      faults_(&faults),
+      algo_(&algo),
+      cfg_(cfg),
+      degree_(topo.degree()),
+      vcs_(algo.num_vcs()),
+      crossbar_(degree_ + 1, degree_ + 1) {
+  FR_REQUIRE(topo.valid_node(id));
+  FR_REQUIRE(vcs_ >= 1);
+  inputs_.reserve(static_cast<std::size_t>((degree_ + 1) * vcs_));
+  for (PortId p = 0; p <= degree_; ++p)
+    for (VcId v = 0; v < vcs_; ++v)
+      inputs_.emplace_back(p == degree_ ? cfg.injection_depth
+                                        : cfg.buffer_depth);
+  outputs_.assign(static_cast<std::size_t>((degree_ + 1) * vcs_), OutputVc{});
+  out_links_.assign(static_cast<std::size_t>(degree_), nullptr);
+  in_links_.assign(static_cast<std::size_t>(degree_), nullptr);
+  sa_arbiters_.reserve(static_cast<std::size_t>(degree_ + 1));
+  for (PortId p = 0; p <= degree_; ++p)
+    sa_arbiters_.emplace_back((degree_ + 1) * vcs_);
+}
+
+void Router::connect_output(PortId port, Link* link) {
+  FR_REQUIRE(port >= 0 && port < degree_);
+  FR_REQUIRE(link != nullptr && link->num_vcs() == vcs_);
+  out_links_[static_cast<std::size_t>(port)] = link;
+  // Initial credits = full downstream buffer.
+  for (VcId v = 0; v < vcs_; ++v) ovc(port, v).credits = cfg_.buffer_depth;
+}
+
+void Router::connect_input(PortId port, Link* link) {
+  FR_REQUIRE(port >= 0 && port < degree_);
+  FR_REQUIRE(link != nullptr && link->num_vcs() == vcs_);
+  in_links_[static_cast<std::size_t>(port)] = link;
+}
+
+int Router::injection_space() const {
+  return inputs_[static_cast<std::size_t>(in_index(degree_, 0))]
+      .buffer.free_slots();
+}
+
+void Router::inject(const Flit& flit) {
+  ivc(degree_, 0).buffer.push(flit);
+}
+
+bool Router::empty() const {
+  for (const InputVc& vc : inputs_)
+    if (!vc.buffer.empty()) return false;
+  return true;
+}
+
+void Router::flush() {
+  for (InputVc& vc : inputs_) {
+    while (!vc.buffer.empty()) vc.buffer.pop();
+    vc.status = VcStatus::Idle;
+    vc.rc_wait = 0;
+  }
+  for (OutputVc& vc : outputs_) {
+    vc.owned = false;
+    vc.assigned_flits = 0;
+  }
+  // Restore credits to full: the network guarantees links are drained.
+  for (PortId p = 0; p < degree_; ++p)
+    if (out_links_[static_cast<std::size_t>(p)] != nullptr)
+      for (VcId v = 0; v < vcs_; ++v) ovc(p, v).credits = cfg_.buffer_depth;
+}
+
+int Router::output_credits(PortId port, VcId vc) const {
+  FR_REQUIRE(port >= 0 && port <= degree_);
+  FR_REQUIRE(vc >= 0 && vc < vcs_);
+  if (port == degree_) return 1 << 20;  // ejection is an infinite sink
+  return ovc(port, vc).credits;
+}
+
+bool Router::output_vc_free(PortId port, VcId vc) const {
+  if (port == degree_) return true;  // ejection VCs never block
+  return !ovc(port, vc).owned;
+}
+
+int Router::output_assigned_data(PortId port) const {
+  FR_REQUIRE(port >= 0 && port <= degree_);
+  if (port == degree_) return 0;
+  int total = 0;
+  for (VcId v = 0; v < vcs_; ++v) total += ovc(port, v).assigned_flits;
+  return total;
+}
+
+void Router::accept_arrivals(Cycle now) {
+  for (PortId p = 0; p < degree_; ++p) {
+    Link* link = in_links_[static_cast<std::size_t>(p)];
+    if (link == nullptr) continue;
+    if (auto arrival = link->receive_flit(now)) {
+      auto& [vc, flit] = *arrival;
+      ivc(p, vc).buffer.push(flit);
+    }
+  }
+  for (PortId p = 0; p < degree_; ++p) {
+    Link* link = out_links_[static_cast<std::size_t>(p)];
+    if (link == nullptr) continue;
+    for (const VcId vc : link->receive_credits(now)) {
+      OutputVc& o = ovc(p, vc);
+      ++o.credits;
+      FR_ASSERT_MSG(o.credits <= cfg_.buffer_depth, "credit overflow");
+    }
+  }
+}
+
+void Router::stage_rc(Cycle now) {
+  (void)now;
+  for (PortId p = 0; p <= degree_; ++p) {
+    for (VcId v = 0; v < vcs_; ++v) {
+      InputVc& in = ivc(p, v);
+      if (in.status != VcStatus::Idle || in.buffer.empty()) continue;
+      const Flit& flit = in.buffer.front();
+      FR_ASSERT_MSG(flit.head, "non-head flit at the head of an idle VC");
+
+      RouteContext ctx;
+      ctx.node = id_;
+      ctx.in_port = p;
+      ctx.in_vc = v;
+      const Header hdr = MessageInterface::extract(flit);
+      ctx.src = hdr.src;
+      ctx.dest = hdr.dest;
+      ctx.path_len = hdr.path_len;
+      ctx.misrouted = hdr.misrouted;
+
+      RouteDecision decision = algo_->route(ctx);
+      stats_.decision_steps += decision.steps;
+      ++stats_.packets_routed;
+
+      // Lifelock guard: over-budget messages are restricted to the escape
+      // layer, whose deterministic routing always terminates.
+      if (ctx.path_len > algo_->max_path_len()) {
+        RouteDecision filtered;
+        filtered.steps = decision.steps;
+        filtered.mark_misrouted = decision.mark_misrouted;
+        for (const RouteCandidate& c : decision.candidates)
+          if (c.port == local_port() || algo_->is_escape_vc(c.vc))
+            filtered.candidates.push_back(c);
+        decision = filtered;
+      }
+
+      if (decision.candidates.empty()) {
+        ++stats_.rc_no_candidates;  // retry next cycle
+        continue;
+      }
+      in.decision = decision;
+      in.rc_wait = decision.steps - 1;
+      in.mark_misrouted = decision.mark_misrouted;
+      in.status = VcStatus::Routing;
+    }
+  }
+}
+
+void Router::stage_va() {
+  for (PortId p = 0; p <= degree_; ++p) {
+    for (VcId v = 0; v < vcs_; ++v) {
+      InputVc& in = ivc(p, v);
+      if (in.status != VcStatus::Routing) continue;
+      if (in.rc_wait > 0) {
+        --in.rc_wait;  // multi-interpretation decision still in progress
+        continue;
+      }
+      // Sort candidates by (priority, free credits) and take the best free
+      // output VC — the adaptivity selection. A VC is only granted when it
+      // has at least one credit: committing a head to a credit-less channel
+      // would strand it in a state where the escape option is gone, voiding
+      // the Duato deadlock-freedom argument (a blocked head must always be
+      // able to re-select, and with a credit the head is guaranteed to move
+      // into the downstream buffer, where it routes afresh).
+      const RouteCandidate* best = nullptr;
+      int best_score = 0;
+      for (const RouteCandidate& c : in.decision.candidates) {
+        if (!output_vc_free(c.port, c.vc)) continue;
+        if (output_credits(c.port, c.vc) <= 0) continue;
+        // Adaptivity selection: router-visible load ranks equal-priority
+        // candidates. Credits = free downstream buffer space; AssignedData
+        // additionally penalises outputs already committed to long worms
+        // (the paper's out_queue criterion).
+        int load_score = std::min(output_credits(c.port, c.vc), 1023);
+        if (cfg_.adaptivity == AdaptivityCriterion::AssignedData)
+          load_score -= 4 * std::min(output_assigned_data(c.port), 200);
+        const int score = c.priority * 4096 + load_score;
+        if (best == nullptr || score > best_score) {
+          best = &c;
+          best_score = score;
+        }
+      }
+      if (best == nullptr) {
+        ++stats_.va_retries;
+        continue;
+      }
+      in.out_port = best->port;
+      in.out_vc = best->vc;
+      if (best->port != local_port()) {
+        OutputVc& o = ovc(best->port, best->vc);
+        o.owned = true;
+        o.owner_port = p;
+        o.owner_vc = v;
+        // The whole message is now committed to this output; wormhole
+        // switching knows its length up front (Section 2.2).
+        o.assigned_flits += in.buffer.front().hdr.length;
+      }
+      in.status = VcStatus::Active;
+    }
+  }
+}
+
+void Router::stage_sa_st(Cycle now, std::vector<Flit>& ejected) {
+  crossbar_.begin_cycle();
+  // Arbitrate per output port; misrouted messages get a priority boost.
+  for (PortId out = 0; out <= degree_; ++out) {
+    RoundRobinArbiter& arb = sa_arbiters_[static_cast<std::size_t>(out)];
+    arb.begin();
+    bool any = false;
+    for (PortId p = 0; p <= degree_; ++p) {
+      for (VcId v = 0; v < vcs_; ++v) {
+        InputVc& in = ivc(p, v);
+        if (in.status != VcStatus::Active || in.out_port != out) continue;
+        if (in.buffer.empty()) continue;
+        if (!crossbar_.input_free(p)) continue;
+        if (out != local_port() && ovc(out, in.out_vc).credits <= 0) continue;
+        const int prio =
+            in.buffer.front().hdr.misrouted ? cfg_.misroute_priority_boost : 0;
+        arb.request(in_index(p, v), prio);
+        any = true;
+      }
+    }
+    if (!any || !crossbar_.output_free(out)) continue;
+    const int winner = arb.grant();
+    if (winner < 0) continue;
+    const PortId p = winner / vcs_;
+    const VcId v = winner % vcs_;
+    InputVc& in = ivc(p, v);
+    if (!crossbar_.input_free(p)) continue;  // a lower port won it this cycle
+    crossbar_.connect(p, out);
+
+    Flit flit = in.buffer.pop();
+    // Return a credit upstream for the freed buffer slot.
+    if (p < degree_ && in_links_[static_cast<std::size_t>(p)] != nullptr)
+      in_links_[static_cast<std::size_t>(p)]->send_credit(now, v);
+
+    if (out == local_port()) {
+      ++stats_.flits_ejected;
+      if (flit.tail) in.status = VcStatus::Idle;
+      ejected.push_back(flit);
+      continue;
+    }
+
+    if (flit.head)
+      stats_.header_updates += MessageInterface::update_on_forward(
+          flit, in.mark_misrouted);
+
+    OutputVc& o = ovc(out, in.out_vc);
+    --o.credits;
+    if (o.assigned_flits > 0) --o.assigned_flits;
+    Link* link = out_links_[static_cast<std::size_t>(out)];
+    FR_ASSERT_MSG(link != nullptr, "active VC aimed at an unconnected port");
+    link->send_flit(now, in.out_vc, flit);
+    ++stats_.flits_forwarded;
+
+    if (flit.tail) {
+      o.owned = false;
+      in.status = VcStatus::Idle;
+    }
+  }
+}
+
+void Router::step(Cycle now, std::vector<Flit>& ejected) {
+  accept_arrivals(now);
+  stage_sa_st(now, ejected);  // move established flows first
+  stage_va();
+  stage_rc(now);
+}
+
+}  // namespace flexrouter

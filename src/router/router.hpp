@@ -1,0 +1,151 @@
+// Cycle-level wormhole router.
+//
+// Pipeline per head flit: RC (routing computation, possibly several rule
+// interpretations — the paper's fault-tolerance time overhead appears here
+// as extra stall cycles), VA (virtual-channel allocation), then per flit SA
+// (switch allocation through the Connection Unit) and ST/LT (switch/link
+// traversal). Credit-based flow control across links; tail flits release
+// their output VC.
+//
+// The router never consults global network state: routing algorithms see
+// only the header and their own propagated per-node state, exactly like the
+// hardware control unit of Figure 3.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "router/arbiter.hpp"
+#include "router/buffer.hpp"
+#include "router/crossbar.hpp"
+#include "router/link.hpp"
+#include "router/message_interface.hpp"
+#include "routing/routing.hpp"
+
+namespace flexrouter {
+
+/// VC-allocation adaptivity criterion (Section 2.2: NAFTA exploits that
+/// "it is known how long the remainder of a message is" and uses "the
+/// amount of data that still has to pass a node" to rank outputs).
+enum class AdaptivityCriterion {
+  Credits,       // free downstream buffer space only
+  AssignedData,  // least data already committed to the output (the paper's)
+};
+
+struct RouterConfig {
+  int buffer_depth = 4;     // flits per VC FIFO
+  int injection_depth = 16; // local input buffer depth
+  /// Extra SA priority for misrouted messages ("it may be desirable to favor
+  /// messages misrouted due to faults", Section 3).
+  int misroute_priority_boost = 1;
+  AdaptivityCriterion adaptivity = AdaptivityCriterion::Credits;
+};
+
+struct RouterStats {
+  std::int64_t flits_forwarded = 0;   // network-to-network + injected
+  std::int64_t flits_ejected = 0;
+  std::int64_t packets_routed = 0;    // RC decisions taken
+  std::int64_t decision_steps = 0;    // total rule interpretations
+  std::int64_t rc_no_candidates = 0;  // RC retries (no usable output yet)
+  std::int64_t va_retries = 0;
+  std::int64_t header_updates = 0;    // message-interface modifications
+};
+
+class Router {
+ public:
+  Router(NodeId id, const Topology& topo, const FaultSet& faults,
+         const RoutingAlgorithm& algo, const RouterConfig& cfg);
+
+  NodeId id() const { return id_; }
+  int num_vcs() const { return vcs_; }
+  PortId local_port() const { return degree_; }
+
+  /// Wiring (done by the Network): links are owned elsewhere.
+  void connect_output(PortId port, Link* link);
+  void connect_input(PortId port, Link* link);
+
+  /// Injection interface: free space in the local input buffer.
+  int injection_space() const;
+  void inject(const Flit& flit);
+
+  /// One simulation cycle. Ejected flits are appended to `ejected`.
+  void step(Cycle now, std::vector<Flit>& ejected);
+
+  /// True if no flit is buffered anywhere in this router.
+  bool empty() const;
+
+  /// Abort all in-flight state (used between quiesced reconfigurations in
+  /// tests; the normal simulator drains instead).
+  void flush();
+
+  const RouterStats& stats() const { return stats_; }
+
+  /// Local occupancy view used as the adaptivity criterion (buffer
+  /// exploitation as load measure, Section 4.1).
+  int output_credits(PortId port, VcId vc) const;
+  bool output_vc_free(PortId port, VcId vc) const;
+  /// Data committed to an output port across its VCs (paper: out_queue).
+  int output_assigned_data(PortId port) const;
+
+ private:
+  enum class VcStatus { Idle, Routing, Active };
+
+  struct InputVc {
+    FlitBuffer buffer;
+    VcStatus status = VcStatus::Idle;
+    RouteDecision decision;
+    int rc_wait = 0;        // remaining stall cycles for multi-step decisions
+    PortId out_port = kInvalidPort;
+    VcId out_vc = kInvalidVc;
+    bool mark_misrouted = false;
+
+    explicit InputVc(int depth) : buffer(depth) {}
+  };
+
+  struct OutputVc {
+    bool owned = false;
+    PortId owner_port = kInvalidPort;
+    VcId owner_vc = kInvalidVc;
+    int credits = 0;
+    /// Flits committed to this output but not yet transmitted — the
+    /// paper's out_queue adaptivity measure.
+    int assigned_flits = 0;
+  };
+
+  int in_index(PortId port, VcId vc) const { return port * vcs_ + vc; }
+  InputVc& ivc(PortId port, VcId vc) {
+    return inputs_[static_cast<std::size_t>(in_index(port, vc))];
+  }
+  OutputVc& ovc(PortId port, VcId vc) {
+    return outputs_[static_cast<std::size_t>(in_index(port, vc))];
+  }
+  const OutputVc& ovc(PortId port, VcId vc) const {
+    return outputs_[static_cast<std::size_t>(in_index(port, vc))];
+  }
+
+  void accept_arrivals(Cycle now);
+  void stage_rc(Cycle now);
+  void stage_va();
+  void stage_sa_st(Cycle now, std::vector<Flit>& ejected);
+
+  NodeId id_;
+  const Topology* topo_;
+  const FaultSet* faults_;
+  const RoutingAlgorithm* algo_;
+  RouterConfig cfg_;
+  int degree_;
+  int vcs_;
+
+  std::vector<InputVc> inputs_;    // (degree_+1) x vcs_
+  std::vector<OutputVc> outputs_;  // (degree_+1) x vcs_ (local row unused for
+                                   // ownership; its credits are infinite)
+  std::vector<Link*> out_links_;   // degree_ entries (nullptr = no link)
+  std::vector<Link*> in_links_;
+  Crossbar crossbar_;
+  std::vector<RoundRobinArbiter> sa_arbiters_;  // one per output port
+  RouterStats stats_;
+};
+
+}  // namespace flexrouter

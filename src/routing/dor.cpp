@@ -1,0 +1,50 @@
+#include "routing/dor.hpp"
+
+namespace flexrouter {
+
+void DimensionOrderMesh::attach(const Topology& topo, const FaultSet& faults) {
+  mesh_ = dynamic_cast<const Mesh*>(&topo);
+  FR_REQUIRE_MSG(mesh_ != nullptr, "dor-mesh requires a Mesh topology");
+  (void)faults;
+}
+
+RouteDecision DimensionOrderMesh::route(const RouteContext& ctx) const {
+  FR_REQUIRE_MSG(mesh_ != nullptr, "route() before attach()");
+  RouteDecision d;
+  if (ctx.dest == ctx.node) {
+    d.candidates.push_back({mesh_->degree(), 0, 0});
+    return d;
+  }
+  // Correct the lowest differing dimension first (XY order for 2-D).
+  for (int dim = 0; dim < mesh_->dims(); ++dim) {
+    const int here = mesh_->coord(ctx.node, dim);
+    const int there = mesh_->coord(ctx.dest, dim);
+    if (here == there) continue;
+    const PortId p = Mesh::port_toward(dim, /*negative=*/there < here);
+    for (VcId v = 0; v < vcs_; ++v) d.candidates.push_back({p, v, 0});
+    return d;
+  }
+  FR_UNREACHABLE("equal coordinates but dest != node");
+}
+
+void ECubeHypercube::attach(const Topology& topo, const FaultSet& faults) {
+  cube_ = dynamic_cast<const Hypercube*>(&topo);
+  FR_REQUIRE_MSG(cube_ != nullptr, "ecube requires a Hypercube topology");
+  (void)faults;
+}
+
+RouteDecision ECubeHypercube::route(const RouteContext& ctx) const {
+  FR_REQUIRE_MSG(cube_ != nullptr, "route() before attach()");
+  RouteDecision d;
+  if (ctx.dest == ctx.node) {
+    d.candidates.push_back({cube_->degree(), 0, 0});
+    return d;
+  }
+  const auto diff = Hypercube::differing_dims(ctx.node, ctx.dest);
+  FR_ASSERT(diff != 0);
+  const PortId p = static_cast<PortId>(std::countr_zero(diff));
+  for (VcId v = 0; v < vcs_; ++v) d.candidates.push_back({p, v, 0});
+  return d;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,43 @@
+// Oblivious dimension-order routing baselines: XY (and its n-dimensional
+// generalisation) on meshes, e-cube on hypercubes. Deadlock-free with a
+// single virtual channel, fully fault-intolerant — the reference point for
+// the paper's overhead comparisons.
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+
+class DimensionOrderMesh final : public RoutingAlgorithm {
+ public:
+  explicit DimensionOrderMesh(int num_vcs = 1) : vcs_(num_vcs) {}
+
+  std::string name() const override { return "dor-mesh"; }
+  int num_vcs() const override { return vcs_; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+ private:
+  const Mesh* mesh_ = nullptr;
+  int vcs_;
+};
+
+class ECubeHypercube final : public RoutingAlgorithm {
+ public:
+  explicit ECubeHypercube(int num_vcs = 1) : vcs_(num_vcs) {}
+
+  std::string name() const override { return "ecube"; }
+  int num_vcs() const override { return vcs_; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+ private:
+  const Hypercube* cube_ = nullptr;
+  int vcs_;
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,53 @@
+#include "routing/dor_torus.hpp"
+
+namespace flexrouter {
+
+void DimensionOrderTorus::attach(const Topology& topo,
+                                 const FaultSet& faults) {
+  torus_ = dynamic_cast<const Torus*>(&topo);
+  FR_REQUIRE_MSG(torus_ != nullptr, "dor-torus requires a Torus topology");
+  (void)faults;
+}
+
+bool DimensionOrderTorus::crosses_dateline(NodeId node, PortId port) const {
+  const int dim = port / 2;
+  const int r = torus_->radix(dim);
+  const int c = torus_->coord(node, dim);
+  if (port % 2 == 0) return c == r - 1;  // +dir wrap: radix-1 -> 0
+  return c == 0;                         // -dir wrap: 0 -> radix-1
+}
+
+RouteDecision DimensionOrderTorus::route(const RouteContext& ctx) const {
+  FR_REQUIRE_MSG(torus_ != nullptr, "route() before attach()");
+  RouteDecision d;
+  if (ctx.dest == ctx.node) {
+    d.candidates.push_back({torus_->degree(), 0, 0});
+    return d;
+  }
+  for (int dim = 0; dim < torus_->dims(); ++dim) {
+    const int r = torus_->radix(dim);
+    const int here = torus_->coord(ctx.node, dim);
+    const int there = torus_->coord(ctx.dest, dim);
+    if (here == there) continue;
+    // Shorter way around; ties toward positive.
+    const int fwd = (there - here + r) % r;
+    const bool negative = fwd > r - fwd;
+    const PortId p = static_cast<PortId>(2 * dim + (negative ? 1 : 0));
+
+    // Dateline discipline: VC 0 until the wrap link of this dimension has
+    // been crossed, VC 1 afterwards. "Already wrapped" is carried by the
+    // arrival VC: while correcting one dimension the packet arrives on that
+    // dimension's ports, so in_vc == 1 on a same-dimension arrival means
+    // the wrap lies behind us. Entering a new dimension resets to VC 0.
+    const bool same_dim_arrival = ctx.in_port >= 0 &&
+                                  ctx.in_port < torus_->degree() &&
+                                  ctx.in_port / 2 == dim;
+    const bool wrapped = same_dim_arrival && ctx.in_vc == 1;
+    const VcId vc = (wrapped || crosses_dateline(ctx.node, p)) ? 1 : 0;
+    d.candidates.push_back({p, vc, 0});
+    return d;
+  }
+  FR_UNREACHABLE("equal coordinates but dest != node");
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,35 @@
+// Dimension-order routing for tori with dateline virtual channels.
+//
+// A torus ring has an inherent channel cycle; the classic fix (Dally &
+// Seitz, cited by the paper as [DaS87]) splits each ring with a dateline:
+// packets start on VC 0 and switch to VC 1 after crossing the wrap-around
+// link of the current dimension. Within each dimension the two VC classes
+// form spirals with no cycle, and dimension order makes inter-dimension
+// dependencies acyclic — which the CDG test verifies mechanically.
+//
+// Routing is minimal: each dimension corrects toward the shorter way
+// around (ties break toward the positive direction).
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/torus.hpp"
+
+namespace flexrouter {
+
+class DimensionOrderTorus final : public RoutingAlgorithm {
+ public:
+  std::string name() const override { return "dor-torus"; }
+  int num_vcs() const override { return 2; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  /// True if moving from `node` via `port` crosses the wrap-around link of
+  /// its dimension (the dateline between coordinate radix-1 and 0).
+  bool crosses_dateline(NodeId node, PortId port) const;
+
+ private:
+  const Torus* torus_ = nullptr;
+};
+
+}  // namespace flexrouter

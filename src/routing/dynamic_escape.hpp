@@ -1,0 +1,62 @@
+// Dynamic deadlock avoidance, and its fault vulnerability (Section 3).
+//
+// The paper: "Another group of deadlock avoidance concepts can be called
+// dynamic because the state of the system is incorporated. The basis of
+// this scheme is the existence of a static deadlock prevention method.
+// Links can be used as long as there is space available in a corresponding
+// buffer. If no space is available, the static method has to be used. ...
+// But this scheme is very vulnerable to faults. For example the fault of
+// one link can separate several node pairs in the statically deadlock-free
+// network ... Thus in this case already a single fault causes
+// reconfiguration of some network nodes."
+//
+// This class models exactly that construction on a 2-D mesh: VC 1 is the
+// dynamic layer (fully adaptive minimal, usable whenever buffer space
+// exists), VC 0 is the static layer — plain XY dimension order, FIXED at
+// attach time with no fault handling. A single faulty link on a packet's
+// XY path removes its static fallback; packets at the break with no
+// adaptive alternative stall, and the deadlock guarantee is void. The
+// bench/dynamic_vulnerability binary demonstrates the failure and the
+// repair-by-reconfiguration the paper says is then required (modelled by
+// `allow_reconfiguration(true)`, which lets the static layer recompute —
+// at the cost the paper attributes to it).
+#pragma once
+
+#include "routing/nara.hpp"
+#include "routing/updown.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+
+class DynamicEscape final : public RoutingAlgorithm {
+ public:
+  static constexpr VcId kStaticVc = 0;
+  static constexpr VcId kDynamicVc = 1;
+
+  explicit DynamicEscape(bool allow_reconfiguration = false)
+      : reconfigurable_(allow_reconfiguration) {}
+
+  std::string name() const override {
+    return reconfigurable_ ? "dynamic-escape+reconf" : "dynamic-escape";
+  }
+  int num_vcs() const override { return 2; }
+  bool is_escape_vc(VcId vc) const override { return vc == kStaticVc; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  int reconfigure() override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+ private:
+  void add_static_escape(const RouteContext& ctx, RouteDecision& d) const;
+
+  const Mesh* mesh_ = nullptr;
+  const FaultSet* faults_ = nullptr;
+  bool reconfigurable_;
+  /// Reconfigurable mode rebuilds an up*/down* static layer on faults;
+  /// the vulnerable mode keeps fault-free XY forever.
+  UpDownTable reconf_escape_;
+  bool use_reconf_escape_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace flexrouter

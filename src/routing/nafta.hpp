@@ -1,0 +1,86 @@
+// NAFTA — fault-tolerant adaptive routing for 2-D meshes [CuA95],
+// reconstructed from the paper's description (see DESIGN.md §2):
+//
+//  * Fault-free behaviour identical to NARA: fully adaptive minimal routing
+//    on two virtual networks (condition 1), one rule interpretation per
+//    decision.
+//  * Per-node fault states with geometric meaning, propagated in a wave
+//    from the fault site: directional dead-end flags ("dead-end-east" = all
+//    columns to the east contain at least one fault) and a deactivation
+//    flag that completes concave fault regions to convex ones — healthy
+//    nodes inside pockets are excluded from transit, the paper's noted
+//    violation of condition 3 for the adaptive layer.
+//  * With faults, decisions take 2 interpretations (fault state consulted)
+//    or 3 when the message must be misrouted; misrouted messages are marked
+//    in the header and carry a path-length counter (lifelock avoidance).
+//  * Deadlock freedom under faults via the Duato construction: VC 2 is an
+//    up*/down* escape channel rebuilt in the diagnosis phase; it also
+//    restores delivery (condition 3) to deactivated-but-healthy nodes.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "routing/nara.hpp"
+#include "routing/updown.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+
+class Nafta final : public RoutingAlgorithm {
+ public:
+  static constexpr VcId kEscapeVc = 2;
+
+  /// `fault_aware_adaptivity` implements Section 3's adaptivity guidance
+  /// ("a faulty link just has to appear as maximally loaded"): dead-end
+  /// regions are deprioritised and the escape layer ranks below adaptive
+  /// outputs. Disabling it models a fault-blind adaptivity measure — the
+  /// ablation bench/adaptivity_ablation quantifies the damage.
+  explicit Nafta(bool fault_aware_adaptivity = true)
+      : fault_aware_(fault_aware_adaptivity) {}
+
+  std::string name() const override {
+    return fault_aware_ ? "nafta" : "nafta-blind-adaptivity";
+  }
+  int num_vcs() const override { return 3; }
+  bool is_escape_vc(VcId vc) const override { return vc == kEscapeVc; }
+  int max_path_len() const override { return max_path_len_; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  int reconfigure() override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  // --- propagated state, exposed for tests and the Figure-2 bench ---------
+  bool deactivated(NodeId n) const {
+    return deactivated_[static_cast<std::size_t>(n)] != 0;
+  }
+  /// dead_end(n, c): from n, every row/column strictly in direction c
+  /// contains at least one fault.
+  bool dead_end(NodeId n, Compass c) const {
+    return dead_end_[static_cast<std::size_t>(port_of(c))]
+                    [static_cast<std::size_t>(n)] != 0;
+  }
+  int num_deactivated() const;
+  const UpDownTable& escape_table() const { return escape_; }
+  /// Rounds the deactivation (convexification) fixed point needed in the
+  /// last reconfiguration.
+  int last_settle_rounds() const { return settle_rounds_; }
+
+ private:
+  bool transit_ok(NodeId neighbor, NodeId dest) const;
+  void add_escape(const RouteContext& ctx, RouteDecision& d) const;
+  int compute_dead_ends();
+  int compute_deactivation();
+
+  const Mesh* mesh_ = nullptr;
+  const FaultSet* faults_ = nullptr;
+  bool fault_aware_ = true;
+  UpDownTable escape_;
+  std::vector<char> deactivated_;
+  std::array<std::vector<char>, 4> dead_end_;  // indexed by compass port
+  std::uint64_t epoch_ = 0;
+  int max_path_len_ = 1 << 20;
+  int settle_rounds_ = 0;
+};
+
+}  // namespace flexrouter

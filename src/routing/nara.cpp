@@ -1,0 +1,56 @@
+#include "routing/nara.hpp"
+
+namespace flexrouter {
+
+void Nara::attach(const Topology& topo, const FaultSet& faults) {
+  mesh_ = dynamic_cast<const Mesh*>(&topo);
+  FR_REQUIRE_MSG(mesh_ != nullptr && mesh_->dims() == 2,
+                 "NARA requires a 2-D mesh");
+  (void)faults;
+}
+
+void Nara::minimal_candidates(const Mesh& mesh, NodeId node, NodeId dest,
+                              VcId arrival_vc, RouteDecision& d) {
+  const int dx = mesh.x_of(dest) - mesh.x_of(node);
+  const int dy = mesh.y_of(dest) - mesh.y_of(node);
+  // Virtual network selection: VC 1 while going north, VC 0 while going
+  // south. x-only traffic stays on its arrival network; only injected
+  // packets may pick either (see the header comment for why).
+  auto add = [&d](PortId p, VcId v) { d.candidates.push_back({p, v, 0}); };
+  if (dy > 0) {
+    add(port_of(Compass::North), 1);
+    if (dx > 0) add(port_of(Compass::East), 1);
+    if (dx < 0) add(port_of(Compass::West), 1);
+  } else if (dy < 0) {
+    add(port_of(Compass::South), 0);
+    if (dx > 0) add(port_of(Compass::East), 0);
+    if (dx < 0) add(port_of(Compass::West), 0);
+  } else {
+    const PortId p = dx > 0 ? port_of(Compass::East) : port_of(Compass::West);
+    if (dx != 0) {
+      if (arrival_vc == 0 || arrival_vc == 1) {
+        add(p, arrival_vc);
+      } else {
+        add(p, 0);
+        add(p, 1);
+      }
+    }
+  }
+}
+
+RouteDecision Nara::route(const RouteContext& ctx) const {
+  FR_REQUIRE_MSG(mesh_ != nullptr, "route() before attach()");
+  RouteDecision d;
+  if (ctx.dest == ctx.node) {
+    d.candidates.push_back({mesh_->degree(), 0, 0});
+    return d;
+  }
+  const bool from_network =
+      ctx.in_port >= 0 && ctx.in_port < mesh_->degree();
+  minimal_candidates(*mesh_, ctx.node, ctx.dest,
+                     from_network ? ctx.in_vc : kInvalidVc, d);
+  FR_ENSURE(!d.candidates.empty());
+  return d;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,41 @@
+// NARA — the non-fault-tolerant, fully adaptive minimal routing algorithm
+// for 2-D meshes that NAFTA extends [CuA95].
+//
+// Reconstruction (see DESIGN.md): two virtual channels form two virtual
+// networks selected by the sign of the remaining y-offset ("south-last" /
+// "north-last"): packets still needing to travel north use VC 1, packets
+// needing south use VC 0. Packets with dy == 0 move only in x; freshly
+// injected ones may pick either network, but once in the network they stay
+// on their arrival VC — letting them switch networks would let a north
+// packet that finished its y-correction continue on the south network,
+// closing N/E/S/W dependency cycles across the two networks (the CDG test
+// found exactly that cycle). With the stay-on-your-network rule each
+// network's dependencies are y-monotone and x-consistent, so the channel
+// dependency graph is acyclic — full minimal adaptivity (condition 1,
+// every minimal *path* remains selectable) with two VCs.
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+
+class Nara final : public RoutingAlgorithm {
+ public:
+  std::string name() const override { return "nara"; }
+  int num_vcs() const override { return 2; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  /// The minimal adaptive candidate set shared with NAFTA's fault-free fast
+  /// path. `arrival_vc` is the VC the packet holds (kInvalidVc for freshly
+  /// injected packets, which may choose either network when dy == 0).
+  static void minimal_candidates(const Mesh& mesh, NodeId node, NodeId dest,
+                                 VcId arrival_vc, RouteDecision& d);
+
+ private:
+  const Mesh* mesh_ = nullptr;
+};
+
+}  // namespace flexrouter

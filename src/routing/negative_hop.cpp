@@ -1,0 +1,110 @@
+#include "routing/negative_hop.hpp"
+
+#include <deque>
+
+namespace flexrouter {
+
+void NegativeHop::attach(const Topology& topo, const FaultSet& faults) {
+  topo_ = &topo;
+  faults_ = &faults;
+  num_nodes_ = topo.num_nodes();
+
+  // 2-colouring by BFS parity; verify bipartiteness (meshes and hypercubes
+  // qualify, tori only with even radices).
+  colors_.assign(static_cast<std::size_t>(num_nodes_), -1);
+  for (NodeId start = 0; start < num_nodes_; ++start) {
+    if (colors_[static_cast<std::size_t>(start)] != -1) continue;
+    colors_[static_cast<std::size_t>(start)] = 0;
+    std::deque<NodeId> queue{start};
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (PortId p = 0; p < topo.degree(); ++p) {
+        const NodeId v = topo.neighbor(u, p);
+        if (v == kInvalidNode) continue;
+        const int want = 1 - colors_[static_cast<std::size_t>(u)];
+        int& cv = colors_[static_cast<std::size_t>(v)];
+        if (cv == -1) {
+          cv = want;
+          queue.push_back(v);
+        } else {
+          FR_REQUIRE_MSG(cv == want,
+                         "negative-hop scheme needs a bipartite topology");
+        }
+      }
+    }
+  }
+  reconfigure();
+}
+
+int NegativeHop::reconfigure() {
+  // Distance-vector update on the faulted graph — this is ordinary routing
+  // information maintenance; crucially, the deadlock-avoidance structure
+  // (colours and VC classes) is untouched by faults, the scheme's selling
+  // point in the paper.
+  dist_.assign(static_cast<std::size_t>(num_nodes_) *
+                   static_cast<std::size_t>(num_nodes_),
+               -1);
+  faulted_diameter_ = 0;
+  int exchanges = 0;
+  for (NodeId dest = 0; dest < num_nodes_; ++dest) {
+    if (faults_->node_faulty(dest)) continue;
+    const auto d = bfs_distances(*faults_, dest);
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      dist_[static_cast<std::size_t>(n) * static_cast<std::size_t>(num_nodes_) +
+            static_cast<std::size_t>(dest)] = d[static_cast<std::size_t>(n)];
+      faulted_diameter_ = std::max(faulted_diameter_, d[static_cast<std::size_t>(n)]);
+      if (d[static_cast<std::size_t>(n)] > 0)
+        exchanges += faults_->usable_degree(n);
+    }
+  }
+  FR_REQUIRE_MSG(
+      (faulted_diameter_ + 1) / 2 + 1 <= vcs_,
+      "negative-hop VC budget too small for the faulted diameter — "
+      "construct with NegativeHop::vcs_needed_for(topo, margin)");
+  epoch_ = faults_->epoch();
+  return exchanges;
+}
+
+int NegativeHop::negative_hops(NodeId node, int path_len) const {
+  // Colours alternate along any path, so the number of 1 -> 0 transitions
+  // among the first k hops collapses to a function of k and the colour of
+  // the node reached: k even -> k/2 regardless; k odd -> (k+1)/2 when the
+  // walk now sits on colour 0 (the odd hop was the negative one), else
+  // (k-1)/2.
+  if (path_len % 2 == 0) return path_len / 2;
+  const int c = colors_[static_cast<std::size_t>(node)];
+  return c == 0 ? (path_len + 1) / 2 : (path_len - 1) / 2;
+}
+
+RouteDecision NegativeHop::route(const RouteContext& ctx) const {
+  FR_REQUIRE_MSG(topo_ != nullptr, "route() before attach()");
+  FR_REQUIRE_MSG(epoch_ == faults_->epoch(),
+                 "stale negative-hop tables: reconfigure() missed an epoch");
+  RouteDecision d;
+  if (ctx.dest == ctx.node) {
+    d.candidates.push_back({topo_->degree(), 0, 0});
+    return d;
+  }
+  const int here = dist(ctx.node, ctx.dest);
+  if (here < 0) return d;  // disconnected (assumption iii violation upstream)
+
+  // VC class for the next hop = negative hops completed so far. Within a
+  // class only positive (0 -> 1) hops occur; every negative hop moves the
+  // packet to the next class, so inter-class dependencies strictly
+  // increase and the CDG is acyclic for any path.
+  const VcId vc =
+      static_cast<VcId>(negative_hops(ctx.node, ctx.path_len));
+  FR_ASSERT_MSG(vc < vcs_, "negative-hop class exceeded the VC budget");
+
+  for (PortId p = 0; p < topo_->degree(); ++p) {
+    if (!faults_->link_usable(ctx.node, p)) continue;
+    const NodeId m = topo_->neighbor(ctx.node, p);
+    if (dist(m, ctx.dest) == here - 1) d.candidates.push_back({p, vc, 0});
+  }
+  FR_ENSURE_MSG(!d.candidates.empty(),
+                "distance table inconsistent: no descending neighbour");
+  return d;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,83 @@
+// The negative-hop scheme [BoC96], which the paper singles out in its
+// deadlock-avoidance discussion: "using the negative hop scheme ... for
+// which the number of virtual channels depends on the network diameter no
+// changes to the deadlock avoidance are necessary at all" when faults
+// occur — the fault-tolerance cost is paid entirely in virtual channels.
+//
+// Nodes of a bipartite topology (meshes and hypercubes are bipartite) are
+// 2-coloured; a hop from colour 1 to colour 0 is "negative". A packet that
+// has taken k negative hops travels on VC k. Within one VC class only
+// positive (0 -> 1) hops occur and every negative hop strictly increases
+// the class, so the channel dependency graph is acyclic for ANY path the
+// routing takes — minimal, adaptive, or misrouted around faults — with no
+// per-fault changes whatsoever. The price: class count = max negative hops
+// = ceil(max path length / 2) + 1, i.e. VCs grow with the (faulted)
+// diameter.
+//
+// The negative-hop count is derivable from header fields alone
+// (colour(src) and path_len), so no extra header state is needed.
+//
+// Routing here is distance-vector: candidates are all usable ports that
+// strictly reduce the BFS distance (computed on the faulted graph during
+// the diagnosis phase), which guarantees delivery in exactly dist hops and
+// bounds the VC demand by ceil(faulted_diameter / 2) + 1.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "topology/graph_algo.hpp"
+
+namespace flexrouter {
+
+class NegativeHop final : public RoutingAlgorithm {
+ public:
+  /// `num_vcs` must cover ceil(faulted_diameter / 2) + 1; reconfigure()
+  /// enforces this (the scheme's structural VC demand). The helper
+  /// vcs_needed_for() sizes it from a topology.
+  explicit NegativeHop(int num_vcs) : vcs_(num_vcs) {}
+
+  static int vcs_needed_for(const Topology& topo, int fault_margin = 4) {
+    return (topo.diameter() + fault_margin) / 2 + 1;
+  }
+
+  std::string name() const override { return "negative-hop"; }
+  int num_vcs() const override { return vcs_; }
+  /// The VC class is a function of the full hop count (bounded by the
+  /// faulted diameter, since routing is strictly distance-decreasing).
+  int path_len_class(int path_len) const override { return path_len; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  int reconfigure() override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  /// 2-colouring of the topology (0/1); negative hop = 1 -> 0.
+  int color(NodeId n) const { return colors_[static_cast<std::size_t>(n)]; }
+
+  /// Negative hops completed by a packet that now sits at `node` after
+  /// `path_len` hops. Because colours alternate along any path, this is a
+  /// function of the CURRENT node's colour and the hop counter alone — no
+  /// source information needed, exactly what the router hardware can see.
+  int negative_hops(NodeId node, int path_len) const;
+
+  /// Faulted diameter of the last reconfiguration (tests/benches).
+  int faulted_diameter() const { return faulted_diameter_; }
+
+ private:
+  int dist(NodeId from, NodeId to) const {
+    return dist_[static_cast<std::size_t>(from) *
+                     static_cast<std::size_t>(num_nodes_) +
+                 static_cast<std::size_t>(to)];
+  }
+
+  const Topology* topo_ = nullptr;
+  const FaultSet* faults_ = nullptr;
+  int vcs_;
+  NodeId num_nodes_ = 0;
+  std::vector<int> colors_;
+  std::vector<int> dist_;  // faulted all-pairs distances
+  int faulted_diameter_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace flexrouter

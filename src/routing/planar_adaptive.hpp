@@ -1,0 +1,66 @@
+// Planar-adaptive routing [ChK92] — the second reference router the paper
+// names ("the planar adaptive router works with wormhole routing on k-ary
+// n cubes ... good references for the optimizations possible by choosing an
+// appropriate routing algorithm. Furthermore they are fault-tolerant.").
+//
+// Reconstruction for k-ary n-dimensional meshes: adaptivity is restricted
+// to a sequence of planes A_0 .. A_{n-2}, where plane A_p spans dimensions
+// p and p+1. A packet is handled by the plane of its first uncorrected
+// dimension (capped at A_{n-2}) and routes fully adaptively *within* that
+// plane using the double-network discipline (the NARA argument, with
+// dimension p+1 in the "y" role): VC class is chosen by the sign of the
+// remaining offset in dimension p+1. Because a physical link of dimension d
+// serves plane d-1 in the y role and plane d in the x role, the two roles
+// get disjoint VC pairs — x role on VCs 2/3, y role on VCs 0/1 — so the
+// per-plane acyclicity proofs compose along the strictly increasing plane
+// order: 4 VCs for any n, matching the constant-VC selling point of the
+// planar-adaptive design.
+//
+// Fault tolerance (the `fault_tolerant` flag) follows this repository's
+// Duato pattern: minimal in-plane candidates are filtered by link health,
+// blocked packets misroute within their plane (marked, one extra
+// interpretation), and VC 4 carries an up*/down* escape rebuilt during the
+// quiescent diagnosis phase.
+#pragma once
+
+#include "routing/updown.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+
+class PlanarAdaptive final : public RoutingAlgorithm {
+ public:
+  static constexpr VcId kEscapeVc = 4;
+
+  explicit PlanarAdaptive(bool fault_tolerant = true)
+      : fault_tolerant_(fault_tolerant) {}
+
+  std::string name() const override {
+    return fault_tolerant_ ? "planar-adaptive-ft" : "planar-adaptive";
+  }
+  int num_vcs() const override { return fault_tolerant_ ? 5 : 4; }
+  bool is_escape_vc(VcId vc) const override {
+    return fault_tolerant_ ? vc == kEscapeVc : true;
+  }
+  int max_path_len() const override { return max_path_len_; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  int reconfigure() override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  /// The plane that handles a packet at `node` for `dest` (first
+  /// uncorrected dimension, capped at dims-2); -1 when node == dest.
+  int active_plane(NodeId node, NodeId dest) const;
+
+ private:
+  void add_escape(const RouteContext& ctx, RouteDecision& d) const;
+
+  const Mesh* mesh_ = nullptr;
+  const FaultSet* faults_ = nullptr;
+  bool fault_tolerant_;
+  UpDownTable escape_;
+  std::uint64_t epoch_ = 0;
+  int max_path_len_ = 1 << 20;
+};
+
+}  // namespace flexrouter

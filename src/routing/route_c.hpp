@@ -1,0 +1,99 @@
+// ROUTE_C — fault-tolerant routing for hypercubes [ChW96], reconstructed
+// from the paper's description (see DESIGN.md §2):
+//
+//  * Node states {safe, ordinarily-unsafe, strongly-unsafe} computed from
+//    neighbour health: a node with >= 2 faulty neighbours or faulty incident
+//    links is strongly unsafe; a node with >= 2 unsafe-or-worse neighbours
+//    is ordinarily unsafe. State combination is monotone in a finite
+//    lattice, so the neighbour-exchange propagation settles quickly.
+//    Routing avoids unsafe nodes in transit; the network keeps condition 3
+//    while not "totally unsafe".
+//  * Deadlock avoidance after [Kon90]: first all links with increasing
+//    coordinates (0->1 bit flips, VC 0), afterwards decreasing ones (VC 1).
+//  * Five virtual channels total: 2 base + 3 only needed for fault
+//    tolerance (misroute channels 3 and 4, escape channel 2); the
+//    stripped-down non-FT variant uses 2 VCs and one interpretation.
+//  * Every decision costs two rule interpretations (decide_dir, decide_vc).
+#pragma once
+
+#include <vector>
+
+#include "routing/updown.hpp"
+#include "topology/hypercube.hpp"
+
+namespace flexrouter {
+
+enum class NodeState : std::uint8_t {
+  Safe = 0,
+  OrdinarilyUnsafe = 1,
+  StronglyUnsafe = 2,
+  Faulty = 3,
+};
+
+const char* to_string(NodeState s);
+
+class RouteC final : public RoutingAlgorithm {
+ public:
+  static constexpr VcId kAscVc = 0;      // increasing-coordinate phase
+  static constexpr VcId kDescVc = 1;     // decreasing-coordinate phase
+  static constexpr VcId kEscapeVc = 2;   // up*/down* escape (FT only)
+  static constexpr VcId kMisrouteVc0 = 3;
+  static constexpr VcId kMisrouteVc1 = 4;
+
+  std::string name() const override { return "route_c"; }
+  int num_vcs() const override { return 5; }
+  bool is_escape_vc(VcId vc) const override { return vc == kEscapeVc; }
+  int max_path_len() const override { return max_path_len_; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  int reconfigure() override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  NodeState state(NodeId n) const {
+    return states_[static_cast<std::size_t>(n)];
+  }
+  /// True when every healthy node is unsafe — the easily detected situation
+  /// in which condition 3 can no longer be guaranteed (needs more than n-1
+  /// faulty nodes).
+  bool totally_unsafe() const;
+  int num_unsafe() const;
+  const UpDownTable& escape_table() const { return escape_; }
+
+  /// Rounds the state propagation needed to reach its fixed point in the
+  /// last reconfiguration — the paper: "the way in which error states are
+  /// combined forms a partial order. Therefore the propagation scheme
+  /// settles fast."
+  int last_settle_rounds() const { return settle_rounds_; }
+
+ private:
+  bool transit_ok(NodeId neighbor, NodeId dest) const;
+  void add_escape(const RouteContext& ctx, RouteDecision& d) const;
+
+  const Hypercube* cube_ = nullptr;
+  const FaultSet* faults_ = nullptr;
+  UpDownTable escape_;
+  std::vector<NodeState> states_;
+  std::uint64_t epoch_ = 0;
+  int max_path_len_ = 1 << 20;
+  int settle_rounds_ = 0;
+};
+
+/// The stripped-down non-fault-tolerant variant: identical behaviour in a
+/// fault-free network, 2 VCs, one interpretation per decision.
+class StrippedRouteC final : public RoutingAlgorithm {
+ public:
+  std::string name() const override { return "route_c_nft"; }
+  int num_vcs() const override { return 2; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  /// The Kon90 minimal candidate set shared with RouteC's fast path.
+  static void minimal_candidates(const Hypercube& cube, NodeId node,
+                                 NodeId dest, RouteDecision& d);
+
+ private:
+  const Hypercube* cube_ = nullptr;
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,41 @@
+#include "routing/routing.hpp"
+
+#include <vector>
+
+#include "routing/dor.hpp"
+#include "routing/dor_torus.hpp"
+#include "routing/nafta.hpp"
+#include "routing/nara.hpp"
+#include "routing/planar_adaptive.hpp"
+#include "routing/route_c.hpp"
+#include "routing/spanning_tree.hpp"
+#include "routing/updown.hpp"
+
+namespace flexrouter {
+
+std::unique_ptr<RoutingAlgorithm> make_algorithm(const std::string& name) {
+  if (name == "dor-mesh") return std::make_unique<DimensionOrderMesh>();
+  if (name == "ecube") return std::make_unique<ECubeHypercube>();
+  if (name == "nara") return std::make_unique<Nara>();
+  if (name == "nafta") return std::make_unique<Nafta>();
+  if (name == "route_c") return std::make_unique<RouteC>();
+  if (name == "route_c_nft") return std::make_unique<StrippedRouteC>();
+  if (name == "updown") return std::make_unique<UpDownRouting>();
+  if (name == "spanning-tree") return std::make_unique<SpanningTreeRouting>();
+  if (name == "dor-torus") return std::make_unique<DimensionOrderTorus>();
+  if (name == "planar-adaptive")
+    return std::make_unique<PlanarAdaptive>(false);
+  if (name == "planar-adaptive-ft")
+    return std::make_unique<PlanarAdaptive>(true);
+  FR_REQUIRE_MSG(false, "unknown routing algorithm '" + name + "'");
+  return nullptr;
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"dor-mesh",      "ecube",         "nara",
+          "nafta",         "route_c",       "route_c_nft",
+          "updown",        "spanning-tree", "dor-torus",
+          "planar-adaptive", "planar-adaptive-ft"};
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,175 @@
+#include "routing/rule_driven.hpp"
+
+#include <algorithm>
+
+#include "ruleengine/parser.hpp"
+#include "ruleengine/validate.hpp"
+#include "topology/graph_algo.hpp"
+
+namespace flexrouter {
+
+using rules::Value;
+
+RuleDrivenRouting::RuleDrivenRouting(std::string program_source, int num_vcs,
+                                     rules::ExecMode mode,
+                                     std::string route_base, VcId escape_vc)
+    : source_(std::move(program_source)),
+      route_base_(std::move(route_base)),
+      mode_(mode),
+      vcs_(num_vcs),
+      escape_vc_(escape_vc) {
+  FR_REQUIRE(num_vcs >= 1);
+  FR_REQUIRE(escape_vc < num_vcs);
+}
+
+int RuleDrivenRouting::reconfigure() {
+  if (escape_vc_ < 0) return 0;
+  return escape_.rebuild(*faults_);
+}
+
+std::string RuleDrivenRouting::name() const {
+  return program_ ? "rule:" + program_->name : "rule:<unattached>";
+}
+
+void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
+  topo_ = &topo;
+  mesh_ = dynamic_cast<const Mesh*>(&topo);
+  faults_ = &faults;
+  program_ = std::make_unique<rules::Program>(rules::parse_program(source_));
+  rules::require_valid(*program_);  // reject kind errors before compiling
+  if (escape_vc_ >= 0) escape_.rebuild(faults);
+  FR_REQUIRE_MSG(program_->find_rule_base(route_base_) != nullptr,
+                 "rule program lacks the decision rule base '" + route_base_ +
+                     "'");
+  machines_.clear();
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    auto em = std::make_unique<rules::EventManager>(*program_, mode_);
+    // The input provider closes over the *algorithm*; the active context is
+    // installed per decision.
+    em->set_input_provider(
+        [this](const std::string& input, const std::vector<Value>& idx) {
+          FR_REQUIRE_MSG(active_ctx_ != nullptr,
+                         "rule program read an input outside a decision");
+          return input_value(*active_ctx_, input, idx);
+        });
+    machines_.push_back(std::move(em));
+  }
+}
+
+rules::EventManager& RuleDrivenRouting::machine(NodeId n) const {
+  FR_REQUIRE(topo_ != nullptr && topo_->valid_node(n));
+  return *machines_[static_cast<std::size_t>(n)];
+}
+
+Value RuleDrivenRouting::input_value(const RouteContext& ctx,
+                                     const std::string& name,
+                                     const std::vector<Value>& idx) const {
+  if (name == "node") return Value::make_int(ctx.node);
+  if (name == "dest") return Value::make_int(ctx.dest);
+  if (name == "src") return Value::make_int(ctx.src);
+  if (name == "in_port") return Value::make_int(ctx.in_port);
+  if (name == "in_vc")
+    return Value::make_int(std::max<VcId>(ctx.in_vc, 0));
+  if (name == "injected")
+    return Value::make_bool(ctx.in_port < 0 || ctx.in_port >= topo_->degree());
+  if (name == "path_len") return Value::make_int(ctx.path_len);
+  if (name == "misrouted") return Value::make_bool(ctx.misrouted);
+  if (name == "link_ok") {
+    FR_REQUIRE_MSG(idx.size() == 1, "link_ok takes one direction index");
+    const auto p = static_cast<PortId>(idx[0].as_int());
+    if (p < 0 || p >= topo_->degree()) return Value::make_bool(false);
+    return Value::make_bool(faults_->link_usable(ctx.node, p));
+  }
+  if (name == "dest_reachable")
+    return Value::make_bool(connected(*faults_, ctx.node, ctx.dest));
+  if (escape_vc_ >= 0) {
+    const bool on_escape = ctx.in_vc == escape_vc_ && ctx.in_port >= 0 &&
+                           ctx.in_port < topo_->degree();
+    if (name == "on_escape") return Value::make_bool(on_escape);
+    if (name == "escape_ok")
+      return Value::make_bool(escape_.reachable(ctx.node, ctx.dest));
+    if (name == "escape_port") {
+      // Deterministic escape hop; the injection port signals "none".
+      if (ctx.dest == ctx.node || !escape_.reachable(ctx.node, ctx.dest))
+        return Value::make_int(topo_->degree());
+      UpDownTable::Phase phase = UpDownTable::Phase::Up;
+      if (on_escape) {
+        const NodeId prev = topo_->neighbor(ctx.node, ctx.in_port);
+        phase = escape_.is_up_move(
+                    prev, topo_->reverse_port(ctx.node, ctx.in_port))
+                    ? UpDownTable::Phase::Up
+                    : UpDownTable::Phase::Down;
+      }
+      return Value::make_int(
+          escape_.next_hops(ctx.node, ctx.dest, phase)[0]);
+    }
+  }
+  if (mesh_ != nullptr && mesh_->dims() == 2) {
+    if (name == "xpos") return Value::make_int(mesh_->x_of(ctx.node));
+    if (name == "ypos") return Value::make_int(mesh_->y_of(ctx.node));
+    if (name == "xdes") return Value::make_int(mesh_->x_of(ctx.dest));
+    if (name == "ydes") return Value::make_int(mesh_->y_of(ctx.dest));
+  }
+  FR_REQUIRE_MSG(false, "rule program input '" + name +
+                            "' is not in the host catalog");
+  return Value::make_int(0);
+}
+
+RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
+  FR_REQUIRE_MSG(program_ != nullptr, "route() before attach()");
+  FR_REQUIRE_MSG(escape_vc_ < 0 ||
+                     escape_.built_for_epoch() == faults_->epoch(),
+                 "stale escape table: reconfigure() missed an epoch");
+  rules::EventManager& em = machine(ctx.node);
+  active_ctx_ = &ctx;
+
+  RouteDecision d;
+  auto add_candidate = [&](PortId port, VcId vc, int prio) {
+    FR_REQUIRE_MSG(port >= 0 && port <= topo_->degree(),
+                   "rule program produced an invalid port");
+    FR_REQUIRE_MSG(vc >= 0 && vc < vcs_,
+                   "rule program produced an invalid VC");
+    d.candidates.push_back({port, vc, prio});
+  };
+
+  const auto interpretations_before = em.total_interpretations();
+  em.set_host_handler([&](const std::string& event,
+                          const std::vector<Value>& args) {
+    if (event == "cand") {
+      FR_REQUIRE_MSG(args.size() == 3, "!cand needs (port, vc, priority)");
+      add_candidate(static_cast<PortId>(args[0].as_int()),
+                    static_cast<VcId>(args[1].as_int()),
+                    static_cast<int>(args[2].as_int()));
+    }
+    // Other events (e.g. state propagation to neighbours) are dropped by
+    // this adapter; dedicated tests exercise them through the machines.
+  });
+
+  const rules::FireResult r = em.fire(route_base_, {});
+  em.drain();
+
+  if (r.returned) {
+    PortId port;
+    if (r.returned->is_int()) {
+      port = static_cast<PortId>(r.returned->as_int());
+    } else {
+      const rules::RuleBase& rb = program_->rule_base(route_base_);
+      FR_REQUIRE_MSG(rb.returns.has_value(),
+                     "symbolic RETURN without a RETURNS domain");
+      port = static_cast<PortId>(rb.returns->index_of(*r.returned));
+    }
+    // A RETURNed port means "any VC of that port".
+    if (port == topo_->degree()) {
+      add_candidate(port, 0, 0);
+    } else {
+      for (VcId v = 0; v < vcs_; ++v) add_candidate(port, v, 0);
+    }
+  }
+
+  d.steps = static_cast<int>(em.total_interpretations() -
+                             interpretations_before);
+  active_ctx_ = nullptr;
+  return d;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,84 @@
+// Rule-driven routing: executes a routing algorithm written in the rule
+// language on the simulated router — the full loop the paper proposes
+// (rule compiler -> rule tables -> rule interpreter in the control unit).
+//
+// Conventions for runnable routing programs:
+//  * The decision rule base is named `route` (configurable). Firing it must
+//    either RETURN one output (an integer port, or a symbol whose rank in
+//    the RETURNS domain is the port index — declare the enum in Compass
+//    order {east, west, north, south, local}), or emit one or more
+//    `!cand(port, vc, priority)` events.
+//  * Inputs are served from a fixed catalog, by name:
+//      xpos, ypos, xdes, ydes      mesh coordinates (2-D meshes only)
+//      node, dest, src             node ids
+//      in_port, in_vc              arrival port / VC (degree = injection)
+//      injected                    1 iff the packet was injected here
+//      path_len, misrouted         header state
+//      link_ok(dirs)               1 iff the local link is usable
+//      dest_reachable              1 iff dest reachable from here
+//    and, when an escape VC is configured (fault-tolerant programs):
+//      escape_ok                   1 iff the escape layer reaches dest
+//      escape_port                 the deterministic up*/down* next hop
+//      on_escape                   1 iff the packet arrived on the escape VC
+//  * Each router node owns an independent register file (one EventManager
+//    per node), so stateful programs keep per-node state like real rule
+//    bases.
+//
+// The decision cost (steps) is the number of rule interpretations the
+// decision consumed — exactly the unit Section 5 reports.
+#pragma once
+
+#include <memory>
+
+#include "ruleengine/event_manager.hpp"
+#include "routing/routing.hpp"
+#include "routing/updown.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+
+class RuleDrivenRouting final : public RoutingAlgorithm {
+ public:
+  /// `escape_vc` >= 0 equips the rule program with a hardware escape layer
+  /// (a deterministic up*/down* table rebuilt each diagnosis phase, exposed
+  /// through the escape_* inputs) — the Duato construction that makes
+  /// rule-programmed fault tolerance deadlock-free.
+  RuleDrivenRouting(std::string program_source, int num_vcs,
+                    rules::ExecMode mode = rules::ExecMode::Table,
+                    std::string route_base = "route", VcId escape_vc = -1);
+
+  std::string name() const override;
+  int num_vcs() const override { return vcs_; }
+  bool is_escape_vc(VcId vc) const override {
+    return escape_vc_ < 0 || vc == escape_vc_;
+  }
+
+  void attach(const Topology& topo, const FaultSet& faults) override;
+  int reconfigure() override;
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  const rules::Program& program() const { return *program_; }
+
+  /// Per-node machine access (tests poke state / post events).
+  rules::EventManager& machine(NodeId n) const;
+
+ private:
+  rules::Value input_value(const RouteContext& ctx, const std::string& name,
+                           const std::vector<rules::Value>& idx) const;
+
+  std::string source_;
+  std::string route_base_;
+  rules::ExecMode mode_;
+  int vcs_;
+  VcId escape_vc_;
+  UpDownTable escape_;
+  std::unique_ptr<rules::Program> program_;
+  const Topology* topo_ = nullptr;
+  const Mesh* mesh_ = nullptr;  // non-null on 2-D meshes
+  const FaultSet* faults_ = nullptr;
+  mutable std::vector<std::unique_ptr<rules::EventManager>> machines_;
+  /// Context of the decision currently being evaluated (input provider).
+  mutable const RouteContext* active_ctx_ = nullptr;
+};
+
+}  // namespace flexrouter

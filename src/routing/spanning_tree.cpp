@@ -1,0 +1,85 @@
+#include "routing/spanning_tree.hpp"
+
+#include <deque>
+
+namespace flexrouter {
+
+int SpanningTreeRouting::reconfigure() {
+  const NodeId n = topo_->num_nodes();
+  tree_ = bfs_spanning_tree(*faults_, choose_tree_root(*faults_));
+  epoch_ = faults_->epoch();
+  next_hop_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                   kInvalidPort);
+
+  // Tree adjacency: child -> parent (parent_port) and parent -> child.
+  std::vector<std::vector<std::pair<NodeId, PortId>>> adj(
+      static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId parent = tree_.parent[static_cast<std::size_t>(v)];
+    if (parent == kInvalidNode) continue;
+    const PortId up = tree_.parent_port[static_cast<std::size_t>(v)];
+    adj[static_cast<std::size_t>(v)].emplace_back(parent, up);
+    adj[static_cast<std::size_t>(parent)].emplace_back(
+        v, topo_->reverse_port(v, up));
+  }
+
+  // Per-destination BFS over tree edges; paths in a tree are unique.
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (!tree_.reaches(dest)) continue;
+    std::deque<NodeId> queue{dest};
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    seen[static_cast<std::size_t>(dest)] = 1;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      // adj[v] lists (neighbour u, port from v to u); the port from u back
+      // toward v (and hence toward dest) is its reverse.
+      for (const auto& [u, port_from_v] : adj[static_cast<std::size_t>(v)]) {
+        if (seen[static_cast<std::size_t>(u)]) continue;
+        seen[static_cast<std::size_t>(u)] = 1;
+        next_hop_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(dest)] =
+            topo_->reverse_port(v, port_from_v);
+        queue.push_back(u);
+      }
+    }
+  }
+
+  // Reconfiguration cost: the full tree rebuild touches every usable link.
+  int usable = 0;
+  for (NodeId u = 0; u < n; ++u)
+    for (PortId p = 0; p < topo_->degree(); ++p)
+      if (faults_->link_usable(u, p)) ++usable;
+  return usable;
+}
+
+RouteDecision SpanningTreeRouting::route(const RouteContext& ctx) const {
+  FR_REQUIRE_MSG(!next_hop_.empty(), "route() before attach()");
+  FR_REQUIRE_MSG(epoch_ == faults_->epoch(), "stale spanning tree");
+  RouteDecision d;
+  if (ctx.dest == ctx.node) {
+    d.candidates.push_back({topo_->degree(), 0, 0});
+    return d;
+  }
+  const PortId p = next_hop_[static_cast<std::size_t>(ctx.node) *
+                                 static_cast<std::size_t>(topo_->num_nodes()) +
+                             static_cast<std::size_t>(ctx.dest)];
+  if (p == kInvalidPort) return d;  // unreachable destination
+  for (VcId v = 0; v < vcs_; ++v) d.candidates.push_back({p, v, 0});
+  return d;
+}
+
+double SpanningTreeRouting::link_usage_fraction() const {
+  FR_REQUIRE(!next_hop_.empty());
+  int healthy_links = 0;
+  for (const LinkRef& l : topo_->undirected_links())
+    if (faults_->link_usable(l.node, l.port)) ++healthy_links;
+  int tree_links = 0;
+  for (NodeId v = 0; v < topo_->num_nodes(); ++v)
+    if (tree_.parent[static_cast<std::size_t>(v)] != kInvalidNode) ++tree_links;
+  return healthy_links == 0
+             ? 0.0
+             : static_cast<double>(tree_links) / healthy_links;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,174 @@
+#include "routing/updown.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace flexrouter {
+
+namespace {
+constexpr int kUnreachable = std::numeric_limits<int>::max() / 4;
+}
+
+int UpDownTable::rebuild(const FaultSet& faults) {
+  topo_ = &faults.topology();
+  faults_ = &faults;
+  epoch_ = faults.epoch();
+  num_nodes_ = topo_->num_nodes();
+  const auto n = static_cast<std::size_t>(num_nodes_);
+
+  const NodeId root = choose_tree_root(faults);
+  const SpanningTree tree = bfs_spanning_tree(faults, root);
+  order_ = tree.order;
+
+  dist_up_.assign(n * n, kUnreachable);
+  dist_down_.assign(n * n, kUnreachable);
+
+  // Backward BFS per destination over the phase automaton. A router in
+  // state (node, Up) may take an up move (stay Up) or a down move (enter
+  // Down); in state (node, Down) only down moves remain. We therefore walk
+  // predecessors: who can reach `dest` next?
+  int exchanges = 0;
+  for (NodeId dest = 0; dest < num_nodes_; ++dest) {
+    if (faults.node_faulty(dest)) continue;
+    auto up = [&](NodeId node) -> int& {
+      return dist_up_[static_cast<std::size_t>(idx(node, dest))];
+    };
+    auto down = [&](NodeId node) -> int& {
+      return dist_down_[static_cast<std::size_t>(idx(node, dest))];
+    };
+    // (node, phase): phase 0 = Up, 1 = Down.
+    std::deque<std::pair<NodeId, int>> queue;
+    up(dest) = 0;
+    down(dest) = 0;
+    queue.emplace_back(dest, 0);
+    queue.emplace_back(dest, 1);
+    while (!queue.empty()) {
+      const auto [v, phase] = queue.front();
+      queue.pop_front();
+      const int dv = phase == 0 ? up(v) : down(v);
+      // Predecessor u reaches state (v, phase) by the move u -> v.
+      for (PortId pv = 0; pv < topo_->degree(); ++pv) {
+        if (!faults.link_usable(v, pv)) continue;
+        const NodeId u = topo_->neighbor(v, pv);
+        const bool move_is_up =
+            order_[static_cast<std::size_t>(v)] <
+            order_[static_cast<std::size_t>(u)];
+        if (move_is_up) {
+          // An up move keeps the walker in Up phase, so it only explains
+          // state (u, Up) reaching (v, Up).
+          if (phase == 0 && up(u) > dv + 1) {
+            up(u) = dv + 1;
+            queue.emplace_back(u, 0);
+          }
+        } else {
+          // A down move: u may have been in Up (entering Down) or Down.
+          // Arriving state at v is Down, so only phase == 1 applies...
+          // unless v == dest where both seeds exist; using the Down seed is
+          // correct because the walk ends there.
+          if (phase == 1) {
+            if (down(u) > dv + 1) {
+              down(u) = dv + 1;
+              queue.emplace_back(u, 1);
+            }
+            if (up(u) > dv + 1) {
+              up(u) = dv + 1;
+              queue.emplace_back(u, 0);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Distributed construction cost: one BFS wave round per tree level, one
+  // exchange per usable directed link per wave.
+  int usable_links = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u)
+    for (PortId p = 0; p < topo_->degree(); ++p)
+      if (faults.link_usable(u, p)) ++usable_links;
+  int levels = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u)
+    levels = std::max(levels, tree.level[static_cast<std::size_t>(u)]);
+  exchanges = usable_links * std::max(1, levels);
+  return exchanges;
+}
+
+StaticVector<PortId, 16> UpDownTable::next_hops(NodeId node, NodeId dest,
+                                                Phase phase) const {
+  FR_REQUIRE(ready());
+  FR_REQUIRE(topo_->valid_node(node) && topo_->valid_node(dest));
+  StaticVector<PortId, 16> out;
+  if (node == dest) return out;
+  const int here =
+      phase == Phase::Up
+          ? dist_up_[static_cast<std::size_t>(idx(node, dest))]
+          : dist_down_[static_cast<std::size_t>(idx(node, dest))];
+  if (here >= kUnreachable) return out;
+  for (PortId p = 0; p < topo_->degree(); ++p) {
+    if (!faults_->link_usable(node, p)) continue;
+    const NodeId m = topo_->neighbor(node, p);
+    const bool up_move = is_up_move(node, p);
+    if (phase == Phase::Down && up_move) continue;
+    const int next =
+        up_move ? dist_up_[static_cast<std::size_t>(idx(m, dest))]
+                : dist_down_[static_cast<std::size_t>(idx(m, dest))];
+    if (next == here - 1 && !out.full()) out.push_back(p);
+  }
+  FR_ENSURE_MSG(!out.empty(), "up*/down* table inconsistent: no next hop");
+  return out;
+}
+
+UpDownTable::Phase UpDownTable::phase_after(NodeId from, PortId port) const {
+  return is_up_move(from, port) ? Phase::Up : Phase::Down;
+}
+
+bool UpDownTable::is_up_move(NodeId from, PortId port) const {
+  FR_REQUIRE(ready());
+  const NodeId to = topo_->neighbor(from, port);
+  FR_REQUIRE(to != kInvalidNode);
+  return order_[static_cast<std::size_t>(to)] <
+         order_[static_cast<std::size_t>(from)];
+}
+
+bool UpDownTable::reachable(NodeId from, NodeId to) const {
+  FR_REQUIRE(ready());
+  if (from == to) return faults_->node_ok(from);
+  return dist_up_[static_cast<std::size_t>(idx(from, to))] < kUnreachable;
+}
+
+int UpDownTable::distance(NodeId from, NodeId to, Phase phase) const {
+  FR_REQUIRE(ready());
+  const int d = phase == Phase::Up
+                    ? dist_up_[static_cast<std::size_t>(idx(from, to))]
+                    : dist_down_[static_cast<std::size_t>(idx(from, to))];
+  return d >= kUnreachable ? -1 : d;
+}
+
+RouteDecision UpDownRouting::route(const RouteContext& ctx) const {
+  FR_REQUIRE_MSG(table_.ready(), "route() before attach()");
+  FR_REQUIRE_MSG(table_.built_for_epoch() == faults_->epoch(),
+                 "stale up*/down* table: reconfigure() missed an epoch");
+  RouteDecision d;
+  if (ctx.dest == ctx.node) {
+    d.candidates.push_back({topo_->degree(), 0, 0});
+    return d;
+  }
+  const bool from_network = ctx.in_port >= 0 && ctx.in_port < topo_->degree();
+  // Phase tracking: a packet that arrived via a down move may only continue
+  // down. Injected packets start in Up phase.
+  UpDownTable::Phase phase = UpDownTable::Phase::Up;
+  if (from_network) {
+    // The packet travelled (neighbor -> ctx.node); it is locked into Down
+    // phase iff that move was a down move from the neighbor's perspective.
+    const NodeId prev = topo_->neighbor(ctx.node, ctx.in_port);
+    phase = table_.is_up_move(prev, topo_->reverse_port(ctx.node, ctx.in_port))
+                ? UpDownTable::Phase::Up
+                : UpDownTable::Phase::Down;
+  }
+  for (const PortId p : table_.next_hops(ctx.node, ctx.dest, phase)) {
+    for (VcId v = 0; v < vcs_; ++v) d.candidates.push_back({p, v, 0});
+  }
+  return d;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,99 @@
+// Up*/down* routing on a BFS spanning tree of the healthy subgraph.
+//
+// Links are oriented by BFS visit order: a move u -> v is "up" when
+// order(v) < order(u). Legal paths are zero or more up moves followed by
+// zero or more down moves; the down->up turn is forbidden, which makes the
+// channel dependency graph acyclic (up chains strictly decrease the order,
+// down chains strictly increase it, and no edge leads from a down channel
+// to an up channel).
+//
+// This serves two roles: a standalone deadlock-free fault-tolerant
+// algorithm (the spanning-tree flavoured baseline done right — it uses ALL
+// healthy links, not just tree edges), and the escape layer of the
+// NAFTA/ROUTE_C reconstructions (Duato methodology; see DESIGN.md). It is
+// recomputed during the quiescent diagnosis phase that fault assumption iv
+// grants.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "topology/graph_algo.hpp"
+
+namespace flexrouter {
+
+class UpDownTable {
+ public:
+  enum class Phase { Up, Down };
+
+  /// Rebuild tree, orientation and next-hop tables for the current fault
+  /// state. Returns the number of node-to-node information exchanges the
+  /// distributed construction would need (tree building is a BFS wave:
+  /// one exchange per usable directed link, plus one wave round per level).
+  int rebuild(const FaultSet& faults);
+
+  bool ready() const { return !order_.empty(); }
+  std::uint64_t built_for_epoch() const { return epoch_; }
+
+  /// All ports at `node` that advance toward `dest` along a shortest legal
+  /// path from the given phase. Empty iff dest is unreachable.
+  StaticVector<PortId, 16> next_hops(NodeId node, NodeId dest,
+                                    Phase phase) const;
+
+  /// Phase after traversing `port` from `from`.
+  Phase phase_after(NodeId from, PortId port) const;
+
+  /// True if the move from `from` via `port` is an up move.
+  bool is_up_move(NodeId from, PortId port) const;
+
+  int order(NodeId n) const { return order_[static_cast<std::size_t>(n)]; }
+  bool reachable(NodeId from, NodeId to) const;
+
+  /// Legal-path distance (may exceed the topological distance). -1 when
+  /// unreachable.
+  int distance(NodeId from, NodeId to, Phase phase) const;
+
+ private:
+  int idx(NodeId node, NodeId dest) const {
+    return static_cast<int>(node) * num_nodes_ + static_cast<int>(dest);
+  }
+
+  const Topology* topo_ = nullptr;
+  const FaultSet* faults_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int num_nodes_ = 0;
+  std::vector<int> order_;
+  /// dist_up[node * N + dest]: shortest legal path length starting in Up
+  /// phase; dist_down: starting in Down phase (only down moves remain).
+  std::vector<int> dist_up_;
+  std::vector<int> dist_down_;
+};
+
+/// Standalone up*/down* routing algorithm (single virtual channel).
+class UpDownRouting final : public RoutingAlgorithm {
+ public:
+  explicit UpDownRouting(int num_vcs = 1) : vcs_(num_vcs) {}
+
+  std::string name() const override { return "updown"; }
+  int num_vcs() const override { return vcs_; }
+
+  void attach(const Topology& topo, const FaultSet& faults) override {
+    topo_ = &topo;
+    faults_ = &faults;
+    reconfigure();
+  }
+
+  int reconfigure() override { return table_.rebuild(*faults_); }
+
+  RouteDecision route(const RouteContext& ctx) const override;
+
+  const UpDownTable& table() const { return table_; }
+
+ private:
+  const Topology* topo_ = nullptr;
+  const FaultSet* faults_ = nullptr;
+  UpDownTable table_;
+  int vcs_;
+};
+
+}  // namespace flexrouter

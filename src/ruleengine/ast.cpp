@@ -1,0 +1,228 @@
+#include "ruleengine/ast.hpp"
+
+#include <sstream>
+
+namespace flexrouter::rules {
+
+ExprPtr Expr::make_int(std::int64_t v, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::IntLit;
+  e->int_val = v;
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_sym(SymId s, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::SymLit;
+  e->sym = s;
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_set(std::vector<ExprPtr> elems, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::SetLit;
+  e->args = std::move(elems);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_ref(std::string name, std::vector<ExprPtr> args, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Ref;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_unary(UnOp op, ExprPtr operand, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Unary;
+  e->un_op = op;
+  e->lhs = std::move(operand);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Binary;
+  e->bin_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_quantified(Quant q, std::string var, ExprPtr domain,
+                              ExprPtr body, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::Quantified;
+  e->quant = q;
+  e->name = std::move(var);
+  e->lhs = std::move(domain);
+  e->rhs = std::move(body);
+  e->line = line;
+  return e;
+}
+
+const VarDecl* Program::find_variable(const std::string& n) const {
+  for (const auto& v : variables)
+    if (v.name == n) return &v;
+  return nullptr;
+}
+
+const InputDecl* Program::find_input(const std::string& n) const {
+  for (const auto& i : inputs)
+    if (i.name == n) return &i;
+  return nullptr;
+}
+
+const RuleBase* Program::find_rule_base(const std::string& n) const {
+  for (const auto& rb : rule_bases)
+    if (rb.name == n) return &rb;
+  return nullptr;
+}
+
+const RuleBase& Program::rule_base(const std::string& n) const {
+  const RuleBase* rb = find_rule_base(n);
+  FR_REQUIRE_MSG(rb != nullptr, "no rule base named '" + n + "'");
+  return *rb;
+}
+
+std::int64_t Program::total_register_bits() const {
+  std::int64_t bits = 0;
+  for (const auto& v : variables) bits += v.register_bits();
+  return bits;
+}
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "MOD";
+    case BinOp::Eq: return "=";
+    case BinOp::Ne: return "<>";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "AND";
+    case BinOp::Or: return "OR";
+    case BinOp::In: return "IN";
+    case BinOp::Union: return "UNION";
+    case BinOp::Intersect: return "INTERSECT";
+    case BinOp::SetMinus: return "SETMINUS";
+  }
+  return "?";
+}
+
+std::string to_string(const ExprPtr& e, const SymTable& syms) {
+  FR_REQUIRE(e != nullptr);
+  return to_string(*e, syms);
+}
+
+std::string to_string(const Expr& e, const SymTable& syms) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+      os << e.int_val;
+      break;
+    case Expr::Kind::SymLit:
+      os << syms.name(e.sym);
+      break;
+    case Expr::Kind::SetLit: {
+      os << "{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) os << ",";
+        os << to_string(e.args[i], syms);
+      }
+      os << "}";
+      break;
+    }
+    case Expr::Kind::Ref: {
+      os << e.name;
+      if (!e.args.empty()) {
+        os << "(";
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          if (i) os << ",";
+          os << to_string(e.args[i], syms);
+        }
+        os << ")";
+      }
+      break;
+    }
+    case Expr::Kind::Unary:
+      os << (e.un_op == UnOp::Not ? "NOT " : "-") << "("
+         << to_string(e.lhs, syms) << ")";
+      break;
+    case Expr::Kind::Binary:
+      os << "(" << to_string(e.lhs, syms) << " " << to_string(e.bin_op) << " "
+         << to_string(e.rhs, syms) << ")";
+      break;
+    case Expr::Kind::Quantified:
+      os << (e.quant == Quant::Exists ? "EXISTS " : "FORALL ") << e.name
+         << " IN " << to_string(e.lhs, syms) << ": ("
+         << to_string(e.rhs, syms) << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Cmd& c, const SymTable& syms) {
+  std::ostringstream os;
+  switch (c.kind) {
+    case Cmd::Kind::Assign: {
+      os << c.target;
+      if (!c.args.empty()) {
+        os << "(";
+        for (std::size_t i = 0; i < c.args.size(); ++i) {
+          if (i) os << ",";
+          os << to_string(c.args[i], syms);
+        }
+        os << ")";
+      }
+      os << " <- " << to_string(c.value, syms);
+      break;
+    }
+    case Cmd::Kind::Return:
+      os << "RETURN(" << to_string(c.value, syms) << ")";
+      break;
+    case Cmd::Kind::Emit: {
+      os << "!" << c.target << "(";
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) os << ",";
+        os << to_string(c.args[i], syms);
+      }
+      os << ")";
+      break;
+    }
+    case Cmd::Kind::ForAll: {
+      os << "FORALL " << c.bound << " IN " << to_string(c.domain, syms)
+         << ": ";
+      for (std::size_t i = 0; i < c.body.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(c.body[i], syms);
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string to_string(const Rule& r, const SymTable& syms) {
+  std::ostringstream os;
+  os << "IF " << to_string(r.premise, syms) << " THEN ";
+  for (std::size_t i = 0; i < r.conclusion.size(); ++i) {
+    if (i) os << ", ";
+    os << to_string(r.conclusion[i], syms);
+  }
+  os << ";";
+  return os.str();
+}
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,156 @@
+// Abstract syntax of the rule language (Section 4.2 of the paper).
+//
+// The language is the paper's: rules of the form IF <premise> THEN
+// <conclusion>; grouped into event-triggered rule bases (`ON event(params)
+// ... END`), with finite-domain variables, indexed accesses, quantifiers
+// (EXISTS/FORALL), set operations, event generation (`!event(args)`) and
+// RETURN commands. ASTs are immutable and shared.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ruleengine/value.hpp"
+
+namespace flexrouter::rules {
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+  In,          // membership: scalar IN set
+  Union, Intersect, SetMinus,
+};
+
+enum class UnOp { Not, Neg };
+enum class Quant { Exists, ForAll };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind {
+    IntLit,     // 42
+    SymLit,     // east  (resolved symbol)
+    SetLit,     // {a, b, c} — element exprs in args
+    Ref,        // name or name(arg, ...) — variable, array, input, param,
+                //   bound var, named constant, builtin function or subbase
+    Unary,      // NOT e / -e       (operand in lhs)
+    Binary,     // lhs op rhs
+    Quantified, // EXISTS/FORALL name IN lhs : rhs
+  };
+
+  Kind kind = Kind::IntLit;
+  std::int64_t int_val = 0;        // IntLit
+  SymId sym = -1;                  // SymLit
+  std::vector<ExprPtr> args;       // SetLit elements / Ref arguments
+  std::string name;                // Ref target / quantifier bound variable
+  UnOp un_op = UnOp::Not;
+  BinOp bin_op = BinOp::Add;
+  ExprPtr lhs, rhs;
+  Quant quant = Quant::Exists;
+  int line = 0;
+
+  static ExprPtr make_int(std::int64_t v, int line = 0);
+  static ExprPtr make_sym(SymId s, int line = 0);
+  static ExprPtr make_set(std::vector<ExprPtr> elems, int line = 0);
+  static ExprPtr make_ref(std::string name, std::vector<ExprPtr> args = {},
+                          int line = 0);
+  static ExprPtr make_unary(UnOp op, ExprPtr operand, int line = 0);
+  static ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, int line = 0);
+  static ExprPtr make_quantified(Quant q, std::string var, ExprPtr domain,
+                                 ExprPtr body, int line = 0);
+};
+
+/// Conclusion command.
+struct Cmd {
+  enum class Kind {
+    Assign,  // target(args) <- value
+    Return,  // RETURN(value)
+    Emit,    // !event(args)
+    ForAll,  // FORALL var IN domain : body
+  };
+
+  Kind kind = Kind::Assign;
+  std::string target;              // Assign variable / Emit event name
+  std::vector<ExprPtr> args;       // Assign index args / Emit arguments
+  ExprPtr value;                   // Assign RHS / Return expression
+  std::string bound;               // ForAll bound variable
+  ExprPtr domain;                  // ForAll domain expression
+  std::vector<Cmd> body;           // ForAll body commands
+  int line = 0;
+};
+
+struct Rule {
+  ExprPtr premise;
+  std::vector<Cmd> conclusion;
+  int line = 0;
+};
+
+struct Param {
+  std::string name;
+  Domain domain;
+};
+
+/// One `ON event(params) [RETURNS domain] ... END` block.
+struct RuleBase {
+  std::string name;
+  std::vector<Param> params;
+  std::optional<Domain> returns;
+  std::vector<Rule> rules;
+  int line = 0;
+};
+
+struct VarDecl {
+  std::string name;
+  Domain domain;
+  std::int64_t array_size = 0;  // 0 = scalar, else VARIABLE name[size]
+  std::optional<Value> init;    // default: first domain value
+  int line = 0;
+
+  bool is_array() const { return array_size > 0; }
+  /// Register bits this variable occupies in hardware.
+  std::int64_t register_bits() const {
+    return domain.bits() * (is_array() ? array_size : 1);
+  }
+};
+
+/// Host-provided signal (message header field, buffer state, link state…).
+struct InputDecl {
+  std::string name;
+  Domain domain;
+  std::vector<Domain> index_domains;  // empty = scalar input
+  int line = 0;
+};
+
+/// A complete rule program: one routing algorithm.
+struct Program {
+  std::string name;
+  SymTable syms;
+  std::map<std::string, Value> constants;
+  std::map<std::string, Domain> named_domains;
+  std::vector<VarDecl> variables;
+  std::vector<InputDecl> inputs;
+  std::vector<RuleBase> rule_bases;
+
+  const VarDecl* find_variable(const std::string& n) const;
+  const InputDecl* find_input(const std::string& n) const;
+  const RuleBase* find_rule_base(const std::string& n) const;
+  const RuleBase& rule_base(const std::string& n) const;
+
+  /// Total register bits across all variables (paper Section 5 accounting).
+  std::int64_t total_register_bits() const;
+};
+
+/// Pretty-printers — canonical text used for structural dedupe and testing.
+std::string to_string(const Expr& e, const SymTable& syms);
+std::string to_string(const ExprPtr& e, const SymTable& syms);
+std::string to_string(const Cmd& c, const SymTable& syms);
+std::string to_string(const Rule& r, const SymTable& syms);
+const char* to_string(BinOp op);
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,66 @@
+// Runtime register file of a rule program: one slot per VARIABLE element,
+// domain-checked on every write. This models the router's register block —
+// the "state" half of the algorithm = state + rules decomposition.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ruleengine/ast.hpp"
+
+namespace flexrouter::rules {
+
+class RuleEnv {
+ public:
+  explicit RuleEnv(const Program& prog) : prog_(&prog) { reset(); }
+
+  /// Reinitialise all registers to their INIT values (or the first domain
+  /// value when none is declared).
+  void reset() {
+    storage_.clear();
+    for (const VarDecl& v : prog_->variables) {
+      const Value init = v.init.value_or(v.domain.value_at(0));
+      const auto count =
+          static_cast<std::size_t>(v.is_array() ? v.array_size : 1);
+      storage_[v.name] = std::vector<Value>(count, init);
+    }
+  }
+
+  const Value& get(const std::string& name, std::int64_t index = 0) const {
+    const auto [decl, slot] = locate(name, index);
+    (void)decl;
+    return slot->at(static_cast<std::size_t>(index));
+  }
+
+  void set(const std::string& name, std::int64_t index, Value value) {
+    const auto [decl, slot] = locate(name, index);
+    FR_REQUIRE_MSG(decl->domain.contains(value),
+                   "assignment outside domain of '" + name + "'");
+    (*const_cast<std::vector<Value>*>(slot))[static_cast<std::size_t>(index)] =
+        std::move(value);
+  }
+
+  const Program& program() const { return *prog_; }
+
+  friend bool operator==(const RuleEnv& a, const RuleEnv& b) {
+    return a.storage_ == b.storage_;
+  }
+
+ private:
+  std::pair<const VarDecl*, const std::vector<Value>*> locate(
+      const std::string& name, std::int64_t index) const {
+    const VarDecl* decl = prog_->find_variable(name);
+    FR_REQUIRE_MSG(decl != nullptr, "unknown variable '" + name + "'");
+    const auto it = storage_.find(name);
+    FR_ASSERT(it != storage_.end());
+    const auto count = decl->is_array() ? decl->array_size : 1;
+    FR_REQUIRE_MSG(index >= 0 && index < count,
+                   "index out of range for '" + name + "'");
+    return {decl, &it->second};
+  }
+
+  const Program* prog_;
+  std::map<std::string, std::vector<Value>> storage_;
+};
+
+}  // namespace flexrouter::rules

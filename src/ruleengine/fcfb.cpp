@@ -1,0 +1,367 @@
+#include "ruleengine/fcfb.hpp"
+
+#include <sstream>
+
+namespace flexrouter::rules {
+
+const char* to_string(FcfbKind kind) {
+  switch (kind) {
+    case FcfbKind::LogicalUnit: return "logical unit";
+    case FcfbKind::ZeroCheck: return "zero check";
+    case FcfbKind::CompareConst: return "compare with constant";
+    case FcfbKind::MagnitudeComparator: return "magnitude comparator";
+    case FcfbKind::EqualityCheck: return "equality check";
+    case FcfbKind::MembershipTest: return "membership testing";
+    case FcfbKind::SetUnion: return "set union";
+    case FcfbKind::SetIntersect: return "set intersection";
+    case FcfbKind::SetDifference: return "set difference";
+    case FcfbKind::MinimumSelection: return "minimum selection";
+    case FcfbKind::MaximumSelection: return "maximum selection";
+    case FcfbKind::Incrementer: return "incrementer";
+    case FcfbKind::Decrementer: return "decrementer";
+    case FcfbKind::ConditionalIncrement: return "conditional increment";
+    case FcfbKind::Adder: return "adder";
+    case FcfbKind::Subtractor: return "subtractor";
+    case FcfbKind::Multiplier: return "multiplier";
+    case FcfbKind::MeshDistance: return "mesh distance computation";
+    case FcfbKind::FiniteLattice: return "computation in a finite lattice";
+    case FcfbKind::PriorityDetect: return "priority detection";
+    case FcfbKind::InputNegate: return "input negate";
+    case FcfbKind::BitExtract: return "bit extraction";
+    case FcfbKind::XorUnit: return "xor unit";
+    case FcfbKind::Popcount: return "population count";
+  }
+  return "?";
+}
+
+FcfbCost cost_of(FcfbKind kind) {
+  switch (kind) {
+    case FcfbKind::LogicalUnit: return {1.0, 1.0};
+    case FcfbKind::ZeroCheck: return {1.0, 1.0};
+    case FcfbKind::CompareConst: return {2.0, 1.5};
+    case FcfbKind::MagnitudeComparator: return {4.0, 2.0};
+    case FcfbKind::EqualityCheck: return {2.0, 1.0};
+    case FcfbKind::MembershipTest: return {2.0, 1.0};
+    case FcfbKind::SetUnion: return {1.5, 1.0};
+    case FcfbKind::SetIntersect: return {1.5, 1.0};
+    case FcfbKind::SetDifference: return {1.5, 1.0};
+    case FcfbKind::MinimumSelection: return {8.0, 3.0};
+    case FcfbKind::MaximumSelection: return {8.0, 3.0};
+    case FcfbKind::Incrementer: return {2.0, 1.5};
+    case FcfbKind::Decrementer: return {2.0, 1.5};
+    case FcfbKind::ConditionalIncrement: return {2.5, 1.5};
+    case FcfbKind::Adder: return {4.0, 2.0};
+    case FcfbKind::Subtractor: return {4.0, 2.0};
+    case FcfbKind::Multiplier: return {16.0, 4.0};
+    case FcfbKind::MeshDistance: return {8.0, 3.0};
+    case FcfbKind::FiniteLattice: return {3.0, 1.5};
+    case FcfbKind::PriorityDetect: return {2.0, 1.5};
+    case FcfbKind::InputNegate: return {0.5, 0.5};
+    case FcfbKind::BitExtract: return {0.5, 0.5};
+    case FcfbKind::XorUnit: return {1.0, 1.0};
+    case FcfbKind::Popcount: return {4.0, 2.0};
+  }
+  return {1.0, 1.0};
+}
+
+void FcfbInventory::add(FcfbKind kind, int count) {
+  FR_REQUIRE(count >= 0);
+  if (count > 0) counts_[kind] += count;
+}
+
+void FcfbInventory::merge(const FcfbInventory& other) {
+  for (const auto& [k, c] : other.counts_) counts_[k] += c;
+}
+
+int FcfbInventory::count(FcfbKind kind) const {
+  const auto it = counts_.find(kind);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+int FcfbInventory::total_instances() const {
+  int total = 0;
+  for (const auto& [_, c] : counts_) total += c;
+  return total;
+}
+
+double FcfbInventory::total_area() const {
+  double area = 0.0;
+  for (const auto& [k, c] : counts_) area += cost_of(k).area * c;
+  return area;
+}
+
+double FcfbInventory::max_delay() const {
+  double d = 0.0;
+  for (const auto& [k, _] : counts_) d = std::max(d, cost_of(k).delay);
+  return d;
+}
+
+std::string FcfbInventory::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, c] : counts_) {
+    if (!first) os << ", ";
+    first = false;
+    if (c > 1) os << c << " x ";
+    os << rules::to_string(k);
+  }
+  if (first) os << "no FCFB needed";
+  return os.str();
+}
+
+namespace {
+
+/// AST walker classifying operator occurrences into FCFB kinds.
+class Inference {
+ public:
+  explicit Inference(const Program& prog) : prog_(&prog) {}
+
+  FcfbInventory result() const {
+    FcfbInventory inv;
+    for (const auto& [key, kind] : seen_) {
+      (void)key;
+      inv.add(kind, 1);
+    }
+    return inv;
+  }
+
+  void scan_expr(const ExprPtr& e, bool in_quantifier = false) {
+    if (!e) return;
+    switch (e->kind) {
+      case Expr::Kind::IntLit:
+      case Expr::Kind::SymLit:
+        return;
+      case Expr::Kind::SetLit:
+        for (const auto& a : e->args) scan_expr(a, in_quantifier);
+        return;
+      case Expr::Kind::Ref:
+        scan_ref(*e, in_quantifier);
+        return;
+      case Expr::Kind::Unary:
+        if (e->un_op == UnOp::Not) note(e, FcfbKind::InputNegate);
+        scan_expr(e->lhs, in_quantifier);
+        return;
+      case Expr::Kind::Binary:
+        scan_binary(*e, in_quantifier);
+        return;
+      case Expr::Kind::Quantified:
+        // A quantifier over comparisons is the paper's minimum-selection /
+        // priority-detection pattern: replicated comparators + selection.
+        scan_expr(e->lhs, in_quantifier);
+        if (contains_order_compare(e->rhs)) {
+          note(e, FcfbKind::MinimumSelection);
+        } else {
+          note(e, FcfbKind::PriorityDetect);
+        }
+        scan_expr(e->rhs, true);
+        return;
+    }
+  }
+
+  void scan_cmd(const Cmd& c) {
+    // Boolean structure inside conclusions runs on FCFBs; in premises it is
+    // absorbed by the RBR kernel (the rule skeleton), so the flag is only
+    // set while scanning commands.
+    conclusion_mode_ = true;
+    scan_cmd_impl(c);
+    conclusion_mode_ = false;
+  }
+
+ private:
+  void scan_cmd_impl(const Cmd& c) {
+    switch (c.kind) {
+      case Cmd::Kind::Assign: {
+        for (const auto& a : c.args) scan_expr(a);
+        scan_assign_rhs(c);
+        // Assigning into a symbol-lattice variable from premises over states
+        // is the paper's "computation in a finite lattice".
+        const VarDecl* decl = prog_->find_variable(c.target);
+        if (decl != nullptr &&
+            decl->domain.kind() == Domain::Kind::Symbols &&
+            c.value->kind != Expr::Kind::SymLit) {
+          note_key("lattice:" + c.target, FcfbKind::FiniteLattice);
+        }
+        break;
+      }
+      case Cmd::Kind::Return:
+        scan_expr(c.value);
+        break;
+      case Cmd::Kind::Emit:
+        for (const auto& a : c.args) scan_expr(a);
+        break;
+      case Cmd::Kind::ForAll:
+        scan_expr(c.domain);
+        for (const Cmd& b : c.body) scan_cmd_impl(b);
+        break;
+    }
+  }
+
+  void scan_assign_rhs(const Cmd& c) {
+    const ExprPtr& v = c.value;
+    // Counter idioms: x <- x + 1 / x <- x - 1 become (conditional)
+    // incrementers/decrementers, not general adders.
+    if (v->kind == Expr::Kind::Binary &&
+        (v->bin_op == BinOp::Add || v->bin_op == BinOp::Sub) &&
+        v->rhs->kind == Expr::Kind::IntLit && v->rhs->int_val == 1 &&
+        v->lhs->kind == Expr::Kind::Ref && v->lhs->name == c.target) {
+      note_key("ctr:" + c.target,
+               v->bin_op == BinOp::Add ? FcfbKind::ConditionalIncrement
+                                       : FcfbKind::Decrementer);
+      return;
+    }
+    scan_expr(v);
+  }
+
+  void scan_ref(const Expr& e, bool in_quantifier) {
+    for (const auto& a : e.args) scan_expr(a, in_quantifier);
+    if (e.name == "min") note(&e, FcfbKind::MinimumSelection);
+    else if (e.name == "max") note(&e, FcfbKind::MaximumSelection);
+    else if (e.name == "abs") note(&e, FcfbKind::Subtractor);
+    else if (e.name == "meshdist") note(&e, FcfbKind::MeshDistance);
+    else if (e.name == "xor" || e.name == "bitand") note(&e, FcfbKind::XorUnit);
+    else if (e.name == "bit") note(&e, FcfbKind::BitExtract);
+    else if (e.name == "popcount") note(&e, FcfbKind::Popcount);
+    else if (e.name == "card") note(&e, FcfbKind::Popcount);
+    else if (e.name == "signum") note(&e, FcfbKind::CompareConst);
+  }
+
+  void scan_binary(const Expr& e, bool in_quantifier) {
+    scan_expr(e.lhs, in_quantifier);
+    scan_expr(e.rhs, in_quantifier);
+    switch (e.bin_op) {
+      case BinOp::And:
+      case BinOp::Or:
+        if (conclusion_mode_) note(&e, FcfbKind::LogicalUnit);
+        return;
+      case BinOp::Eq:
+      case BinOp::Ne:
+        if (is_zero(e.rhs) || is_zero(e.lhs)) {
+          note(&e, FcfbKind::ZeroCheck);
+        } else if (is_const(e.rhs) || is_const(e.lhs)) {
+          note(&e, is_symbolic(e) ? FcfbKind::EqualityCheck
+                                  : FcfbKind::CompareConst);
+        } else {
+          note(&e, is_symbolic(e) ? FcfbKind::EqualityCheck
+                                  : FcfbKind::MagnitudeComparator);
+        }
+        return;
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        if (is_const(e.rhs) || is_const(e.lhs)) {
+          note(&e, FcfbKind::CompareConst);
+        } else {
+          note(&e, FcfbKind::MagnitudeComparator);
+        }
+        return;
+      case BinOp::In:
+        note(&e, FcfbKind::MembershipTest);
+        return;
+      case BinOp::Union:
+        note(&e, FcfbKind::SetUnion);
+        return;
+      case BinOp::Intersect:
+        note(&e, FcfbKind::SetIntersect);
+        return;
+      case BinOp::SetMinus:
+        note(&e, FcfbKind::SetDifference);
+        return;
+      case BinOp::Add:
+        if (is_one(e.rhs) || is_one(e.lhs)) note(&e, FcfbKind::Incrementer);
+        else note(&e, FcfbKind::Adder);
+        return;
+      case BinOp::Sub:
+        if (is_one(e.rhs)) note(&e, FcfbKind::Decrementer);
+        else note(&e, FcfbKind::Subtractor);
+        return;
+      case BinOp::Mul:
+      case BinOp::Div:
+      case BinOp::Mod:
+        note(&e, FcfbKind::Multiplier);
+        return;
+    }
+    (void)in_quantifier;
+  }
+
+  static bool is_zero(const ExprPtr& e) {
+    return e && e->kind == Expr::Kind::IntLit && e->int_val == 0;
+  }
+  static bool is_one(const ExprPtr& e) {
+    return e && e->kind == Expr::Kind::IntLit && e->int_val == 1;
+  }
+  bool is_const(const ExprPtr& e) const {
+    if (!e) return false;
+    if (e->kind == Expr::Kind::IntLit || e->kind == Expr::Kind::SymLit)
+      return true;
+    if (e->kind == Expr::Kind::SetLit) {
+      for (const auto& a : e->args)
+        if (!is_const(a)) return false;
+      return true;
+    }
+    if (e->kind == Expr::Kind::Ref && e->args.empty())
+      return prog_->constants.count(e->name) > 0;
+    return false;
+  }
+  static bool is_symbolic(const Expr& e) {
+    return (e.lhs && e.lhs->kind == Expr::Kind::SymLit) ||
+           (e.rhs && e.rhs->kind == Expr::Kind::SymLit);
+  }
+  static bool contains_order_compare(const ExprPtr& e) {
+    if (!e) return false;
+    if (e->kind == Expr::Kind::Binary &&
+        (e->bin_op == BinOp::Lt || e->bin_op == BinOp::Le ||
+         e->bin_op == BinOp::Gt || e->bin_op == BinOp::Ge))
+      return true;
+    return contains_order_compare(e->lhs) || contains_order_compare(e->rhs) ||
+           (e->kind == Expr::Kind::Quantified &&
+            contains_order_compare(e->rhs));
+  }
+
+  /// Structural dedupe: identical expressions share one hardware instance
+  /// (the FCFB pool is shared between rules).
+  void note(const Expr* e, FcfbKind kind) {
+    note_key(to_string(*e, prog_->syms), kind);
+  }
+  void note(const ExprPtr& e, FcfbKind kind) { note(e.get(), kind); }
+  void note_key(const std::string& key, FcfbKind kind) {
+    seen_.emplace(key, kind);
+  }
+
+  const Program* prog_;
+  std::map<std::string, FcfbKind> seen_;
+  bool conclusion_mode_ = false;
+};
+
+}  // namespace
+
+FcfbInventory infer_premise_fcfbs(const Program& prog, const RuleBase& rb) {
+  Inference inf(prog);
+  for (const Rule& r : rb.rules) inf.scan_expr(r.premise);
+  return inf.result();
+}
+
+FcfbInventory infer_conclusion_fcfbs(const Program& prog, const RuleBase& rb) {
+  Inference inf(prog);
+  for (const Rule& r : rb.rules)
+    for (const Cmd& c : r.conclusion) inf.scan_cmd(c);
+  return inf.result();
+}
+
+FcfbInventory infer_expr_fcfbs(const Program& prog,
+                               const std::vector<ExprPtr>& exprs) {
+  Inference inf(prog);
+  for (const ExprPtr& e : exprs) inf.scan_expr(e);
+  return inf.result();
+}
+
+FcfbInventory infer_fcfbs(const Program& prog, const RuleBase& rb) {
+  Inference inf(prog);
+  for (const Rule& r : rb.rules) {
+    inf.scan_expr(r.premise);
+    for (const Cmd& c : r.conclusion) inf.scan_cmd(c);
+  }
+  return inf.result();
+}
+
+}  // namespace flexrouter::rules

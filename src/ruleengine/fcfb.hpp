@@ -1,0 +1,92 @@
+// Free Configurable Function Blocks (FCFBs).
+//
+// In the paper's rule interpreter (Figures 5–7), premise predicates and
+// conclusion calculations run on a shared pool of configurable hardware
+// units. This module defines the FCFB catalog with a relative area/delay
+// cost model, and infers from a rule base's AST which FCFBs its
+// configuration needs — that inference regenerates the "FCFBs" columns of
+// Tables 1 and 2.
+//
+// Costs are in normalised units (a 2-input logical unit = 1 area, 1 delay);
+// absolute transistor counts were never published, only which blocks each
+// rule base needs, so relative units preserve the paper's comparisons.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ruleengine/ast.hpp"
+
+namespace flexrouter::rules {
+
+enum class FcfbKind {
+  LogicalUnit,         // AND/OR/NOT network over wide operands
+  ZeroCheck,           // x = 0
+  CompareConst,        // x <op> constant
+  MagnitudeComparator, // x <op> y, both variable
+  EqualityCheck,       // x = y on symbols
+  MembershipTest,      // x IN S
+  SetUnion,            // S UNION T
+  SetIntersect,        // S INTERSECT T
+  SetDifference,       // S SETMINUS T
+  MinimumSelection,    // argmin / min over a candidate set
+  MaximumSelection,
+  Incrementer,         // x + 1
+  Decrementer,         // x - 1
+  ConditionalIncrement,// rule-controlled counter update
+  Adder,               // general x + y
+  Subtractor,          // general x - y
+  Multiplier,
+  MeshDistance,        // |x1-x2| + |y1-y2|
+  FiniteLattice,       // computation in a finite lattice of states
+  PriorityDetect,      // leading-one / first-applicable detection
+  InputNegate,
+  BitExtract,          // bit(x, i)
+  XorUnit,             // xor / bitand
+  Popcount,
+};
+
+struct FcfbCost {
+  double area = 1.0;   // relative area units
+  double delay = 1.0;  // relative combinational delay units
+};
+
+const char* to_string(FcfbKind kind);
+FcfbCost cost_of(FcfbKind kind);
+
+/// A rule base's inferred FCFB requirement: kind -> instance count.
+class FcfbInventory {
+ public:
+  void add(FcfbKind kind, int count = 1);
+  void merge(const FcfbInventory& other);
+
+  int count(FcfbKind kind) const;
+  int total_instances() const;
+  double total_area() const;
+  /// Worst-case single-stage delay (the pipeline model charges 2 FCFB
+  /// stages: premise processing and conclusion processing).
+  double max_delay() const;
+
+  const std::map<FcfbKind, int>& entries() const { return counts_; }
+  bool empty() const { return counts_.empty(); }
+  std::string to_string() const;
+
+ private:
+  std::map<FcfbKind, int> counts_;
+};
+
+/// Infer the FCFBs a rule base configuration needs. `premises_only`
+/// restricts the scan to premise expressions (used by the compiler to cost
+/// the premise-processing stage separately from conclusion processing).
+FcfbInventory infer_fcfbs(const Program& prog, const RuleBase& rb);
+FcfbInventory infer_premise_fcfbs(const Program& prog, const RuleBase& rb);
+FcfbInventory infer_conclusion_fcfbs(const Program& prog, const RuleBase& rb);
+
+/// FCFBs needed to evaluate a specific set of premise expressions — used by
+/// the compiler, which charges FCFBs only for atom axes (direct-indexed
+/// signals need no comparison hardware, paper Figure 7).
+FcfbInventory infer_expr_fcfbs(const Program& prog,
+                               const std::vector<ExprPtr>& exprs);
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,83 @@
+#include "ruleengine/hwcost.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace flexrouter::rules {
+
+ProgramReport report_program(const Program& prog, const CompileOptions& opts,
+                             const Program* nft) {
+  ProgramReport rep;
+  rep.program = prog.name;
+  Interpreter interp(prog);
+
+  for (const RuleBase& rb : prog.rule_bases) {
+    const CompiledRuleBase c = compile_rule_base(prog, rb, interp, opts);
+    RuleBaseReport row;
+    row.name = rb.name;
+    row.entries = c.table_entries();
+    row.width_bits = c.table_width_bits();
+    row.table_bits = c.table_bits();
+    row.num_rules = static_cast<int>(rb.rules.size());
+    row.num_conclusions = c.num_distinct_conclusions() - 1;
+    row.fcfbs = c.all_fcfbs().to_string();
+    row.decision_delay = c.decision_delay_units();
+    row.in_nft = nft != nullptr && nft->find_rule_base(rb.name) != nullptr;
+    rep.total_table_bits += row.table_bits;
+    rep.rule_bases.push_back(std::move(row));
+  }
+
+  for (const VarDecl& v : prog.variables) {
+    RegisterReport row;
+    row.name = v.name;
+    row.element_bits = v.domain.bits();
+    row.array_size = v.is_array() ? v.array_size : 1;
+    row.total_bits = v.register_bits();
+    row.in_nft = nft != nullptr && nft->find_variable(v.name) != nullptr;
+    rep.total_register_bits += row.total_bits;
+    rep.registers.push_back(std::move(row));
+  }
+  rep.num_registers = static_cast<int>(rep.registers.size());
+
+  if (nft != nullptr) {
+    rep.ft_register_bits =
+        rep.total_register_bits - nft->total_register_bits();
+    Interpreter nft_interp(*nft);
+    std::int64_t nft_table_bits = 0;
+    for (const RuleBase& rb : nft->rule_bases)
+      nft_table_bits +=
+          compile_rule_base(*nft, rb, nft_interp, opts).table_bits();
+    rep.ft_table_bits = rep.total_table_bits - nft_table_bits;
+  }
+  return rep;
+}
+
+std::string render_report(const ProgramReport& rep) {
+  std::ostringstream os;
+  os << "program: " << rep.program << "\n";
+  os << std::left << std::setw(28) << "rule base" << std::right
+     << std::setw(10) << "entries" << std::setw(7) << "width" << std::setw(10)
+     << "bits" << std::setw(6) << "nft"
+     << "  FCFBs\n";
+  for (const RuleBaseReport& r : rep.rule_bases) {
+    os << std::left << std::setw(28) << r.name << std::right << std::setw(10)
+       << r.entries << std::setw(7) << r.width_bits << std::setw(10)
+       << r.table_bits << std::setw(6) << (r.in_nft ? "*" : "") << "  "
+       << r.fcfbs << "\n";
+  }
+  os << "total rule table bits: " << rep.total_table_bits << "\n";
+  os << "registers: " << rep.num_registers << " holding "
+     << rep.total_register_bits << " bits";
+  if (rep.ft_register_bits > 0)
+    os << " (" << rep.ft_register_bits << " bits account for fault tolerance)";
+  os << "\n";
+  for (const RegisterReport& r : rep.registers) {
+    os << "  " << std::left << std::setw(26) << r.name << std::right
+       << std::setw(4) << r.element_bits << " bit";
+    if (r.array_size > 1) os << " x " << r.array_size;
+    os << " = " << r.total_bits << (r.in_nft ? "  (nft)" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace flexrouter::rules

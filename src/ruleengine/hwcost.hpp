@@ -1,0 +1,62 @@
+// Program-level hardware cost reports — the machinery behind Tables 1 and 2
+// of the paper: per-rule-base table dimensions and FCFB inventories,
+// register-bit accounting, and the fault-tolerance overhead obtained by
+// diffing a fault-tolerant program against its non-fault-tolerant variant
+// (NAFTA vs NARA; ROUTE_C vs its stripped version).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ruleengine/rule_table.hpp"
+
+namespace flexrouter::rules {
+
+struct RuleBaseReport {
+  std::string name;
+  std::uint64_t entries = 0;
+  int width_bits = 0;
+  std::int64_t table_bits = 0;
+  int num_rules = 0;
+  int num_conclusions = 0;
+  std::string fcfbs;
+  double decision_delay = 0.0;
+  /// True when a rule base of the same name exists in the non-FT variant —
+  /// the paper's "nft" column marker (*).
+  bool in_nft = false;
+};
+
+struct RegisterReport {
+  std::string name;
+  int element_bits = 0;
+  std::int64_t array_size = 1;
+  std::int64_t total_bits = 0;
+  bool in_nft = false;
+};
+
+struct ProgramReport {
+  std::string program;
+  std::vector<RuleBaseReport> rule_bases;
+  std::vector<RegisterReport> registers;
+  std::int64_t total_table_bits = 0;
+  std::int64_t total_register_bits = 0;
+  int num_registers = 0;
+  /// Register bits attributable to fault tolerance (total minus the bits of
+  /// the non-FT variant); 0 when no variant was supplied.
+  std::int64_t ft_register_bits = 0;
+  std::int64_t ft_table_bits = 0;
+};
+
+/// Build the report for `prog`, compiling every rule base. When `nft` is
+/// given, rule bases and registers present there (by name) are flagged as
+/// needed-without-fault-tolerance and the FT overhead deltas are computed.
+ProgramReport report_program(const Program& prog,
+                             const CompileOptions& opts = {},
+                             const Program* nft = nullptr);
+
+/// Render a report as an aligned text table (used by the bench binaries).
+std::string render_report(const ProgramReport& report);
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,129 @@
+// Reference interpreter for rule programs.
+//
+// Semantics (Section 4.2): on an event, premises of all rules in the bound
+// rule base are conceptually checked in parallel; exactly one applicable
+// rule fires (this implementation deterministically picks the first in
+// source order, which the paper explicitly leaves to the implementation).
+// All commands of the conclusion execute "in parallel": every right-hand
+// side is evaluated against the pre-state, then all assignments commit
+// atomically. Rule execution is atomic; generated events (`!event(...)`)
+// are handed to the caller (the event manager) for asynchronous processing.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ruleengine/ast.hpp"
+#include "ruleengine/env.hpp"
+
+namespace flexrouter::rules {
+
+struct EmittedEvent {
+  std::string name;
+  std::vector<Value> args;
+};
+
+struct FireResult {
+  /// Index of the rule that fired; -1 if no premise applied.
+  int rule_index = -1;
+  std::optional<Value> returned;
+  std::vector<EmittedEvent> events;
+
+  bool applied() const { return rule_index >= 0; }
+};
+
+/// Host-supplied resolver for INPUT signals.
+using InputFn =
+    std::function<Value(const std::string&, const std::vector<Value>&)>;
+
+/// Optional expression override used by the rule compiler: called on every
+/// Ref/atom before normal resolution; a non-nullopt result short-circuits.
+using ResolveFn = std::function<std::optional<Value>(const Expr&)>;
+
+/// Thrown on dynamic semantic errors (type mismatch, unknown name, write
+/// conflicts within one conclusion, ...).
+class EvalError : public std::runtime_error {
+ public:
+  EvalError(const std::string& msg, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg) {}
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Program& prog) : prog_(&prog) {}
+
+  void set_input_provider(InputFn fn) { inputs_ = std::move(fn); }
+  const Program& program() const { return *prog_; }
+
+  /// Fire a rule base: bind `args` to its parameters, select the first
+  /// applicable rule, execute its conclusion against `env`.
+  FireResult fire(RuleEnv& env, const RuleBase& rb,
+                  const std::vector<Value>& args);
+  FireResult fire(RuleEnv& env, const std::string& rule_base,
+                  const std::vector<Value>& args);
+
+  /// Evaluate `premise` of rule `rule_index` only (no side effects).
+  bool premise_holds(const RuleEnv& env, const RuleBase& rb, int rule_index,
+                     const std::vector<Value>& args);
+
+  /// Evaluate an arbitrary expression with parameter bindings against env.
+  /// Exposed for the compiler (axis evaluation) and tests.
+  Value eval_expr(const RuleEnv& env, const ExprPtr& e,
+                  const std::vector<std::pair<std::string, Value>>& bindings,
+                  const ResolveFn& override = nullptr);
+
+  /// Constant-fold: evaluate using only literals and program constants.
+  /// Returns nullopt if the expression touches state, inputs or parameters.
+  std::optional<Value> try_const_eval(const ExprPtr& e) const;
+
+  /// Compile-time evaluation for the rule compiler: `override` must resolve
+  /// every stateful leaf (feature axes); reaching unresolved state or inputs
+  /// throws EvalError.
+  Value eval_compiletime(const ExprPtr& e, const ResolveFn& override);
+
+  /// Execute only the conclusion of rule `rule_index` (the table already
+  /// selected it). Used by CompiledRuleBase::fire; counts as one rule
+  /// interpretation.
+  FireResult exec_conclusion(RuleEnv& env, const RuleBase& rb, int rule_index,
+                             const std::vector<Value>& args);
+
+  /// Cumulative number of rule-base firings (one per fire() that found an
+  /// applicable rule or not — every table lookup counts, matching the
+  /// paper's "rule interpretations per message" metric).
+  std::int64_t total_fires() const { return total_fires_; }
+  void reset_counters() { total_fires_ = 0; }
+
+ private:
+  struct Ctx {
+    const RuleEnv* env = nullptr;           // nullptr forbids state reads
+    std::vector<std::pair<std::string, Value>> bindings;
+    const ResolveFn* override = nullptr;
+    bool allow_inputs = true;
+    int depth = 0;
+  };
+
+  Value eval(const ExprPtr& e, Ctx& ctx);
+  Value eval_ref(const Expr& e, Ctx& ctx);
+  Value eval_binary(const Expr& e, Ctx& ctx);
+  Value eval_builtin(const Expr& e, const std::vector<Value>& args, Ctx& ctx);
+  std::vector<Value> domain_values(const ExprPtr& domain_expr, Ctx& ctx);
+
+  struct PendingWrite {
+    std::string name;
+    std::int64_t index;
+    Value value;
+    int line;
+  };
+  void exec_cmds(const std::vector<Cmd>& cmds, Ctx& ctx, FireResult& result,
+                 std::vector<PendingWrite>& writes);
+
+  static bool is_builtin(const std::string& name);
+
+  const Program* prog_;
+  InputFn inputs_;
+  std::int64_t total_fires_ = 0;
+};
+
+}  // namespace flexrouter::rules

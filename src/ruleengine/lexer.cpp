@@ -1,0 +1,192 @@
+#include "ruleengine/lexer.hpp"
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+
+namespace flexrouter::rules {
+
+namespace {
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+const std::map<std::string, Tok>& keyword_table() {
+  static const std::map<std::string, Tok> table = {
+      {"program", Tok::KwProgram},   {"constant", Tok::KwConstant},
+      {"variable", Tok::KwVariable}, {"input", Tok::KwInput},
+      {"on", Tok::KwOn},             {"end", Tok::KwEnd},
+      {"if", Tok::KwIf},             {"then", Tok::KwThen},
+      {"return", Tok::KwReturn},     {"returns", Tok::KwReturns},
+      {"in", Tok::KwIn},             {"to", Tok::KwTo},
+      {"init", Tok::KwInit},         {"exists", Tok::KwExists},
+      {"forall", Tok::KwForall},     {"and", Tok::KwAnd},
+      {"or", Tok::KwOr},             {"not", Tok::KwNot},
+      {"mod", Tok::KwMod},           {"union", Tok::KwUnion},
+      {"intersect", Tok::KwIntersect}, {"setminus", Tok::KwSetminus},
+      {"set", Tok::KwSet},           {"of", Tok::KwOf},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const auto n = src.size();
+
+  auto push = [&](Tok kind) { out.push_back({kind, "", 0, line}); };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment (but "<-" and binary minus handled below)
+    if (c == '-' && i + 1 < n && src[i + 1] == '-') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        v = v * 10 + (src[i] - '0');
+        ++i;
+      }
+      out.push_back({Tok::Int, "", v, line});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_')) {
+        ident.push_back(src[i]);
+        ++i;
+      }
+      const auto& kws = keyword_table();
+      const auto it = kws.find(to_lower(ident));
+      if (it != kws.end()) {
+        out.push_back({it->second, ident, 0, line});
+      } else {
+        out.push_back({Tok::Ident, ident, 0, line});
+      }
+      continue;
+    }
+    switch (c) {
+      case '(': push(Tok::LParen); ++i; break;
+      case ')': push(Tok::RParen); ++i; break;
+      case '{': push(Tok::LBrace); ++i; break;
+      case '}': push(Tok::RBrace); ++i; break;
+      case '[': push(Tok::LBracket); ++i; break;
+      case ']': push(Tok::RBracket); ++i; break;
+      case ',': push(Tok::Comma); ++i; break;
+      case ':': push(Tok::Colon); ++i; break;
+      case ';': push(Tok::Semi); ++i; break;
+      case '!': push(Tok::Bang); ++i; break;
+      case '+': push(Tok::Plus); ++i; break;
+      case '*': push(Tok::Star); ++i; break;
+      case '/': push(Tok::Slash); ++i; break;
+      case '=': push(Tok::Eq); ++i; break;
+      case '-':
+        push(Tok::Minus);
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && src[i + 1] == '-') {
+          push(Tok::Assign);
+          i += 2;
+        } else if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::Le);
+          i += 2;
+        } else if (i + 1 < n && src[i + 1] == '>') {
+          push(Tok::Ne);
+          i += 2;
+        } else {
+          push(Tok::Lt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::Ge);
+          i += 2;
+        } else {
+          push(Tok::Gt);
+          ++i;
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line);
+    }
+  }
+  out.push_back({Tok::End, "", 0, line});
+  return out;
+}
+
+const char* to_string(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer";
+    case Tok::KwProgram: return "PROGRAM";
+    case Tok::KwConstant: return "CONSTANT";
+    case Tok::KwVariable: return "VARIABLE";
+    case Tok::KwInput: return "INPUT";
+    case Tok::KwOn: return "ON";
+    case Tok::KwEnd: return "END";
+    case Tok::KwIf: return "IF";
+    case Tok::KwThen: return "THEN";
+    case Tok::KwReturn: return "RETURN";
+    case Tok::KwReturns: return "RETURNS";
+    case Tok::KwIn: return "IN";
+    case Tok::KwTo: return "TO";
+    case Tok::KwInit: return "INIT";
+    case Tok::KwExists: return "EXISTS";
+    case Tok::KwForall: return "FORALL";
+    case Tok::KwAnd: return "AND";
+    case Tok::KwOr: return "OR";
+    case Tok::KwNot: return "NOT";
+    case Tok::KwMod: return "MOD";
+    case Tok::KwUnion: return "UNION";
+    case Tok::KwIntersect: return "INTERSECT";
+    case Tok::KwSetminus: return "SETMINUS";
+    case Tok::KwSet: return "SET";
+    case Tok::KwOf: return "OF";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Comma: return ",";
+    case Tok::Colon: return ":";
+    case Tok::Semi: return ";";
+    case Tok::Bang: return "!";
+    case Tok::Assign: return "<-";
+    case Tok::Eq: return "=";
+    case Tok::Ne: return "<>";
+    case Tok::Lt: return "<";
+    case Tok::Le: return "<=";
+    case Tok::Gt: return ">";
+    case Tok::Ge: return ">=";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+  }
+  return "?";
+}
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,51 @@
+// Lexer for the rule language. Keywords are case-insensitive (the paper
+// writes them in upper case), identifiers are case-sensitive, `--` starts a
+// line comment (as in the paper's Figure 4 listing).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace flexrouter::rules {
+
+enum class Tok {
+  End,
+  Ident, Int,
+  // keywords
+  KwProgram, KwConstant, KwVariable, KwInput, KwOn, KwEnd, KwIf, KwThen,
+  KwReturn, KwReturns, KwIn, KwTo, KwInit, KwExists, KwForall, KwAnd, KwOr,
+  KwNot, KwMod, KwUnion, KwIntersect, KwSetminus, KwSet, KwOf,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Colon, Semi, Bang,
+  Assign,  // <-
+  Eq, Ne, Lt, Le, Gt, Ge,
+  Plus, Minus, Star, Slash,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // identifier spelling
+  std::int64_t int_val = 0;
+  int line = 1;
+};
+
+/// Thrown on lexical or syntax errors; carries the source line.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+std::vector<Token> lex(const std::string& source);
+
+const char* to_string(Tok t);
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,538 @@
+#include "ruleengine/parser.hpp"
+
+#include <set>
+
+#include "ruleengine/lexer.hpp"
+
+namespace flexrouter::rules {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& source, std::string default_name)
+      : toks_(lex(source)) {
+    prog_.name = std::move(default_name);
+  }
+
+  Program run() {
+    if (peek().kind == Tok::KwProgram) {
+      next();
+      prog_.name = expect_ident("program name");
+      accept(Tok::Semi);
+    }
+    while (peek().kind != Tok::End) parse_decl();
+    return std::move(prog_);
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+  const Token& peek(int ahead = 0) const {
+    const auto i = std::min(pos_ + static_cast<std::size_t>(ahead),
+                            toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& next() {
+    const Token& t = toks_[pos_];
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  bool accept(Tok kind) {
+    if (peek().kind == kind) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  void expect(Tok kind, const char* what) {
+    if (!accept(kind))
+      throw ParseError(std::string("expected ") + to_string(kind) + " (" +
+                           what + "), found " + describe(peek()),
+                       peek().line);
+  }
+  std::string expect_ident(const char* what) {
+    if (peek().kind != Tok::Ident)
+      throw ParseError(std::string("expected identifier (") + what +
+                           "), found " + describe(peek()),
+                       peek().line);
+    return next().text;
+  }
+  static std::string describe(const Token& t) {
+    if (t.kind == Tok::Ident) return "'" + t.text + "'";
+    if (t.kind == Tok::Int) return "'" + std::to_string(t.int_val) + "'";
+    return std::string("'") + to_string(t.kind) + "'";
+  }
+
+  // --- declarations --------------------------------------------------------
+  void parse_decl() {
+    switch (peek().kind) {
+      case Tok::KwConstant: parse_constant(); return;
+      case Tok::KwVariable: parse_variable(); return;
+      case Tok::KwInput: parse_input(); return;
+      case Tok::KwOn: parse_on_block(); return;
+      default:
+        throw ParseError("expected CONSTANT, VARIABLE, INPUT or ON, found " +
+                             describe(peek()),
+                         peek().line);
+    }
+  }
+
+  void parse_constant() {
+    const int line = peek().line;
+    expect(Tok::KwConstant, "constant declaration");
+    const std::string name = expect_ident("constant name");
+    check_fresh_name(name, line);
+    expect(Tok::Eq, "constant definition");
+    if (peek().kind == Tok::LBrace) {
+      // Symbol enum: declares both a named domain and the full-set constant.
+      std::vector<SymId> syms = parse_symbol_list();
+      prog_.named_domains.emplace(name, Domain::symbols(syms));
+      std::vector<Value> elems;
+      elems.reserve(syms.size());
+      for (const SymId s : syms) elems.push_back(Value::make_sym(s));
+      prog_.constants.emplace(name, Value::make_set(SetValue(std::move(elems))));
+    } else {
+      prog_.constants.emplace(name, Value::make_int(parse_const_int()));
+    }
+    accept(Tok::Semi);
+  }
+
+  std::vector<SymId> parse_symbol_list() {
+    expect(Tok::LBrace, "symbol set");
+    std::vector<SymId> syms;
+    if (peek().kind != Tok::RBrace) {
+      do {
+        syms.push_back(prog_.syms.intern(expect_ident("symbol")));
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RBrace, "symbol set");
+    return syms;
+  }
+
+  void parse_variable() {
+    VarDecl var;
+    var.line = peek().line;
+    expect(Tok::KwVariable, "variable declaration");
+    var.name = expect_ident("variable name");
+    check_fresh_name(var.name, var.line);
+    if (accept(Tok::LBracket)) {
+      var.array_size = parse_const_int();
+      if (var.array_size < 1)
+        throw ParseError("array size must be positive", var.line);
+      expect(Tok::RBracket, "array size");
+    }
+    expect(Tok::KwIn, "variable domain");
+    var.domain = parse_domain();
+    if (accept(Tok::KwInit)) {
+      // Initialisers are restricted to literals so that the initial register
+      // image is static.
+      var.init = parse_literal_value(var.domain);
+    }
+    prog_.variables.push_back(std::move(var));
+    accept(Tok::Semi);
+  }
+
+  void parse_input() {
+    InputDecl in;
+    in.line = peek().line;
+    expect(Tok::KwInput, "input declaration");
+    in.name = expect_ident("input name");
+    check_fresh_name(in.name, in.line);
+    if (accept(Tok::LParen)) {
+      do {
+        in.index_domains.push_back(parse_domain());
+      } while (accept(Tok::Comma));
+      expect(Tok::RParen, "input index domains");
+    }
+    expect(Tok::KwIn, "input domain");
+    in.domain = parse_domain();
+    prog_.inputs.push_back(std::move(in));
+    accept(Tok::Semi);
+  }
+
+  void parse_on_block() {
+    RuleBase rb;
+    rb.line = peek().line;
+    expect(Tok::KwOn, "rule base");
+    rb.name = expect_ident("event name");
+    if (prog_.find_rule_base(rb.name) != nullptr)
+      throw ParseError("duplicate rule base '" + rb.name + "'", rb.line);
+    if (accept(Tok::LParen)) {
+      if (peek().kind != Tok::RParen) {
+        do {
+          Param p;
+          p.name = expect_ident("parameter name");
+          expect(Tok::KwIn, "parameter domain");
+          p.domain = parse_domain();
+          rb.params.push_back(std::move(p));
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "parameter list");
+    }
+    if (accept(Tok::KwReturns)) rb.returns = parse_domain();
+    while (peek().kind == Tok::KwIf) rb.rules.push_back(parse_rule());
+    expect(Tok::KwEnd, "rule base");
+    if (peek().kind == Tok::Ident) {
+      const std::string trailer = next().text;
+      if (trailer != rb.name)
+        throw ParseError("END " + trailer + " does not match ON " + rb.name,
+                         peek().line);
+    }
+    accept(Tok::Semi);
+    prog_.rule_bases.push_back(std::move(rb));
+  }
+
+  Rule parse_rule() {
+    Rule r;
+    r.line = peek().line;
+    expect(Tok::KwIf, "rule");
+    r.premise = parse_expr();
+    expect(Tok::KwThen, "rule");
+    do {
+      r.conclusion.push_back(parse_cmd());
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "rule terminator");
+    return r;
+  }
+
+  Cmd parse_cmd() {
+    Cmd c;
+    c.line = peek().line;
+    if (accept(Tok::Bang)) {
+      c.kind = Cmd::Kind::Emit;
+      c.target = expect_ident("event name");
+      expect(Tok::LParen, "event arguments");
+      if (peek().kind != Tok::RParen) {
+        do {
+          c.args.push_back(parse_expr());
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "event arguments");
+      return c;
+    }
+    if (accept(Tok::KwReturn)) {
+      c.kind = Cmd::Kind::Return;
+      expect(Tok::LParen, "RETURN value");
+      c.value = parse_expr();
+      expect(Tok::RParen, "RETURN value");
+      return c;
+    }
+    if (accept(Tok::KwForall)) {
+      c.kind = Cmd::Kind::ForAll;
+      c.bound = expect_ident("bound variable");
+      expect(Tok::KwIn, "quantifier domain");
+      c.domain = parse_expr_additive();
+      expect(Tok::Colon, "quantified command");
+      if (accept(Tok::LParen)) {
+        do {
+          c.body.push_back(parse_cmd());
+        } while (accept(Tok::Comma));
+        expect(Tok::RParen, "quantified command group");
+      } else {
+        c.body.push_back(parse_cmd());
+      }
+      return c;
+    }
+    // assignment: target [ (args) ] <- expr
+    c.kind = Cmd::Kind::Assign;
+    c.target = expect_ident("assignment target");
+    if (accept(Tok::LParen)) {
+      do {
+        c.args.push_back(parse_expr());
+      } while (accept(Tok::Comma));
+      expect(Tok::RParen, "assignment index");
+    }
+    expect(Tok::Assign, "assignment");
+    c.value = parse_expr();
+    return c;
+  }
+
+  // --- domains & constant folding ------------------------------------------
+  Domain parse_domain() {
+    const int line = peek().line;
+    if (peek().kind == Tok::LBrace) {
+      return Domain::symbols(parse_symbol_list());
+    }
+    if (accept(Tok::KwSet)) {
+      expect(Tok::KwOf, "SET OF domain");
+      return Domain::set_of(parse_domain());
+    }
+    // Either `expr TO expr` or a bare name. A bare identifier that names an
+    // enum is that enum; one that names an int constant c means 0 TO c-1.
+    if (peek().kind == Tok::Ident && peek(1).kind != Tok::KwTo) {
+      const std::string name = next().text;
+      const auto dit = prog_.named_domains.find(name);
+      if (dit != prog_.named_domains.end()) return dit->second;
+      const auto cit = prog_.constants.find(name);
+      if (cit != prog_.constants.end() && cit->second.is_int()) {
+        const auto c = cit->second.as_int();
+        if (c < 1)
+          throw ParseError("constant '" + name + "' is not positive", line);
+        return Domain::int_range(0, c - 1);
+      }
+      throw ParseError("unknown domain '" + name + "'", line);
+    }
+    const std::int64_t lo = parse_const_int();
+    if (!accept(Tok::KwTo)) {
+      // Cardinality shorthand: a bare constant c denotes 0 TO c-1.
+      if (lo < 1)
+        throw ParseError("cardinality domain must be positive", line);
+      return Domain::int_range(0, lo - 1);
+    }
+    const std::int64_t hi = parse_const_int();
+    if (lo > hi) throw ParseError("empty integer range domain", line);
+    return Domain::int_range(lo, hi);
+  }
+
+  /// Constant integer expression: literals, named int constants, + - * /
+  /// and parentheses.
+  std::int64_t parse_const_int() { return const_add(); }
+
+  std::int64_t const_add() {
+    std::int64_t v = const_mul();
+    while (true) {
+      if (accept(Tok::Plus)) v += const_mul();
+      else if (accept(Tok::Minus)) v -= const_mul();
+      else return v;
+    }
+  }
+
+  std::int64_t const_mul() {
+    std::int64_t v = const_primary();
+    while (true) {
+      if (accept(Tok::Star)) v *= const_primary();
+      else if (accept(Tok::Slash)) {
+        const auto d = const_primary();
+        if (d == 0) throw ParseError("division by zero in constant", peek().line);
+        v /= d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  std::int64_t const_primary() {
+    if (peek().kind == Tok::Int) return next().int_val;
+    if (accept(Tok::Minus)) return -const_primary();
+    if (accept(Tok::LParen)) {
+      const auto v = const_add();
+      expect(Tok::RParen, "constant expression");
+      return v;
+    }
+    if (peek().kind == Tok::Ident) {
+      const int line = peek().line;
+      const std::string name = next().text;
+      const auto it = prog_.constants.find(name);
+      if (it == prog_.constants.end() || !it->second.is_int())
+        throw ParseError("'" + name + "' is not an integer constant", line);
+      return it->second.as_int();
+    }
+    throw ParseError("expected constant expression, found " + describe(peek()),
+                     peek().line);
+  }
+
+  Value parse_literal_value(const Domain& domain) {
+    const int line = peek().line;
+    Value v;
+    if (peek().kind == Tok::Int || peek().kind == Tok::Minus) {
+      v = Value::make_int(parse_const_int());
+    } else if (peek().kind == Tok::LBrace) {
+      std::vector<Value> elems;
+      expect(Tok::LBrace, "set literal");
+      if (peek().kind != Tok::RBrace) {
+        do {
+          if (peek().kind == Tok::Int) {
+            elems.push_back(Value::make_int(next().int_val));
+          } else {
+            elems.push_back(Value::make_sym(resolve_symbol(line)));
+          }
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RBrace, "set literal");
+      v = Value::make_set(SetValue(std::move(elems)));
+    } else {
+      v = Value::make_sym(resolve_symbol(line));
+    }
+    if (!domain.contains(v))
+      throw ParseError("initialiser outside variable domain", line);
+    return v;
+  }
+
+  SymId resolve_symbol(int line) {
+    const std::string name = expect_ident("symbol");
+    const SymId s = prog_.syms.lookup(name);
+    if (s < 0) throw ParseError("unknown symbol '" + name + "'", line);
+    return s;
+  }
+
+  // --- expressions ----------------------------------------------------------
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (peek().kind == Tok::KwOr) {
+      const int line = next().line;
+      e = Expr::make_binary(BinOp::Or, e, parse_and(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_not();
+    while (peek().kind == Tok::KwAnd) {
+      const int line = next().line;
+      e = Expr::make_binary(BinOp::And, e, parse_not(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_not() {
+    if (peek().kind == Tok::KwNot) {
+      const int line = next().line;
+      return Expr::make_unary(UnOp::Not, parse_not(), line);
+    }
+    return parse_rel();
+  }
+
+  ExprPtr parse_rel() {
+    ExprPtr e = parse_expr_additive();
+    BinOp op;
+    switch (peek().kind) {
+      case Tok::Eq: op = BinOp::Eq; break;
+      case Tok::Ne: op = BinOp::Ne; break;
+      case Tok::Lt: op = BinOp::Lt; break;
+      case Tok::Le: op = BinOp::Le; break;
+      case Tok::Gt: op = BinOp::Gt; break;
+      case Tok::Ge: op = BinOp::Ge; break;
+      case Tok::KwIn: op = BinOp::In; break;
+      default: return e;
+    }
+    const int line = next().line;
+    return Expr::make_binary(op, e, parse_expr_additive(), line);
+  }
+
+  ExprPtr parse_expr_additive() {
+    ExprPtr e = parse_mul();
+    while (true) {
+      BinOp op;
+      switch (peek().kind) {
+        case Tok::Plus: op = BinOp::Add; break;
+        case Tok::Minus: op = BinOp::Sub; break;
+        case Tok::KwUnion: op = BinOp::Union; break;
+        case Tok::KwSetminus: op = BinOp::SetMinus; break;
+        default: return e;
+      }
+      const int line = next().line;
+      e = Expr::make_binary(op, e, parse_mul(), line);
+    }
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr e = parse_unary();
+    while (true) {
+      BinOp op;
+      switch (peek().kind) {
+        case Tok::Star: op = BinOp::Mul; break;
+        case Tok::Slash: op = BinOp::Div; break;
+        case Tok::KwMod: op = BinOp::Mod; break;
+        case Tok::KwIntersect: op = BinOp::Intersect; break;
+        default: return e;
+      }
+      const int line = next().line;
+      e = Expr::make_binary(op, e, parse_unary(), line);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().kind == Tok::Minus) {
+      const int line = next().line;
+      return Expr::make_unary(UnOp::Neg, parse_unary(), line);
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::Int: {
+        const Token tok = next();
+        return Expr::make_int(tok.int_val, tok.line);
+      }
+      case Tok::LParen: {
+        next();
+        ExprPtr e = parse_expr();
+        expect(Tok::RParen, "parenthesised expression");
+        return e;
+      }
+      case Tok::LBrace: {
+        const int line = next().line;
+        std::vector<ExprPtr> elems;
+        if (peek().kind != Tok::RBrace) {
+          do {
+            elems.push_back(parse_expr());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RBrace, "set literal");
+        return Expr::make_set(std::move(elems), line);
+      }
+      case Tok::KwExists:
+      case Tok::KwForall: {
+        const Quant q =
+            t.kind == Tok::KwExists ? Quant::Exists : Quant::ForAll;
+        const int line = next().line;
+        const std::string var = expect_ident("bound variable");
+        expect(Tok::KwIn, "quantifier domain");
+        ExprPtr dom = parse_expr_additive();
+        expect(Tok::Colon, "quantifier body");
+        ExprPtr body = parse_or();
+        return Expr::make_quantified(q, var, std::move(dom), std::move(body),
+                                     line);
+      }
+      case Tok::Ident: {
+        const Token tok = next();
+        std::vector<ExprPtr> args;
+        if (accept(Tok::LParen)) {
+          if (peek().kind != Tok::RParen) {
+            do {
+              args.push_back(parse_expr());
+            } while (accept(Tok::Comma));
+          }
+          expect(Tok::RParen, "argument list");
+        }
+        // A bare identifier that is an interned enum symbol and not any
+        // declared entity resolves to a symbol literal.
+        if (args.empty() && !names_entity(tok.text)) {
+          const SymId s = prog_.syms.lookup(tok.text);
+          if (s >= 0) return Expr::make_sym(s, tok.line);
+        }
+        return Expr::make_ref(tok.text, std::move(args), tok.line);
+      }
+      default:
+        throw ParseError("expected expression, found " + describe(t), t.line);
+    }
+  }
+
+  bool names_entity(const std::string& n) const {
+    return prog_.find_variable(n) != nullptr ||
+           prog_.find_input(n) != nullptr || prog_.constants.count(n) > 0;
+  }
+
+  void check_fresh_name(const std::string& name, int line) const {
+    if (names_entity(name) || prog_.named_domains.count(name) > 0)
+      throw ParseError("duplicate declaration of '" + name + "'", line);
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  Program prog_;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source,
+                      const std::string& default_name) {
+  Parser p(source, default_name);
+  return p.run();
+}
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,43 @@
+// Recursive-descent parser for the rule language.
+//
+// Grammar (keywords case-insensitive, `--` comments):
+//
+//   program    := [PROGRAM ident ;] { decl }
+//   decl       := CONSTANT ident = (setlit | constexpr)
+//              |  VARIABLE ident [ '[' constexpr ']' ] IN domain [INIT expr]
+//              |  INPUT ident [ '(' domain {, domain} ')' ] IN domain
+//              |  ON ident [ '(' param {, param} ')' ] [RETURNS domain]
+//                   { rule } END [ident] [;]
+//   param      := ident IN domain
+//   domain     := constexpr TO constexpr        -- integer range
+//              |  setlit                        -- anonymous symbol enum
+//              |  SET OF domain                 -- subsets
+//              |  ident                         -- named enum, or integer
+//                                               -- constant c ⇒ 0 TO c-1
+//   rule       := IF expr THEN cmd {, cmd} ;
+//   cmd        := ident [ '(' expr {, expr} ')' ] <- expr
+//              |  RETURN '(' expr ')'
+//              |  '!' ident '(' [expr {, expr}] ')'
+//              |  FORALL ident IN expr ':' ( cmd | '(' cmd {, cmd} ')' )
+//   expr       := or-expr with the usual precedence: OR < AND < NOT <
+//                 (= <> < <= > >= IN) < (+ - UNION SETMINUS) <
+//                 (* / MOD INTERSECT) < unary- < primary
+//   primary    := int | setlit | ident [ '(' expr {, expr} ')' ]
+//              |  '(' expr ')'
+//              |  (EXISTS|FORALL) ident IN expr ':' expr
+//
+// Bare identifiers resolve at evaluation time (parameter, bound variable,
+// VARIABLE, INPUT, constant, enum symbol, builtin function, or subbase).
+#pragma once
+
+#include <string>
+
+#include "ruleengine/ast.hpp"
+
+namespace flexrouter::rules {
+
+/// Parse a complete rule program. Throws ParseError on malformed input.
+Program parse_program(const std::string& source,
+                      const std::string& default_name = "program");
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,345 @@
+#include "ruleengine/validate.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace flexrouter::rules {
+
+namespace {
+
+/// Static kind lattice for expressions.
+enum class Kind { Bool, Int, Sym, Set, Unknown };
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Bool: return "boolean";
+    case Kind::Int: return "integer";
+    case Kind::Sym: return "symbol";
+    case Kind::Set: return "set";
+    case Kind::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+Kind kind_of_domain(const Domain& d) {
+  switch (d.kind()) {
+    case Domain::Kind::IntRange:
+    case Domain::Kind::Boolean:
+      return Kind::Int;
+    case Domain::Kind::Symbols:
+      return Kind::Sym;
+    case Domain::Kind::SetOf:
+      return Kind::Set;
+  }
+  return Kind::Unknown;
+}
+
+class Validator {
+ public:
+  explicit Validator(const Program& prog) : prog_(&prog) {}
+
+  std::vector<Diagnostic> run() {
+    for (const RuleBase& rb : prog_->rule_bases) {
+      rb_ = &rb;
+      bindings_.clear();
+      for (const Param& p : rb.params) bindings_[p.name] = kind_of_domain(p.domain);
+      if (rb.rules.empty())
+        note(rb.line, "rule base '" + rb.name + "' has no rules");
+      for (const Rule& r : rb.rules) {
+        const Kind k = infer(r.premise);
+        if (k != Kind::Bool && k != Kind::Unknown)
+          note(r.line, "premise is " + std::string(kind_name(k)) +
+                           ", expected boolean");
+        bool returned = false;
+        for (const Cmd& c : r.conclusion) check_cmd(c, &returned);
+      }
+    }
+    // Event arity consistency: every !emit of one event name must agree.
+    for (const auto& [name, arities] : event_arities_) {
+      if (arities.size() > 1) {
+        std::ostringstream os;
+        os << "event '" << name << "' emitted with inconsistent arities:";
+        for (const auto& [arity, line] : arities) os << " " << arity;
+        note(arities.begin()->second, os.str());
+      }
+      // If the event is handled by a rule base, arity must match its params.
+      if (const RuleBase* target = prog_->find_rule_base(name)) {
+        const auto arity = arities.begin()->first;
+        if (arity != target->params.size())
+          note(target->line,
+               "event '" + name + "' emitted with " + std::to_string(arity) +
+                   " arguments but its rule base declares " +
+                   std::to_string(target->params.size()) + " parameters");
+      }
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  void note(int line, const std::string& msg) { diags_.push_back({line, msg}); }
+
+  std::optional<Domain> ref_domain(const Expr& e) const {
+    for (const Param& p : rb_->params)
+      if (p.name == e.name && e.args.empty()) return p.domain;
+    if (const VarDecl* v = prog_->find_variable(e.name)) return v->domain;
+    if (const InputDecl* in = prog_->find_input(e.name)) return in->domain;
+    return std::nullopt;
+  }
+
+  void check_cmd(const Cmd& c, bool* returned) {
+    switch (c.kind) {
+      case Cmd::Kind::Assign: {
+        const VarDecl* decl = prog_->find_variable(c.target);
+        if (decl == nullptr) {
+          note(c.line, "assignment to unknown variable '" + c.target + "'");
+          break;
+        }
+        if (decl->is_array()) {
+          if (c.args.size() != 1) {
+            note(c.line, "array '" + c.target + "' needs exactly one index");
+          } else {
+            const Kind ik = infer(c.args[0]);
+            if (ik != Kind::Int && ik != Kind::Unknown)
+              note(c.line, "array index is " + std::string(kind_name(ik)));
+          }
+        } else if (!c.args.empty()) {
+          note(c.line, "scalar '" + c.target + "' is not indexable");
+        }
+        const Kind want = kind_of_domain(decl->domain);
+        const Kind got = infer(c.value);
+        // Booleans store into integer registers (0/1).
+        const bool ok = got == Kind::Unknown || got == want ||
+                        (want == Kind::Int && got == Kind::Bool);
+        if (!ok)
+          note(c.line, "assigning " + std::string(kind_name(got)) + " to " +
+                           kind_name(want) + " variable '" + c.target + "'");
+        break;
+      }
+      case Cmd::Kind::Return: {
+        if (*returned) note(c.line, "multiple RETURN commands in one conclusion");
+        *returned = true;
+        const Kind got = infer(c.value);
+        if (!rb_->returns) {
+          // Permitted (untyped return), but flag kind errors inside.
+          break;
+        }
+        const Kind want = kind_of_domain(*rb_->returns);
+        if (got != Kind::Unknown && got != want &&
+            !(want == Kind::Int && got == Kind::Bool))
+          note(c.line, "RETURN value is " + std::string(kind_name(got)) +
+                           " but the rule base returns " + kind_name(want));
+        break;
+      }
+      case Cmd::Kind::Emit: {
+        for (const ExprPtr& a : c.args) infer(a);
+        auto& entry = event_arities_[c.target];
+        entry.emplace(c.args.size(), c.line);
+        break;
+      }
+      case Cmd::Kind::ForAll: {
+        const Kind dk = infer(c.domain);
+        if (dk != Kind::Int && dk != Kind::Set && dk != Kind::Unknown)
+          note(c.line, "FORALL domain is " + std::string(kind_name(dk)));
+        bindings_[c.bound] = Kind::Unknown;  // int or element kind
+        for (const Cmd& b : c.body) check_cmd(b, returned);
+        bindings_.erase(c.bound);
+        break;
+      }
+    }
+  }
+
+  Kind infer(const ExprPtr& e) {
+    if (!e) return Kind::Unknown;
+    switch (e->kind) {
+      case Expr::Kind::IntLit:
+        return Kind::Int;
+      case Expr::Kind::SymLit:
+        return Kind::Sym;
+      case Expr::Kind::SetLit:
+        for (const ExprPtr& a : e->args) infer(a);
+        return Kind::Set;
+      case Expr::Kind::Ref:
+        return infer_ref(*e);
+      case Expr::Kind::Unary: {
+        const Kind k = infer(e->lhs);
+        if (e->un_op == UnOp::Not) {
+          if (k != Kind::Bool && k != Kind::Unknown)
+            note(e->line, "NOT applied to " + std::string(kind_name(k)));
+          return Kind::Bool;
+        }
+        if (k != Kind::Int && k != Kind::Unknown)
+          note(e->line, "negation applied to " + std::string(kind_name(k)));
+        return Kind::Int;
+      }
+      case Expr::Kind::Binary:
+        return infer_binary(*e);
+      case Expr::Kind::Quantified: {
+        const Kind dk = infer(e->lhs);
+        if (dk != Kind::Int && dk != Kind::Set && dk != Kind::Unknown)
+          note(e->line,
+               "quantifier domain is " + std::string(kind_name(dk)));
+        bindings_[e->name] = Kind::Unknown;
+        const Kind bk = infer(e->rhs);
+        bindings_.erase(e->name);
+        if (bk != Kind::Bool && bk != Kind::Unknown)
+          note(e->line, "quantifier body is " + std::string(kind_name(bk)));
+        return Kind::Bool;
+      }
+    }
+    return Kind::Unknown;
+  }
+
+  Kind infer_ref(const Expr& e) {
+    // Bound names first.
+    if (e.args.empty()) {
+      const auto it = bindings_.find(e.name);
+      if (it != bindings_.end()) return it->second;
+    }
+    if (const VarDecl* v = prog_->find_variable(e.name)) {
+      if (v->is_array()) {
+        if (e.args.size() != 1)
+          note(e.line, "array '" + e.name + "' needs exactly one index");
+        else if (const Kind ik = infer(e.args[0]);
+                 ik != Kind::Int && ik != Kind::Unknown)
+          note(e.line, "array index is " + std::string(kind_name(ik)));
+      } else if (!e.args.empty()) {
+        note(e.line, "scalar '" + e.name + "' is not indexable");
+      }
+      return kind_of_domain(v->domain);
+    }
+    if (const InputDecl* in = prog_->find_input(e.name)) {
+      if (e.args.size() != in->index_domains.size())
+        note(e.line, "input '" + e.name + "' expects " +
+                         std::to_string(in->index_domains.size()) +
+                         " indices, got " + std::to_string(e.args.size()));
+      for (const ExprPtr& a : e.args) infer(a);
+      return kind_of_domain(in->domain);
+    }
+    if (e.args.empty()) {
+      const auto it = prog_->constants.find(e.name);
+      if (it != prog_->constants.end()) {
+        if (it->second.is_int()) return Kind::Int;
+        if (it->second.is_sym()) return Kind::Sym;
+        return Kind::Set;
+      }
+    }
+    // Builtins.
+    static const std::map<std::string, std::pair<int, Kind>> builtins = {
+        {"abs", {1, Kind::Int}},      {"signum", {1, Kind::Int}},
+        {"min", {-1, Kind::Int}},     {"max", {-1, Kind::Int}},
+        {"card", {1, Kind::Int}},     {"xor", {2, Kind::Int}},
+        {"bitand", {2, Kind::Int}},   {"bit", {2, Kind::Int}},
+        {"popcount", {1, Kind::Int}}, {"meshdist", {4, Kind::Int}},
+    };
+    const auto bit = builtins.find(e.name);
+    if (bit != builtins.end()) {
+      const auto [arity, kind] = bit->second;
+      if (arity >= 0 && static_cast<int>(e.args.size()) != arity)
+        note(e.line, "builtin '" + e.name + "' expects " +
+                         std::to_string(arity) + " arguments, got " +
+                         std::to_string(e.args.size()));
+      if (arity < 0 && e.args.empty())
+        note(e.line, "builtin '" + e.name + "' needs arguments");
+      for (const ExprPtr& a : e.args)
+        if (const Kind k = infer(a); k != Kind::Int && k != Kind::Unknown)
+          note(e.line, "builtin '" + e.name + "' argument is " +
+                           std::string(kind_name(k)));
+      return kind;
+    }
+    // Subbases used as functions.
+    if (const RuleBase* sub = prog_->find_rule_base(e.name)) {
+      if (e.args.size() != sub->params.size())
+        note(e.line, "subbase '" + e.name + "' expects " +
+                         std::to_string(sub->params.size()) +
+                         " arguments, got " + std::to_string(e.args.size()));
+      for (const ExprPtr& a : e.args) infer(a);
+      if (!sub->returns) {
+        note(e.line,
+             "subbase '" + e.name + "' used in an expression but has no "
+             "RETURNS declaration");
+        return Kind::Unknown;
+      }
+      return kind_of_domain(*sub->returns);
+    }
+    note(e.line, "unknown name '" + e.name + "'");
+    return Kind::Unknown;
+  }
+
+  Kind infer_binary(const Expr& e) {
+    const Kind l = infer(e.lhs);
+    const Kind r = infer(e.rhs);
+    auto both = [&](Kind want, const char* what) {
+      if (l != want && l != Kind::Unknown)
+        note(e.line, std::string(what) + " left operand is " + kind_name(l));
+      if (r != want && r != Kind::Unknown)
+        note(e.line, std::string(what) + " right operand is " + kind_name(r));
+    };
+    switch (e.bin_op) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::Div:
+      case BinOp::Mod:
+        both(Kind::Int, "arithmetic");
+        return Kind::Int;
+      case BinOp::And:
+      case BinOp::Or:
+        both(Kind::Bool, "logical");
+        return Kind::Bool;
+      case BinOp::Eq:
+      case BinOp::Ne:
+        if (l != Kind::Unknown && r != Kind::Unknown && l != r &&
+            !(l == Kind::Bool && r == Kind::Int) &&
+            !(l == Kind::Int && r == Kind::Bool))
+          note(e.line, "comparing " + std::string(kind_name(l)) + " with " +
+                           kind_name(r));
+        return Kind::Bool;
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        if (l != Kind::Unknown && r != Kind::Unknown && l != r)
+          note(e.line, "ordering " + std::string(kind_name(l)) + " against " +
+                           kind_name(r));
+        if (l == Kind::Set || r == Kind::Set)
+          note(e.line, "sets have no order comparison");
+        return Kind::Bool;
+      case BinOp::In:
+        if (r != Kind::Set && r != Kind::Unknown)
+          note(e.line, "IN right-hand side is " + std::string(kind_name(r)));
+        if (l == Kind::Set)
+          note(e.line, "IN left-hand side must be a scalar");
+        return Kind::Bool;
+      case BinOp::Union:
+      case BinOp::Intersect:
+      case BinOp::SetMinus:
+        both(Kind::Set, "set operation");
+        return Kind::Set;
+    }
+    return Kind::Unknown;
+  }
+
+  const Program* prog_;
+  const RuleBase* rb_ = nullptr;
+  std::map<std::string, Kind> bindings_;
+  std::map<std::string, std::map<std::size_t, int>> event_arities_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> validate_program(const Program& prog) {
+  return Validator(prog).run();
+}
+
+void require_valid(const Program& prog) {
+  const auto diags = validate_program(prog);
+  if (diags.empty()) return;
+  std::ostringstream os;
+  os << "rule program '" << prog.name << "' failed validation:";
+  for (const Diagnostic& d : diags) os << "\n  " << d.to_string();
+  FR_REQUIRE_MSG(false, os.str());
+}
+
+}  // namespace flexrouter::rules

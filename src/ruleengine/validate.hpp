@@ -1,0 +1,33 @@
+// Static semantic validation of rule programs — the checks the "Rule
+// Compiler" tool of Section 4.2 performs before generating configuration
+// data: name resolution, kind (type) consistency of every expression,
+// boolean premises, assignment compatibility, RETURN discipline, event
+// arity consistency, and quantifier domain sanity. Parsing guarantees
+// syntax; this pass guarantees a program cannot fail with a kind error at
+// interpretation time (dynamic *domain-range* violations remain runtime
+// contracts, as in the hardware).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ruleengine/ast.hpp"
+
+namespace flexrouter::rules {
+
+struct Diagnostic {
+  int line = 0;
+  std::string message;
+
+  std::string to_string() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+/// Validate `prog`; returns all diagnostics (empty = valid).
+std::vector<Diagnostic> validate_program(const Program& prog);
+
+/// Convenience: throws ContractViolation listing every diagnostic.
+void require_valid(const Program& prog);
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,269 @@
+#include "ruleengine/value.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bitops.hpp"
+
+namespace flexrouter::rules {
+
+SymId SymTable::intern(const std::string& name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<SymId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+SymId SymTable::lookup(const std::string& name) const {
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? SymId{-1} : it->second;
+}
+
+const std::string& SymTable::name(SymId id) const {
+  FR_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < names_.size());
+  return names_[static_cast<std::size_t>(id)];
+}
+
+SetValue::SetValue(std::vector<Value> elems) : elems_(std::move(elems)) {
+  std::sort(elems_.begin(), elems_.end());
+  elems_.erase(std::unique(elems_.begin(), elems_.end()), elems_.end());
+}
+
+bool SetValue::contains(const Value& v) const {
+  return std::binary_search(elems_.begin(), elems_.end(), v);
+}
+
+void SetValue::insert(const Value& v) {
+  const auto it = std::lower_bound(elems_.begin(), elems_.end(), v);
+  if (it == elems_.end() || !(*it == v)) elems_.insert(it, v);
+}
+
+SetValue SetValue::set_union(const SetValue& o) const {
+  std::vector<Value> out;
+  std::set_union(elems_.begin(), elems_.end(), o.elems_.begin(),
+                 o.elems_.end(), std::back_inserter(out));
+  SetValue s;
+  s.elems_ = std::move(out);
+  return s;
+}
+
+SetValue SetValue::set_intersect(const SetValue& o) const {
+  std::vector<Value> out;
+  std::set_intersection(elems_.begin(), elems_.end(), o.elems_.begin(),
+                        o.elems_.end(), std::back_inserter(out));
+  SetValue s;
+  s.elems_ = std::move(out);
+  return s;
+}
+
+SetValue SetValue::set_minus(const SetValue& o) const {
+  std::vector<Value> out;
+  std::set_difference(elems_.begin(), elems_.end(), o.elems_.begin(),
+                      o.elems_.end(), std::back_inserter(out));
+  SetValue s;
+  s.elems_ = std::move(out);
+  return s;
+}
+
+bool operator==(const SetValue& a, const SetValue& b) {
+  return a.elems_ == b.elems_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.data_.index() != b.data_.index())
+    return a.data_.index() < b.data_.index();
+  if (a.is_int()) return a.as_int() < b.as_int();
+  if (a.is_sym()) return a.as_sym() < b.as_sym();
+  return a.as_set().elements() < b.as_set().elements();
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.data_.index() != b.data_.index()) return false;
+  if (a.is_int()) return a.as_int() == b.as_int();
+  if (a.is_sym()) return a.as_sym() == b.as_sym();
+  return a.as_set() == b.as_set();
+}
+
+std::string Value::to_string(const SymTable& syms) const {
+  if (is_int()) return std::to_string(as_int());
+  if (is_sym()) return syms.name(as_sym());
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Value& e : as_set().elements()) {
+    if (!first) os << ",";
+    first = false;
+    os << e.to_string(syms);
+  }
+  os << "}";
+  return os.str();
+}
+
+Domain Domain::int_range(std::int64_t lo, std::int64_t hi) {
+  FR_REQUIRE_MSG(lo <= hi, "empty integer range domain");
+  Domain d;
+  d.kind_ = Kind::IntRange;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  return d;
+}
+
+Domain Domain::symbols(std::vector<SymId> syms) {
+  FR_REQUIRE_MSG(!syms.empty(), "empty symbol domain");
+  Domain d;
+  d.kind_ = Kind::Symbols;
+  d.syms_ = std::move(syms);
+  return d;
+}
+
+Domain Domain::set_of(Domain element) {
+  FR_REQUIRE_MSG(element.kind() != Kind::SetOf,
+                 "nested set domains are not supported");
+  Domain d;
+  d.kind_ = Kind::SetOf;
+  d.elem_.push_back(std::move(element));
+  return d;
+}
+
+const Domain& Domain::element() const {
+  FR_REQUIRE(kind_ == Kind::SetOf);
+  return elem_.front();
+}
+
+std::uint64_t Domain::cardinality() const {
+  switch (kind_) {
+    case Kind::IntRange:
+      return static_cast<std::uint64_t>(hi_ - lo_) + 1;
+    case Kind::Symbols:
+      return syms_.size();
+    case Kind::SetOf: {
+      const auto n = element().cardinality();
+      FR_REQUIRE_MSG(n < 63, "set domain universe too large");
+      return std::uint64_t{1} << n;
+    }
+    case Kind::Boolean:
+      return 2;
+  }
+  FR_UNREACHABLE("bad domain kind");
+}
+
+int Domain::bits() const { return bits_for(cardinality()); }
+
+bool Domain::contains(const Value& v) const {
+  switch (kind_) {
+    case Kind::IntRange:
+    case Kind::Boolean:
+      return v.is_int() && v.as_int() >= lo_ && v.as_int() <= hi_;
+    case Kind::Symbols:
+      if (!v.is_sym()) return false;
+      return std::find(syms_.begin(), syms_.end(), v.as_sym()) != syms_.end();
+    case Kind::SetOf:
+      if (!v.is_set()) return false;
+      for (const Value& e : v.as_set().elements())
+        if (!element().contains(e)) return false;
+      return true;
+  }
+  return false;
+}
+
+std::vector<Value> Domain::enumerate() const {
+  std::vector<Value> out;
+  switch (kind_) {
+    case Kind::IntRange:
+    case Kind::Boolean:
+      out.reserve(cardinality());
+      for (std::int64_t v = lo_; v <= hi_; ++v) out.push_back(Value::make_int(v));
+      return out;
+    case Kind::Symbols:
+      out.reserve(syms_.size());
+      for (const SymId s : syms_) out.push_back(Value::make_sym(s));
+      return out;
+    case Kind::SetOf: {
+      const auto univ = element().enumerate();
+      FR_REQUIRE_MSG(univ.size() <= 16, "set domain too large to enumerate");
+      const auto total = std::uint64_t{1} << univ.size();
+      out.reserve(total);
+      for (std::uint64_t mask = 0; mask < total; ++mask) {
+        std::vector<Value> elems;
+        for (std::size_t i = 0; i < univ.size(); ++i)
+          if (mask & (std::uint64_t{1} << i)) elems.push_back(univ[i]);
+        out.push_back(Value::make_set(SetValue(std::move(elems))));
+      }
+      return out;
+    }
+  }
+  FR_UNREACHABLE("bad domain kind");
+}
+
+std::uint64_t Domain::index_of(const Value& v) const {
+  FR_REQUIRE_MSG(contains(v), "value outside domain");
+  switch (kind_) {
+    case Kind::IntRange:
+    case Kind::Boolean:
+      return static_cast<std::uint64_t>(v.as_int() - lo_);
+    case Kind::Symbols: {
+      const auto it = std::find(syms_.begin(), syms_.end(), v.as_sym());
+      return static_cast<std::uint64_t>(it - syms_.begin());
+    }
+    case Kind::SetOf: {
+      std::uint64_t mask = 0;
+      for (const Value& e : v.as_set().elements())
+        mask |= std::uint64_t{1} << element().index_of(e);
+      return mask;
+    }
+  }
+  FR_UNREACHABLE("bad domain kind");
+}
+
+Value Domain::value_at(std::uint64_t index) const {
+  FR_REQUIRE(index < cardinality());
+  switch (kind_) {
+    case Kind::IntRange:
+    case Kind::Boolean:
+      return Value::make_int(lo_ + static_cast<std::int64_t>(index));
+    case Kind::Symbols:
+      return Value::make_sym(syms_[static_cast<std::size_t>(index)]);
+    case Kind::SetOf: {
+      std::vector<Value> elems;
+      const auto n = element().cardinality();
+      for (std::uint64_t i = 0; i < n; ++i)
+        if (index & (std::uint64_t{1} << i))
+          elems.push_back(element().value_at(i));
+      return Value::make_set(SetValue(std::move(elems)));
+    }
+  }
+  FR_UNREACHABLE("bad domain kind");
+}
+
+int Domain::sym_rank(SymId s) const {
+  FR_REQUIRE(kind_ == Kind::Symbols);
+  const auto it = std::find(syms_.begin(), syms_.end(), s);
+  FR_REQUIRE_MSG(it != syms_.end(), "symbol not in domain");
+  return static_cast<int>(it - syms_.begin());
+}
+
+std::string Domain::to_string(const SymTable& syms) const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::IntRange:
+    case Kind::Boolean:
+      os << lo_ << " TO " << hi_;
+      return os.str();
+    case Kind::Symbols:
+      os << "{";
+      for (std::size_t i = 0; i < syms_.size(); ++i) {
+        if (i) os << ",";
+        os << syms.name(syms_[i]);
+      }
+      os << "}";
+      return os.str();
+    case Kind::SetOf:
+      os << "SET OF " << element().to_string(syms);
+      return os.str();
+  }
+  return "?";
+}
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,157 @@
+// Finite-domain value system of the rule language.
+//
+// The paper restricts data types to "integers within finite ranges, discrete
+// symbols, the union of these two, and subsets of these" so that every
+// variable maps to a fixed number of hardware bits. Value is the runtime
+// representation (integer, interned symbol, or small set); Domain describes
+// the static type and yields the bit width used by the hardware cost model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace flexrouter::rules {
+
+/// Interned symbol identifier. Symbols are global to a Program.
+using SymId = std::int32_t;
+
+/// Bidirectional string <-> SymId interning table.
+class SymTable {
+ public:
+  SymId intern(const std::string& name);
+  /// Returns the id if interned, -1 otherwise.
+  SymId lookup(const std::string& name) const;
+  const std::string& name(SymId id) const;
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::map<std::string, SymId> ids_;
+  std::vector<std::string> names_;
+};
+
+class Value;
+
+/// Small set of scalar values, kept sorted and unique. Sets in routing
+/// algorithms are tiny (directions, states), so a flat vector wins.
+class SetValue {
+ public:
+  SetValue() = default;
+  explicit SetValue(std::vector<Value> elems);
+
+  bool contains(const Value& v) const;
+  SetValue set_union(const SetValue& o) const;
+  SetValue set_intersect(const SetValue& o) const;
+  SetValue set_minus(const SetValue& o) const;
+  void insert(const Value& v);
+
+  std::size_t size() const { return elems_.size(); }
+  bool empty() const { return elems_.empty(); }
+  const std::vector<Value>& elements() const { return elems_; }
+
+  friend bool operator==(const SetValue& a, const SetValue& b);
+
+ private:
+  std::vector<Value> elems_;  // sorted, unique
+};
+
+/// Runtime value: integer, symbol, or set.
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  static Value make_int(std::int64_t v) { return Value(v); }
+  static Value make_sym(SymId s) { return Value(SymTag{s}); }
+  static Value make_bool(bool b) { return Value(std::int64_t{b ? 1 : 0}); }
+  static Value make_set(SetValue s) { return Value(std::move(s)); }
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_sym() const { return std::holds_alternative<SymTag>(data_); }
+  bool is_set() const { return std::holds_alternative<SetValue>(data_); }
+
+  std::int64_t as_int() const {
+    FR_REQUIRE_MSG(is_int(), "value is not an integer");
+    return std::get<std::int64_t>(data_);
+  }
+  bool as_bool() const { return as_int() != 0; }
+  SymId as_sym() const {
+    FR_REQUIRE_MSG(is_sym(), "value is not a symbol");
+    return std::get<SymTag>(data_).id;
+  }
+  const SetValue& as_set() const {
+    FR_REQUIRE_MSG(is_set(), "value is not a set");
+    return std::get<SetValue>(data_);
+  }
+
+  /// Total order (int < sym < set; by content within kind) so Values can key
+  /// sorted containers and sets stay canonical.
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator==(const Value& a, const Value& b);
+
+  std::string to_string(const SymTable& syms) const;
+
+ private:
+  struct SymTag {
+    SymId id;
+    friend bool operator==(const SymTag&, const SymTag&) = default;
+    friend auto operator<=>(const SymTag&, const SymTag&) = default;
+  };
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(SymTag s) : data_(s) {}
+  explicit Value(SetValue s) : data_(std::move(s)) {}
+
+  std::variant<std::int64_t, SymTag, SetValue> data_;
+};
+
+/// Static type of a variable/input/parameter.
+class Domain {
+ public:
+  enum class Kind {
+    IntRange,   // [lo, hi] inclusive
+    Symbols,    // ordered finite set of symbols (order = lattice order)
+    SetOf,      // subsets of an element domain
+    Boolean,    // {0, 1} shorthand
+  };
+
+  static Domain int_range(std::int64_t lo, std::int64_t hi);
+  static Domain symbols(std::vector<SymId> syms);
+  static Domain set_of(Domain element);
+  static Domain boolean() { return int_range(0, 1); }
+
+  Kind kind() const { return kind_; }
+  std::int64_t lo() const { return lo_; }
+  std::int64_t hi() const { return hi_; }
+  const std::vector<SymId>& syms() const { return syms_; }
+  const Domain& element() const;
+
+  /// Number of distinct values (for SetOf: 2^|element|).
+  std::uint64_t cardinality() const;
+  /// Hardware bits to store one value of this domain.
+  int bits() const;
+
+  bool contains(const Value& v) const;
+
+  /// All values of the domain in canonical order. Contract: cardinality is
+  /// small (used by the compiler to enumerate feature axes).
+  std::vector<Value> enumerate() const;
+
+  /// Position of `v` in enumerate() order. Contract: contains(v).
+  std::uint64_t index_of(const Value& v) const;
+  Value value_at(std::uint64_t index) const;
+
+  /// Lattice rank of a symbol in a Symbols domain (its declaration order).
+  int sym_rank(SymId s) const;
+
+  std::string to_string(const SymTable& syms) const;
+
+ private:
+  Kind kind_ = Kind::IntRange;
+  std::int64_t lo_ = 0, hi_ = 0;
+  std::vector<SymId> syms_;
+  std::vector<Domain> elem_;  // size 1 for SetOf (vector for value semantics)
+};
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,77 @@
+#include "sim/fault_injector.hpp"
+
+#include "topology/graph_algo.hpp"
+
+namespace flexrouter {
+
+int inject_random_link_faults(FaultSet& faults, int count, Rng& rng,
+                              bool keep_connected) {
+  const Topology& topo = faults.topology();
+  auto links = topo.undirected_links();
+  rng.shuffle(links);
+  int failed = 0;
+  for (const LinkRef& l : links) {
+    if (failed >= count) break;
+    if (!faults.link_usable(l.node, l.port)) continue;  // already down
+    faults.fail_link(l.node, l.port);
+    if (keep_connected && !all_healthy_connected(faults)) {
+      faults.repair_link(l.node, l.port);
+      continue;
+    }
+    ++failed;
+  }
+  return failed;
+}
+
+int inject_random_node_faults(FaultSet& faults, int count, Rng& rng,
+                              bool keep_connected) {
+  const Topology& topo = faults.topology();
+  std::vector<NodeId> nodes(static_cast<std::size_t>(topo.num_nodes()));
+  for (NodeId i = 0; i < topo.num_nodes(); ++i)
+    nodes[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(nodes);
+  int failed = 0;
+  for (const NodeId n : nodes) {
+    if (failed >= count) break;
+    if (faults.node_faulty(n)) continue;
+    faults.fail_node(n);
+    if (keep_connected && !all_healthy_connected(faults)) {
+      faults.repair_node(n);
+      continue;
+    }
+    ++failed;
+  }
+  return failed;
+}
+
+void inject_figure2_chain(FaultSet& faults, const Mesh& mesh, int x,
+                          int length) {
+  FR_REQUIRE(mesh.dims() == 2);
+  FR_REQUIRE(x >= 0 && x + 1 < mesh.radix(0));
+  FR_REQUIRE(length >= 1 && length <= mesh.radix(1));
+  for (int y = 0; y < length; ++y)
+    faults.fail_link(mesh.at(x, y), port_of(Compass::East));
+}
+
+void inject_fault_block(FaultSet& faults, const Mesh& mesh, int x0, int y0,
+                        int x1, int y1) {
+  FR_REQUIRE(mesh.dims() == 2);
+  FR_REQUIRE(x0 <= x1 && y0 <= y1);
+  for (int x = x0; x <= x1; ++x)
+    for (int y = y0; y <= y1; ++y) faults.fail_node(mesh.at(x, y));
+}
+
+void inject_concave_faults(FaultSet& faults, const Mesh& mesh, int x0, int y0,
+                           int x1, int y1) {
+  FR_REQUIRE(mesh.dims() == 2);
+  FR_REQUIRE(x0 < x1 && y0 < y1);
+  const int mx = (x0 + x1) / 2;
+  const int my = (y0 + y1) / 2;
+  for (int x = x0; x <= x1; ++x)
+    for (int y = y0; y <= y1; ++y) {
+      const bool north_east_quadrant = x > mx && y > my;
+      if (!north_east_quadrant) faults.fail_node(mesh.at(x, y));
+    }
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,40 @@
+// Fault pattern generators: random link/node faults that keep the healthy
+// subgraph connected (so fault assumption iii can be met by any traffic),
+// and the deterministic patterns of the paper's discussion — the Figure-2
+// chain of faulty links near a border, and rectangular faulty blocks with
+// concave pockets.
+#pragma once
+
+#include "common/rng.hpp"
+#include "topology/fault_model.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+
+/// Fail `count` random links; when `keep_connected`, candidate faults that
+/// would disconnect healthy nodes are skipped. Returns the number actually
+/// failed (may be < count if connectivity forbids more).
+int inject_random_link_faults(FaultSet& faults, int count, Rng& rng,
+                              bool keep_connected = true);
+
+/// Fail `count` random nodes, keeping healthy nodes connected when asked.
+int inject_random_node_faults(FaultSet& faults, int count, Rng& rng,
+                              bool keep_connected = true);
+
+/// Figure 2: a chain of faulty links attached to the southern border,
+/// severing columns `x` and `x+1` for rows 0..length-1. A router at the top
+/// of the chain must know on which side a destination lies — the paper's
+/// Omega(|F|) purposiveness argument.
+void inject_figure2_chain(FaultSet& faults, const Mesh& mesh, int x,
+                          int length);
+
+/// A rectangular block of faulty nodes [x0, x1] x [y0, y1].
+void inject_fault_block(FaultSet& faults, const Mesh& mesh, int x0, int y0,
+                        int x1, int y1);
+
+/// An L-shaped (concave) fault pattern that NAFTA's convexification
+/// completes: the block [x0,x1]x[y0,y1] minus its north-east quadrant.
+void inject_concave_faults(FaultSet& faults, const Mesh& mesh, int x0, int y0,
+                           int x1, int y1);
+
+}  // namespace flexrouter

@@ -1,0 +1,181 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "topology/graph_algo.hpp"
+
+namespace flexrouter {
+
+Network::Network(const Topology& topo, RoutingAlgorithm& algo,
+                 const NetworkConfig& cfg)
+    : topo_(&topo), algo_(&algo), cfg_(cfg), faults_(topo) {
+  algo_->attach(topo, faults_);
+
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  routers_.reserve(n);
+  for (NodeId i = 0; i < topo.num_nodes(); ++i)
+    routers_.push_back(
+        std::make_unique<Router>(i, topo, faults_, algo, cfg.router));
+  injection_queues_.resize(n);
+
+  // One Link object per directed channel.
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    for (PortId p = 0; p < topo.degree(); ++p) {
+      const NodeId v = topo.neighbor(u, p);
+      if (v == kInvalidNode) continue;
+      links_.push_back(
+          std::make_unique<Link>(algo.num_vcs(), cfg.link_latency));
+      link_sources_.push_back({u, p});
+      Link* link = links_.back().get();
+      routers_[static_cast<std::size_t>(u)]->connect_output(p, link);
+      routers_[static_cast<std::size_t>(v)]->connect_input(
+          topo.reverse_port(u, p), link);
+    }
+  }
+}
+
+PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
+  FR_REQUIRE(topo_->valid_node(src) && topo_->valid_node(dest));
+  FR_REQUIRE_MSG(src != dest, "self-addressed packet");
+  FR_REQUIRE_MSG(faults_.node_ok(src) && faults_.node_ok(dest),
+                 "packet to/from a faulty node violates fault assumption iii");
+  FR_REQUIRE(length >= 1);
+
+  PacketRecord rec;
+  rec.id = static_cast<PacketId>(records_.size());
+  rec.src = src;
+  rec.dest = dest;
+  rec.length = length;
+  rec.created = now;
+  records_.push_back(rec);
+
+  Header h;
+  h.packet = rec.id;
+  h.src = src;
+  h.dest = dest;
+  h.length = length;
+  MessageInterface::seal(h);
+
+  auto& queue = injection_queues_[static_cast<std::size_t>(src)];
+  queue.push_back(make_head_flit(h));
+  for (int s = 1; s < length; ++s) queue.push_back(make_body_flit(h, s));
+  return rec.id;
+}
+
+void Network::step(Cycle now) {
+  delivered_last_cycle_.clear();
+
+  // Injection: at most one flit per node per cycle (local link bandwidth).
+  for (NodeId u = 0; u < topo_->num_nodes(); ++u) {
+    auto& queue = injection_queues_[static_cast<std::size_t>(u)];
+    if (queue.empty()) continue;
+    Router& r = *routers_[static_cast<std::size_t>(u)];
+    if (r.injection_space() <= 0) continue;
+    const Flit f = queue.front();
+    queue.pop_front();
+    if (f.head)
+      records_[static_cast<std::size_t>(f.hdr.packet)].injected = now;
+    r.inject(f);
+  }
+
+  // Routers.
+  for (NodeId u = 0; u < topo_->num_nodes(); ++u) {
+    eject_scratch_.clear();
+    routers_[static_cast<std::size_t>(u)]->step(now, eject_scratch_);
+    for (const Flit& f : eject_scratch_) {
+      PacketRecord& rec = records_[static_cast<std::size_t>(f.hdr.packet)];
+      FR_ASSERT_MSG(rec.dest == u, "flit ejected at the wrong node");
+      if (f.head) {
+        rec.hops = f.hdr.path_len;
+        rec.misrouted = f.hdr.misrouted;
+      }
+      if (f.tail) {
+        rec.delivered = now;
+        ++delivered_count_;
+        delivered_last_cycle_.push_back(rec.id);
+      }
+    }
+  }
+}
+
+bool Network::idle() const {
+  for (const auto& q : injection_queues_)
+    if (!q.empty()) return false;
+  for (const auto& r : routers_)
+    if (!r->empty()) return false;
+  for (const auto& l : links_)
+    if (!l->idle()) return false;
+  return true;
+}
+
+int Network::apply_faults(const std::function<void(FaultSet&)>& mutate) {
+  FR_REQUIRE_MSG(idle(), "apply_faults requires a quiesced network "
+                         "(fault assumption iv)");
+  mutate(faults_);
+  const int exchanges = algo_->reconfigure();
+  for (const auto& r : routers_) r->flush();
+  return exchanges;
+}
+
+const PacketRecord& Network::record(PacketId id) const {
+  FR_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < records_.size());
+  return records_[static_cast<std::size_t>(id)];
+}
+
+std::size_t Network::in_flight() const {
+  std::size_t pending = 0;
+  for (const auto& q : injection_queues_) pending += q.size();
+  for (const auto& rec : records_)
+    if (rec.injected >= 0 && !rec.done()) ++pending;
+  return pending;
+}
+
+std::int64_t Network::total_flit_movements() const {
+  std::int64_t total = 0;
+  for (const auto& r : routers_)
+    total += r->stats().flits_forwarded + r->stats().flits_ejected;
+  return total;
+}
+
+std::vector<Network::LinkLoad> Network::link_utilization(Cycle elapsed) const {
+  FR_REQUIRE(elapsed > 0);
+  std::vector<LinkLoad> out;
+  out.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkLoad l;
+    l.from = link_sources_[i].node;
+    l.port = link_sources_[i].port;
+    l.utilization = static_cast<double>(links_[i]->info().flits_total()) /
+                    static_cast<double>(elapsed);
+    out.push_back(l);
+  }
+  std::sort(out.begin(), out.end(), [](const LinkLoad& a, const LinkLoad& b) {
+    return a.utilization > b.utilization;
+  });
+  return out;
+}
+
+std::pair<double, double> Network::utilization_summary(Cycle elapsed) const {
+  const auto loads = link_utilization(elapsed);
+  if (loads.empty()) return {0.0, 0.0};
+  double sum = 0.0;
+  for (const LinkLoad& l : loads) sum += l.utilization;
+  return {loads.front().utilization, sum / static_cast<double>(loads.size())};
+}
+
+RouterStats Network::aggregate_stats() const {
+  RouterStats agg;
+  for (const auto& r : routers_) {
+    const RouterStats& s = r->stats();
+    agg.flits_forwarded += s.flits_forwarded;
+    agg.flits_ejected += s.flits_ejected;
+    agg.packets_routed += s.packets_routed;
+    agg.decision_steps += s.decision_steps;
+    agg.rc_no_candidates += s.rc_no_candidates;
+    agg.va_retries += s.va_retries;
+    agg.header_updates += s.header_updates;
+  }
+  return agg;
+}
+
+}  // namespace flexrouter

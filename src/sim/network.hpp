@@ -1,0 +1,114 @@
+// Network assembly: routers wired by links per the topology, packet
+// book-keeping, injection queues, and the quiescent fault-reconfiguration
+// protocol of fault assumption iv.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "router/router.hpp"
+#include "sim/traffic.hpp"
+
+namespace flexrouter {
+
+struct NetworkConfig {
+  RouterConfig router;
+  int link_latency = 1;
+};
+
+struct PacketRecord {
+  PacketId id = -1;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  int length = 0;
+  Cycle created = -1;
+  Cycle injected = -1;   // head flit entered the source router
+  Cycle delivered = -1;  // tail flit ejected at the destination
+  int hops = 0;          // path length from the delivered header
+  bool misrouted = false;
+
+  bool done() const { return delivered >= 0; }
+};
+
+class Network {
+ public:
+  Network(const Topology& topo, RoutingAlgorithm& algo,
+          const NetworkConfig& cfg = {});
+
+  const Topology& topology() const { return *topo_; }
+  FaultSet& faults() { return faults_; }
+  const FaultSet& faults() const { return faults_; }
+  RoutingAlgorithm& algorithm() { return *algo_; }
+
+  /// Queue a packet for injection at `src`. Contract: src and dest healthy,
+  /// src != dest (fault assumption iii is the caller's responsibility, but
+  /// violations are rejected here).
+  PacketId send(NodeId src, NodeId dest, int length, Cycle now);
+
+  /// Advance one cycle.
+  void step(Cycle now);
+
+  /// No queued, buffered or in-flight flits anywhere.
+  bool idle() const;
+
+  /// Quiescent reconfiguration (fault assumption iv): the caller must have
+  /// drained the network (idle()); `mutate` edits the fault set, then the
+  /// routing algorithm recomputes its propagated state. Returns the number
+  /// of neighbour exchanges the reconfiguration needed.
+  int apply_faults(const std::function<void(FaultSet&)>& mutate);
+
+  const PacketRecord& record(PacketId id) const;
+  std::int64_t packets_created() const {
+    return static_cast<std::int64_t>(records_.size());
+  }
+  std::int64_t packets_delivered() const { return delivered_count_; }
+  std::size_t in_flight() const;
+
+  /// Movement counter for the deadlock watchdog: total flits that crossed
+  /// any crossbar this cycle history.
+  std::int64_t total_flit_movements() const;
+
+  Router& router(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }
+  const Router& router(NodeId n) const {
+    return *routers_[static_cast<std::size_t>(n)];
+  }
+
+  /// Aggregate router statistics over all nodes.
+  RouterStats aggregate_stats() const;
+
+  /// Per-directed-link utilisation: flits carried per elapsed cycle, from
+  /// the link information units (Figure 3). Sorted descending.
+  struct LinkLoad {
+    NodeId from = kInvalidNode;
+    PortId port = kInvalidPort;
+    double utilization = 0.0;
+  };
+  std::vector<LinkLoad> link_utilization(Cycle elapsed) const;
+  /// Summary over all links: (max, mean) utilisation.
+  std::pair<double, double> utilization_summary(Cycle elapsed) const;
+
+  /// Packets delivered during step(); cleared and refilled each cycle.
+  const std::vector<PacketId>& delivered_last_cycle() const {
+    return delivered_last_cycle_;
+  }
+
+ private:
+  const Topology* topo_;
+  RoutingAlgorithm* algo_;
+  NetworkConfig cfg_;
+  FaultSet faults_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<LinkRef> link_sources_;  // parallel to links_
+  std::vector<PacketRecord> records_;
+  /// Flits waiting to enter each source router (one stream per node).
+  std::vector<std::deque<Flit>> injection_queues_;
+  std::int64_t delivered_count_ = 0;
+  std::vector<PacketId> delivered_last_cycle_;
+  std::vector<Flit> eject_scratch_;
+};
+
+}  // namespace flexrouter

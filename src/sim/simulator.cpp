@@ -1,0 +1,170 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "topology/graph_algo.hpp"
+
+namespace flexrouter {
+
+std::string SimResult::to_string() const {
+  std::ostringstream os;
+  os << "delivered " << delivered_packets << "/" << injected_packets
+     << " avg_lat=" << avg_latency << " p99=" << p99_latency
+     << " thpt=" << throughput << " hops=" << avg_hops
+     << " steps/dec=" << avg_decision_steps
+     << " misrouted=" << misrouted_fraction * 100.0 << "%";
+  if (deadlock_suspected) os << " [DEADLOCK SUSPECTED]";
+  return os.str();
+}
+
+Simulator::Simulator(Network& net, TrafficPattern& traffic,
+                     const SimConfig& cfg)
+    : net_(&net), traffic_(&traffic), cfg_(cfg), rng_(cfg.seed) {}
+
+void Simulator::inject_offered_load(bool measured) {
+  const Topology& topo = net_->topology();
+  const bool bimodal =
+      cfg_.long_packet_length > 0 && cfg_.long_packet_fraction > 0.0;
+  const double mean_length =
+      bimodal ? (1.0 - cfg_.long_packet_fraction) * cfg_.packet_length +
+                    cfg_.long_packet_fraction * cfg_.long_packet_length
+              : static_cast<double>(cfg_.packet_length);
+  const double packet_prob = cfg_.injection_rate / mean_length;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (net_->faults().node_faulty(n)) continue;
+    if (!rng_.next_bool(packet_prob)) continue;
+    const int length = bimodal && rng_.next_bool(cfg_.long_packet_fraction)
+                           ? cfg_.long_packet_length
+                           : cfg_.packet_length;
+    // Redraw until the destination is healthy and connected (fault
+    // assumption iii); give up after a few tries (pattern may be stuck on a
+    // faulty fixed destination).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const NodeId dest = traffic_->dest(n, rng_);
+      if (dest == n || !net_->faults().node_ok(dest)) continue;
+      if (!connected(net_->faults(), n, dest)) continue;
+      const PacketId id = net_->send(n, dest, length, now_);
+      if (measured) measured_.push_back(id);
+      break;
+    }
+  }
+}
+
+SimResult Simulator::run() {
+  measured_.clear();
+  SimResult result;
+
+  const RouterStats before = net_->aggregate_stats();
+
+  for (Cycle c = 0; c < cfg_.warmup_cycles; ++c) {
+    inject_offered_load(false);
+    net_->step(now_++);
+  }
+  for (Cycle c = 0; c < cfg_.measure_cycles; ++c) {
+    inject_offered_load(true);
+    net_->step(now_++);
+  }
+
+  // Drain: no further injection; watch for stalls.
+  std::int64_t last_movement = net_->total_flit_movements();
+  Cycle stall = 0;
+  Cycle drained = 0;
+  auto all_measured_done = [&]() {
+    return std::all_of(measured_.begin(), measured_.end(), [&](PacketId id) {
+      return net_->record(id).done();
+    });
+  };
+  while (!all_measured_done()) {
+    if (drained++ > cfg_.drain_limit) {
+      result.deadlock_suspected = true;
+      break;
+    }
+    net_->step(now_++);
+    const std::int64_t moved = net_->total_flit_movements();
+    if (moved == last_movement) {
+      if (++stall > cfg_.watchdog_window) {
+        result.deadlock_suspected = true;
+        break;
+      }
+    } else {
+      stall = 0;
+      last_movement = moved;
+    }
+  }
+
+  // Collect metrics over measured packets.
+  Histogram latency(0, 4096, 256, /*keep_samples=*/true);
+  StreamingStats hops, ratio, lat_misrouted, lat_direct;
+  std::int64_t delivered = 0, misrouted = 0, delivered_flits = 0;
+  for (const PacketId id : measured_) {
+    const PacketRecord& rec = net_->record(id);
+    if (!rec.done()) continue;
+    ++delivered;
+    delivered_flits += rec.length;
+    const auto lat = static_cast<double>(rec.delivered - rec.created);
+    latency.add(lat);
+    (rec.misrouted ? lat_misrouted : lat_direct).add(lat);
+    hops.add(rec.hops);
+    const int min_hops = net_->topology().distance(rec.src, rec.dest);
+    if (min_hops > 0)
+      ratio.add(static_cast<double>(rec.hops) / min_hops);
+    misrouted += rec.misrouted ? 1 : 0;
+  }
+
+  result.injected_packets = static_cast<std::int64_t>(measured_.size());
+  result.delivered_packets = delivered;
+  if (delivered > 0) {
+    double sum = 0.0;
+    for (const PacketId id : measured_) {
+      const PacketRecord& rec = net_->record(id);
+      if (rec.done()) sum += static_cast<double>(rec.delivered - rec.created);
+    }
+    result.avg_latency = sum / static_cast<double>(delivered);
+    result.p50_latency = latency.percentile(50);
+    result.p99_latency = latency.percentile(99);
+    result.avg_hops = hops.mean();
+    result.min_hops_ratio = ratio.count() > 0 ? ratio.mean() : 0.0;
+    result.misrouted_fraction =
+        static_cast<double>(misrouted) / static_cast<double>(delivered);
+    result.avg_latency_misrouted =
+        lat_misrouted.count() > 0 ? lat_misrouted.mean() : 0.0;
+    result.avg_latency_direct =
+        lat_direct.count() > 0 ? lat_direct.mean() : 0.0;
+  }
+  const auto healthy_nodes = static_cast<double>(
+      net_->topology().num_nodes() - net_->faults().num_node_faults());
+  result.throughput =
+      healthy_nodes > 0 && cfg_.measure_cycles > 0
+          ? static_cast<double>(delivered_flits) /
+                (healthy_nodes * static_cast<double>(cfg_.measure_cycles))
+          : 0.0;
+
+  const RouterStats after = net_->aggregate_stats();
+  const std::int64_t decisions = after.packets_routed - before.packets_routed;
+  result.avg_decision_steps =
+      decisions > 0 ? static_cast<double>(after.decision_steps -
+                                          before.decision_steps) /
+                          static_cast<double>(decisions)
+                    : 0.0;
+  result.cycles_run = now_;
+  return result;
+}
+
+bool Simulator::quiesce(Cycle limit) {
+  std::int64_t last_movement = net_->total_flit_movements();
+  Cycle stall = 0;
+  for (Cycle c = 0; c < limit && !net_->idle(); ++c) {
+    net_->step(now_++);
+    const std::int64_t moved = net_->total_flit_movements();
+    if (moved == last_movement) {
+      if (++stall > cfg_.watchdog_window) return false;
+    } else {
+      stall = 0;
+      last_movement = moved;
+    }
+  }
+  return net_->idle();
+}
+
+}  // namespace flexrouter

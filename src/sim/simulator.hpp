@@ -1,0 +1,77 @@
+// Open-loop network simulator: warmup / measurement / drain phases,
+// Bernoulli packet injection, latency & throughput metrics, and a deadlock
+// watchdog. This is the harness behind the latency–throughput figures.
+#pragma once
+
+#include "common/stats.hpp"
+#include "sim/network.hpp"
+
+namespace flexrouter {
+
+struct SimConfig {
+  /// Offered load in flits per node per cycle.
+  double injection_rate = 0.1;
+  int packet_length = 4;  // flits
+  /// Bimodal traffic: a fraction of packets are long worms (0 disables).
+  /// Wormhole networks are sensitive to the mix — long messages monopolise
+  /// VC ownership, which the assigned-data adaptivity criterion exploits.
+  int long_packet_length = 0;
+  double long_packet_fraction = 0.0;
+  Cycle warmup_cycles = 1000;
+  Cycle measure_cycles = 2000;
+  /// Give up draining after this many extra cycles (deadlock suspicion).
+  Cycle drain_limit = 50000;
+  /// Cycles without any flit movement (while work remains) that trigger the
+  /// deadlock watchdog.
+  Cycle watchdog_window = 2000;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  std::int64_t injected_packets = 0;   // measured-window packets
+  std::int64_t delivered_packets = 0;  // of the measured packets
+  double avg_latency = 0.0;            // creation -> delivery, cycles
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  double avg_hops = 0.0;
+  double min_hops_ratio = 0.0;  // avg(hops / topological distance)
+  double throughput = 0.0;      // delivered flits / node / cycle (measured)
+  double misrouted_fraction = 0.0;
+  /// Latency split by the header's misroute mark (0 when no such packets):
+  /// the "double disadvantage" of Section 3 and what the SA priority boost
+  /// buys back.
+  double avg_latency_misrouted = 0.0;
+  double avg_latency_direct = 0.0;
+  double avg_decision_steps = 0.0;  // rule interpretations per RC decision
+  bool deadlock_suspected = false;
+  Cycle cycles_run = 0;
+
+  std::string to_string() const;
+};
+
+class Simulator {
+ public:
+  Simulator(Network& net, TrafficPattern& traffic, const SimConfig& cfg);
+
+  /// Run warmup + measurement + drain. May be called repeatedly; the clock
+  /// keeps advancing (fault injection between runs via quiesce()).
+  SimResult run();
+
+  /// Drain the network completely (no new injection). Returns false if the
+  /// watchdog fired before it emptied.
+  bool quiesce(Cycle limit = 100000);
+
+  Cycle now() const { return now_; }
+
+ private:
+  void inject_offered_load(bool measured);
+
+  Network* net_;
+  TrafficPattern* traffic_;
+  SimConfig cfg_;
+  Rng rng_;
+  Cycle now_ = 0;
+  std::vector<PacketId> measured_;
+};
+
+}  // namespace flexrouter

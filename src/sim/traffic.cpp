@@ -1,0 +1,121 @@
+#include "sim/traffic.hpp"
+
+#include <numeric>
+
+#include "common/bitops.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace flexrouter {
+
+NodeId UniformTraffic::dest(NodeId src, Rng& rng) const {
+  const auto n = static_cast<std::uint64_t>(topo_->num_nodes());
+  FR_REQUIRE(n >= 2);
+  NodeId d = src;
+  while (d == src)
+    d = static_cast<NodeId>(rng.next_below(n));
+  return d;
+}
+
+NodeId BitComplementTraffic::dest(NodeId src, Rng&) const {
+  const auto n = topo_->num_nodes();
+  FR_REQUIRE_MSG(is_pow2(static_cast<std::uint64_t>(n)),
+                 "bitcomp needs a power-of-two node count");
+  return (n - 1) ^ src;
+}
+
+TransposeTraffic::TransposeTraffic(const Topology& topo) : topo_(&topo) {
+  const auto* mesh = dynamic_cast<const Mesh*>(&topo);
+  const auto* torus = dynamic_cast<const Torus*>(&topo);
+  FR_REQUIRE_MSG(mesh != nullptr || torus != nullptr,
+                 "transpose needs a mesh or torus");
+  if (mesh != nullptr) {
+    FR_REQUIRE_MSG(mesh->dims() == 2 && mesh->radix(0) == mesh->radix(1),
+                   "transpose needs a square 2-D mesh");
+  } else {
+    FR_REQUIRE_MSG(torus->dims() == 2 && torus->radix(0) == torus->radix(1),
+                   "transpose needs a square 2-D torus");
+  }
+}
+
+NodeId TransposeTraffic::dest(NodeId src, Rng&) const {
+  if (const auto* mesh = dynamic_cast<const Mesh*>(topo_))
+    return mesh->at(mesh->y_of(src), mesh->x_of(src));
+  const auto* torus = dynamic_cast<const Torus*>(topo_);
+  return torus->node_at({torus->coord(src, 1), torus->coord(src, 0)});
+}
+
+TornadoTraffic::TornadoTraffic(const Topology& topo) : topo_(&topo) {
+  FR_REQUIRE_MSG(dynamic_cast<const Mesh*>(&topo) != nullptr ||
+                     dynamic_cast<const Torus*>(&topo) != nullptr,
+                 "tornado needs a mesh or torus");
+}
+
+NodeId TornadoTraffic::dest(NodeId src, Rng&) const {
+  if (const auto* mesh = dynamic_cast<const Mesh*>(topo_)) {
+    std::vector<int> c = mesh->coords(src);
+    for (int d = 0; d < mesh->dims(); ++d)
+      c[static_cast<std::size_t>(d)] =
+          (c[static_cast<std::size_t>(d)] + mesh->radix(d) / 2) %
+          mesh->radix(d);
+    return mesh->node_at(c);
+  }
+  const auto* torus = dynamic_cast<const Torus*>(topo_);
+  std::vector<int> c(static_cast<std::size_t>(torus->dims()));
+  for (int d = 0; d < torus->dims(); ++d)
+    c[static_cast<std::size_t>(d)] =
+        (torus->coord(src, d) + torus->radix(d) / 2) % torus->radix(d);
+  return torus->node_at(c);
+}
+
+HotspotTraffic::HotspotTraffic(const Topology& topo, NodeId hot,
+                               double fraction)
+    : topo_(&topo), hot_(hot), fraction_(fraction), uniform_(topo) {
+  FR_REQUIRE(topo.valid_node(hot));
+  FR_REQUIRE(fraction >= 0.0 && fraction <= 1.0);
+}
+
+NodeId HotspotTraffic::dest(NodeId src, Rng& rng) const {
+  if (src != hot_ && rng.next_bool(fraction_)) return hot_;
+  return uniform_.dest(src, rng);
+}
+
+PermutationTraffic::PermutationTraffic(const Topology& topo,
+                                       std::uint64_t seed) {
+  perm_.resize(static_cast<std::size_t>(topo.num_nodes()));
+  std::iota(perm_.begin(), perm_.end(), NodeId{0});
+  Rng rng(seed);
+  rng.shuffle(perm_);
+  // Eliminate fixed points by rotating them into a cycle.
+  std::vector<std::size_t> fixed;
+  for (std::size_t i = 0; i < perm_.size(); ++i)
+    if (perm_[i] == static_cast<NodeId>(i)) fixed.push_back(i);
+  for (std::size_t k = 0; k + 1 < fixed.size(); k += 1)
+    std::swap(perm_[fixed[k]], perm_[fixed[k + 1]]);
+  if (fixed.size() == 1) {
+    const auto other = (fixed[0] + 1) % perm_.size();
+    std::swap(perm_[fixed[0]], perm_[other]);
+  }
+}
+
+NodeId PermutationTraffic::dest(NodeId src, Rng&) const {
+  return perm_[static_cast<std::size_t>(src)];
+}
+
+std::unique_ptr<TrafficPattern> make_traffic(const std::string& name,
+                                             const Topology& topo,
+                                             std::uint64_t seed) {
+  if (name == "uniform") return std::make_unique<UniformTraffic>(topo);
+  if (name == "bitcomp") return std::make_unique<BitComplementTraffic>(topo);
+  if (name == "transpose") return std::make_unique<TransposeTraffic>(topo);
+  if (name == "tornado") return std::make_unique<TornadoTraffic>(topo);
+  if (name == "hotspot")
+    return std::make_unique<HotspotTraffic>(topo, topo.num_nodes() / 2, 0.1);
+  if (name == "permutation")
+    return std::make_unique<PermutationTraffic>(topo, seed);
+  FR_REQUIRE_MSG(false, "unknown traffic pattern '" + name + "'");
+  return nullptr;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,99 @@
+#include "topology/fault_model.hpp"
+
+#include <algorithm>
+
+namespace flexrouter {
+
+FaultSet::FaultSet(const Topology& topo)
+    : topo_(&topo),
+      node_faulty_(static_cast<std::size_t>(topo.num_nodes()), 0) {}
+
+LinkRef FaultSet::canonical(NodeId node, PortId port) const {
+  FR_REQUIRE(topo_->valid_node(node));
+  FR_REQUIRE(topo_->valid_port(port));
+  const NodeId other = topo_->neighbor(node, port);
+  FR_REQUIRE_MSG(other != kInvalidNode, "fault on unconnected port");
+  if (node < other) return {node, port};
+  return {other, topo_->reverse_port(node, port)};
+}
+
+void FaultSet::fail_link(NodeId node, PortId port) {
+  if (faulty_links_.insert(canonical(node, port)).second) ++epoch_;
+}
+
+void FaultSet::fail_node(NodeId node) {
+  FR_REQUIRE(topo_->valid_node(node));
+  if (!node_faulty_[static_cast<std::size_t>(node)]) {
+    node_faulty_[static_cast<std::size_t>(node)] = 1;
+    ++num_node_faults_;
+    ++epoch_;
+  }
+}
+
+void FaultSet::repair_link(NodeId node, PortId port) {
+  if (faulty_links_.erase(canonical(node, port)) > 0) ++epoch_;
+}
+
+void FaultSet::repair_node(NodeId node) {
+  FR_REQUIRE(topo_->valid_node(node));
+  if (node_faulty_[static_cast<std::size_t>(node)]) {
+    node_faulty_[static_cast<std::size_t>(node)] = 0;
+    --num_node_faults_;
+    ++epoch_;
+  }
+}
+
+void FaultSet::clear() {
+  std::fill(node_faulty_.begin(), node_faulty_.end(), 0);
+  faulty_links_.clear();
+  num_node_faults_ = 0;
+  ++epoch_;
+}
+
+bool FaultSet::node_faulty(NodeId node) const {
+  FR_REQUIRE(topo_->valid_node(node));
+  return node_faulty_[static_cast<std::size_t>(node)] != 0;
+}
+
+bool FaultSet::link_marked_faulty(NodeId node, PortId port) const {
+  FR_REQUIRE(topo_->valid_node(node));
+  FR_REQUIRE(topo_->valid_port(port));
+  if (topo_->neighbor(node, port) == kInvalidNode) return false;
+  return faulty_links_.count(canonical(node, port)) > 0;
+}
+
+bool FaultSet::link_usable(NodeId node, PortId port) const {
+  FR_REQUIRE(topo_->valid_node(node));
+  FR_REQUIRE(topo_->valid_port(port));
+  const NodeId other = topo_->neighbor(node, port);
+  if (other == kInvalidNode) return false;
+  if (node_faulty(node) || node_faulty(other)) return false;
+  return faulty_links_.count(canonical(node, port)) == 0;
+}
+
+std::vector<PortId> FaultSet::usable_ports(NodeId node) const {
+  std::vector<PortId> out;
+  for (PortId p = 0; p < topo_->degree(); ++p)
+    if (link_usable(node, p)) out.push_back(p);
+  return out;
+}
+
+int FaultSet::usable_degree(NodeId node) const {
+  int d = 0;
+  for (PortId p = 0; p < topo_->degree(); ++p)
+    if (link_usable(node, p)) ++d;
+  return d;
+}
+
+std::vector<LinkRef> FaultSet::faulty_links() const {
+  return {faulty_links_.begin(), faulty_links_.end()};
+}
+
+std::vector<NodeId> FaultSet::faulty_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < topo_->num_nodes(); ++n)
+    if (node_faulty_[static_cast<std::size_t>(n)]) out.push_back(n);
+  return out;
+}
+
+}  // namespace flexrouter

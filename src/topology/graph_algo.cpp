@@ -1,0 +1,130 @@
+#include "topology/graph_algo.hpp"
+
+#include <deque>
+
+namespace flexrouter {
+
+std::vector<int> bfs_distances(const FaultSet& faults, NodeId src) {
+  const Topology& topo = faults.topology();
+  FR_REQUIRE(topo.valid_node(src));
+  std::vector<int> dist(static_cast<std::size_t>(topo.num_nodes()), -1);
+  if (faults.node_faulty(src)) return dist;
+  std::deque<NodeId> queue;
+  dist[static_cast<std::size_t>(src)] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    for (PortId p = 0; p < topo.degree(); ++p) {
+      if (!faults.link_usable(n, p)) continue;
+      const NodeId m = topo.neighbor(n, p);
+      if (dist[static_cast<std::size_t>(m)] >= 0) continue;
+      dist[static_cast<std::size_t>(m)] = dist[static_cast<std::size_t>(n)] + 1;
+      queue.push_back(m);
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> all_pairs_distances(const FaultSet& faults) {
+  const NodeId n = faults.topology().num_nodes();
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) out.push_back(bfs_distances(faults, i));
+  return out;
+}
+
+bool connected(const FaultSet& faults, NodeId a, NodeId b) {
+  if (a == b) return faults.node_ok(a);
+  return bfs_distances(faults, a)[static_cast<std::size_t>(b)] >= 0;
+}
+
+std::vector<int> components(const FaultSet& faults) {
+  const Topology& topo = faults.topology();
+  std::vector<int> comp(static_cast<std::size_t>(topo.num_nodes()), -2);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n)
+    if (faults.node_faulty(n)) comp[static_cast<std::size_t>(n)] = -1;
+  int next = 0;
+  for (NodeId start = 0; start < topo.num_nodes(); ++start) {
+    if (comp[static_cast<std::size_t>(start)] != -2) continue;
+    const int id = next++;
+    std::deque<NodeId> queue{start};
+    comp[static_cast<std::size_t>(start)] = id;
+    while (!queue.empty()) {
+      const NodeId n = queue.front();
+      queue.pop_front();
+      for (PortId p = 0; p < topo.degree(); ++p) {
+        if (!faults.link_usable(n, p)) continue;
+        const NodeId m = topo.neighbor(n, p);
+        if (comp[static_cast<std::size_t>(m)] != -2) continue;
+        comp[static_cast<std::size_t>(m)] = id;
+        queue.push_back(m);
+      }
+    }
+  }
+  return comp;
+}
+
+bool all_healthy_connected(const FaultSet& faults) {
+  const auto comp = components(faults);
+  int seen = -1;
+  for (NodeId n = 0; n < faults.topology().num_nodes(); ++n) {
+    const int c = comp[static_cast<std::size_t>(n)];
+    if (c < 0) continue;
+    if (seen == -1) seen = c;
+    if (c != seen) return false;
+  }
+  return true;
+}
+
+SpanningTree bfs_spanning_tree(const FaultSet& faults, NodeId root) {
+  const Topology& topo = faults.topology();
+  FR_REQUIRE(topo.valid_node(root));
+  FR_REQUIRE_MSG(faults.node_ok(root), "spanning tree root is faulty");
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(n, kInvalidNode);
+  tree.parent_port.assign(n, kInvalidPort);
+  tree.level.assign(n, -1);
+  tree.order.assign(n, -1);
+
+  std::deque<NodeId> queue{root};
+  tree.level[static_cast<std::size_t>(root)] = 0;
+  int rank = 0;
+  tree.order[static_cast<std::size_t>(root)] = rank++;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (PortId p = 0; p < topo.degree(); ++p) {
+      if (!faults.link_usable(u, p)) continue;
+      const NodeId v = topo.neighbor(u, p);
+      if (tree.level[static_cast<std::size_t>(v)] >= 0) continue;
+      tree.level[static_cast<std::size_t>(v)] =
+          tree.level[static_cast<std::size_t>(u)] + 1;
+      tree.parent[static_cast<std::size_t>(v)] = u;
+      tree.parent_port[static_cast<std::size_t>(v)] = topo.reverse_port(u, p);
+      tree.order[static_cast<std::size_t>(v)] = rank++;
+      queue.push_back(v);
+    }
+  }
+  return tree;
+}
+
+NodeId choose_tree_root(const FaultSet& faults) {
+  const Topology& topo = faults.topology();
+  NodeId best = kInvalidNode;
+  int best_deg = -1;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (faults.node_faulty(n)) continue;
+    const int d = faults.usable_degree(n);
+    if (d > best_deg) {
+      best_deg = d;
+      best = n;
+    }
+  }
+  FR_ENSURE_MSG(best != kInvalidNode, "no healthy node for tree root");
+  return best;
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,54 @@
+// Graph algorithms over a (topology, fault set) pair: BFS distances,
+// connectivity, components, BFS spanning trees. These power the spanning-tree
+// baseline (Section 2's strawman), the up*/down* escape routing, and the
+// purposiveness oracle used by tests and the Figure-2 bench.
+#pragma once
+
+#include <vector>
+
+#include "topology/fault_model.hpp"
+#include "topology/topology.hpp"
+
+namespace flexrouter {
+
+/// Hop distances from `src` over usable links; -1 where unreachable.
+/// Faulty nodes (including a faulty src) get -1.
+std::vector<int> bfs_distances(const FaultSet& faults, NodeId src);
+
+/// All-pairs distances; result[a][b] == -1 where unreachable.
+std::vector<std::vector<int>> all_pairs_distances(const FaultSet& faults);
+
+bool connected(const FaultSet& faults, NodeId a, NodeId b);
+
+/// Component id per node (-1 for faulty nodes); ids are dense from 0.
+std::vector<int> components(const FaultSet& faults);
+
+/// True iff all healthy nodes form one connected component.
+bool all_healthy_connected(const FaultSet& faults);
+
+/// BFS spanning tree rooted at `root` over usable links.
+struct SpanningTree {
+  NodeId root = kInvalidNode;
+  /// parent[n] — tree parent (kInvalidNode for root / unreachable nodes).
+  std::vector<NodeId> parent;
+  /// parent_port[n] — the port on n whose link leads to parent[n].
+  std::vector<PortId> parent_port;
+  /// BFS level (root = 0, unreachable = -1).
+  std::vector<int> level;
+  /// BFS visit order rank (root = 0, unreachable = -1). This is the node
+  /// ordering used by up*/down* routing.
+  std::vector<int> order;
+
+  bool reaches(NodeId n) const {
+    return level[static_cast<std::size_t>(n)] >= 0;
+  }
+};
+
+SpanningTree bfs_spanning_tree(const FaultSet& faults, NodeId root);
+
+/// Pick a deterministic root for tree construction: the healthy node of
+/// maximal usable degree (ties to the smallest id). Contract: at least one
+/// healthy node exists.
+NodeId choose_tree_root(const FaultSet& faults);
+
+}  // namespace flexrouter

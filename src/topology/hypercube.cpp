@@ -1,0 +1,35 @@
+#include "topology/hypercube.hpp"
+
+#include <sstream>
+
+namespace flexrouter {
+
+Hypercube::Hypercube(int dimension) : dimension_(dimension) {
+  FR_REQUIRE_MSG(dimension >= 1 && dimension <= 20,
+                 "hypercube dimension out of supported range [1, 20]");
+}
+
+NodeId Hypercube::neighbor(NodeId node, PortId port) const {
+  FR_REQUIRE(valid_node(node));
+  FR_REQUIRE(valid_port(port));
+  return node ^ (NodeId{1} << port);
+}
+
+PortId Hypercube::reverse_port(NodeId node, PortId port) const {
+  FR_REQUIRE(valid_node(node));
+  FR_REQUIRE(valid_port(port));
+  return port;  // flipping bit i from the other side is still port i
+}
+
+int Hypercube::distance(NodeId a, NodeId b) const {
+  FR_REQUIRE(valid_node(a) && valid_node(b));
+  return popcount64(static_cast<std::uint64_t>(a ^ b));
+}
+
+std::string Hypercube::name() const {
+  std::ostringstream os;
+  os << "hypercube(d=" << dimension_ << ")";
+  return os.str();
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,32 @@
+// Binary hypercube of dimension d (2^d nodes). Substrate for ROUTE_C.
+// Port i flips address bit i.
+#pragma once
+
+#include "common/bitops.hpp"
+#include "topology/topology.hpp"
+
+namespace flexrouter {
+
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(int dimension);
+
+  NodeId num_nodes() const override { return NodeId{1} << dimension_; }
+  PortId degree() const override { return dimension_; }
+  NodeId neighbor(NodeId node, PortId port) const override;
+  PortId reverse_port(NodeId node, PortId port) const override;
+  int distance(NodeId a, NodeId b) const override;
+  std::string name() const override;
+
+  int dimension() const { return dimension_; }
+
+  /// Bit positions where a and b differ (the dimensions still to correct).
+  static std::uint32_t differing_dims(NodeId a, NodeId b) {
+    return static_cast<std::uint32_t>(a ^ b);
+  }
+
+ private:
+  int dimension_;
+};
+
+}  // namespace flexrouter

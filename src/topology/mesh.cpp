@@ -1,0 +1,87 @@
+#include "topology/mesh.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace flexrouter {
+
+Mesh::Mesh(std::vector<int> radix) : radix_(std::move(radix)) {
+  FR_REQUIRE_MSG(!radix_.empty(), "mesh needs at least one dimension");
+  NodeId n = 1;
+  stride_.reserve(radix_.size());
+  for (const int r : radix_) {
+    FR_REQUIRE_MSG(r >= 2, "mesh radix must be >= 2");
+    stride_.push_back(n);
+    n *= r;
+  }
+  num_nodes_ = n;
+}
+
+int Mesh::radix(int dim) const {
+  FR_REQUIRE(dim >= 0 && dim < dims());
+  return radix_[static_cast<std::size_t>(dim)];
+}
+
+int Mesh::coord(NodeId node, int dim) const {
+  FR_REQUIRE(valid_node(node));
+  FR_REQUIRE(dim >= 0 && dim < dims());
+  return static_cast<int>(node / stride_[static_cast<std::size_t>(dim)]) %
+         radix_[static_cast<std::size_t>(dim)];
+}
+
+std::vector<int> Mesh::coords(NodeId node) const {
+  std::vector<int> c(static_cast<std::size_t>(dims()));
+  for (int d = 0; d < dims(); ++d) c[static_cast<std::size_t>(d)] = coord(node, d);
+  return c;
+}
+
+NodeId Mesh::node_at(const std::vector<int>& coords) const {
+  FR_REQUIRE(coords.size() == radix_.size());
+  NodeId n = 0;
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    FR_REQUIRE(coords[d] >= 0 && coords[d] < radix_[d]);
+    n += coords[d] * stride_[d];
+  }
+  return n;
+}
+
+NodeId Mesh::neighbor(NodeId node, PortId port) const {
+  FR_REQUIRE(valid_node(node));
+  FR_REQUIRE(valid_port(port));
+  const int dim = dim_of_port(port);
+  const int c = coord(node, dim);
+  if (port_is_negative(port)) {
+    if (c == 0) return kInvalidNode;
+    return node - stride_[static_cast<std::size_t>(dim)];
+  }
+  if (c == radix_[static_cast<std::size_t>(dim)] - 1) return kInvalidNode;
+  return node + stride_[static_cast<std::size_t>(dim)];
+}
+
+PortId Mesh::reverse_port(NodeId node, PortId port) const {
+  FR_REQUIRE_MSG(neighbor(node, port) != kInvalidNode,
+                 "reverse_port of unconnected port");
+  // +dim port on one side pairs with -dim port on the other.
+  return port_is_negative(port) ? port - 1 : port + 1;
+}
+
+int Mesh::distance(NodeId a, NodeId b) const {
+  FR_REQUIRE(valid_node(a) && valid_node(b));
+  int d = 0;
+  for (int dim = 0; dim < dims(); ++dim)
+    d += std::abs(coord(a, dim) - coord(b, dim));
+  return d;
+}
+
+std::string Mesh::name() const {
+  std::ostringstream os;
+  os << "mesh(";
+  for (std::size_t d = 0; d < radix_.size(); ++d) {
+    if (d) os << "x";
+    os << radix_[d];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,56 @@
+// k-ary n-dimensional mesh. The 2-D case is the substrate for NARA/NAFTA.
+//
+// Port numbering: port 2*dim + 0 goes in the positive direction of `dim`,
+// port 2*dim + 1 in the negative direction. For 2-D meshes this matches the
+// Compass enum: East=+x=0, West=-x=1, North=+y=2, South=-y=3.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace flexrouter {
+
+class Mesh final : public Topology {
+ public:
+  /// radix[i] = number of nodes along dimension i; all radices >= 2.
+  explicit Mesh(std::vector<int> radix);
+
+  /// Convenience: width x height 2-D mesh.
+  static Mesh two_d(int width, int height) { return Mesh({width, height}); }
+
+  NodeId num_nodes() const override { return num_nodes_; }
+  PortId degree() const override {
+    return static_cast<PortId>(2 * radix_.size());
+  }
+  NodeId neighbor(NodeId node, PortId port) const override;
+  PortId reverse_port(NodeId node, PortId port) const override;
+  int distance(NodeId a, NodeId b) const override;
+  std::string name() const override;
+
+  int dims() const { return static_cast<int>(radix_.size()); }
+  int radix(int dim) const;
+
+  /// Coordinate of `node` along `dim`.
+  int coord(NodeId node, int dim) const;
+  std::vector<int> coords(NodeId node) const;
+  NodeId node_at(const std::vector<int>& coords) const;
+
+  /// 2-D helpers (require dims() == 2).
+  int x_of(NodeId node) const { return coord(node, 0); }
+  int y_of(NodeId node) const { return coord(node, 1); }
+  NodeId at(int x, int y) const { return node_at({x, y}); }
+
+  static constexpr int dim_of_port(PortId p) { return p / 2; }
+  static constexpr bool port_is_negative(PortId p) { return (p % 2) != 0; }
+  static constexpr PortId port_toward(int dim, bool negative) {
+    return static_cast<PortId>(2 * dim + (negative ? 1 : 0));
+  }
+
+ private:
+  std::vector<int> radix_;
+  std::vector<NodeId> stride_;  // stride_[i] = product of radix_[0..i-1]
+  NodeId num_nodes_;
+};
+
+}  // namespace flexrouter

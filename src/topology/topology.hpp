@@ -1,0 +1,95 @@
+// Abstract network topology.
+//
+// A topology defines the routers (nodes) and the bidirectional links between
+// them. Routers expose `degree()` network ports numbered 0..degree()-1; a
+// port either connects to a neighbour or is unconnected (mesh borders).
+// By convention the local injection/ejection port of a router is port
+// `degree()` — it never appears in topology queries, only in the router
+// data path.
+//
+// The routing algorithm is designed for a specific topology (footnote 1 of
+// the paper: "the topology is a property of the routing algorithm and not an
+// input to it"), so concrete routing algorithms downcast to the concrete
+// topology they were designed for.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace flexrouter {
+
+/// One endpoint of a directed channel: the link leaving `node` via `port`.
+struct LinkRef {
+  NodeId node = kInvalidNode;
+  PortId port = kInvalidPort;
+
+  friend bool operator==(const LinkRef&, const LinkRef&) = default;
+  friend auto operator<=>(const LinkRef&, const LinkRef&) = default;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual NodeId num_nodes() const = 0;
+
+  /// Number of network ports per router (uniform; unconnected ports allowed).
+  virtual PortId degree() const = 0;
+
+  /// Neighbour reached from `node` via `port`; kInvalidNode if the port is
+  /// unconnected (e.g. mesh border).
+  virtual NodeId neighbor(NodeId node, PortId port) const = 0;
+
+  /// The port on `neighbor(node, port)` whose link leads back to `node`.
+  /// Precondition: the port is connected.
+  virtual PortId reverse_port(NodeId node, PortId port) const = 0;
+
+  /// Minimal hop distance in the fault-free topology.
+  virtual int distance(NodeId a, NodeId b) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Local injection/ejection port index.
+  PortId local_port() const { return degree(); }
+
+  bool valid_node(NodeId n) const { return n >= 0 && n < num_nodes(); }
+  bool valid_port(PortId p) const { return p >= 0 && p < degree(); }
+
+  /// All connected directed channels (node, port), each direction listed.
+  std::vector<LinkRef> directed_links() const {
+    std::vector<LinkRef> out;
+    for (NodeId n = 0; n < num_nodes(); ++n)
+      for (PortId p = 0; p < degree(); ++p)
+        if (neighbor(n, p) != kInvalidNode) out.push_back({n, p});
+    return out;
+  }
+
+  /// All bidirectional links, canonicalised so that (node, port) is the
+  /// endpoint with the smaller node id (ties impossible: no self links).
+  std::vector<LinkRef> undirected_links() const {
+    std::vector<LinkRef> out;
+    for (NodeId n = 0; n < num_nodes(); ++n)
+      for (PortId p = 0; p < degree(); ++p) {
+        const NodeId m = neighbor(n, p);
+        if (m != kInvalidNode && n < m) out.push_back({n, p});
+      }
+    return out;
+  }
+
+  std::size_t num_undirected_links() const { return undirected_links().size(); }
+
+  /// Diameter of the fault-free topology (max over node pairs of distance).
+  int diameter() const {
+    int d = 0;
+    for (NodeId a = 0; a < num_nodes(); ++a)
+      for (NodeId b = 0; b < num_nodes(); ++b) d = std::max(d, distance(a, b));
+    return d;
+  }
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,82 @@
+#include "topology/torus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace flexrouter {
+
+Torus::Torus(std::vector<int> radix) : radix_(std::move(radix)) {
+  FR_REQUIRE_MSG(!radix_.empty(), "torus needs at least one dimension");
+  NodeId n = 1;
+  stride_.reserve(radix_.size());
+  for (const int r : radix_) {
+    FR_REQUIRE_MSG(r >= 3, "torus radix must be >= 3 (radix-2 wrap links "
+                           "would duplicate mesh links)");
+    stride_.push_back(n);
+    n *= r;
+  }
+  num_nodes_ = n;
+}
+
+int Torus::radix(int dim) const {
+  FR_REQUIRE(dim >= 0 && dim < dims());
+  return radix_[static_cast<std::size_t>(dim)];
+}
+
+int Torus::coord(NodeId node, int dim) const {
+  FR_REQUIRE(valid_node(node));
+  FR_REQUIRE(dim >= 0 && dim < dims());
+  return static_cast<int>(node / stride_[static_cast<std::size_t>(dim)]) %
+         radix_[static_cast<std::size_t>(dim)];
+}
+
+NodeId Torus::node_at(const std::vector<int>& coords) const {
+  FR_REQUIRE(coords.size() == radix_.size());
+  NodeId n = 0;
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    FR_REQUIRE(coords[d] >= 0 && coords[d] < radix_[d]);
+    n += coords[d] * stride_[d];
+  }
+  return n;
+}
+
+NodeId Torus::neighbor(NodeId node, PortId port) const {
+  FR_REQUIRE(valid_node(node));
+  FR_REQUIRE(valid_port(port));
+  const int dim = port / 2;
+  const int r = radix_[static_cast<std::size_t>(dim)];
+  const int c = coord(node, dim);
+  const int next = (port % 2) ? (c + r - 1) % r : (c + 1) % r;
+  return node + (next - c) * stride_[static_cast<std::size_t>(dim)];
+}
+
+PortId Torus::reverse_port(NodeId node, PortId port) const {
+  FR_REQUIRE(valid_node(node));
+  FR_REQUIRE(valid_port(port));
+  return (port % 2) ? port - 1 : port + 1;
+}
+
+int Torus::distance(NodeId a, NodeId b) const {
+  FR_REQUIRE(valid_node(a) && valid_node(b));
+  int d = 0;
+  for (int dim = 0; dim < dims(); ++dim) {
+    const int r = radix_[static_cast<std::size_t>(dim)];
+    const int delta = std::abs(coord(a, dim) - coord(b, dim));
+    d += std::min(delta, r - delta);
+  }
+  return d;
+}
+
+std::string Torus::name() const {
+  std::ostringstream os;
+  os << "torus(";
+  for (std::size_t d = 0; d < radix_.size(); ++d) {
+    if (d) os << "x";
+    os << radix_[d];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace flexrouter

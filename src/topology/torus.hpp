@@ -1,0 +1,37 @@
+// k-ary n-dimensional torus (mesh with wrap-around links). Used by the
+// extension benches; port numbering matches Mesh.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace flexrouter {
+
+class Torus final : public Topology {
+ public:
+  explicit Torus(std::vector<int> radix);
+
+  static Torus two_d(int width, int height) { return Torus({width, height}); }
+
+  NodeId num_nodes() const override { return num_nodes_; }
+  PortId degree() const override {
+    return static_cast<PortId>(2 * radix_.size());
+  }
+  NodeId neighbor(NodeId node, PortId port) const override;
+  PortId reverse_port(NodeId node, PortId port) const override;
+  int distance(NodeId a, NodeId b) const override;
+  std::string name() const override;
+
+  int dims() const { return static_cast<int>(radix_.size()); }
+  int radix(int dim) const;
+  int coord(NodeId node, int dim) const;
+  NodeId node_at(const std::vector<int>& coords) const;
+
+ private:
+  std::vector<int> radix_;
+  std::vector<NodeId> stride_;
+  NodeId num_nodes_;
+};
+
+}  // namespace flexrouter

@@ -1,0 +1,129 @@
+// Conformance suite: every routing algorithm in the repository, on its
+// topology, under increasing fault counts, must (a) deliver 100% of
+// offered traffic with no deadlock-watchdog trip, and (b) present an
+// acyclic channel dependency graph for its deadlock layer (full function
+// for algorithms claiming standalone deadlock freedom, escape layer for
+// the Duato-style ones). One parameterized test covers the whole matrix.
+#include <gtest/gtest.h>
+
+#include "routing/dor_torus.hpp"
+#include "routing/cdg.hpp"
+#include "routing/negative_hop.hpp"
+#include "routing/rule_driven.hpp"
+#include "rulebases/corpus.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/torus.hpp"
+
+namespace flexrouter {
+namespace {
+
+struct Case {
+  std::string topo;    // "mesh", "hypercube", "torus", "mesh3d"
+  std::string algo;    // factory name or special
+  int link_faults;
+  int node_faults;
+  bool fault_tolerant;  // whether this combination must tolerate faults
+
+  std::string label() const {
+    std::string l = algo + "_" + topo + "_f" +
+                    std::to_string(link_faults + node_faults);
+    for (char& c : l)
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    return l;
+  }
+};
+
+std::unique_ptr<Topology> make_topo(const std::string& name) {
+  if (name == "mesh") return std::make_unique<Mesh>(std::vector<int>{6, 6});
+  if (name == "mesh3d")
+    return std::make_unique<Mesh>(std::vector<int>{3, 3, 3});
+  if (name == "hypercube") return std::make_unique<Hypercube>(4);
+  if (name == "torus") return std::make_unique<Torus>(std::vector<int>{6, 6});
+  FR_UNREACHABLE("bad topo");
+}
+
+std::unique_ptr<RoutingAlgorithm> make_algo(const std::string& name,
+                                            const Topology& topo) {
+  if (name == "negative-hop")
+    return std::make_unique<NegativeHop>(NegativeHop::vcs_needed_for(topo));
+  if (name == "rule-ft-mesh")
+    return std::make_unique<RuleDrivenRouting>(
+        rulebases::ft_mesh_route_source(6, 6), 3, rules::ExecMode::Table,
+        "route", 2);
+  return make_algorithm(name);
+}
+
+class Conformance : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Conformance, DeliversAndStaysDeadlockFree) {
+  const Case& c = GetParam();
+  auto topo = make_topo(c.topo);
+  auto algo = make_algo(c.algo, *topo);
+  Network net(*topo, *algo);
+
+  if (c.link_faults > 0 || c.node_faults > 0) {
+    Rng rng(static_cast<std::uint64_t>(c.link_faults) * 131 +
+            static_cast<std::uint64_t>(c.node_faults) * 17 + 7);
+    net.apply_faults([&](FaultSet& f) {
+      inject_random_node_faults(f, c.node_faults, rng);
+      inject_random_link_faults(f, c.link_faults, rng);
+    });
+  }
+
+  // (b) the deadlock layer's CDG is acyclic.
+  const bool escape_only = !algo->is_escape_vc(0) || !algo->is_escape_vc(
+      algo->num_vcs() - 1);
+  const CdgReport rep =
+      check_cdg(*topo, net.faults(), *algo, escape_only);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string();
+  EXPECT_GT(rep.num_channels, 0);
+
+  // (a) traffic delivery.
+  UniformTraffic traffic(*topo);
+  SimConfig cfg;
+  cfg.injection_rate = 0.04;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 600;
+  cfg.seed = 12;
+  Simulator sim(net, traffic, cfg);
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.deadlock_suspected) << r.to_string();
+  EXPECT_GT(r.injected_packets, 0);
+  EXPECT_EQ(r.delivered_packets, r.injected_packets) << r.to_string();
+  EXPECT_GE(r.min_hops_ratio, 1.0);
+}
+
+std::vector<Case> conformance_matrix() {
+  std::vector<Case> cases;
+  // Fault-free only (non-fault-tolerant algorithms).
+  for (const char* a : {"dor-mesh", "nara", "planar-adaptive"})
+    cases.push_back({"mesh", a, 0, 0, false});
+  cases.push_back({"hypercube", "ecube", 0, 0, false});
+  cases.push_back({"hypercube", "route_c_nft", 0, 0, false});
+  cases.push_back({"torus", "dor-torus", 0, 0, false});
+  cases.push_back({"mesh3d", "planar-adaptive", 0, 0, false});
+  // Fault-tolerant algorithms: 0 / few / many faults.
+  for (const char* a :
+       {"nafta", "updown", "spanning-tree", "negative-hop", "rule-ft-mesh",
+        "planar-adaptive-ft"}) {
+    cases.push_back({"mesh", a, 0, 0, true});
+    cases.push_back({"mesh", a, 4, 0, true});
+    cases.push_back({"mesh", a, 8, 1, true});
+  }
+  cases.push_back({"hypercube", "route_c", 0, 0, true});
+  cases.push_back({"hypercube", "route_c", 2, 1, true});
+  cases.push_back({"hypercube", "route_c", 4, 2, true});
+  cases.push_back({"hypercube", "updown", 3, 1, true});
+  cases.push_back({"mesh3d", "planar-adaptive-ft", 6, 1, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, Conformance,
+                         ::testing::ValuesIn(conformance_matrix()),
+                         [](const auto& info) { return info.param.label(); });
+
+}  // namespace
+}  // namespace flexrouter

@@ -1,0 +1,184 @@
+// Tests for the negative-hop scheme [BoC96]: colouring, VC-class algebra,
+// the paper's claim that faults require no deadlock-avoidance changes
+// (CDG stays acyclic with the SAME class structure), delivery, and the
+// diameter-driven VC budget.
+#include <gtest/gtest.h>
+
+#include "routing/cdg.hpp"
+#include "routing/negative_hop.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/torus.hpp"
+
+namespace flexrouter {
+namespace {
+
+TEST(NegativeHop, TwoColouringIsProper) {
+  Mesh m = Mesh::two_d(6, 5);
+  FaultSet f(m);
+  NegativeHop nh(NegativeHop::vcs_needed_for(m));
+  nh.attach(m, f);
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    for (PortId p = 0; p < m.degree(); ++p) {
+      const NodeId v = m.neighbor(n, p);
+      if (v == kInvalidNode) continue;
+      EXPECT_NE(nh.color(n), nh.color(v));
+    }
+  }
+}
+
+TEST(NegativeHop, OddTorusIsRejected) {
+  Torus t = Torus::two_d(3, 4);  // odd cycle in x: not bipartite
+  FaultSet f(t);
+  NegativeHop nh(10);
+  EXPECT_THROW(nh.attach(t, f), ContractViolation);
+}
+
+TEST(NegativeHop, NegativeHopCountAlgebra) {
+  Mesh m = Mesh::two_d(6, 6);
+  FaultSet f(m);
+  NegativeHop nh(NegativeHop::vcs_needed_for(m));
+  nh.attach(m, f);
+  NodeId black = kInvalidNode, white = kInvalidNode;
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    if (nh.color(n) == 1) black = n;
+    else white = n;
+  }
+  ASSERT_NE(black, kInvalidNode);
+  ASSERT_NE(white, kInvalidNode);
+  // Even hop counts: k/2 negatives regardless of where the walk sits.
+  EXPECT_EQ(nh.negative_hops(black, 0), 0);
+  EXPECT_EQ(nh.negative_hops(white, 0), 0);
+  EXPECT_EQ(nh.negative_hops(black, 2), 1);
+  EXPECT_EQ(nh.negative_hops(white, 4), 2);
+  // Odd hop counts: landing on colour 0 means the odd hop was negative.
+  EXPECT_EQ(nh.negative_hops(white, 1), 1);
+  EXPECT_EQ(nh.negative_hops(black, 1), 0);
+  EXPECT_EQ(nh.negative_hops(white, 3), 2);
+  EXPECT_EQ(nh.negative_hops(black, 3), 1);
+  // Exhaustive consistency with an explicit walk simulation.
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    NodeId at = static_cast<NodeId>(rng.next_below(36));
+    int negatives = 0;
+    for (int k = 0; k < 12; ++k) {
+      EXPECT_EQ(nh.negative_hops(at, k), negatives)
+          << "trial " << trial << " hop " << k;
+      // Take any usable hop.
+      const auto ports = f.usable_ports(at);
+      const PortId p = ports[rng.next_below(ports.size())];
+      if (nh.color(at) == 1) ++negatives;
+      at = m.neighbor(at, p);
+    }
+  }
+}
+
+TEST(NegativeHop, VcClassNeverDecreasesAlongWalks) {
+  Mesh m = Mesh::two_d(6, 6);
+  FaultSet f(m);
+  NegativeHop nh(NegativeHop::vcs_needed_for(m));
+  nh.attach(m, f);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = static_cast<NodeId>(rng.next_below(36));
+    auto t = static_cast<NodeId>(rng.next_below(36));
+    if (t == s) continue;
+    NodeId at = s;
+    int path_len = 0;
+    VcId last_vc = -1;
+    while (at != t) {
+      RouteContext ctx;
+      ctx.node = at;
+      ctx.dest = t;
+      ctx.src = s;
+      ctx.path_len = path_len;
+      ctx.in_port = path_len == 0 ? m.degree() : 0;
+      ctx.in_vc = std::max<VcId>(last_vc, 0);
+      const auto d = nh.route(ctx);
+      ASSERT_FALSE(d.candidates.empty());
+      const auto& c = d.candidates[rng.next_below(d.candidates.size())];
+      EXPECT_GE(c.vc, last_vc);  // classes are monotone
+      last_vc = c.vc;
+      at = m.neighbor(at, c.port);
+      ++path_len;
+    }
+    EXPECT_EQ(path_len, m.distance(s, t));  // distance-vector is minimal
+  }
+}
+
+TEST(NegativeHop, CdgAcyclicFaultFreeAndFaulted) {
+  Rng rng(77);
+  for (int faults = 0; faults <= 8; faults += 4) {
+    Mesh m = Mesh::two_d(5, 5);
+    FaultSet f(m);
+    NegativeHop nh(NegativeHop::vcs_needed_for(m));
+    nh.attach(m, f);
+    inject_random_link_faults(f, faults, rng);
+    nh.reconfigure();
+    const CdgReport rep = check_full_cdg(m, f, nh);
+    EXPECT_TRUE(rep.acyclic) << faults << " faults: " << rep.to_string();
+  }
+}
+
+TEST(NegativeHop, HypercubeSupport) {
+  Hypercube h(4);
+  FaultSet f(h);
+  NegativeHop nh(NegativeHop::vcs_needed_for(h));
+  nh.attach(h, f);
+  const CdgReport rep = check_full_cdg(h, f, nh);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string();
+}
+
+TEST(NegativeHop, InsufficientVcBudgetIsRejected) {
+  Mesh m = Mesh::two_d(8, 8);  // diameter 14 -> needs ~8 classes minimum
+  FaultSet f(m);
+  NegativeHop nh(3);
+  EXPECT_THROW(nh.attach(m, f), ContractViolation);
+}
+
+TEST(NegativeHop, ReconfigureTouchesOnlyDistances) {
+  // The paper's point: faults change the routing information, never the
+  // deadlock-avoidance structure (colours stay fixed).
+  Mesh m = Mesh::two_d(6, 6);
+  FaultSet f(m);
+  NegativeHop nh(NegativeHop::vcs_needed_for(m));
+  nh.attach(m, f);
+  std::vector<int> colors_before;
+  for (NodeId n = 0; n < m.num_nodes(); ++n)
+    colors_before.push_back(nh.color(n));
+  Rng rng(9);
+  inject_random_link_faults(f, 6, rng);
+  const int exchanges = nh.reconfigure();
+  EXPECT_GT(exchanges, 0);
+  for (NodeId n = 0; n < m.num_nodes(); ++n)
+    EXPECT_EQ(nh.color(n), colors_before[static_cast<std::size_t>(n)]);
+  EXPECT_GE(nh.faulted_diameter(), m.diameter());
+}
+
+TEST(NegativeHop, DeliversUnderFaultsInTheSimulator) {
+  Mesh m = Mesh::two_d(6, 6);
+  NegativeHop nh(NegativeHop::vcs_needed_for(m));
+  Network net(m, nh);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.05;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 600;
+  Simulator sim(net, traffic, cfg);
+  Rng rng(13);
+  net.apply_faults([&](FaultSet& f) {
+    inject_random_link_faults(f, 6, rng);
+    inject_random_node_faults(f, 1, rng);
+  });
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.delivered_packets, r.injected_packets);
+  // Distance-vector routing: paths are minimal in the faulted graph, so
+  // hops may exceed the fault-free minimum but packets never misroute.
+  EXPECT_GE(r.min_hops_ratio, 1.0);
+  EXPECT_EQ(r.misrouted_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace flexrouter

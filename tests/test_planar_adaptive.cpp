@@ -1,0 +1,170 @@
+// Tests for planar-adaptive routing [ChK92] on k-ary n-dimensional meshes:
+// plane confinement, constant VC count, CDG acyclicity (fault-free full
+// function; escape layer under faults), delivery on 3-D meshes, and the
+// decision-step accounting of the fault-tolerant variant.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/cdg.hpp"
+#include "routing/planar_adaptive.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace flexrouter {
+namespace {
+
+RouteContext ctx_of(const Mesh& m, NodeId node, NodeId dest) {
+  RouteContext ctx;
+  ctx.node = node;
+  ctx.dest = dest;
+  ctx.src = node;
+  ctx.in_port = m.degree();
+  ctx.in_vc = 0;
+  return ctx;
+}
+
+TEST(PlanarAdaptive, ActivePlaneIsFirstUncorrectedDimension) {
+  Mesh m({4, 4, 4});
+  FaultSet f(m);
+  PlanarAdaptive pa(false);
+  pa.attach(m, f);
+  EXPECT_EQ(pa.active_plane(m.node_at({0, 0, 0}), m.node_at({1, 2, 3})), 0);
+  EXPECT_EQ(pa.active_plane(m.node_at({1, 0, 0}), m.node_at({1, 2, 3})), 1);
+  // Only the last dimension left: capped at plane n-2.
+  EXPECT_EQ(pa.active_plane(m.node_at({1, 2, 0}), m.node_at({1, 2, 3})), 1);
+  EXPECT_EQ(pa.active_plane(m.node_at({1, 2, 3}), m.node_at({1, 2, 3})), -1);
+}
+
+TEST(PlanarAdaptive, CandidatesConfinedToActivePlane) {
+  Mesh m({4, 4, 4, 3});
+  FaultSet f(m);
+  PlanarAdaptive pa(false);
+  pa.attach(m, f);
+  Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto s = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(m.num_nodes())));
+    const auto t = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(m.num_nodes())));
+    if (s == t) continue;
+    const int plane = pa.active_plane(s, t);
+    const auto d = pa.route(ctx_of(m, s, t));
+    ASSERT_FALSE(d.candidates.empty());
+    for (const RouteCandidate& c : d.candidates) {
+      const int dim = Mesh::dim_of_port(c.port);
+      EXPECT_TRUE(dim == plane || dim == plane + 1)
+          << "move in dim " << dim << " while plane " << plane << " active";
+      // Role discipline: y-role moves on VC 0/1, x-role on VC 2/3.
+      if (dim == plane + 1) EXPECT_LE(c.vc, 1);
+      else EXPECT_GE(c.vc, 2);
+    }
+  }
+}
+
+TEST(PlanarAdaptive, ConstantFourVcsRegardlessOfDimensions) {
+  PlanarAdaptive nft(false);
+  EXPECT_EQ(nft.num_vcs(), 4);  // the planar-adaptive selling point
+  PlanarAdaptive ft(true);
+  EXPECT_EQ(ft.num_vcs(), 5);   // + 1 escape for fault tolerance
+}
+
+TEST(PlanarAdaptive, FullCdgAcyclicFaultFree2DAnd3D) {
+  {
+    Mesh m = Mesh::two_d(5, 5);
+    FaultSet f(m);
+    PlanarAdaptive pa(false);
+    pa.attach(m, f);
+    const CdgReport rep = check_full_cdg(m, f, pa);
+    EXPECT_TRUE(rep.acyclic) << "2D: " << rep.to_string();
+  }
+  {
+    Mesh m({3, 3, 3});
+    FaultSet f(m);
+    PlanarAdaptive pa(false);
+    pa.attach(m, f);
+    const CdgReport rep = check_full_cdg(m, f, pa);
+    EXPECT_TRUE(rep.acyclic) << "3D: " << rep.to_string();
+  }
+}
+
+TEST(PlanarAdaptive, EscapeCdgAcyclicUnderFaults) {
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    Mesh m({3, 3, 3});
+    FaultSet f(m);
+    PlanarAdaptive pa(true);
+    pa.attach(m, f);
+    inject_random_link_faults(f, 2 * trial, rng);
+    pa.reconfigure();
+    const CdgReport rep = check_escape_cdg(m, f, pa);
+    EXPECT_TRUE(rep.acyclic) << "trial " << trial << ": " << rep.to_string();
+  }
+}
+
+TEST(PlanarAdaptive, StepsAccounting) {
+  Mesh m = Mesh::two_d(6, 6);
+  FaultSet f(m);
+  PlanarAdaptive pa(true);
+  pa.attach(m, f);
+  EXPECT_EQ(pa.route(ctx_of(m, m.at(0, 0), m.at(3, 3))).steps, 1);
+  f.fail_link(m.at(4, 4), port_of(Compass::East));
+  pa.reconfigure();
+  EXPECT_EQ(pa.route(ctx_of(m, m.at(0, 0), m.at(3, 0))).steps, 2);
+  // Block the only minimal in-plane direction: misroute, 3 steps.
+  f.fail_link(m.at(0, 0), port_of(Compass::East));
+  pa.reconfigure();
+  const auto d = pa.route(ctx_of(m, m.at(0, 0), m.at(2, 0)));
+  EXPECT_EQ(d.steps, 3);
+  EXPECT_TRUE(d.mark_misrouted);
+  EXPECT_FALSE(d.candidates.empty());
+}
+
+TEST(PlanarAdaptive, Delivers3DTrafficFaultFree) {
+  Mesh m({4, 4, 4});
+  PlanarAdaptive pa(false);
+  Network net(m, pa);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.06;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 600;
+  Simulator sim(net, traffic, cfg);
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.delivered_packets, r.injected_packets);
+  EXPECT_DOUBLE_EQ(r.min_hops_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_decision_steps, 1.0);
+}
+
+TEST(PlanarAdaptive, Delivers3DTrafficUnderFaults) {
+  Mesh m({4, 4, 4});
+  PlanarAdaptive pa(true);
+  Network net(m, pa);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.04;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 600;
+  Simulator sim(net, traffic, cfg);
+  Rng rng(23);
+  net.apply_faults([&](FaultSet& f) {
+    inject_random_link_faults(f, 8, rng);
+    inject_random_node_faults(f, 1, rng);
+  });
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.delivered_packets, r.injected_packets);
+  EXPECT_GE(r.avg_decision_steps, 2.0);
+  EXPECT_LE(r.avg_decision_steps, 3.0);
+}
+
+TEST(PlanarAdaptive, RejectsOneDimensionalMesh) {
+  Mesh m({8, 2});
+  FaultSet f(m);
+  PlanarAdaptive pa(false);
+  EXPECT_NO_THROW(pa.attach(m, f));  // 2-D is the minimum
+}
+
+}  // namespace
+}  // namespace flexrouter

@@ -1,0 +1,275 @@
+// Unit tests for the router data path: flits, message interface, buffers,
+// arbiters, crossbar, links, and single-router behaviour.
+#include <gtest/gtest.h>
+
+#include "router/router.hpp"
+#include "routing/dor.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+namespace {
+
+// ----------------------------------------------------------- message iface
+Header sealed_header(PacketId id, NodeId src, NodeId dest, int len) {
+  Header h;
+  h.packet = id;
+  h.src = src;
+  h.dest = dest;
+  h.length = len;
+  MessageInterface::seal(h);
+  return h;
+}
+
+TEST(MessageInterface, SealAndVerify) {
+  Header h = sealed_header(1, 0, 5, 4);
+  EXPECT_TRUE(MessageInterface::checksum_ok(h));
+  h.dest = 6;  // corrupt
+  EXPECT_FALSE(MessageInterface::checksum_ok(h));
+}
+
+TEST(MessageInterface, ExtractRejectsCorruptHeader) {
+  Header h = sealed_header(1, 0, 5, 4);
+  Flit f = make_head_flit(h);
+  f.hdr.path_len = 9;  // tampered without resealing
+  EXPECT_THROW(MessageInterface::extract(f), ContractViolation);
+}
+
+TEST(MessageInterface, ExtractRejectsBodyFlit) {
+  Header h = sealed_header(1, 0, 5, 4);
+  Flit f = make_body_flit(h, 1);
+  EXPECT_THROW(MessageInterface::extract(f), ContractViolation);
+}
+
+TEST(MessageInterface, ForwardUpdatesCounterAndChecksum) {
+  Header h = sealed_header(7, 0, 5, 4);
+  Flit f = make_head_flit(h);
+  const int changed = MessageInterface::update_on_forward(f, false);
+  EXPECT_EQ(changed, 1);
+  EXPECT_EQ(f.hdr.path_len, 1);
+  EXPECT_TRUE(MessageInterface::checksum_ok(f.hdr));
+}
+
+TEST(MessageInterface, MisrouteMarkIsSticky) {
+  Header h = sealed_header(7, 0, 5, 4);
+  Flit f = make_head_flit(h);
+  EXPECT_EQ(MessageInterface::update_on_forward(f, true), 2);
+  EXPECT_TRUE(f.hdr.misrouted);
+  // Marking again changes only the counter.
+  EXPECT_EQ(MessageInterface::update_on_forward(f, true), 1);
+  EXPECT_TRUE(MessageInterface::checksum_ok(f.hdr));
+}
+
+TEST(Flits, HeadTailFlags) {
+  Header h = sealed_header(1, 0, 5, 1);
+  const Flit single = make_head_flit(h);
+  EXPECT_TRUE(single.head);
+  EXPECT_TRUE(single.tail);
+
+  h = sealed_header(1, 0, 5, 3);
+  EXPECT_TRUE(make_head_flit(h).head);
+  EXPECT_FALSE(make_head_flit(h).tail);
+  EXPECT_FALSE(make_body_flit(h, 1).tail);
+  EXPECT_TRUE(make_body_flit(h, 2).tail);
+}
+
+// ------------------------------------------------------------------ buffer
+TEST(FlitBuffer, FifoOrderAndCapacity) {
+  FlitBuffer buf(2);
+  Header h = sealed_header(1, 0, 1, 3);
+  buf.push(make_head_flit(h));
+  buf.push(make_body_flit(h, 1));
+  EXPECT_TRUE(buf.full());
+  EXPECT_THROW(buf.push(make_body_flit(h, 2)), ContractViolation);
+  EXPECT_TRUE(buf.pop().head);
+  EXPECT_EQ(buf.pop().seq, 1);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_THROW(buf.pop(), ContractViolation);
+}
+
+// ----------------------------------------------------------------- arbiter
+TEST(Arbiter, RoundRobinRotatesAmongEqualPriorities) {
+  RoundRobinArbiter arb(3);
+  std::vector<int> grants;
+  for (int round = 0; round < 6; ++round) {
+    arb.begin();
+    for (int i = 0; i < 3; ++i) arb.request(i);
+    grants.push_back(arb.grant());
+  }
+  EXPECT_EQ(grants, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Arbiter, HigherPriorityWins) {
+  RoundRobinArbiter arb(4);
+  arb.begin();
+  arb.request(0, 0);
+  arb.request(2, 5);
+  arb.request(3, 1);
+  EXPECT_EQ(arb.grant(), 2);
+}
+
+TEST(Arbiter, NoRequestersYieldsMinusOne) {
+  RoundRobinArbiter arb(2);
+  arb.begin();
+  EXPECT_EQ(arb.grant(), -1);
+}
+
+TEST(Arbiter, StarvationFreedomUnderContention) {
+  // With persistent requests from everyone, each index is granted within
+  // `size` rounds — the fairness guarantee of Section 3.
+  RoundRobinArbiter arb(5);
+  std::vector<int> last_grant(5, -1);
+  for (int round = 0; round < 25; ++round) {
+    arb.begin();
+    for (int i = 0; i < 5; ++i) arb.request(i);
+    const int g = arb.grant();
+    ASSERT_GE(g, 0);
+    last_grant[static_cast<std::size_t>(g)] = round;
+  }
+  for (int i = 0; i < 5; ++i) EXPECT_GE(last_grant[static_cast<std::size_t>(i)], 0);
+}
+
+// ---------------------------------------------------------------- crossbar
+TEST(Crossbar, PortExclusivityPerCycle) {
+  Crossbar xbar(3, 3);
+  xbar.begin_cycle();
+  xbar.connect(0, 1);
+  EXPECT_FALSE(xbar.input_free(0));
+  EXPECT_FALSE(xbar.output_free(1));
+  EXPECT_TRUE(xbar.input_free(1));
+  EXPECT_THROW(xbar.connect(0, 2), ContractViolation);
+  EXPECT_THROW(xbar.connect(2, 1), ContractViolation);
+  xbar.connect(2, 0);
+  EXPECT_EQ(xbar.total_traversals(), 2);
+  xbar.begin_cycle();
+  EXPECT_TRUE(xbar.input_free(0));
+}
+
+// -------------------------------------------------------------------- link
+TEST(Link, FlitLatencyAndOrder) {
+  Link link(2, /*latency=*/3);
+  Header h = sealed_header(1, 0, 1, 2);
+  link.send_flit(10, 1, make_head_flit(h));
+  EXPECT_FALSE(link.receive_flit(11).has_value());
+  EXPECT_FALSE(link.receive_flit(12).has_value());
+  const auto arrival = link.receive_flit(13);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(arrival->first, 1);
+  EXPECT_TRUE(arrival->second.head);
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(Link, OneFlitPerCycleEnforced) {
+  Link link(1, 1);
+  Header h = sealed_header(1, 0, 1, 2);
+  link.send_flit(5, 0, make_head_flit(h));
+  EXPECT_THROW(link.send_flit(5, 0, make_body_flit(h, 1)), ContractViolation);
+}
+
+TEST(Link, CreditsTravelBackward) {
+  Link link(2, 2);
+  link.send_credit(4, 0);
+  link.send_credit(4, 1);
+  EXPECT_TRUE(link.receive_credits(5).empty());
+  const auto credits = link.receive_credits(6);
+  EXPECT_EQ(credits, (std::vector<VcId>{0, 1}));
+}
+
+TEST(Link, InfoUnitMeasuresLoad) {
+  Link link(1, 1);
+  Header h = sealed_header(1, 0, 1, 1);
+  for (Cycle t = 0; t < 200; ++t) {
+    link.send_flit(t, 0, make_head_flit(h));
+    (void)link.receive_flit(t + 1);
+    link.info().tick(t, true);
+  }
+  EXPECT_GT(link.info().load(), 0.8);
+  EXPECT_EQ(link.info().flits_total(), 200);
+  for (Cycle t = 200; t < 600; ++t) link.info().tick(t, false);
+  EXPECT_LT(link.info().load(), 0.05);
+}
+
+// -------------------------------------------- two routers connected directly
+class TwoRouterFixture : public ::testing::Test {
+ protected:
+  TwoRouterFixture()
+      : mesh_(Mesh::two_d(2, 2)),
+        faults_(mesh_),
+        algo_(),
+        cfg_() {
+    algo_.attach(mesh_, faults_);
+  }
+
+  Mesh mesh_;
+  FaultSet faults_;
+  DimensionOrderMesh algo_;
+  RouterConfig cfg_;
+};
+
+TEST_F(TwoRouterFixture, PacketCrossesOneHop) {
+  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, cfg_);
+  Router r1(mesh_.at(1, 0), mesh_, faults_, algo_, cfg_);
+  Link east(algo_.num_vcs(), 1), west(algo_.num_vcs(), 1);
+  r0.connect_output(port_of(Compass::East), &east);
+  r1.connect_input(port_of(Compass::West), &east);
+  r1.connect_output(port_of(Compass::West), &west);
+  r0.connect_input(port_of(Compass::East), &west);
+
+  Header h = sealed_header(0, mesh_.at(0, 0), mesh_.at(1, 0), 3);
+  r0.inject(make_head_flit(h));
+  r0.inject(make_body_flit(h, 1));
+  r0.inject(make_body_flit(h, 2));
+
+  std::vector<Flit> ejected;
+  for (Cycle t = 0; t < 30 && ejected.size() < 3; ++t) {
+    r0.step(t, ejected);
+    r1.step(t, ejected);
+  }
+  ASSERT_EQ(ejected.size(), 3u);
+  EXPECT_TRUE(ejected[0].head);
+  EXPECT_EQ(ejected[0].hdr.path_len, 1);  // one hop
+  EXPECT_TRUE(ejected[2].tail);
+  EXPECT_TRUE(r0.empty());
+  EXPECT_TRUE(r1.empty());
+  EXPECT_EQ(r1.stats().flits_ejected, 3);
+  EXPECT_EQ(r0.stats().decision_steps, 1);
+}
+
+TEST_F(TwoRouterFixture, LocalDeliveryWithoutLinks) {
+  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, cfg_);
+  Header h = sealed_header(0, mesh_.at(1, 0), mesh_.at(0, 0), 2);
+  r0.inject(make_head_flit(h));
+  r0.inject(make_body_flit(h, 1));
+  std::vector<Flit> ejected;
+  for (Cycle t = 0; t < 10 && ejected.size() < 2; ++t) r0.step(t, ejected);
+  ASSERT_EQ(ejected.size(), 2u);
+  EXPECT_EQ(ejected[0].hdr.path_len, 0);  // never left the router
+}
+
+TEST_F(TwoRouterFixture, CreditsThrottleAndRecover) {
+  // Fill downstream buffer (depth 4), verify upstream stalls, then drains.
+  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, cfg_);
+  Router r1(mesh_.at(1, 0), mesh_, faults_, algo_, cfg_);
+  Link east(algo_.num_vcs(), 1), west(algo_.num_vcs(), 1);
+  r0.connect_output(port_of(Compass::East), &east);
+  r1.connect_input(port_of(Compass::West), &east);
+  r1.connect_output(port_of(Compass::West), &west);
+  r0.connect_input(port_of(Compass::East), &west);
+
+  // A long packet: 12 flits through a depth-4 buffer must still flow.
+  const int kLen = 12;
+  Header h = sealed_header(0, mesh_.at(0, 0), mesh_.at(1, 0), kLen);
+  r0.inject(make_head_flit(h));
+  for (int s = 1; s < kLen; ++s) r0.inject(make_body_flit(h, s));
+
+  std::vector<Flit> ejected;
+  for (Cycle t = 0; t < 100 && ejected.size() < kLen; ++t) {
+    r0.step(t, ejected);
+    r1.step(t, ejected);
+  }
+  EXPECT_EQ(ejected.size(), static_cast<std::size_t>(kLen));
+  EXPECT_TRUE(r0.empty());
+  EXPECT_TRUE(r1.empty());
+}
+
+}  // namespace
+}  // namespace flexrouter

@@ -1,0 +1,505 @@
+// Tests for the rule-driven router (rule programs executing inside the
+// simulated network) and the Table 1 / Table 2 corpus.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hwcost/evaluation.hpp"
+#include "routing/cdg.hpp"
+#include "routing/dor.hpp"
+#include "routing/nara.hpp"
+#include "routing/rule_driven.hpp"
+#include "rulebases/corpus.hpp"
+#include "ruleengine/parser.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace flexrouter {
+namespace {
+
+std::set<std::pair<PortId, VcId>> candidate_set(const RouteDecision& d) {
+  std::set<std::pair<PortId, VcId>> out;
+  for (const RouteCandidate& c : d.candidates) out.emplace(c.port, c.vc);
+  return out;
+}
+
+// ----------------------------------------------- NARA-in-rules differential
+class NaraRulesFixture : public ::testing::Test {
+ protected:
+  NaraRulesFixture()
+      : mesh_(Mesh::two_d(6, 6)),
+        faults_(mesh_),
+        native_(),
+        ruled_(rulebases::nara_route_source(6, 6), 2) {
+    native_.attach(mesh_, faults_);
+    ruled_.attach(mesh_, faults_);
+  }
+
+  RouteContext ctx_of(NodeId node, NodeId dest) {
+    RouteContext ctx;
+    ctx.node = node;
+    ctx.dest = dest;
+    ctx.src = node;
+    ctx.in_port = mesh_.degree();  // injected
+    ctx.in_vc = 0;
+    return ctx;
+  }
+
+  Mesh mesh_;
+  FaultSet faults_;
+  Nara native_;
+  RuleDrivenRouting ruled_;
+};
+
+TEST_F(NaraRulesFixture, CandidatesMatchNativeEverywhere) {
+  for (NodeId s = 0; s < mesh_.num_nodes(); ++s) {
+    for (NodeId t = 0; t < mesh_.num_nodes(); ++t) {
+      if (s == t) continue;
+      const auto native = candidate_set(native_.route(ctx_of(s, t)));
+      const auto ruled = candidate_set(ruled_.route(ctx_of(s, t)));
+      ASSERT_EQ(native, ruled) << "mismatch at " << s << " -> " << t;
+    }
+  }
+}
+
+TEST_F(NaraRulesFixture, OneInterpretationPerDecision) {
+  const auto d = ruled_.route(ctx_of(mesh_.at(0, 0), mesh_.at(3, 3)));
+  EXPECT_EQ(d.steps, 1);
+}
+
+TEST_F(NaraRulesFixture, LocalDeliveryCandidate) {
+  const auto d = ruled_.route(ctx_of(mesh_.at(2, 2), mesh_.at(2, 2)));
+  ASSERT_EQ(d.candidates.size(), 1u);
+  EXPECT_EQ(d.candidates[0].port, mesh_.degree());
+}
+
+TEST(RuleDrivenNet, NaraRulesDriveAFullNetwork) {
+  // End-to-end: the rule program routes real traffic through the simulator,
+  // in compiled-table mode.
+  Mesh m = Mesh::two_d(5, 5);
+  RuleDrivenRouting algo(rulebases::nara_route_source(5, 5), 2,
+                         rules::ExecMode::Table);
+  Network net(m, algo);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.04;
+  cfg.warmup_cycles = 150;
+  cfg.measure_cycles = 400;
+  Simulator sim(net, traffic, cfg);
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_GT(r.injected_packets, 30);
+  EXPECT_EQ(r.delivered_packets, r.injected_packets);
+  EXPECT_DOUBLE_EQ(r.min_hops_ratio, 1.0);   // minimal routing
+  EXPECT_DOUBLE_EQ(r.avg_decision_steps, 1.0);
+}
+
+TEST(RuleDrivenNet, InterpretAndTableModesAgree) {
+  Mesh m = Mesh::two_d(5, 5);
+  FaultSet f(m);
+  RuleDrivenRouting interp_mode(rulebases::nara_route_source(5, 5), 2,
+                                rules::ExecMode::Interpret);
+  RuleDrivenRouting table_mode(rulebases::nara_route_source(5, 5), 2,
+                               rules::ExecMode::Table);
+  interp_mode.attach(m, f);
+  table_mode.attach(m, f);
+  for (NodeId s = 0; s < m.num_nodes(); ++s)
+    for (NodeId t = 0; t < m.num_nodes(); ++t) {
+      if (s == t) continue;
+      RouteContext ctx;
+      ctx.node = s;
+      ctx.dest = t;
+      ctx.in_port = m.degree();
+      ctx.in_vc = 0;
+      EXPECT_EQ(candidate_set(interp_mode.route(ctx)),
+                candidate_set(table_mode.route(ctx)));
+    }
+}
+
+// ------------------------------------------------- e-cube-in-rules differential
+TEST(EcubeRules, MatchesNativeOnEveryPair) {
+  Hypercube h(5);
+  FaultSet f(h);
+  ECubeHypercube native;
+  RuleDrivenRouting ruled(rulebases::ecube_route_source(5), 1,
+                          rules::ExecMode::Table);
+  native.attach(h, f);
+  ruled.attach(h, f);
+  for (NodeId s = 0; s < h.num_nodes(); ++s) {
+    for (NodeId t = 0; t < h.num_nodes(); ++t) {
+      RouteContext ctx;
+      ctx.node = s;
+      ctx.dest = t;
+      ctx.src = s;
+      ctx.in_port = h.degree();
+      ctx.in_vc = 0;
+      ASSERT_EQ(candidate_set(native.route(ctx)),
+                candidate_set(ruled.route(ctx)))
+          << s << " -> " << t;
+    }
+  }
+}
+
+TEST(EcubeRules, DrivesAHypercubeNetwork) {
+  Hypercube h(4);
+  RuleDrivenRouting algo(rulebases::ecube_route_source(4), 1,
+                         rules::ExecMode::Table);
+  Network net(h, algo);
+  UniformTraffic traffic(h);
+  SimConfig cfg;
+  cfg.injection_rate = 0.05;
+  cfg.warmup_cycles = 150;
+  cfg.measure_cycles = 400;
+  Simulator sim(net, traffic, cfg);
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.delivered_packets, r.injected_packets);
+  EXPECT_DOUBLE_EQ(r.min_hops_ratio, 1.0);
+}
+
+// -------------------------------------- fault-tolerant routing, in rules
+// The paper's end goal: a fault-tolerant adaptive algorithm written in the
+// rule language, compiled to tables, driving every router — with the
+// hardware escape layer exposed through the input catalog.
+TEST(FtMeshRules, FaultFreePortsMatchNara) {
+  Mesh m = Mesh::two_d(6, 6);
+  FaultSet f(m);
+  Nara native;
+  RuleDrivenRouting ruled(rulebases::ft_mesh_route_source(6, 6), 3,
+                          rules::ExecMode::Table, "route", /*escape_vc=*/2);
+  native.attach(m, f);
+  ruled.attach(m, f);
+  for (NodeId s = 0; s < m.num_nodes(); ++s)
+    for (NodeId t = 0; t < m.num_nodes(); ++t) {
+      if (s == t) continue;
+      RouteContext ctx;
+      ctx.node = s;
+      ctx.dest = t;
+      ctx.src = s;
+      ctx.in_port = m.degree();
+      ctx.in_vc = 0;
+      std::set<PortId> nports, rports;
+      for (const auto& c : native.route(ctx).candidates) nports.insert(c.port);
+      for (const auto& c : ruled.route(ctx).candidates) rports.insert(c.port);
+      ASSERT_EQ(nports, rports) << s << " -> " << t;
+    }
+}
+
+TEST(FtMeshRules, FullCdgAcyclicUnderFaults) {
+  Rng rng(55);
+  for (int trial = 0; trial < 4; ++trial) {
+    Mesh m = Mesh::two_d(5, 5);
+    FaultSet f(m);
+    RuleDrivenRouting ruled(rulebases::ft_mesh_route_source(5, 5), 3,
+                            rules::ExecMode::Table, "route", 2);
+    ruled.attach(m, f);
+    inject_random_link_faults(f, 2 * trial, rng);
+    ruled.reconfigure();
+    // The whole routing function is acyclic: minimal adaptive layer +
+    // sticky up*/down* escape with one-way entry.
+    const CdgReport rep = check_full_cdg(m, f, ruled);
+    EXPECT_TRUE(rep.acyclic) << "trial " << trial << ": " << rep.to_string();
+  }
+}
+
+TEST(FtMeshRules, DeliversUnderFaultsInTheSimulator) {
+  Mesh m = Mesh::two_d(6, 6);
+  RuleDrivenRouting ruled(rulebases::ft_mesh_route_source(6, 6), 3,
+                          rules::ExecMode::Table, "route", 2);
+  Network net(m, ruled);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.04;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 700;
+  Simulator sim(net, traffic, cfg);
+  Rng rng(66);
+  const int exchanges = net.apply_faults([&](FaultSet& f) {
+    inject_random_link_faults(f, 7, rng);
+    inject_random_node_faults(f, 1, rng);
+  });
+  EXPECT_GT(exchanges, 0);  // the escape table was rebuilt
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.delivered_packets, r.injected_packets);
+  EXPECT_GE(r.min_hops_ratio, 1.0);
+}
+
+TEST(FtMeshRules, SurvivesTheFigure2Wall) {
+  Mesh m = Mesh::two_d(8, 8);
+  RuleDrivenRouting ruled(rulebases::ft_mesh_route_source(8, 8), 3,
+                          rules::ExecMode::Table, "route", 2);
+  Network net(m, ruled);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.02;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 800;
+  Simulator sim(net, traffic, cfg);
+  net.apply_faults([&](FaultSet& f) {
+    inject_figure2_chain(f, m, 3, 6);
+  });
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.delivered_packets, r.injected_packets);
+  // Some traffic had to take the escape layer around the wall.
+  EXPECT_GT(r.min_hops_ratio, 1.0);
+}
+
+// ------------------------------------------------------------ corpus: NAFTA
+TEST(Corpus, NaftaProgramParsesAndCompiles) {
+  const auto p = rules::parse_program(rulebases::nafta_program_source(16, 16));
+  EXPECT_EQ(p.rule_bases.size(), 11u);  // the eleven rows of Table 1
+  rules::Interpreter interp(p);
+  for (const auto& rb : p.rule_bases)
+    EXPECT_NO_THROW(rules::compile_rule_base(p, rb, interp)) << rb.name;
+}
+
+TEST(Corpus, NaftaRegisterBudgetMatchesPaper) {
+  const auto ft = rules::parse_program(rulebases::nafta_program_source(16, 16));
+  const auto nft = rules::parse_program(rulebases::nara_program_source(16, 16));
+  // "For the NAFTA implementation 159 bits are organized in 8 registers ...
+  //  only 47 bits account for fault-tolerance."
+  EXPECT_EQ(ft.total_register_bits(), 159);
+  EXPECT_EQ(ft.variables.size(), 8u);
+  EXPECT_EQ(nft.total_register_bits(), 112);
+  EXPECT_EQ(ft.total_register_bits() - nft.total_register_bits(), 47);
+}
+
+TEST(Corpus, Table1KeyRuleBaseSizes) {
+  const auto rep = hwcost::table1_nafta(16, 16);
+  auto find = [&](const std::string& name) -> const hwcost::TableRow& {
+    for (const auto& r : rep.rows)
+      if (r.name == name) return r;
+    ADD_FAILURE() << "missing rule base " << name;
+    static hwcost::TableRow dummy;
+    return dummy;
+  };
+  // The paper's entry counts (our encoding reproduces them exactly for
+  // these rows; widths differ slightly, see EXPERIMENTS.md).
+  EXPECT_EQ(find("incoming_message").entries, 1024u);
+  EXPECT_EQ(find("in_message_ft").entries, 256u);
+  EXPECT_EQ(find("update_dir_table").entries, 64u);
+  EXPECT_EQ(find("message_finished").entries, 64u);
+  EXPECT_EQ(find("calculate_new_node_state").entries, 64u);
+  EXPECT_EQ(find("test_exception").entries, 32u);
+  EXPECT_EQ(find("tell_my_neighbors").entries, 16u);
+  EXPECT_EQ(find("flit_finished").entries, 4u);
+  EXPECT_EQ(find("fault_occured").entries, 3u);
+  EXPECT_EQ(find("message_from_info_channel").entries, 2u);
+  EXPECT_EQ(find("consider_neighbor_state").entries, 2u);
+  // nft markers match the paper's asterisks.
+  EXPECT_TRUE(find("incoming_message").nft);
+  EXPECT_TRUE(find("message_finished").nft);
+  EXPECT_TRUE(find("tell_my_neighbors").nft);
+  EXPECT_TRUE(find("flit_finished").nft);
+  EXPECT_TRUE(find("message_from_info_channel").nft);
+  EXPECT_FALSE(find("in_message_ft").nft);
+  EXPECT_FALSE(find("update_dir_table").nft);
+  EXPECT_FALSE(find("fault_occured").nft);
+  EXPECT_EQ(rep.ft_register_bits, 47);
+}
+
+TEST(Corpus, NaftaRuleBasesExecute) {
+  // The corpus is not just compilable paperwork: fire a few rule bases.
+  const auto p = rules::parse_program(rulebases::nafta_program_source(8, 8));
+  rules::EventManager em(p, rules::ExecMode::Table);
+  std::map<std::string, std::int64_t> ints{
+      {"xpos", 1}, {"ypos", 1}, {"xdes", 3}, {"ydes", 3}, {"sel_vc", 1},
+      {"msg_len", 10}, {"changed", 1}, {"misrouted_in", 0}, {"plen_over", 0}};
+  em.set_input_provider([&](const std::string& name,
+                            const std::vector<rules::Value>& idx) {
+    (void)idx;
+    if (name == "outchan") return rules::Value::make_int(1);
+    if (name == "link_fault" || name == "deadend")
+      return rules::Value::make_int(0);
+    if (name == "info_kind")
+      return rules::Value::make_sym(p.syms.lookup("loadmsg"));
+    if (name == "new_info" || name == "nb_state")
+      return rules::Value::make_sym(p.syms.lookup("ok"));
+    if (name == "fault_kind")
+      return rules::Value::make_sym(p.syms.lookup("linkf"));
+    if (name == "except_dir") return rules::Value::make_int(0);
+    return rules::Value::make_int(ints.at(name));
+  });
+  // Fault-free north-east decision: east wins (first applicable rule).
+  const auto r = em.fire("incoming_message", {});
+  ASSERT_TRUE(r.returned.has_value());
+  EXPECT_EQ(p.syms.name(r.returned->as_sym()), "east");
+  // A link fault bumps the fault counter.
+  em.fire("fault_occured", {});
+  EXPECT_EQ(em.env().get("fault_count").as_int(), 1);
+  // Scheduling updates adaptivity registers.
+  em.env().set("out_queue", 2, rules::Value::make_int(5));
+  em.env().set("sched_credit", 2, rules::Value::make_int(3));
+  em.fire("flit_finished", {rules::Value::make_int(2)});
+  EXPECT_EQ(em.env().get("out_queue", 2).as_int(), 4);
+}
+
+// ---------------------------------------------------------- corpus: ROUTE_C
+TEST(Corpus, RouteCRegisterFormulaHolds) {
+  // "In total 15d + 2 log d + 3 register bits ... organized as nine
+  //  registers ... 9d register bits are needed in the non-fault-tolerant
+  //  case too."
+  for (int d = 2; d <= 10; ++d) {
+    EXPECT_EQ(hwcost::route_c_register_measured(d, 2),
+              hwcost::route_c_register_formula(d))
+        << "d = " << d;
+    const auto nft = rules::parse_program(
+        rulebases::route_c_nft_program_source(d, 2));
+    EXPECT_EQ(nft.total_register_bits(), 9 * d);
+  }
+  const auto ft = rules::parse_program(rulebases::route_c_program_source(6, 2));
+  EXPECT_EQ(ft.variables.size(), 9u);  // nine registers, one constant
+  // The constant register holds a configuration-time value: zero flexible
+  // bits.
+  EXPECT_EQ(ft.find_variable("cube_dim")->register_bits(), 0);
+}
+
+TEST(Corpus, Table2Dimensions) {
+  const auto rep = hwcost::table2_route_c(6, 2);
+  ASSERT_EQ(rep.rows.size(), 4u);
+  auto find = [&](const std::string& name) -> const hwcost::TableRow& {
+    for (const auto& r : rep.rows)
+      if (r.name == name) return r;
+    ADD_FAILURE() << "missing rule base " << name;
+    static hwcost::TableRow dummy;
+    return dummy;
+  };
+  EXPECT_EQ(find("decide_dir").entries, 512u);     // paper: 512 x 4
+  EXPECT_EQ(find("decide_vc").entries, 24u);       // paper: 4d = 24
+  EXPECT_EQ(find("update_state").entries, 200u);   // paper: 180
+  EXPECT_TRUE(find("decide_dir").nft);
+  EXPECT_TRUE(find("adaptivity").nft);
+  EXPECT_FALSE(find("decide_vc").nft);
+  EXPECT_FALSE(find("update_state").nft);
+  // "The total size of 2960 bits of rule table memory for a 64-node
+  //  hypercube and a = 2 is really small." — same order of magnitude here.
+  EXPECT_GT(rep.total_table_bits, 1500);
+  EXPECT_LT(rep.total_table_bits, 6000);
+}
+
+TEST(Corpus, RouteCUpdateStatePropagates) {
+  const auto p = rules::parse_program(rulebases::route_c_program_source(4, 2));
+  rules::EventManager em(p);
+  const rules::SymId sunsafe = p.syms.lookup("sunsafe");
+  em.set_input_provider(
+      [&](const std::string& name, const std::vector<rules::Value>&) {
+        FR_REQUIRE(name == "new_state");
+        return rules::Value::make_sym(sunsafe);
+      });
+  em.env().set("number_unsafe", 0, rules::Value::make_int(2));
+  const auto r = em.fire("update_state", {rules::Value::make_int(1)});
+  EXPECT_TRUE(r.applied());
+  EXPECT_EQ(p.syms.name(em.env().get("state").as_sym()), "ounsafe");
+  // Propagation: one message per dimension.
+  int sends = 0;
+  em.set_host_handler([&](const std::string& name,
+                          const std::vector<rules::Value>&) {
+    if (name == "send_newmessage") ++sends;
+  });
+  em.drain();
+  EXPECT_EQ(sends, 4);
+}
+
+// --------------------------- distributed Figure 4 at network scale
+// One rule machine per hypercube node; `!send_newmessage(dir, state)`
+// events travel over the topology to the neighbour's `update_state` rule
+// base — the paper's wave propagation, executed by the rule engine itself.
+TEST(Corpus, DistributedStatePropagationOverHypercube) {
+  constexpr int kDim = 3;
+  Hypercube cube(kDim);
+  const auto p =
+      rules::parse_program(rulebases::route_c_program_source(kDim, 2));
+  const rules::SymId faulty = p.syms.lookup("faulty");
+  const rules::SymId ounsafe = p.syms.lookup("ounsafe");
+  const rules::SymId safe = p.syms.lookup("safe");
+
+  // Per-node machines plus a per-node mailbox holding the last state
+  // received from each neighbour (the new_state input).
+  std::vector<std::unique_ptr<rules::EventManager>> machines;
+  std::vector<std::vector<rules::Value>> mailbox(
+      static_cast<std::size_t>(cube.num_nodes()),
+      std::vector<rules::Value>(kDim, rules::Value::make_sym(safe)));
+  std::int64_t messages_sent = 0;
+  for (NodeId n = 0; n < cube.num_nodes(); ++n) {
+    auto em = std::make_unique<rules::EventManager>(p, rules::ExecMode::Table);
+    em->set_input_provider(
+        [&mailbox, n](const std::string& name,
+                      const std::vector<rules::Value>& idx) {
+          FR_REQUIRE(name == "new_state");
+          return mailbox[static_cast<std::size_t>(n)]
+                        [static_cast<std::size_t>(idx[0].as_int())];
+        });
+    machines.push_back(std::move(em));
+  }
+  // Cross-node event transport: a send_newmessage(i, st) emitted at node n
+  // lands in neighbour(n, i)'s mailbox and triggers its update_state.
+  auto deliver = [&](NodeId from, PortId port, rules::Value st) {
+    const NodeId to = cube.neighbor(from, port);
+    const PortId back = cube.reverse_port(from, port);
+    mailbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(back)] = st;
+    machines[static_cast<std::size_t>(to)]->post(
+        "update_state", {rules::Value::make_int(back)});
+    ++messages_sent;
+  };
+  for (NodeId n = 0; n < cube.num_nodes(); ++n) {
+    machines[static_cast<std::size_t>(n)]->set_host_handler(
+        [&, n](const std::string& event, const std::vector<rules::Value>& args) {
+          if (event != "send_newmessage") return;
+          deliver(n, static_cast<PortId>(args[0].as_int()), args[1]);
+        });
+  }
+  auto drain_network = [&]() {
+    bool any = true;
+    int rounds = 0;
+    while (any) {
+      FR_REQUIRE_MSG(++rounds < 1000, "propagation did not settle");
+      any = false;
+      for (auto& em : machines) {
+        if (!em->queue_empty()) {
+          em->drain();
+          any = true;
+        }
+      }
+    }
+    return rounds;
+  };
+
+  // Drive node 0 (address 000) to ounsafe: two unsafe notifications raise
+  // number_unsafe to 2, a third trips the Figure-4 broadcast rule.
+  for (int k = 0; k < 3; ++k) deliver(cube.neighbor(0, 0), 0,
+                                      rules::Value::make_sym(ounsafe));
+  drain_network();
+  auto& m0 = *machines[0];
+  EXPECT_EQ(p.syms.name(m0.env().get("state").as_sym()), "ounsafe");
+  // The broadcast reached every neighbour: each counted one unsafe report.
+  for (PortId i = 0; i < kDim; ++i) {
+    const NodeId nb = cube.neighbor(0, i);
+    EXPECT_GE(machines[static_cast<std::size_t>(nb)]
+                  ->env()
+                  .get("number_unsafe")
+                  .as_int(),
+              1)
+        << "neighbour " << nb;
+  }
+  EXPECT_GE(messages_sent, 3 + kDim);  // seeds + the broadcast wave
+
+  // A hard fault report at node 7 (111) is recorded by the first rule.
+  deliver(cube.neighbor(7, 2), 2, rules::Value::make_sym(faulty));
+  drain_network();
+  auto& m7 = *machines[7];
+  EXPECT_EQ(m7.env().get("number_faulty").as_int(), 1);
+  EXPECT_EQ(p.syms.name(m7.env().get("neighb_state", 2).as_sym()), "faulty");
+}
+
+TEST(Corpus, CombinedBlowupFormula) {
+  // E4: merging decide_dir and decide_vc into one step explodes the table.
+  EXPECT_EQ(hwcost::combined_rulebase_bits(6, 2),
+            std::int64_t{1024} * 64 * 9);
+  const auto rep = hwcost::table2_route_c(6, 2);
+  EXPECT_GT(hwcost::combined_rulebase_bits(6, 2), 50 * rep.total_table_bits);
+}
+
+}  // namespace
+}  // namespace flexrouter

@@ -1,0 +1,366 @@
+// Unit tests for topologies, the fault model, and graph algorithms.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "topology/fault_model.hpp"
+#include "topology/graph_algo.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace flexrouter {
+namespace {
+
+// --------------------------------------------------------------------- mesh
+TEST(Mesh, CoordinateRoundTrip) {
+  Mesh m = Mesh::two_d(5, 3);
+  EXPECT_EQ(m.num_nodes(), 15);
+  EXPECT_EQ(m.degree(), 4);
+  for (int x = 0; x < 5; ++x)
+    for (int y = 0; y < 3; ++y) {
+      const NodeId n = m.at(x, y);
+      EXPECT_EQ(m.x_of(n), x);
+      EXPECT_EQ(m.y_of(n), y);
+    }
+}
+
+TEST(Mesh, CompassNeighbors) {
+  Mesh m = Mesh::two_d(4, 4);
+  const NodeId n = m.at(1, 1);
+  EXPECT_EQ(m.neighbor(n, port_of(Compass::East)), m.at(2, 1));
+  EXPECT_EQ(m.neighbor(n, port_of(Compass::West)), m.at(0, 1));
+  EXPECT_EQ(m.neighbor(n, port_of(Compass::North)), m.at(1, 2));
+  EXPECT_EQ(m.neighbor(n, port_of(Compass::South)), m.at(1, 0));
+}
+
+TEST(Mesh, BordersAreUnconnected) {
+  Mesh m = Mesh::two_d(4, 4);
+  EXPECT_EQ(m.neighbor(m.at(0, 0), port_of(Compass::West)), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.at(0, 0), port_of(Compass::South)), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.at(3, 3), port_of(Compass::East)), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.at(3, 3), port_of(Compass::North)), kInvalidNode);
+}
+
+TEST(Mesh, ReverseLinksAreConsistent) {
+  Mesh m({4, 3, 2});
+  for (NodeId n = 0; n < m.num_nodes(); ++n)
+    for (PortId p = 0; p < m.degree(); ++p) {
+      const NodeId other = m.neighbor(n, p);
+      if (other == kInvalidNode) continue;
+      const PortId back = m.reverse_port(n, p);
+      EXPECT_EQ(m.neighbor(other, back), n);
+    }
+}
+
+TEST(Mesh, DistanceIsManhattan) {
+  Mesh m = Mesh::two_d(8, 8);
+  EXPECT_EQ(m.distance(m.at(0, 0), m.at(7, 7)), 14);
+  EXPECT_EQ(m.distance(m.at(3, 4), m.at(3, 4)), 0);
+  EXPECT_EQ(m.distance(m.at(2, 5), m.at(6, 1)), 8);
+}
+
+TEST(Mesh, LinkCount2D) {
+  Mesh m = Mesh::two_d(4, 5);
+  // 2D mesh: (w-1)*h horizontal + w*(h-1) vertical.
+  EXPECT_EQ(m.num_undirected_links(), static_cast<std::size_t>(3 * 5 + 4 * 4));
+  EXPECT_EQ(m.directed_links().size(), 2 * m.num_undirected_links());
+}
+
+TEST(Mesh, DiameterAndName) {
+  Mesh m = Mesh::two_d(4, 4);
+  EXPECT_EQ(m.diameter(), 6);
+  EXPECT_EQ(m.name(), "mesh(4x4)");
+}
+
+TEST(Mesh, RejectsDegenerateRadix) {
+  EXPECT_THROW(Mesh({1, 4}), ContractViolation);
+  EXPECT_THROW(Mesh({}), ContractViolation);
+}
+
+// -------------------------------------------------------------------- torus
+TEST(Torus, WrapAroundNeighbors) {
+  Torus t = Torus::two_d(4, 4);
+  EXPECT_EQ(t.neighbor(t.node_at({3, 2}), 0), t.node_at({0, 2}));  // +x wraps
+  EXPECT_EQ(t.neighbor(t.node_at({0, 2}), 1), t.node_at({3, 2}));  // -x wraps
+  EXPECT_EQ(t.neighbor(t.node_at({1, 3}), 2), t.node_at({1, 0}));  // +y wraps
+}
+
+TEST(Torus, DistanceUsesWrap) {
+  Torus t = Torus::two_d(8, 8);
+  EXPECT_EQ(t.distance(t.node_at({0, 0}), t.node_at({7, 7})), 2);
+  EXPECT_EQ(t.distance(t.node_at({0, 0}), t.node_at({4, 4})), 8);
+}
+
+TEST(Torus, ReverseLinksAreConsistent) {
+  Torus t = Torus::two_d(3, 5);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    for (PortId p = 0; p < t.degree(); ++p) {
+      const NodeId other = t.neighbor(n, p);
+      ASSERT_NE(other, kInvalidNode);  // torus has no unconnected ports
+      EXPECT_EQ(t.neighbor(other, t.reverse_port(n, p)), n);
+    }
+}
+
+TEST(Torus, EveryNodeHasFullDegree) {
+  Torus t = Torus::two_d(4, 4);
+  EXPECT_EQ(t.num_undirected_links(), static_cast<std::size_t>(2 * 16));
+}
+
+// ---------------------------------------------------------------- hypercube
+TEST(Hypercube, NeighborsFlipOneBit) {
+  Hypercube h(4);
+  EXPECT_EQ(h.num_nodes(), 16);
+  EXPECT_EQ(h.degree(), 4);
+  EXPECT_EQ(h.neighbor(0b0101, 1), 0b0111);
+  EXPECT_EQ(h.neighbor(0b0101, 0), 0b0100);
+  EXPECT_EQ(h.reverse_port(3, 2), 2);
+}
+
+TEST(Hypercube, DistanceIsHamming) {
+  Hypercube h(6);
+  EXPECT_EQ(h.distance(0, 63), 6);
+  EXPECT_EQ(h.distance(0b101010, 0b010101), 6);
+  EXPECT_EQ(h.distance(5, 5), 0);
+  EXPECT_EQ(h.diameter(), 6);
+}
+
+TEST(Hypercube, DifferingDims) {
+  EXPECT_EQ(Hypercube::differing_dims(0b1100, 0b1010), 0b0110u);
+}
+
+// --------------------------------------------------------------- fault model
+TEST(FaultSet, LinksFailBidirectionally) {
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet f(m);
+  const NodeId a = m.at(1, 1);
+  const PortId p = port_of(Compass::East);
+  EXPECT_TRUE(f.link_usable(a, p));
+  f.fail_link(a, p);
+  EXPECT_FALSE(f.link_usable(a, p));
+  // The reverse direction fails together (assumption i).
+  const NodeId b = m.at(2, 1);
+  EXPECT_FALSE(f.link_usable(b, port_of(Compass::West)));
+  EXPECT_EQ(f.num_link_faults(), 1);
+}
+
+TEST(FaultSet, FailLinkIsIdempotentFromEitherEnd) {
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet f(m);
+  f.fail_link(m.at(1, 1), port_of(Compass::East));
+  f.fail_link(m.at(2, 1), port_of(Compass::West));  // same physical link
+  EXPECT_EQ(f.num_link_faults(), 1);
+}
+
+TEST(FaultSet, NodeFaultDisablesAllItsLinks) {
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet f(m);
+  const NodeId center = m.at(1, 1);
+  f.fail_node(center);
+  EXPECT_TRUE(f.node_faulty(center));
+  for (PortId p = 0; p < m.degree(); ++p) {
+    EXPECT_FALSE(f.link_usable(center, p));
+  }
+  EXPECT_FALSE(f.link_usable(m.at(0, 1), port_of(Compass::East)));
+  // But the link hardware itself is not marked faulty.
+  EXPECT_FALSE(f.link_marked_faulty(m.at(0, 1), port_of(Compass::East)));
+}
+
+TEST(FaultSet, RepairRestoresUsability) {
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet f(m);
+  f.fail_link(m.at(0, 0), port_of(Compass::East));
+  f.fail_node(m.at(3, 3));
+  f.repair_link(m.at(0, 0), port_of(Compass::East));
+  f.repair_node(m.at(3, 3));
+  EXPECT_TRUE(f.fault_free());
+  EXPECT_TRUE(f.link_usable(m.at(0, 0), port_of(Compass::East)));
+}
+
+TEST(FaultSet, EpochAdvancesOnEveryChange) {
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet f(m);
+  const auto e0 = f.epoch();
+  f.fail_link(m.at(0, 0), port_of(Compass::East));
+  const auto e1 = f.epoch();
+  EXPECT_GT(e1, e0);
+  f.fail_link(m.at(0, 0), port_of(Compass::East));  // idempotent: no change
+  EXPECT_EQ(f.epoch(), e1);
+  f.fail_node(m.at(2, 2));
+  EXPECT_GT(f.epoch(), e1);
+}
+
+TEST(FaultSet, UsableDegreeAndPorts) {
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet f(m);
+  EXPECT_EQ(f.usable_degree(m.at(0, 0)), 2);  // corner
+  EXPECT_EQ(f.usable_degree(m.at(1, 1)), 4);  // interior
+  f.fail_link(m.at(1, 1), port_of(Compass::North));
+  EXPECT_EQ(f.usable_degree(m.at(1, 1)), 3);
+  const auto ports = f.usable_ports(m.at(1, 1));
+  EXPECT_EQ(ports.size(), 3u);
+  EXPECT_TRUE(std::find(ports.begin(), ports.end(),
+                        port_of(Compass::North)) == ports.end());
+}
+
+TEST(FaultSet, FaultOnUnconnectedPortIsContractViolation) {
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet f(m);
+  EXPECT_THROW(f.fail_link(m.at(0, 0), port_of(Compass::West)),
+               ContractViolation);
+}
+
+TEST(FaultSet, FaultyInventories) {
+  Hypercube h(3);
+  FaultSet f(h);
+  f.fail_node(5);
+  f.fail_link(0, 0);
+  EXPECT_EQ(f.faulty_nodes(), std::vector<NodeId>{5});
+  const auto links = f.faulty_links();
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].node, 0);
+  EXPECT_EQ(links[0].port, 0);
+}
+
+// --------------------------------------------------------------- graph algos
+TEST(GraphAlgo, BfsMatchesManhattanOnFaultFreeMesh) {
+  Mesh m = Mesh::two_d(6, 6);
+  FaultSet f(m);
+  const auto dist = bfs_distances(f, m.at(2, 3));
+  for (NodeId n = 0; n < m.num_nodes(); ++n)
+    EXPECT_EQ(dist[static_cast<std::size_t>(n)], m.distance(m.at(2, 3), n));
+}
+
+TEST(GraphAlgo, FaultsLengthenPaths) {
+  Mesh m = Mesh::two_d(3, 3);
+  FaultSet f(m);
+  // Cut the direct link between (0,0) and (1,0).
+  f.fail_link(m.at(0, 0), port_of(Compass::East));
+  const auto dist = bfs_distances(f, m.at(0, 0));
+  EXPECT_EQ(dist[static_cast<std::size_t>(m.at(1, 0))], 3);
+}
+
+TEST(GraphAlgo, DisconnectionYieldsMinusOne) {
+  Mesh m = Mesh::two_d(2, 2);
+  FaultSet f(m);
+  // Isolate node (1,1) by failing both its links.
+  f.fail_link(m.at(1, 1), port_of(Compass::West));
+  f.fail_link(m.at(1, 1), port_of(Compass::South));
+  const auto dist = bfs_distances(f, m.at(0, 0));
+  EXPECT_EQ(dist[static_cast<std::size_t>(m.at(1, 1))], -1);
+  EXPECT_FALSE(connected(f, m.at(0, 0), m.at(1, 1)));
+  EXPECT_FALSE(all_healthy_connected(f));
+}
+
+TEST(GraphAlgo, ComponentsAfterPartition) {
+  Mesh m = Mesh::two_d(4, 2);
+  FaultSet f(m);
+  // Sever the two links between columns 1 and 2.
+  f.fail_link(m.at(1, 0), port_of(Compass::East));
+  f.fail_link(m.at(1, 1), port_of(Compass::East));
+  const auto comp = components(f);
+  EXPECT_EQ(comp[static_cast<std::size_t>(m.at(0, 0))],
+            comp[static_cast<std::size_t>(m.at(1, 1))]);
+  EXPECT_EQ(comp[static_cast<std::size_t>(m.at(2, 0))],
+            comp[static_cast<std::size_t>(m.at(3, 1))]);
+  EXPECT_NE(comp[static_cast<std::size_t>(m.at(0, 0))],
+            comp[static_cast<std::size_t>(m.at(2, 0))]);
+}
+
+TEST(GraphAlgo, FaultyNodesGetComponentMinusOne) {
+  Mesh m = Mesh::two_d(3, 3);
+  FaultSet f(m);
+  f.fail_node(m.at(1, 1));
+  const auto comp = components(f);
+  EXPECT_EQ(comp[static_cast<std::size_t>(m.at(1, 1))], -1);
+  EXPECT_TRUE(all_healthy_connected(f));  // ring around the hole
+}
+
+TEST(GraphAlgo, SpanningTreeProperties) {
+  Mesh m = Mesh::two_d(5, 5);
+  FaultSet f(m);
+  const NodeId root = m.at(2, 2);
+  const auto tree = bfs_spanning_tree(f, root);
+  EXPECT_EQ(tree.root, root);
+  EXPECT_EQ(tree.level[static_cast<std::size_t>(root)], 0);
+  EXPECT_EQ(tree.order[static_cast<std::size_t>(root)], 0);
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    if (n == root) continue;
+    ASSERT_TRUE(tree.reaches(n));
+    const NodeId parent = tree.parent[static_cast<std::size_t>(n)];
+    ASSERT_NE(parent, kInvalidNode);
+    // Parent is one level up and adjacent via the recorded port.
+    EXPECT_EQ(tree.level[static_cast<std::size_t>(n)],
+              tree.level[static_cast<std::size_t>(parent)] + 1);
+    EXPECT_EQ(m.neighbor(n, tree.parent_port[static_cast<std::size_t>(n)]),
+              parent);
+    // BFS level equals true distance from the root.
+    EXPECT_EQ(tree.level[static_cast<std::size_t>(n)], m.distance(root, n));
+    // Parent precedes child in visit order (the up*/down* invariant).
+    EXPECT_LT(tree.order[static_cast<std::size_t>(parent)],
+              tree.order[static_cast<std::size_t>(n)]);
+  }
+}
+
+TEST(GraphAlgo, SpanningTreeSkipsUnreachable) {
+  Mesh m = Mesh::two_d(2, 2);
+  FaultSet f(m);
+  f.fail_link(m.at(1, 1), port_of(Compass::West));
+  f.fail_link(m.at(1, 1), port_of(Compass::South));
+  const auto tree = bfs_spanning_tree(f, m.at(0, 0));
+  EXPECT_FALSE(tree.reaches(m.at(1, 1)));
+  EXPECT_EQ(tree.parent[static_cast<std::size_t>(m.at(1, 1))], kInvalidNode);
+}
+
+TEST(GraphAlgo, ChooseTreeRootPrefersHighDegree) {
+  Mesh m = Mesh::two_d(5, 5);
+  FaultSet f(m);
+  // Interior nodes have degree 4; the first interior node by id is (1,1).
+  EXPECT_EQ(choose_tree_root(f), m.at(1, 1));
+  // Make a node faulty: cannot be root.
+  f.fail_node(m.at(1, 1));
+  EXPECT_NE(choose_tree_root(f), m.at(1, 1));
+}
+
+TEST(GraphAlgo, AllPairsAgreesWithSingleSource) {
+  Hypercube h(3);
+  FaultSet f(h);
+  f.fail_link(0, 0);
+  const auto all = all_pairs_distances(f);
+  for (NodeId s = 0; s < h.num_nodes(); ++s) {
+    const auto single = bfs_distances(f, s);
+    EXPECT_EQ(all[static_cast<std::size_t>(s)], single);
+  }
+}
+
+// Property: random faults on a mesh — BFS distance never shrinks below the
+// fault-free distance, and connectivity matches component equality.
+TEST(GraphAlgo, RandomFaultDistanceMonotonicity) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    Mesh m = Mesh::two_d(6, 6);
+    FaultSet f(m);
+    const auto links = m.undirected_links();
+    for (int k = 0; k < 8; ++k) {
+      const auto& l = links[rng.next_below(links.size())];
+      f.fail_link(l.node, l.port);
+    }
+    const auto comp = components(f);
+    const NodeId src = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(m.num_nodes())));
+    const auto dist = bfs_distances(f, src);
+    for (NodeId n = 0; n < m.num_nodes(); ++n) {
+      const bool same_comp =
+          comp[static_cast<std::size_t>(src)] ==
+          comp[static_cast<std::size_t>(n)];
+      EXPECT_EQ(dist[static_cast<std::size_t>(n)] >= 0, same_comp);
+      if (dist[static_cast<std::size_t>(n)] >= 0) {
+        EXPECT_GE(dist[static_cast<std::size_t>(n)], m.distance(src, n));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexrouter

@@ -1,0 +1,179 @@
+// Tests for the static semantic validator (the "Rule Compiler" front-end
+// checks), including validation of the whole shipped corpus.
+#include <gtest/gtest.h>
+
+#include "rulebases/corpus.hpp"
+#include "ruleengine/parser.hpp"
+#include "ruleengine/validate.hpp"
+
+namespace flexrouter::rules {
+namespace {
+
+std::vector<Diagnostic> diags_of(const std::string& src) {
+  return validate_program(parse_program(src));
+}
+
+bool mentions(const std::vector<Diagnostic>& ds, const std::string& text) {
+  for (const Diagnostic& d : ds)
+    if (d.message.find(text) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Validate, CleanProgramHasNoDiagnostics) {
+  const auto ds = diags_of(
+      "CONSTANT dirs = 4\n"
+      "CONSTANT states = {a, b}\n"
+      "VARIABLE s IN states\n"
+      "VARIABLE n IN 0 TO 7\n"
+      "VARIABLE arr[dirs] IN 0 TO 3\n"
+      "INPUT load(dirs) IN 0 TO 15\n"
+      "ON go(d IN dirs) RETURNS 0 TO 7\n"
+      "  IF s = a AND load(d) > 3 THEN n <- min(n + 1, 7), RETURN(n);\n"
+      "  IF FORALL i IN dirs: load(i) = 0 THEN s <- b,\n"
+      "     FORALL i IN dirs: arr(i) <- 0;\n"
+      "END go");
+  EXPECT_TRUE(ds.empty()) << ds.front().to_string();
+}
+
+TEST(Validate, WholeCorpusIsClean) {
+  for (const std::string& src : {
+           rulebases::nafta_program_source(16, 16),
+           rulebases::nara_program_source(16, 16),
+           rulebases::route_c_program_source(6, 2),
+           rulebases::route_c_nft_program_source(6, 2),
+           rulebases::nara_route_source(8, 8),
+           rulebases::ecube_route_source(5),
+       }) {
+    const Program p = parse_program(src);
+    const auto ds = validate_program(p);
+    EXPECT_TRUE(ds.empty()) << p.name << ": "
+                            << (ds.empty() ? "" : ds.front().to_string());
+    EXPECT_NO_THROW(require_valid(p));
+  }
+}
+
+TEST(Validate, NonBooleanPremise) {
+  const auto ds = diags_of(
+      "VARIABLE n IN 0 TO 7\n"
+      "ON go IF n + 1 THEN n <- 0; END");
+  EXPECT_TRUE(mentions(ds, "premise is integer"));
+}
+
+TEST(Validate, KindMismatchedAssignment) {
+  const auto ds = diags_of(
+      "CONSTANT states = {a, b}\n"
+      "VARIABLE s IN states\n"
+      "ON go IF 1 = 1 THEN s <- 3; END");
+  EXPECT_TRUE(mentions(ds, "assigning integer to symbol"));
+}
+
+TEST(Validate, ArithmeticOnSymbols) {
+  const auto ds = diags_of(
+      "CONSTANT states = {a, b}\n"
+      "VARIABLE s IN states\n"
+      "VARIABLE n IN 0 TO 7\n"
+      "ON go IF 1 = 1 THEN n <- s + 1; END");
+  EXPECT_TRUE(mentions(ds, "arithmetic"));
+}
+
+TEST(Validate, ComparingDifferentKinds) {
+  const auto ds = diags_of(
+      "CONSTANT states = {a, b}\n"
+      "VARIABLE s IN states\n"
+      "ON go IF s = 3 THEN s <- a; END");
+  EXPECT_TRUE(mentions(ds, "comparing symbol with integer"));
+}
+
+TEST(Validate, MembershipNeedsSetOnTheRight) {
+  const auto ds = diags_of(
+      "VARIABLE n IN 0 TO 7\n"
+      "ON go IF n IN 5 THEN n <- 0; END");
+  EXPECT_TRUE(mentions(ds, "IN right-hand side"));
+}
+
+TEST(Validate, ReturnKindAgainstDeclaration) {
+  const auto ds = diags_of(
+      "CONSTANT states = {a, b}\n"
+      "ON go RETURNS 0 TO 3\n"
+      "  IF 1 = 1 THEN RETURN(a);\n"
+      "END go");
+  EXPECT_TRUE(mentions(ds, "RETURN value is symbol"));
+}
+
+TEST(Validate, DoubleReturnInOneConclusion) {
+  const auto ds = diags_of(
+      "ON go RETURNS 0 TO 3\n"
+      "  IF 1 = 1 THEN RETURN(1), RETURN(2);\n"
+      "END go");
+  EXPECT_TRUE(mentions(ds, "multiple RETURN"));
+}
+
+TEST(Validate, UnknownNamesAndBadIndexing) {
+  const auto ds = diags_of(
+      "VARIABLE n IN 0 TO 7\n"
+      "VARIABLE arr[4] IN 0 TO 3\n"
+      "ON go\n"
+      "  IF ghost = 1 THEN n <- 0;\n"
+      "  IF n(2) = 1 THEN n <- 0;\n"
+      "  IF arr(1, 2) = 1 THEN n <- 0;\n"
+      "END go");
+  EXPECT_TRUE(mentions(ds, "unknown name 'ghost'"));
+  EXPECT_TRUE(mentions(ds, "scalar 'n' is not indexable"));
+  EXPECT_TRUE(mentions(ds, "needs exactly one index"));
+}
+
+TEST(Validate, InconsistentEventArity) {
+  const auto ds = diags_of(
+      "VARIABLE n IN 0 TO 7\n"
+      "ON go\n"
+      "  IF n = 0 THEN !ping(1);\n"
+      "  IF n = 1 THEN !ping(1, 2);\n"
+      "END go");
+  EXPECT_TRUE(mentions(ds, "inconsistent arities"));
+}
+
+TEST(Validate, EmitArityMustMatchHandlerParams) {
+  const auto ds = diags_of(
+      "CONSTANT dirs = 4\n"
+      "VARIABLE n IN 0 TO 7\n"
+      "ON handler(d IN dirs, x IN 0 TO 7) IF d = 0 THEN n <- x; END\n"
+      "ON go IF n = 0 THEN !handler(1); END");
+  EXPECT_TRUE(mentions(ds, "declares 2 parameters"));
+}
+
+TEST(Validate, BuiltinArity) {
+  const auto ds = diags_of(
+      "VARIABLE n IN 0 TO 63\n"
+      "ON go IF 1 = 1 THEN n <- xor(n); END");
+  EXPECT_TRUE(mentions(ds, "builtin 'xor' expects 2"));
+}
+
+TEST(Validate, SubbaseWithoutReturnsUsedAsFunction) {
+  const auto ds = diags_of(
+      "VARIABLE n IN 0 TO 7\n"
+      "ON helper IF 1 = 1 THEN n <- 1; END\n"
+      "ON go IF helper() = 1 THEN n <- 0; END");
+  EXPECT_TRUE(mentions(ds, "no RETURNS declaration"));
+}
+
+TEST(Validate, EmptyRuleBaseFlagged) {
+  const auto ds = diags_of("ON hollow END");
+  EXPECT_TRUE(mentions(ds, "has no rules"));
+}
+
+TEST(Validate, RequireValidThrowsWithAllDiagnostics) {
+  const Program p = parse_program(
+      "VARIABLE n IN 0 TO 7\n"
+      "ON go IF ghost = 1 THEN n <- waldo; END");
+  try {
+    require_valid(p);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ghost"), std::string::npos);
+    EXPECT_NE(what.find("waldo"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace flexrouter::rules

@@ -1,0 +1,167 @@
+// Property tests for the finite-domain value system: domain enumeration /
+// index round-trips (including subset domains), set algebra laws, value
+// ordering, and symbol interning.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ruleengine/value.hpp"
+
+namespace flexrouter::rules {
+namespace {
+
+TEST(SymTableTest, InternIsIdempotentAndOrdered) {
+  SymTable t;
+  const SymId a = t.intern("alpha");
+  const SymId b = t.intern("beta");
+  EXPECT_EQ(t.intern("alpha"), a);
+  EXPECT_LT(a, b);  // declaration order = id order (the lattice order)
+  EXPECT_EQ(t.name(a), "alpha");
+  EXPECT_EQ(t.lookup("beta"), b);
+  EXPECT_EQ(t.lookup("gamma"), -1);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(DomainTest, IntRangeRoundTrip) {
+  const Domain d = Domain::int_range(-3, 12);
+  EXPECT_EQ(d.cardinality(), 16u);
+  EXPECT_EQ(d.bits(), 4);
+  const auto values = d.enumerate();
+  ASSERT_EQ(values.size(), 16u);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(values[i] == d.value_at(i));
+    EXPECT_EQ(d.index_of(values[i]), i);
+    EXPECT_TRUE(d.contains(values[i]));
+  }
+  EXPECT_FALSE(d.contains(Value::make_int(13)));
+  EXPECT_FALSE(d.contains(Value::make_int(-4)));
+}
+
+TEST(DomainTest, SymbolRoundTripAndRank) {
+  SymTable t;
+  const Domain d = Domain::symbols(
+      {t.intern("safe"), t.intern("ounsafe"), t.intern("sunsafe")});
+  EXPECT_EQ(d.cardinality(), 3u);
+  EXPECT_EQ(d.bits(), 2);
+  EXPECT_EQ(d.sym_rank(t.lookup("safe")), 0);
+  EXPECT_EQ(d.sym_rank(t.lookup("sunsafe")), 2);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    EXPECT_EQ(d.index_of(d.value_at(i)), i);
+  EXPECT_THROW(d.sym_rank(99), ContractViolation);
+}
+
+TEST(DomainTest, SetOfDomainEnumeratesPowerSet) {
+  SymTable t;
+  const Domain elem =
+      Domain::symbols({t.intern("a"), t.intern("b"), t.intern("c")});
+  const Domain d = Domain::set_of(elem);
+  EXPECT_EQ(d.cardinality(), 8u);
+  EXPECT_EQ(d.bits(), 3);
+  const auto values = d.enumerate();
+  ASSERT_EQ(values.size(), 8u);
+  // index_of must invert value_at over the whole power set.
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(d.index_of(values[i]), i);
+  // The empty set and the full set are both members.
+  EXPECT_TRUE(values[0].as_set().empty());
+  EXPECT_EQ(values[7].as_set().size(), 3u);
+  // Nested sets are rejected.
+  EXPECT_THROW(Domain::set_of(d), ContractViolation);
+}
+
+TEST(DomainTest, BooleanShorthand) {
+  const Domain d = Domain::boolean();
+  EXPECT_EQ(d.cardinality(), 2u);
+  EXPECT_EQ(d.bits(), 1);
+  EXPECT_TRUE(d.contains(Value::make_bool(true)));
+}
+
+TEST(SetValueTest, AlgebraLaws) {
+  auto mkset = [](std::initializer_list<int> xs) {
+    std::vector<Value> v;
+    for (int x : xs) v.push_back(Value::make_int(x));
+    return SetValue(std::move(v));
+  };
+  const SetValue a = mkset({1, 2, 3});
+  const SetValue b = mkset({2, 3, 4});
+  EXPECT_EQ(a.set_union(b).size(), 4u);
+  EXPECT_EQ(a.set_intersect(b).size(), 2u);
+  EXPECT_EQ(a.set_minus(b).size(), 1u);
+  EXPECT_TRUE(a.set_minus(b).contains(Value::make_int(1)));
+  // Commutativity / idempotence.
+  EXPECT_TRUE(a.set_union(b) == b.set_union(a));
+  EXPECT_TRUE(a.set_intersect(b) == b.set_intersect(a));
+  EXPECT_TRUE(a.set_union(a) == a);
+  EXPECT_TRUE(a.set_intersect(a) == a);
+  // Absorption: a ∪ (a ∩ b) == a.
+  EXPECT_TRUE(a.set_union(a.set_intersect(b)) == a);
+  // Duplicates collapse on construction.
+  EXPECT_EQ(mkset({5, 5, 5}).size(), 1u);
+}
+
+TEST(SetValueTest, InsertKeepsCanonicalForm) {
+  SetValue s;
+  s.insert(Value::make_int(3));
+  s.insert(Value::make_int(1));
+  s.insert(Value::make_int(3));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.elements()[0] == Value::make_int(1));  // sorted
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  SymTable t;
+  std::vector<Value> vals = {
+      Value::make_int(-5), Value::make_int(7), Value::make_sym(t.intern("x")),
+      Value::make_sym(t.intern("y")),
+      Value::make_set(SetValue({Value::make_int(1)})),
+      Value::make_set(SetValue{}),
+  };
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    rng.shuffle(vals);
+    auto sorted = vals;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Value& a, const Value& b) { return a < b; });
+    // Ints before syms before sets (variant index order).
+    EXPECT_TRUE(sorted[0].is_int());
+    EXPECT_TRUE(sorted[1].is_int());
+    EXPECT_TRUE(sorted[2].is_sym());
+    EXPECT_TRUE(sorted[5].is_set());
+    // Irreflexivity and antisymmetry spot checks.
+    for (const Value& v : vals) EXPECT_FALSE(v < v);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      for (std::size_t j = 0; j < vals.size(); ++j)
+        if (vals[i] < vals[j]) EXPECT_FALSE(vals[j] < vals[i]);
+  }
+}
+
+TEST(ValueTest, KindAccessorsEnforced) {
+  const Value i = Value::make_int(4);
+  const Value s = Value::make_set(SetValue{});
+  EXPECT_THROW(i.as_set(), ContractViolation);
+  EXPECT_THROW(i.as_sym(), ContractViolation);
+  EXPECT_THROW(s.as_int(), ContractViolation);
+}
+
+TEST(ValueTest, ToStringForms) {
+  SymTable t;
+  EXPECT_EQ(Value::make_int(-3).to_string(t), "-3");
+  const SymId a = t.intern("east");
+  EXPECT_EQ(Value::make_sym(a).to_string(t), "east");
+  const Value set = Value::make_set(
+      SetValue({Value::make_int(2), Value::make_int(1)}));
+  EXPECT_EQ(set.to_string(t), "{1,2}");
+}
+
+TEST(DomainTest, RandomisedIndexRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto lo = rng.next_in(-50, 50);
+    const auto hi = lo + rng.next_in(0, 60);
+    const Domain d = Domain::int_range(lo, hi);
+    const auto idx = rng.next_below(d.cardinality());
+    EXPECT_EQ(d.index_of(d.value_at(idx)), idx);
+  }
+}
+
+}  // namespace
+}  // namespace flexrouter::rules
