@@ -6,8 +6,13 @@
 // off-line compiler itself, and a full router cycle.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "routing/nafta.hpp"
 #include "routing/rule_driven.hpp"
+#include "topology/hypercube.hpp"
 #include "rulebases/corpus.hpp"
 #include "ruleengine/event_manager.hpp"
 #include "ruleengine/parser.hpp"
@@ -56,6 +61,18 @@ void BM_RuleFire_CompiledTable(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RuleFire_CompiledTable);
+
+void BM_RuleFire_Vm(benchmark::State& state) {
+  auto em = make_update_state_machine(ExecMode::Vm);
+  std::int64_t dir = 0;
+  for (auto _ : state) {
+    em->env().set("number_unsafe", 0, Value::make_int(1));
+    const auto r = em->fire("update_state", {Value::make_int(dir)});
+    benchmark::DoNotOptimize(r.rule_index);
+    dir = (dir + 1) % 6;
+  }
+}
+BENCHMARK(BM_RuleFire_Vm);
 
 void BM_Compile_UpdateState(benchmark::State& state) {
   const rules::Program prog =
@@ -117,6 +134,82 @@ void BM_Decision_RuleDrivenNara(benchmark::State& state) {
 }
 BENCHMARK(BM_Decision_RuleDrivenNara);
 
+// ------------------------------------------------------- F7b: VM decisions
+// The NAFTA-family fault-tolerant mesh program and the hypercube e-cube
+// program (ROUTE_C's decision baseline), executed per backend. The cold
+// variants switch the decision cache off, so they price a full bytecode
+// decision; `Warm` replays cached decisions — the table-lookup regime the
+// tentpole targets (>=5x cold, >=20x warm over the AST interpreter).
+template <typename MakeAlgo>
+void decision_bench(benchmark::State& state, const Topology& topo,
+                    MakeAlgo make_algo, bool cache_on) {
+  FaultSet f(topo);
+  auto algo = make_algo();
+  algo->set_decision_cache_enabled(cache_on);
+  algo->attach(topo, f);
+  NodeId s = 0;
+  for (auto _ : state) {
+    RouteContext ctx;
+    ctx.node = s;
+    ctx.dest = static_cast<NodeId>((s + 13) % topo.num_nodes());
+    ctx.src = s;
+    ctx.in_port = topo.degree();
+    ctx.in_vc = 0;
+    if (ctx.node != ctx.dest) {
+      const auto d = algo->route(ctx);
+      benchmark::DoNotOptimize(d.candidates.size());
+    }
+    s = static_cast<NodeId>((s + 1) % topo.num_nodes());
+  }
+}
+
+std::unique_ptr<RuleDrivenRouting> make_nafta_rules(ExecMode mode) {
+  return std::make_unique<RuleDrivenRouting>(
+      rulebases::ft_mesh_route_source(8, 8), 3, mode, "route",
+      /*escape_vc=*/2);
+}
+
+std::unique_ptr<RuleDrivenRouting> make_route_c_rules(ExecMode mode) {
+  return std::make_unique<RuleDrivenRouting>(rulebases::ecube_route_source(6),
+                                             1, mode);
+}
+
+void BM_Decision_Nafta_Interp(benchmark::State& state) {
+  decision_bench(state, Mesh::two_d(8, 8),
+                 [] { return make_nafta_rules(ExecMode::Interpret); }, false);
+}
+BENCHMARK(BM_Decision_Nafta_Interp);
+
+void BM_Decision_Nafta_Vm(benchmark::State& state) {
+  decision_bench(state, Mesh::two_d(8, 8),
+                 [] { return make_nafta_rules(ExecMode::Vm); }, false);
+}
+BENCHMARK(BM_Decision_Nafta_Vm);
+
+void BM_Decision_Nafta_VmWarm(benchmark::State& state) {
+  decision_bench(state, Mesh::two_d(8, 8),
+                 [] { return make_nafta_rules(ExecMode::Vm); }, true);
+}
+BENCHMARK(BM_Decision_Nafta_VmWarm);
+
+void BM_Decision_RouteC_Interp(benchmark::State& state) {
+  decision_bench(state, Hypercube(6),
+                 [] { return make_route_c_rules(ExecMode::Interpret); }, false);
+}
+BENCHMARK(BM_Decision_RouteC_Interp);
+
+void BM_Decision_RouteC_Vm(benchmark::State& state) {
+  decision_bench(state, Hypercube(6),
+                 [] { return make_route_c_rules(ExecMode::Vm); }, false);
+}
+BENCHMARK(BM_Decision_RouteC_Vm);
+
+void BM_Decision_RouteC_VmWarm(benchmark::State& state) {
+  decision_bench(state, Hypercube(6),
+                 [] { return make_route_c_rules(ExecMode::Vm); }, true);
+}
+BENCHMARK(BM_Decision_RouteC_VmWarm);
+
 void BM_NetworkCycle_Nafta8x8(benchmark::State& state) {
   Mesh m = Mesh::two_d(8, 8);
   Nafta nafta;
@@ -147,4 +240,24 @@ BENCHMARK(BM_NetworkCycle_Nafta8x8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Writes BENCH_interp_speed.json next to the working directory unless the
+// caller already picked an output file — the checked-in artifact the VM
+// speedup acceptance criteria are read from.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static std::string out = "--benchmark_out=BENCH_interp_speed.json";
+  static std::string fmt = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

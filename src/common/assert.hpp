@@ -58,6 +58,9 @@ namespace detail {
 #define FR_ASSERT(cond) FR_CONTRACT_IMPL("invariant", cond, "")
 #define FR_ASSERT_MSG(cond, msg) FR_CONTRACT_IMPL("invariant", cond, msg)
 
-/// Marks unreachable code paths.
-#define FR_UNREACHABLE(msg) \
-  FR_CONTRACT_IMPL("unreachable", false, msg)
+/// Marks unreachable code paths. Expands to a bare [[noreturn]] call (not
+/// the conditional FR_CONTRACT_IMPL wrapper) so the compiler sees control
+/// flow end here — that silences fallthrough / missing-return diagnostics.
+#define FR_UNREACHABLE(msg)                  \
+  ::flexrouter::detail::contract_fail(       \
+      "unreachable", "false", (msg), std::source_location::current())

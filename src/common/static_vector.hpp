@@ -20,10 +20,22 @@ class StaticVector {
   using iterator = T*;
   using const_iterator = const T*;
 
-  constexpr StaticVector() = default;
+  constexpr StaticVector() {}
   constexpr StaticVector(std::initializer_list<T> init) {
     FR_REQUIRE(init.size() <= N);
     for (const T& v : init) data_[size_++] = v;
+  }
+
+  // Copy only the live prefix: decision caches copy these containers on
+  // every hit, and N is sized for the worst case, not the common one.
+  // The tail stays unspecified — no accessor reaches past size_.
+  constexpr StaticVector(const StaticVector& o) : size_(o.size_) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = o.data_[i];
+  }
+  constexpr StaticVector& operator=(const StaticVector& o) {
+    size_ = o.size_;
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = o.data_[i];
+    return *this;
   }
 
   constexpr void push_back(const T& v) {
@@ -91,7 +103,7 @@ class StaticVector {
   }
 
  private:
-  std::array<T, N> data_{};
+  std::array<T, N> data_;  // ctors initialize the live prefix
   std::size_t size_ = 0;
 };
 

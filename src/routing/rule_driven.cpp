@@ -10,6 +10,26 @@ namespace flexrouter {
 
 using rules::Value;
 
+namespace {
+
+/// Inputs a cached decision may depend on: fully determined by the cache
+/// key (dest, in_port, in_vc), the node, the topology and the fault epoch.
+/// Notably absent: src, path_len, misrouted — they vary per packet without
+/// being part of the key.
+bool cache_safe_input(const std::string& name) {
+  static const char* safe[] = {
+      "dest",       "dest_reachable", "escape_ok", "escape_port",
+      "in_port",    "in_vc",          "injected",  "link_ok",
+      "node",       "on_escape",      "xdes",      "xpos",
+      "ydes",       "ypos",
+  };
+  return std::find_if(std::begin(safe), std::end(safe), [&](const char* s) {
+           return name == s;
+         }) != std::end(safe);
+}
+
+}  // namespace
+
 RuleDrivenRouting::RuleDrivenRouting(std::string program_source, int num_vcs,
                                      rules::ExecMode mode,
                                      std::string route_base, VcId escape_vc)
@@ -38,13 +58,65 @@ void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
   program_ = std::make_unique<rules::Program>(rules::parse_program(source_));
   rules::require_valid(*program_);  // reject kind errors before compiling
   if (escape_vc_ >= 0) escape_.rebuild(faults);
-  FR_REQUIRE_MSG(program_->find_rule_base(route_base_) != nullptr,
+  const rules::RuleBase* route_rb = program_->find_rule_base(route_base_);
+  FR_REQUIRE_MSG(route_rb != nullptr,
                  "rule program lacks the decision rule base '" + route_base_ +
                      "'");
+  route_rb_ = static_cast<int>(route_rb - program_->rule_bases.data());
+
+  // Resolve every declared input against the host catalog once; unresolved
+  // names keep erroring at read time, exactly like the name-keyed path.
+  const bool is_mesh2d = mesh_ != nullptr && mesh_->dims() == 2;
+  input_codes_.clear();
+  input_codes_.reserve(program_->inputs.size());
+  for (const rules::InputDecl& in : program_->inputs) {
+    InCode code = InCode::Unknown;
+    if (in.name == "node") code = InCode::Node;
+    else if (in.name == "dest") code = InCode::Dest;
+    else if (in.name == "src") code = InCode::Src;
+    else if (in.name == "in_port") code = InCode::InPort;
+    else if (in.name == "in_vc") code = InCode::InVc;
+    else if (in.name == "injected") code = InCode::Injected;
+    else if (in.name == "path_len") code = InCode::PathLen;
+    else if (in.name == "misrouted") code = InCode::Misrouted;
+    else if (in.name == "link_ok") code = InCode::LinkOk;
+    else if (in.name == "dest_reachable") code = InCode::DestReachable;
+    else if (escape_vc_ >= 0 && in.name == "on_escape") code = InCode::OnEscape;
+    else if (escape_vc_ >= 0 && in.name == "escape_ok") code = InCode::EscapeOk;
+    else if (escape_vc_ >= 0 && in.name == "escape_port")
+      code = InCode::EscapePort;
+    else if (is_mesh2d && in.name == "xpos") code = InCode::XPos;
+    else if (is_mesh2d && in.name == "ypos") code = InCode::YPos;
+    else if (is_mesh2d && in.name == "xdes") code = InCode::XDes;
+    else if (is_mesh2d && in.name == "ydes") code = InCode::YDes;
+    input_codes_.push_back(code);
+  }
+
+  bytecode_ = mode_ == rules::ExecMode::Vm ? rules::compile_bytecode(*program_)
+                                           : nullptr;
+  cand_event_id_ = bytecode_ ? bytecode_->event_id("cand") : -1;
+
+  cand_handler_ = [this](const rules::EmittedEvent& ev) {
+    const bool is_cand = ev.name_id >= 0 ? ev.name_id == cand_event_id_
+                                         : ev.name == "cand";
+    if (!is_cand) return;
+    // Other events (e.g. state propagation to neighbours) are dropped by
+    // this adapter; dedicated tests exercise them through the machines.
+    FR_REQUIRE_MSG(ev.args.size() == 3, "!cand needs (port, vc, priority)");
+    FR_REQUIRE_MSG(active_decision_ != nullptr,
+                   "rule program emitted !cand outside a decision");
+    add_candidate(*active_decision_,
+                  static_cast<PortId>(ev.args[0].as_int()),
+                  static_cast<VcId>(ev.args[1].as_int()),
+                  static_cast<int>(ev.args[2].as_int()));
+  };
+
   machines_.clear();
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-    auto em = std::make_unique<rules::EventManager>(*program_, mode_);
-    // The input provider closes over the *algorithm*; the active context is
+    auto em =
+        std::make_unique<rules::EventManager>(*program_, mode_, rules::CompileOptions{},
+                                              bytecode_);
+    // The input providers close over the *algorithm*; the active context is
     // installed per decision.
     em->set_input_provider(
         [this](const std::string& input, const std::vector<Value>& idx) {
@@ -52,13 +124,123 @@ void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
                          "rule program read an input outside a decision");
           return input_value(*active_ctx_, input, idx);
         });
+    em->set_input_provider_raw(&RuleDrivenRouting::input_raw, this);
     machines_.push_back(std::move(em));
   }
+
+  // The decision cache is sound only if no reachable rule writes registers
+  // and every input read is covered by the cache key + fault epoch.
+  const rules::RouteAnalysis analysis =
+      rules::analyze_reachable(*program_, route_base_);
+  cache_enabled_ =
+      mode_ == rules::ExecMode::Vm && !analysis.writes_state &&
+      std::all_of(analysis.inputs_read.begin(), analysis.inputs_read.end(),
+                  cache_safe_input);
+  caches_.assign(static_cast<std::size_t>(topo.num_nodes()), NodeCache{});
+  cache_hits_ = 0;
+  cache_misses_ = 0;
 }
 
 rules::EventManager& RuleDrivenRouting::machine(NodeId n) const {
   FR_REQUIRE(topo_ != nullptr && topo_->valid_node(n));
   return *machines_[static_cast<std::size_t>(n)];
+}
+
+void RuleDrivenRouting::clear_decision_cache() const {
+  for (NodeCache& nc : caches_) {
+    nc.entries.clear();
+    nc.epoch_tag = ~std::uint64_t{0};
+    nc.env_tag = ~std::uint64_t{0};
+  }
+}
+
+Value RuleDrivenRouting::input_by_code(InCode code, const Value* idx,
+                                       std::size_t nidx) const {
+  const RouteContext& ctx = *active_ctx_;
+  switch (code) {
+    case InCode::Node: return Value::make_int(ctx.node);
+    case InCode::Dest: return Value::make_int(ctx.dest);
+    case InCode::Src: return Value::make_int(ctx.src);
+    case InCode::InPort: return Value::make_int(ctx.in_port);
+    case InCode::InVc:
+      return Value::make_int(std::max<VcId>(ctx.in_vc, 0));
+    case InCode::Injected:
+      return Value::make_bool(ctx.in_port < 0 ||
+                              ctx.in_port >= topo_->degree());
+    case InCode::PathLen: return Value::make_int(ctx.path_len);
+    case InCode::Misrouted: return Value::make_bool(ctx.misrouted);
+    case InCode::LinkOk: {
+      FR_REQUIRE_MSG(nidx == 1, "link_ok takes one direction index");
+      const auto p = static_cast<PortId>(idx[0].as_int());
+      if (p < 0 || p >= topo_->degree()) return Value::make_bool(false);
+      return Value::make_bool(faults_->link_usable(ctx.node, p));
+    }
+    case InCode::DestReachable:
+      return Value::make_bool(connected(*faults_, ctx.node, ctx.dest));
+    case InCode::OnEscape:
+      return Value::make_bool(ctx.in_vc == escape_vc_ && ctx.in_port >= 0 &&
+                              ctx.in_port < topo_->degree());
+    case InCode::EscapeOk:
+      return Value::make_bool(escape_.reachable(ctx.node, ctx.dest));
+    case InCode::EscapePort: {
+      // Deterministic escape hop; the injection port signals "none".
+      if (ctx.dest == ctx.node || !escape_.reachable(ctx.node, ctx.dest))
+        return Value::make_int(topo_->degree());
+      const bool on_escape = ctx.in_vc == escape_vc_ && ctx.in_port >= 0 &&
+                             ctx.in_port < topo_->degree();
+      UpDownTable::Phase phase = UpDownTable::Phase::Up;
+      if (on_escape) {
+        const NodeId prev = topo_->neighbor(ctx.node, ctx.in_port);
+        phase = escape_.is_up_move(
+                    prev, topo_->reverse_port(ctx.node, ctx.in_port))
+                    ? UpDownTable::Phase::Up
+                    : UpDownTable::Phase::Down;
+      }
+      return Value::make_int(
+          escape_.next_hops(ctx.node, ctx.dest, phase)[0]);
+    }
+    case InCode::XPos: return Value::make_int(mesh_->x_of(ctx.node));
+    case InCode::YPos: return Value::make_int(mesh_->y_of(ctx.node));
+    case InCode::XDes: return Value::make_int(mesh_->x_of(ctx.dest));
+    case InCode::YDes: return Value::make_int(mesh_->y_of(ctx.dest));
+    case InCode::Unknown: break;
+  }
+  FR_REQUIRE_MSG(false, "rule program input is not in the host catalog");
+  return Value::make_int(0);
+}
+
+Value RuleDrivenRouting::input_raw(void* ctx, std::int32_t input_id,
+                                   const Value* idx, std::size_t nidx) {
+  const auto* self = static_cast<const RuleDrivenRouting*>(ctx);
+  FR_REQUIRE_MSG(self->active_ctx_ != nullptr,
+                 "rule program read an input outside a decision");
+  return self->input_by_code(
+      self->input_codes_[static_cast<std::size_t>(input_id)], idx, nidx);
+}
+
+void RuleDrivenRouting::event_sink(void* ctx, std::int32_t name_id,
+                                   std::int32_t target_rb, const Value* args,
+                                   std::size_t nargs) {
+  const auto* self = static_cast<const RuleDrivenRouting*>(ctx);
+  if (target_rb >= 0) {
+    // Rule-bound event: queue for the cascade loop in compute_route. The
+    // args must outlive this call, so they are the one copy on this path.
+    rules::EmittedEvent& ev = self->event_scratch_.emplace_back();
+    ev.name_id = name_id;
+    ev.target_rb = target_rb;
+    ev.args.assign(args, args + nargs);
+    return;
+  }
+  // Host-bound events other than !cand are dropped by this adapter (state
+  // propagation to neighbours etc. is exercised through the machines).
+  if (name_id != self->cand_event_id_) return;
+  FR_REQUIRE_MSG(nargs == 3, "!cand needs (port, vc, priority)");
+  FR_REQUIRE_MSG(self->active_decision_ != nullptr,
+                 "rule program emitted !cand outside a decision");
+  self->add_candidate(*self->active_decision_,
+                      static_cast<PortId>(args[0].as_int()),
+                      static_cast<VcId>(args[1].as_int()),
+                      static_cast<int>(args[2].as_int()));
 }
 
 Value RuleDrivenRouting::input_value(const RouteContext& ctx,
@@ -115,60 +297,118 @@ Value RuleDrivenRouting::input_value(const RouteContext& ctx,
   return Value::make_int(0);
 }
 
+void RuleDrivenRouting::add_candidate(RouteDecision& d, PortId port, VcId vc,
+                                      int prio) const {
+  FR_REQUIRE_MSG(port >= 0 && port <= topo_->degree(),
+                 "rule program produced an invalid port");
+  FR_REQUIRE_MSG(vc >= 0 && vc < vcs_,
+                 "rule program produced an invalid VC");
+  d.candidates.push_back({port, vc, prio});
+}
+
+RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
+  rules::EventManager& em = machine(ctx.node);
+  active_ctx_ = &ctx;
+
+  RouteDecision d;
+  active_decision_ = &d;
+
+  int steps;
+  std::optional<rules::Value> returned;
+  if (mode_ == rules::ExecMode::Vm) {
+    // Direct VM path: fire the decision rule base and run the event cascade
+    // inline — no queue, no handler reinstall, no name dispatch. Events
+    // bound to a rule base re-fire (and count as steps, exactly like
+    // drain()); host-bound events go through the candidate adapter.
+    rules::Vm& vm = *em.vm();
+    if (!em.queue_empty()) em.drain();  // host-posted backlog first
+    // Host-bound events feed the candidate adapter straight from the
+    // register file (event_sink, zero materialization); rule-bound events
+    // are queued and re-fired below. Handler order equals drain()'s FIFO:
+    // fires happen in the same order either way, and within one fire the
+    // sink sees emissions in program order.
+    std::vector<rules::EmittedEvent>& work = event_scratch_;
+    work.clear();
+    void* const sink_ctx = const_cast<RuleDrivenRouting*>(this);
+    returned =
+        vm.fire_fast(route_rb_, {}, &RuleDrivenRouting::event_sink, sink_ctx);
+    steps = 1;
+    for (std::size_t next = 0; next < work.size(); ++next) {
+      const int rb = work[next].target_rb;
+      const std::vector<rules::Value> args = std::move(work[next].args);
+      vm.fire_fast(rb, args, &RuleDrivenRouting::event_sink, sink_ctx);
+      ++steps;
+    }
+    work.clear();
+  } else {
+    // Reinstall per decision: tests may have swapped the machine's handler
+    // (last installed wins), and the member copy fits std::function's small
+    // buffer — no allocation on this path.
+    em.set_host_handler_fast(cand_handler_);
+    const auto interpretations_before = em.total_interpretations();
+    const rules::FireResult r = em.fire(route_base_, {});
+    em.drain();
+    steps = static_cast<int>(em.total_interpretations() -
+                             interpretations_before);
+    returned = r.returned;
+  }
+
+  const std::optional<rules::Value>& r_returned = returned;
+  if (r_returned) {
+    PortId port;
+    if (r_returned->is_int()) {
+      port = static_cast<PortId>(r_returned->as_int());
+    } else {
+      const rules::RuleBase& rb = program_->rule_base(route_base_);
+      FR_REQUIRE_MSG(rb.returns.has_value(),
+                     "symbolic RETURN without a RETURNS domain");
+      port = static_cast<PortId>(rb.returns->index_of(*r_returned));
+    }
+    // A RETURNed port means "any VC of that port".
+    if (port == topo_->degree()) {
+      add_candidate(d, port, 0, 0);
+    } else {
+      for (VcId v = 0; v < vcs_; ++v) add_candidate(d, port, v, 0);
+    }
+  }
+
+  d.steps = steps;
+  active_ctx_ = nullptr;
+  active_decision_ = nullptr;
+  return d;
+}
+
 RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
   FR_REQUIRE_MSG(program_ != nullptr, "route() before attach()");
   FR_REQUIRE_MSG(escape_vc_ < 0 ||
                      escape_.built_for_epoch() == faults_->epoch(),
                  "stale escape table: reconfigure() missed an epoch");
-  rules::EventManager& em = machine(ctx.node);
-  active_ctx_ = &ctx;
 
-  RouteDecision d;
-  auto add_candidate = [&](PortId port, VcId vc, int prio) {
-    FR_REQUIRE_MSG(port >= 0 && port <= topo_->degree(),
-                   "rule program produced an invalid port");
-    FR_REQUIRE_MSG(vc >= 0 && vc < vcs_,
-                   "rule program produced an invalid VC");
-    d.candidates.push_back({port, vc, prio});
-  };
+  if (!cache_enabled_ || !cache_wanted_) return compute_route(ctx);
 
-  const auto interpretations_before = em.total_interpretations();
-  em.set_host_handler([&](const std::string& event,
-                          const std::vector<Value>& args) {
-    if (event == "cand") {
-      FR_REQUIRE_MSG(args.size() == 3, "!cand needs (port, vc, priority)");
-      add_candidate(static_cast<PortId>(args[0].as_int()),
-                    static_cast<VcId>(args[1].as_int()),
-                    static_cast<int>(args[2].as_int()));
-    }
-    // Other events (e.g. state propagation to neighbours) are dropped by
-    // this adapter; dedicated tests exercise them through the machines.
-  });
-
-  const rules::FireResult r = em.fire(route_base_, {});
-  em.drain();
-
-  if (r.returned) {
-    PortId port;
-    if (r.returned->is_int()) {
-      port = static_cast<PortId>(r.returned->as_int());
-    } else {
-      const rules::RuleBase& rb = program_->rule_base(route_base_);
-      FR_REQUIRE_MSG(rb.returns.has_value(),
-                     "symbolic RETURN without a RETURNS domain");
-      port = static_cast<PortId>(rb.returns->index_of(*r.returned));
-    }
-    // A RETURNed port means "any VC of that port".
-    if (port == topo_->degree()) {
-      add_candidate(port, 0, 0);
-    } else {
-      for (VcId v = 0; v < vcs_; ++v) add_candidate(port, v, 0);
-    }
+  NodeCache& nc = caches_[static_cast<std::size_t>(ctx.node)];
+  const std::uint64_t epoch = faults_->epoch();
+  const std::uint64_t env_ver = machine(ctx.node).env().version();
+  if (nc.epoch_tag != epoch || nc.env_tag != env_ver) {
+    nc.entries.clear();
+    nc.epoch_tag = epoch;
+    nc.env_tag = env_ver;
   }
-
-  d.steps = static_cast<int>(em.total_interpretations() -
-                             interpretations_before);
-  active_ctx_ = nullptr;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ctx.dest)) << 16) |
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(ctx.in_port + 1))
+       << 8) |
+      static_cast<std::uint64_t>(static_cast<std::uint8_t>(ctx.in_vc + 1));
+  const auto it = nc.entries.find(key);
+  if (it != nc.entries.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  RouteDecision d = compute_route(ctx);
+  // A stateless program cannot have bumped the env version; the fault epoch
+  // cannot change mid-decision. The tags taken above are still valid.
+  nc.entries.emplace(key, d);
   return d;
 }
 

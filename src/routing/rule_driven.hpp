@@ -24,11 +24,22 @@
 //    per node), so stateful programs keep per-node state like real rule
 //    bases.
 //
+// Execution: the default ExecMode::Vm compiles the program to bytecode once
+// (shared by all nodes) and serves inputs/candidate events through
+// id-resolved fast paths. On top sits a per-node decision cache keyed by
+// (dest, in_port, in_vc) — the software analogue of the paper's RBR-kernel
+// table lookup. It is enabled only when static analysis proves every
+// reachable rule base is stateless and reads only inputs determined by the
+// key, the topology and the fault set; cached entries are invalidated by
+// FaultSet::epoch() and by rule-register writes (RuleEnv::version()).
+//
 // The decision cost (steps) is the number of rule interpretations the
-// decision consumed — exactly the unit Section 5 reports.
+// decision consumed — exactly the unit Section 5 reports. Cache hits report
+// the steps of the decision they replay, keeping the paper's metric intact.
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "ruleengine/event_manager.hpp"
 #include "routing/routing.hpp"
@@ -44,7 +55,7 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   /// through the escape_* inputs) — the Duato construction that makes
   /// rule-programmed fault tolerance deadlock-free.
   RuleDrivenRouting(std::string program_source, int num_vcs,
-                    rules::ExecMode mode = rules::ExecMode::Table,
+                    rules::ExecMode mode = rules::ExecMode::Vm,
                     std::string route_base = "route", VcId escape_vc = -1);
 
   std::string name() const override;
@@ -62,9 +73,43 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   /// Per-node machine access (tests poke state / post events).
   rules::EventManager& machine(NodeId n) const;
 
+  /// Decision-cache introspection (benches and tests). The setter only
+  /// narrows: caching stays off when static analysis ruled it unsound.
+  bool decision_cache_enabled() const {
+    return cache_enabled_ && cache_wanted_;
+  }
+  void set_decision_cache_enabled(bool on) { cache_wanted_ = on; }
+  std::int64_t decision_cache_hits() const { return cache_hits_; }
+  std::int64_t decision_cache_misses() const { return cache_misses_; }
+  void clear_decision_cache() const;
+
  private:
+  /// Catalog slot of one declared input, resolved once at attach().
+  enum class InCode : std::uint8_t {
+    Node, Dest, Src, InPort, InVc, Injected, PathLen, Misrouted,
+    LinkOk, DestReachable, OnEscape, EscapeOk, EscapePort,
+    XPos, YPos, XDes, YDes,
+    Unknown,  // not served by this host configuration: error on read
+  };
+
+  struct NodeCache {
+    std::uint64_t epoch_tag = ~std::uint64_t{0};
+    std::uint64_t env_tag = ~std::uint64_t{0};
+    std::unordered_map<std::uint64_t, RouteDecision> entries;
+  };
+
   rules::Value input_value(const RouteContext& ctx, const std::string& name,
                            const std::vector<rules::Value>& idx) const;
+  rules::Value input_by_code(InCode code, const rules::Value* idx,
+                             std::size_t nidx) const;
+  /// Raw VM callbacks for the decision path (ctx = const RuleDrivenRouting*).
+  static rules::Value input_raw(void* ctx, std::int32_t input_id,
+                                const rules::Value* idx, std::size_t nidx);
+  static void event_sink(void* ctx, std::int32_t name_id,
+                         std::int32_t target_rb, const rules::Value* args,
+                         std::size_t nargs);
+  void add_candidate(RouteDecision& d, PortId port, VcId vc, int prio) const;
+  RouteDecision compute_route(const RouteContext& ctx) const;
 
   std::string source_;
   std::string route_base_;
@@ -77,8 +122,25 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   const Mesh* mesh_ = nullptr;  // non-null on 2-D meshes
   const FaultSet* faults_ = nullptr;
   mutable std::vector<std::unique_ptr<rules::EventManager>> machines_;
-  /// Context of the decision currently being evaluated (input provider).
+
+  // Resolved once at attach().
+  std::shared_ptr<const rules::BytecodeProgram> bytecode_;
+  int route_rb_ = -1;                 // index of the decision rule base
+  std::int32_t cand_event_id_ = -1;   // interned "cand" (VM events)
+  std::vector<InCode> input_codes_;   // parallel to program_->inputs
+  rules::EventManager::HostHandlerFast cand_handler_;
+
+  bool cache_enabled_ = false;  // static analysis verdict
+  bool cache_wanted_ = true;    // host switch (benches measure cold paths)
+  mutable std::vector<NodeCache> caches_;  // one per node
+  mutable std::vector<rules::EmittedEvent> event_scratch_;
+  mutable std::int64_t cache_hits_ = 0;
+  mutable std::int64_t cache_misses_ = 0;
+
+  /// Context/decision of the route() currently being evaluated (input
+  /// provider and candidate handler).
   mutable const RouteContext* active_ctx_ = nullptr;
+  mutable RouteDecision* active_decision_ = nullptr;
 };
 
 }  // namespace flexrouter

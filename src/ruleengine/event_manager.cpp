@@ -5,9 +5,17 @@
 namespace flexrouter::rules {
 
 EventManager::EventManager(const Program& prog, ExecMode mode,
-                           const CompileOptions& opts)
+                           const CompileOptions& opts,
+                           std::shared_ptr<const BytecodeProgram> bytecode)
     : prog_(&prog), mode_(mode), interp_(prog), env_(prog) {
-  if (mode_ == ExecMode::Table) compiled_ = compile_program(prog, interp_, opts);
+  if (mode_ == ExecMode::Table)
+    compiled_ = compile_program(prog, interp_, opts);
+  if (mode_ == ExecMode::Vm) {
+    bytecode_ = bytecode ? std::move(bytecode) : compile_bytecode(prog);
+    FR_REQUIRE_MSG(&bytecode_->program() == prog_,
+                   "bytecode compiled from a different program");
+    vm_ = std::make_unique<Vm>(bytecode_, env_);
+  }
 }
 
 FireResult EventManager::dispatch(const RuleBase& rb,
@@ -20,6 +28,8 @@ FireResult EventManager::dispatch(const RuleBase& rb,
       if (&c.source() == &rb) hit = &c;
     FR_ASSERT_MSG(hit != nullptr, "rule base missing from compiled program");
     r = hit->fire(interp_, env_, args);
+  } else if (mode_ == ExecMode::Vm) {
+    r = vm_->fire(static_cast<int>(&rb - prog_->rule_bases.data()), args);
   } else {
     r = interp_.fire(env_, rb, args);
   }
@@ -62,6 +72,20 @@ FireResult EventManager::fire(const std::string& rule_base,
   return r;
 }
 
+FireResult EventManager::fire(int rb_index, const std::vector<Value>& args) {
+  FR_REQUIRE(rb_index >= 0 &&
+             rb_index < static_cast<int>(prog_->rule_bases.size()));
+  FireResult r =
+      dispatch(prog_->rule_bases[static_cast<std::size_t>(rb_index)], args);
+  for (EmittedEvent& e : r.events) queue_.push_back(std::move(e));
+  return r;
+}
+
+int EventManager::base_index(const std::string& rule_base) const {
+  const RuleBase* rb = prog_->find_rule_base(rule_base);
+  return rb ? static_cast<int>(rb - prog_->rule_bases.data()) : -1;
+}
+
 void EventManager::post(const std::string& event, std::vector<Value> args) {
   queue_.push_back({event, std::move(args)});
 }
@@ -73,9 +97,16 @@ int EventManager::drain(int max_steps) {
     FR_REQUIRE_MSG(++steps <= max_steps, "event cascade exceeded max_steps");
     EmittedEvent ev = std::move(queue_.front());
     queue_.pop_front();
-    const RuleBase* rb = prog_->find_rule_base(ev.name);
+    // VM-produced events carry a pre-resolved target; others look up by name.
+    const RuleBase* rb =
+        ev.target_rb >= 0
+            ? &prog_->rule_bases[static_cast<std::size_t>(ev.target_rb)]
+            : (ev.target_rb == -1 ? nullptr : prog_->find_rule_base(ev.name));
     if (rb == nullptr) {
-      if (host_) host_(ev.name, ev.args);
+      if (host_fast_)
+        host_fast_(ev);
+      else if (host_)
+        host_(ev.name, ev.args);
       continue;
     }
     FireResult r = dispatch(*rb, ev.args);

@@ -14,19 +14,25 @@
 #include <memory>
 
 #include "ruleengine/rule_table.hpp"
+#include "ruleengine/vm.hpp"
 
 namespace flexrouter::rules {
 
 enum class ExecMode {
   Interpret,  // reference AST interpreter
   Table,      // compiled ARON rule tables (RBR kernel)
+  Vm,         // bytecode VM (premise chains + register frames)
 };
 
 class EventManager {
  public:
+  /// `bytecode` lets hosts share one compiled program across many managers
+  /// (e.g. one per node); when null it is compiled on demand in Vm mode.
   explicit EventManager(const Program& prog,
                         ExecMode mode = ExecMode::Interpret,
-                        const CompileOptions& opts = {});
+                        const CompileOptions& opts = {},
+                        std::shared_ptr<const BytecodeProgram> bytecode =
+                            nullptr);
 
   const Program& program() const { return *prog_; }
   RuleEnv& env() { return env_; }
@@ -34,12 +40,36 @@ class EventManager {
   Interpreter& interpreter() { return interp_; }
   ExecMode mode() const { return mode_; }
 
-  void set_input_provider(InputFn fn) { interp_.set_input_provider(std::move(fn)); }
+  void set_input_provider(InputFn fn) {
+    interp_.set_input_provider(fn);
+    if (vm_) vm_->set_input_provider(std::move(fn));
+  }
+  /// Pre-resolved provider for the VM hot path (input ids, no name lookup).
+  /// Interpret/Table dispatch still uses the string-keyed provider.
+  void set_input_provider_fast(FastInputFn fn) {
+    if (vm_) vm_->set_input_provider_fast(std::move(fn));
+  }
+  /// Raw pre-resolved provider (function pointer + context) — the cheapest
+  /// per-read dispatch; wins over both std::function providers in Vm mode.
+  void set_input_provider_raw(RawInputFn fn, void* ctx) {
+    if (vm_) vm_->set_input_provider_raw(fn, ctx);
+  }
 
   /// Receives events that no rule base handles (host-bound outputs).
   using HostHandler =
       std::function<void(const std::string&, const std::vector<Value>&)>;
-  void set_host_handler(HostHandler fn) { host_ = std::move(fn); }
+  void set_host_handler(HostHandler fn) {
+    host_ = std::move(fn);
+    host_fast_ = nullptr;
+  }
+  /// Pre-resolved host handler: receives the full EmittedEvent so hosts can
+  /// dispatch on the interned `name_id` instead of the name string. Mutually
+  /// exclusive with set_host_handler (last installed wins).
+  using HostHandlerFast = std::function<void(const EmittedEvent&)>;
+  void set_host_handler_fast(HostHandlerFast fn) {
+    host_fast_ = std::move(fn);
+    host_ = nullptr;
+  }
 
   /// Firing trace: called after every rule interpretation with the rule
   /// base, its arguments and the result — the rule-program debugger's hook.
@@ -55,6 +85,11 @@ class EventManager {
   /// Fire one rule base synchronously (one rule interpretation). Emitted
   /// events are queued for drain().
   FireResult fire(const std::string& rule_base, const std::vector<Value>& args);
+  /// Same, by rule-base index (see base_index) — skips the name lookup.
+  FireResult fire(int rb_index, const std::vector<Value>& args);
+
+  /// Index of a rule base in Program::rule_bases, or -1 if absent.
+  int base_index(const std::string& rule_base) const;
 
   /// Queue an event for asynchronous processing.
   void post(const std::string& event, std::vector<Value> args);
@@ -77,6 +112,14 @@ class EventManager {
 
   /// Compiled artifacts (Table mode); empty in Interpret mode.
   const std::vector<CompiledRuleBase>& compiled() const { return compiled_; }
+  /// Compiled bytecode (Vm mode); null otherwise.
+  const std::shared_ptr<const BytecodeProgram>& bytecode() const {
+    return bytecode_;
+  }
+  /// The bytecode VM (Vm mode); null otherwise. Hosts with their own event
+  /// loop (RuleDrivenRouting's decision path) fire it directly and skip the
+  /// queue machinery.
+  Vm* vm() const { return vm_.get(); }
 
  private:
   FireResult dispatch(const RuleBase& rb, const std::vector<Value>& args);
@@ -86,8 +129,11 @@ class EventManager {
   Interpreter interp_;
   RuleEnv env_;
   std::vector<CompiledRuleBase> compiled_;  // parallel to prog_->rule_bases
+  std::shared_ptr<const BytecodeProgram> bytecode_;
+  std::unique_ptr<Vm> vm_;
   std::deque<EmittedEvent> queue_;
   HostHandler host_;
+  HostHandlerFast host_fast_;
   TraceFn trace_;
   std::int64_t interpretations_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 namespace flexrouter::rules {
 
@@ -20,12 +21,12 @@ const SetValue& want_set(const Value& v, int line, const char* what) {
 }  // namespace
 
 bool Interpreter::is_builtin(const std::string& name) {
-  static const char* names[] = {"abs",    "min",      "max", "card",
-                                "xor",    "bitand",   "bit", "popcount",
-                                "signum", "meshdist"};
-  return std::find_if(std::begin(names), std::end(names), [&](const char* n) {
-           return name == n;
-         }) != std::end(names);
+  static const char* names[] = {"abs",      "bit",      "bitand", "card",
+                                "max",      "meshdist", "min",    "popcount",
+                                "signum",   "xor"};
+  return std::binary_search(
+      std::begin(names), std::end(names), name.c_str(),
+      [](const char* a, const char* b) { return std::strcmp(a, b) < 0; });
 }
 
 FireResult Interpreter::fire(RuleEnv& env, const std::string& rule_base,
@@ -39,6 +40,7 @@ FireResult Interpreter::fire(RuleEnv& env, const RuleBase& rb,
                  "argument count mismatch firing '" + rb.name + "'");
   Ctx ctx;
   ctx.env = &env;
+  ctx.bindings.reserve(args.size() + 4);  // headroom for quantifier pushes
   for (std::size_t i = 0; i < args.size(); ++i) {
     FR_REQUIRE_MSG(rb.params[i].domain.contains(args[i]),
                    "argument outside parameter domain in '" + rb.name + "'");
@@ -74,6 +76,7 @@ bool Interpreter::premise_holds(const RuleEnv& env, const RuleBase& rb,
              rule_index < static_cast<int>(rb.rules.size()));
   Ctx ctx;
   ctx.env = &env;
+  ctx.bindings.reserve(args.size() + 4);
   for (std::size_t i = 0; i < args.size(); ++i)
     ctx.bindings.emplace_back(rb.params[i].name, args[i]);
   return eval(rb.rules[static_cast<std::size_t>(rule_index)].premise, ctx)
@@ -108,6 +111,7 @@ FireResult Interpreter::exec_conclusion(RuleEnv& env, const RuleBase& rb,
   FR_REQUIRE(args.size() == rb.params.size());
   Ctx ctx;
   ctx.env = &env;
+  ctx.bindings.reserve(args.size() + 4);
   for (std::size_t i = 0; i < args.size(); ++i)
     ctx.bindings.emplace_back(rb.params[i].name, args[i]);
   ++total_fires_;

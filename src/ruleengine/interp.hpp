@@ -23,6 +23,11 @@ namespace flexrouter::rules {
 struct EmittedEvent {
   std::string name;
   std::vector<Value> args;
+  /// Pre-resolved dispatch, filled by the bytecode VM: id of the event in
+  /// BytecodeProgram::events (-1 when produced by the interpreter) and the
+  /// target rule-base index (-1 host-bound, -2 unresolved: look up by name).
+  std::int32_t name_id = -1;
+  std::int32_t target_rb = -2;
 };
 
 struct FireResult {

@@ -1,0 +1,120 @@
+// Register-based virtual machine executing compiled rule programs.
+//
+// One Vm owns the execution state for one node: a frame stack of Value
+// registers, a pending-write list (the language's parallel-commit buffer)
+// and pre-resolved input providers. The compiled BytecodeProgram is shared
+// across all Vms of a network.
+//
+// Vm::fire() is a drop-in replacement for Interpreter::fire(): same results
+// (fired rule, RETURN, emitted events, register commits) and same dynamic
+// error behaviour (EvalError vs ContractViolation, messages, ordering) —
+// enforced by the differential tests in tests/test_vm.cpp.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ruleengine/bytecode.hpp"
+#include "ruleengine/env.hpp"
+#include "ruleengine/interp.hpp"
+
+namespace flexrouter::rules {
+
+/// Pre-resolved input provider: `input_id` is the position of the input in
+/// Program::inputs, `idx` the evaluated (domain-checked) index values. The
+/// fast path replaces InputFn's per-read name dispatch and vector build.
+using FastInputFn =
+    std::function<Value(std::int32_t input_id, const Value* idx,
+                        std::size_t nidx)>;
+
+/// Raw variant of FastInputFn: a plain function pointer plus context, so the
+/// per-read call costs one indirect call instead of a std::function dispatch.
+using RawInputFn = Value (*)(void* ctx, std::int32_t input_id,
+                             const Value* idx, std::size_t nidx);
+
+/// Raw event sink for the decision path: invoked during Op::Emit for events
+/// emitted by the outermost frame (subbase frames keep pooling so the
+/// "no emissions inside an expression" contract stays enforced). `args`
+/// points into the live register file — copy what must outlive the call.
+using HostSinkFn = void (*)(void* ctx, std::int32_t name_id,
+                            std::int32_t target_rb, const Value* args,
+                            std::size_t nargs);
+
+class Vm {
+ public:
+  Vm(std::shared_ptr<const BytecodeProgram> bc, RuleEnv& env)
+      : bc_(std::move(bc)), prog_(&bc_->program()), env_(&env) {}
+
+  /// String-keyed fallback provider (same contract as Interpreter's).
+  void set_input_provider(InputFn fn) { inputs_ = std::move(fn); }
+  /// Pre-resolved provider; takes precedence over the string fallback.
+  void set_input_provider_fast(FastInputFn fn) {
+    fast_inputs_ = std::move(fn);
+  }
+  /// Raw provider; takes precedence over both std::function providers.
+  void set_input_provider_raw(RawInputFn fn, void* ctx) {
+    raw_inputs_ = fn;
+    raw_inputs_ctx_ = ctx;
+  }
+
+  FireResult fire(int rb_index, const std::vector<Value>& args);
+  FireResult fire(const std::string& rule_base, const std::vector<Value>& args);
+
+  /// Decision-path firing: identical semantics to fire(), but emitted
+  /// events stay in an internal pool — read them through event_count()/
+  /// event() before the next fire, which recycles the pool. The steady
+  /// state allocates nothing.
+  std::optional<Value> fire_fast(int rb_index, const std::vector<Value>& args);
+  /// Sinked variant: top-level emissions are delivered to `sink` as they
+  /// happen instead of being pooled — nothing is materialized. Candidate
+  /// handling observes them mid-run rather than post-commit, which is
+  /// indistinguishable for pure consumers (a throwing fire abandons the
+  /// decision either way).
+  std::optional<Value> fire_fast(int rb_index, const std::vector<Value>& args,
+                                 HostSinkFn sink, void* sink_ctx);
+  std::size_t event_count() const { return pool_used_; }
+  const EmittedEvent& event(std::size_t i) const { return pool_[i]; }
+
+  const BytecodeProgram& bytecode() const { return *bc_; }
+
+  /// Rule-base firings, counted like Interpreter::total_fires().
+  std::int64_t total_fires() const { return total_fires_; }
+  void reset_counters() { total_fires_ = 0; }
+
+ private:
+  struct RunResult {
+    int rule_index = -1;
+    int fired_line = 0;
+    std::optional<Value> returned;
+  };
+  struct Pending {
+    std::int32_t var;
+    std::int64_t index;
+    Value value;
+  };
+
+  RunResult fire_core(int rb_index, const std::vector<Value>& args,
+                      HostSinkFn sink, void* sink_ctx);
+  void run(int rb_index, const Value* args, std::size_t nargs, RunResult& res);
+  Value call_sub(std::int32_t rb_id, const std::vector<Value>& args,
+                 std::int32_t line);
+
+  std::shared_ptr<const BytecodeProgram> bc_;
+  const Program* prog_;
+  RuleEnv* env_;
+  InputFn inputs_;
+  FastInputFn fast_inputs_;
+  RawInputFn raw_inputs_ = nullptr;
+  void* raw_inputs_ctx_ = nullptr;
+  HostSinkFn sink_ = nullptr;  // live only while a sinked fire runs
+  void* sink_ctx_ = nullptr;
+  std::vector<Value> regs_;      // frame stack (subbase calls push frames)
+  std::size_t frame_top_ = 0;
+  std::vector<Pending> writes_;  // pending parallel writes, all live calls
+  std::vector<EmittedEvent> pool_;  // emitted events, recycled across fires
+  std::size_t pool_used_ = 0;
+  std::int64_t total_fires_ = 0;
+};
+
+}  // namespace flexrouter::rules

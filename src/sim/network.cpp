@@ -17,6 +17,8 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algo,
     routers_.push_back(
         std::make_unique<Router>(i, topo, faults_, algo, cfg.router));
   injection_queues_.resize(n);
+  router_active_.assign(n, 0);
+  records_.reserve(cfg.expected_packets);
 
   // One Link object per directed channel.
   for (NodeId u = 0; u < topo.num_nodes(); ++u) {
@@ -26,6 +28,7 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algo,
       links_.push_back(
           std::make_unique<Link>(algo.num_vcs(), cfg.link_latency));
       link_sources_.push_back({u, p});
+      link_dests_.push_back(v);
       Link* link = links_.back().get();
       routers_[static_cast<std::size_t>(u)]->connect_output(p, link);
       routers_[static_cast<std::size_t>(v)]->connect_input(
@@ -56,9 +59,16 @@ PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
   h.length = length;
   MessageInterface::seal(h);
 
+  // Build the flit train in a scratch vector, then bulk-append: one deque
+  // range-insert instead of `length` grow steps.
+  inject_scratch_.clear();
+  inject_scratch_.reserve(static_cast<std::size_t>(length));
+  inject_scratch_.push_back(make_head_flit(h));
+  for (int s = 1; s < length; ++s)
+    inject_scratch_.push_back(make_body_flit(h, s));
   auto& queue = injection_queues_[static_cast<std::size_t>(src)];
-  queue.push_back(make_head_flit(h));
-  for (int s = 1; s < length; ++s) queue.push_back(make_body_flit(h, s));
+  queue.insert(queue.end(), inject_scratch_.begin(), inject_scratch_.end());
+  pending_sources_.insert(src);
   return rec.id;
 }
 
@@ -66,20 +76,27 @@ void Network::step(Cycle now) {
   delivered_last_cycle_.clear();
 
   // Injection: at most one flit per node per cycle (local link bandwidth).
-  for (NodeId u = 0; u < topo_->num_nodes(); ++u) {
+  // Only nodes with queued flits are visited, in ascending node order —
+  // identical to the full scan.
+  for (auto it = pending_sources_.begin(); it != pending_sources_.end();) {
+    const NodeId u = *it;
     auto& queue = injection_queues_[static_cast<std::size_t>(u)];
-    if (queue.empty()) continue;
     Router& r = *routers_[static_cast<std::size_t>(u)];
-    if (r.injection_space() <= 0) continue;
-    const Flit f = queue.front();
-    queue.pop_front();
-    if (f.head)
-      records_[static_cast<std::size_t>(f.hdr.packet)].injected = now;
-    r.inject(f);
+    if (r.injection_space() > 0) {
+      const Flit f = queue.front();
+      queue.pop_front();
+      if (f.head)
+        records_[static_cast<std::size_t>(f.hdr.packet)].injected = now;
+      r.inject(f);
+      router_active_[static_cast<std::size_t>(u)] = 1;
+    }
+    it = queue.empty() ? pending_sources_.erase(it) : std::next(it);
   }
 
-  // Routers.
+  // Routers. Inactive routers (no buffered flits, no busy incident link)
+  // step as provable no-ops, so they are skipped outright.
   for (NodeId u = 0; u < topo_->num_nodes(); ++u) {
+    if (!router_active_[static_cast<std::size_t>(u)]) continue;
     eject_scratch_.clear();
     routers_[static_cast<std::size_t>(u)]->step(now, eject_scratch_);
     for (const Flit& f : eject_scratch_) {
@@ -95,6 +112,17 @@ void Network::step(Cycle now) {
         delivered_last_cycle_.push_back(rec.id);
       }
     }
+    if (routers_[static_cast<std::size_t>(u)]->empty())
+      router_active_[static_cast<std::size_t>(u)] = 0;
+  }
+
+  // A busy link keeps both endpoints live for the next cycle: the receiver
+  // must accept arriving flits, the sender must pick up returning credits
+  // the cycle they land.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i]->idle()) continue;
+    router_active_[static_cast<std::size_t>(link_sources_[i].node)] = 1;
+    router_active_[static_cast<std::size_t>(link_dests_[i])] = 1;
   }
 }
 

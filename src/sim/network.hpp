@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "router/router.hpp"
@@ -17,6 +18,9 @@ namespace flexrouter {
 struct NetworkConfig {
   RouterConfig router;
   int link_latency = 1;
+  /// Reserve hint: packets the workload expects to create (pre-sizes the
+  /// record table so injection-heavy benches don't pay reallocation churn).
+  std::size_t expected_packets = 0;
 };
 
 struct PacketRecord {
@@ -103,12 +107,19 @@ class Network {
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<LinkRef> link_sources_;  // parallel to links_
+  std::vector<NodeId> link_dests_;     // parallel to links_
   std::vector<PacketRecord> records_;
   /// Flits waiting to enter each source router (one stream per node).
   std::vector<std::deque<Flit>> injection_queues_;
+  /// Nodes with a non-empty injection queue (ascending = injection order).
+  std::set<NodeId> pending_sources_;
+  /// Routers that may do work this cycle: holding flits, injecting, or on
+  /// either end of a busy link. Everything else is provably a no-op step.
+  std::vector<char> router_active_;
   std::int64_t delivered_count_ = 0;
   std::vector<PacketId> delivered_last_cycle_;
   std::vector<Flit> eject_scratch_;
+  std::vector<Flit> inject_scratch_;
 };
 
 }  // namespace flexrouter

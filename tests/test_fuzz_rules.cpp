@@ -163,6 +163,7 @@ TEST_P(RuleFuzz, CompiledTableMatchesInterpreter) {
 
   EventManager direct(prog, ExecMode::Interpret);
   EventManager table(prog, ExecMode::Table);
+  EventManager vm(prog, ExecMode::Vm);
 
   Rng rng(GetParam().seed ^ 0xf00dULL);
   std::int64_t sig_idx = 0, tiny = 0, big = 0;
@@ -178,6 +179,7 @@ TEST_P(RuleFuzz, CompiledTableMatchesInterpreter) {
   };
   direct.set_input_provider(inputs);
   table.set_input_provider(inputs);
+  vm.set_input_provider(inputs);
 
   for (int iter = 0; iter < 400; ++iter) {
     sig_idx = static_cast<std::int64_t>(rng.next_below(3));
@@ -188,17 +190,23 @@ TEST_P(RuleFuzz, CompiledTableMatchesInterpreter) {
 
     const FireResult a = direct.fire("step", {d});
     const FireResult b = table.fire("step", {d});
-    ASSERT_EQ(a.rule_index, b.rule_index) << "iteration " << iter;
-    ASSERT_EQ(a.returned.has_value(), b.returned.has_value());
-    if (a.returned) ASSERT_TRUE(*a.returned == *b.returned);
-    ASSERT_EQ(a.events.size(), b.events.size());
-    for (std::size_t e = 0; e < a.events.size(); ++e) {
-      ASSERT_EQ(a.events[e].name, b.events[e].name);
-      ASSERT_EQ(a.events[e].args.size(), b.events[e].args.size());
-      for (std::size_t k = 0; k < a.events[e].args.size(); ++k)
-        ASSERT_TRUE(a.events[e].args[k] == b.events[e].args[k]);
+    const FireResult c = vm.fire("step", {d});
+    for (const FireResult* other : {&b, &c}) {
+      ASSERT_EQ(a.rule_index, other->rule_index) << "iteration " << iter;
+      ASSERT_EQ(a.returned.has_value(), other->returned.has_value());
+      if (a.returned) {
+        ASSERT_TRUE(*a.returned == *other->returned);
+      }
+      ASSERT_EQ(a.events.size(), other->events.size());
+      for (std::size_t e = 0; e < a.events.size(); ++e) {
+        ASSERT_EQ(a.events[e].name, other->events[e].name);
+        ASSERT_EQ(a.events[e].args.size(), other->events[e].args.size());
+        for (std::size_t k = 0; k < a.events[e].args.size(); ++k)
+          ASSERT_TRUE(a.events[e].args[k] == other->events[e].args[k]);
+      }
     }
     ASSERT_TRUE(direct.env() == table.env()) << "iteration " << iter;
+    ASSERT_TRUE(direct.env() == vm.env()) << "iteration " << iter;
   }
 }
 
@@ -229,6 +237,7 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
 
   EventManager direct(prog, ExecMode::Interpret);
   EventManager table(prog, ExecMode::Table);
+  EventManager vm(prog, ExecMode::Vm);
 
   Rng rng(0xc0ffee);
   // Memoized random inputs: one value per (name, indices) per iteration.
@@ -252,6 +261,7 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
   };
   direct.set_input_provider(inputs);
   table.set_input_provider(inputs);
+  vm.set_input_provider(inputs);
 
   for (int iter = 0; iter < 600; ++iter) {
     memo.clear();
@@ -261,8 +271,8 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
     for (const Param& p : rb.params)
       args.push_back(p.domain.value_at(rng.next_below(p.domain.cardinality())));
 
-    std::optional<FireResult> a, b;
-    bool a_threw = false, b_threw = false;
+    std::optional<FireResult> a, b, c;
+    bool a_threw = false, b_threw = false, c_threw = false;
     try {
       a = direct.fire(rb.name, args);
     } catch (const ContractViolation&) {
@@ -273,30 +283,45 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
     } catch (const ContractViolation&) {
       b_threw = true;
     }
+    try {
+      c = vm.fire(rb.name, args);
+    } catch (const ContractViolation&) {
+      c_threw = true;
+    }
     ASSERT_EQ(a_threw, b_threw) << rb.name << " iteration " << iter;
+    ASSERT_EQ(a_threw, c_threw) << rb.name << " iteration " << iter;
     if (a_threw) {
       // A domain-range violation may have committed partial state in one
-      // engine's env copy semantics; resynchronise both to keep comparing.
+      // engine's env copy semantics; resynchronise all to keep comparing.
       direct.reset_state();
       table.reset_state();
+      vm.reset_state();
       continue;
     }
-    ASSERT_EQ(a->rule_index, b->rule_index) << rb.name << " iter " << iter;
-    ASSERT_EQ(a->returned.has_value(), b->returned.has_value());
-    if (a->returned) ASSERT_TRUE(*a->returned == *b->returned);
-    ASSERT_EQ(a->events.size(), b->events.size());
-    // Process the generated event cascades in both engines (self-handled
+    for (const auto* other : {&b, &c}) {
+      ASSERT_EQ(a->rule_index, (*other)->rule_index)
+          << rb.name << " iter " << iter;
+      ASSERT_EQ(a->returned.has_value(), (*other)->returned.has_value());
+      if (a->returned) {
+        ASSERT_TRUE(*a->returned == *(*other)->returned);
+      }
+      ASSERT_EQ(a->events.size(), (*other)->events.size());
+    }
+    // Process the generated event cascades in all engines (self-handled
     // events like update_state re-fire; unhandled ones drop) and require
     // the accumulated register state to stay identical.
     try {
       direct.drain();
       table.drain();
+      vm.drain();
     } catch (const ContractViolation&) {
       direct.reset_state();
       table.reset_state();
+      vm.reset_state();
       continue;
     }
     ASSERT_TRUE(direct.env() == table.env()) << rb.name << " iter " << iter;
+    ASSERT_TRUE(direct.env() == vm.env()) << rb.name << " iter " << iter;
   }
 }
 

@@ -130,7 +130,9 @@ TEST(ValueTest, TotalOrderIsStrictWeak) {
     for (const Value& v : vals) EXPECT_FALSE(v < v);
     for (std::size_t i = 0; i < vals.size(); ++i)
       for (std::size_t j = 0; j < vals.size(); ++j)
-        if (vals[i] < vals[j]) EXPECT_FALSE(vals[j] < vals[i]);
+        if (vals[i] < vals[j]) {
+          EXPECT_FALSE(vals[j] < vals[i]);
+        }
   }
 }
 
