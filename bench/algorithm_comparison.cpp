@@ -8,6 +8,10 @@
 // four traffic patterns: no single algorithm wins everywhere, which is why
 // a router whose algorithm is a loadable rule base (rather than baked
 // silicon) earns its keep.
+//
+// The full (rate x algorithm x pattern) grid — 40 independent simulations —
+// runs on SweepRunner; results are printed in grid order afterwards, so the
+// table is identical at any thread count.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -17,23 +21,40 @@ int main() {
   using namespace flexrouter;
   Mesh m = Mesh::two_d(8, 8);
 
-  const char* algorithms[] = {"dor-mesh", "nara", "nafta", "planar-adaptive",
-                              "updown"};
-  const char* patterns[] = {"uniform", "transpose", "tornado", "hotspot"};
+  const std::vector<std::string> algorithms = {"dor-mesh", "nara", "nafta",
+                                               "planar-adaptive", "updown"};
+  const std::vector<std::string> patterns = {"uniform", "transpose",
+                                             "tornado", "hotspot"};
+  const std::vector<double> rates = {0.08, 0.16};
 
-  for (const double rate : {0.08, 0.16}) {
+  std::vector<SweepPoint> points;
+  for (const double rate : rates) {
+    for (const std::string& aname : algorithms) {
+      for (const std::string& pname : patterns) {
+        points.push_back({[&m, aname, pname, rate](std::uint64_t) {
+          auto algo = make_algorithm(aname);
+          auto traffic = make_traffic(pname, m, 5);
+          return bench::run_point(m, *algo, *traffic, rate, 4, 31, {}, 600,
+                                  1500);
+        }});
+      }
+    }
+  }
+
+  SweepRunner runner;
+  const std::vector<SimResult> results = runner.run(points);
+
+  std::size_t i = 0;
+  for (const double rate : rates) {
     bench::print_header("Mesh 8x8, offered load " + bench::fmt(rate) +
                         " flits/node/cycle — avg latency (p99) in cycles");
     std::vector<std::string> head = {"algorithm"};
-    for (const char* p : patterns) head.push_back(p);
+    for (const std::string& p : patterns) head.push_back(p);
     bench::print_row(head, 18);
-    for (const char* aname : algorithms) {
+    for (const std::string& aname : algorithms) {
       std::vector<std::string> row = {aname};
-      for (const char* pname : patterns) {
-        auto algo = make_algorithm(aname);
-        auto traffic = make_traffic(pname, m, 5);
-        const SimResult r =
-            bench::run_point(m, *algo, *traffic, rate, 4, 31, {}, 600, 1500);
+      for (std::size_t p = 0; p < patterns.size(); ++p) {
+        const SimResult& r = results[i++];
         if (r.deadlock_suspected ||
             r.delivered_packets != r.injected_packets) {
           row.push_back("saturated");

@@ -11,6 +11,7 @@
 
 #include "sim/fault_injector.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 
 namespace flexrouter::bench {
 
@@ -32,22 +33,30 @@ inline std::string fmt(double v, int precision = 2) {
   return os.str();
 }
 
-/// Run one (network, traffic, config) point and return the result.
+/// Run one (network, traffic, config) point and return the result. A grid
+/// point built for SweepRunner must construct algorithm and traffic inside
+/// its own closure (replicas share nothing mutable) and call this.
+inline SimResult run_point(const Topology& topo, RoutingAlgorithm& algo,
+                           TrafficPattern& traffic, const SimConfig& cfg,
+                           const std::function<void(FaultSet&)>& faults = {}) {
+  Network net(topo, algo);
+  if (faults) net.apply_faults(faults);
+  Simulator sim(net, traffic, cfg);
+  return sim.run();
+}
+
 inline SimResult run_point(const Topology& topo, RoutingAlgorithm& algo,
                            TrafficPattern& traffic, double rate,
                            int packet_length, std::uint64_t seed,
                            const std::function<void(FaultSet&)>& faults = {},
                            Cycle warmup = 800, Cycle measure = 2000) {
-  Network net(topo, algo);
-  if (faults) net.apply_faults(faults);
   SimConfig cfg;
   cfg.injection_rate = rate;
   cfg.packet_length = packet_length;
   cfg.warmup_cycles = warmup;
   cfg.measure_cycles = measure;
   cfg.seed = seed;
-  Simulator sim(net, traffic, cfg);
-  return sim.run();
+  return run_point(topo, algo, traffic, cfg, faults);
 }
 
 }  // namespace flexrouter::bench

@@ -4,6 +4,10 @@
 // 1024 * 2^d x (d+1+a) bits rule table" — i.e. integrating several steps
 // into one is possible but prohibitively expensive, which justifies the
 // two-interpretation decision pipeline.
+//
+// The (d, a) grid is embarrassingly parallel, so the rows are computed via
+// SweepRunner::run_tasks (the generic fan-out; no simulation involved) and
+// printed in grid order afterwards.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -14,19 +18,37 @@ int main() {
   bench::print_header(
       "E4 — combined decide_dir+decide_vc table vs the two-step tables");
   bench::print_row({"d", "a", "two-step bits", "combined bits", "blow-up x"});
-  for (int d = 3; d <= 10; ++d) {
-    for (int a = 1; a <= 3; ++a) {
-      const auto rep = hwcost::table2_route_c(d, a);
-      std::int64_t two_step = 0;
+
+  struct Row {
+    int d = 0;
+    int a = 0;
+    std::int64_t two_step = 0;
+    std::int64_t combined = 0;
+  };
+  std::vector<Row> rows;
+  for (int d = 3; d <= 10; ++d)
+    for (int a = 1; a <= 3; ++a) rows.push_back({d, a, 0, 0});
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(rows.size());
+  for (Row& row : rows) {
+    tasks.push_back([&row] {
+      const auto rep = hwcost::table2_route_c(row.d, row.a);
       for (const auto& r : rep.rows)
         if (r.name == "decide_dir" || r.name == "decide_vc")
-          two_step += r.table_bits;
-      const auto combined = hwcost::combined_rulebase_bits(d, a);
-      bench::print_row({std::to_string(d), std::to_string(a),
-                        std::to_string(two_step), std::to_string(combined),
-                        bench::fmt(static_cast<double>(combined) /
-                                   static_cast<double>(two_step), 1)});
-    }
+          row.two_step += r.table_bits;
+      row.combined = hwcost::combined_rulebase_bits(row.d, row.a);
+    });
+  }
+  SweepRunner runner;
+  runner.run_tasks(tasks);
+
+  for (const Row& row : rows) {
+    bench::print_row({std::to_string(row.d), std::to_string(row.a),
+                      std::to_string(row.two_step),
+                      std::to_string(row.combined),
+                      bench::fmt(static_cast<double>(row.combined) /
+                                 static_cast<double>(row.two_step), 1)});
   }
   std::cout << "\nThe separated interpretation keeps the table memory linear"
                " in d;\nthe merged one grows as 2^d — the paper's argument "

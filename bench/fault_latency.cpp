@@ -3,6 +3,12 @@
 // hypercube. The paper's motivation: a fault-tolerant network keeps
 // operating (with measurable but bounded degradation) where an oblivious
 // one would have to stop for system-level reconfiguration.
+//
+// The (faults x load) grid runs on the deterministic SweepRunner: every
+// point builds its own algorithm/traffic/network replica, so the tables are
+// identical to serial execution at any thread count. Seeds are pinned to
+// the historical per-point values so the numbers stay comparable across
+// PRs.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -11,6 +17,7 @@
 
 int main() {
   using namespace flexrouter;
+  SweepRunner runner;
 
   bench::print_header(
       "X2a — NAFTA on an 8x8 mesh, uniform traffic: latency vs offered load "
@@ -19,17 +26,31 @@ int main() {
                     "hops/min", "misrouted %"});
   {
     Mesh m = Mesh::two_d(8, 8);
-    UniformTraffic tr(m);
-    for (const int k : {0, 2, 4, 8}) {
-      for (const double rate : {0.02, 0.06, 0.10, 0.14, 0.18}) {
-        Nafta nafta;
-        Rng rng(static_cast<std::uint64_t>(k) * 31 + 5);
-        const SimResult r = bench::run_point(
-            m, nafta, tr, rate, 4, static_cast<std::uint64_t>(k * 100 + 1),
-            k == 0 ? std::function<void(FaultSet&)>{}
-                   : [&](FaultSet& f) {
-                       inject_random_link_faults(f, k, rng);
-                     });
+    const int fault_counts[] = {0, 2, 4, 8};
+    const double rates[] = {0.02, 0.06, 0.10, 0.14, 0.18};
+
+    std::vector<SweepPoint> points;
+    for (const int k : fault_counts) {
+      for (const double rate : rates) {
+        points.push_back({[&m, k, rate](std::uint64_t) {
+          Nafta nafta;
+          UniformTraffic tr(m);
+          Rng rng(static_cast<std::uint64_t>(k) * 31 + 5);
+          return bench::run_point(
+              m, nafta, tr, rate, 4, static_cast<std::uint64_t>(k * 100 + 1),
+              k == 0 ? std::function<void(FaultSet&)>{}
+                     : [&](FaultSet& f) {
+                         inject_random_link_faults(f, k, rng);
+                       });
+        }});
+      }
+    }
+    const std::vector<SimResult> results = runner.run(points);
+
+    std::size_t i = 0;
+    for (const int k : fault_counts) {
+      for (const double rate : rates) {
+        const SimResult& r = results[i++];
         bench::print_row(
             {std::to_string(k), bench::fmt(rate), bench::fmt(r.avg_latency),
              bench::fmt(r.p99_latency), bench::fmt(r.throughput, 4),
@@ -51,17 +72,31 @@ int main() {
                     "hops/min", "misrouted %"});
   {
     Hypercube h(5);
-    UniformTraffic tr(h);
-    for (const int k : {0, 1, 2, 4}) {
-      for (const double rate : {0.03, 0.08, 0.13, 0.18}) {
-        RouteC rc;
-        Rng rng(static_cast<std::uint64_t>(k) * 17 + 3);
-        const SimResult r = bench::run_point(
-            h, rc, tr, rate, 4, static_cast<std::uint64_t>(k * 100 + 2),
-            k == 0 ? std::function<void(FaultSet&)>{}
-                   : [&](FaultSet& f) {
-                       inject_random_node_faults(f, k, rng);
-                     });
+    const int fault_counts[] = {0, 1, 2, 4};
+    const double rates[] = {0.03, 0.08, 0.13, 0.18};
+
+    std::vector<SweepPoint> points;
+    for (const int k : fault_counts) {
+      for (const double rate : rates) {
+        points.push_back({[&h, k, rate](std::uint64_t) {
+          RouteC rc;
+          UniformTraffic tr(h);
+          Rng rng(static_cast<std::uint64_t>(k) * 17 + 3);
+          return bench::run_point(
+              h, rc, tr, rate, 4, static_cast<std::uint64_t>(k * 100 + 2),
+              k == 0 ? std::function<void(FaultSet&)>{}
+                     : [&](FaultSet& f) {
+                         inject_random_node_faults(f, k, rng);
+                       });
+        }});
+      }
+    }
+    const std::vector<SimResult> results = runner.run(points);
+
+    std::size_t i = 0;
+    for (const int k : fault_counts) {
+      for (const double rate : rates) {
+        const SimResult& r = results[i++];
         bench::print_row(
             {std::to_string(k), bench::fmt(rate), bench::fmt(r.avg_latency),
              bench::fmt(r.p99_latency), bench::fmt(r.throughput, 4),

@@ -1,0 +1,236 @@
+// Simulator hot-loop and sweep-engine throughput benchmark.
+//
+// Measures:
+//   1. Single-replica simulated cycles/second on two fixed scenarios
+//      (fault-free and 6-link-fault 8x8 mesh, NAFTA, uniform 0.10) — the
+//      number the serial hot-loop overhaul moves.
+//   2. Wall-clock for a 16-point (faults x load) sweep at 1/2/4/8 worker
+//      threads, with a bit-identical cross-check of every SimResult field
+//      against the single-thread run — the determinism contract of
+//      SweepRunner.
+//
+// Usage:
+//   ./sim_throughput              # full run, table to stdout
+//   ./sim_throughput --smoke      # tiny grid for CI (seconds, still checks
+//                                 # bit-identity across thread counts)
+//   ./sim_throughput --json FILE  # also emit a JSON report
+//
+// Plain std::chrono timing — no google-benchmark dependency, so the binary
+// stays runnable in every build config.
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "routing/nafta.hpp"
+
+namespace {
+
+using namespace flexrouter;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool bit_identical(const SimResult& a, const SimResult& b) {
+  return a.injected_packets == b.injected_packets &&
+         a.delivered_packets == b.delivered_packets &&
+         std::memcmp(&a.avg_latency, &b.avg_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.p50_latency, &b.p50_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.p99_latency, &b.p99_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.avg_hops, &b.avg_hops, sizeof(double)) == 0 &&
+         std::memcmp(&a.min_hops_ratio, &b.min_hops_ratio,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.throughput, &b.throughput, sizeof(double)) == 0 &&
+         std::memcmp(&a.misrouted_fraction, &b.misrouted_fraction,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.avg_latency_misrouted, &b.avg_latency_misrouted,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.avg_latency_direct, &b.avg_latency_direct,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.avg_decision_steps, &b.avg_decision_steps,
+                     sizeof(double)) == 0 &&
+         a.deadlock_suspected == b.deadlock_suspected &&
+         a.cycles_run == b.cycles_run;
+}
+
+struct SingleReplica {
+  const char* name;
+  int link_faults;
+  double cycles_per_sec = 0.0;
+  Cycle cycles = 0;
+};
+
+// Fixed serial scenario: 8x8 mesh, NAFTA, uniform 0.10, seed 42. The
+// faulty variant breaks 6 links with Rng(99). Matches the pre-PR baseline
+// capture, so cycles/sec is comparable across revisions.
+SimResult run_single(int link_faults, Cycle warmup, Cycle measure,
+                     Cycle* cycles_out, double* elapsed_out) {
+  Mesh m = Mesh::two_d(8, 8);
+  Nafta algo;
+  UniformTraffic tr(m);
+  Network net(m, algo);
+  if (link_faults > 0) {
+    Rng rng(99);
+    net.apply_faults(
+        [&](FaultSet& f) { inject_random_link_faults(f, link_faults, rng); });
+  }
+  SimConfig cfg;
+  cfg.injection_rate = 0.10;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = measure;
+  cfg.seed = 42;
+  Simulator sim(net, tr, cfg);
+  const auto t0 = Clock::now();
+  SimResult r = sim.run();
+  *elapsed_out = seconds_since(t0);
+  *cycles_out = sim.now();
+  return r;
+}
+
+// The 16-point sweep grid: 4 fault counts x 4 offered loads on the same
+// 8x8 mesh. Every point constructs its own replica inside the lambda.
+std::vector<SweepPoint> make_grid(Cycle warmup, Cycle measure) {
+  const int fault_counts[] = {0, 2, 4, 6};
+  const double rates[] = {0.04, 0.08, 0.12, 0.16};
+  std::vector<SweepPoint> points;
+  for (const int k : fault_counts) {
+    for (const double rate : rates) {
+      points.push_back({[k, rate, warmup, measure](std::uint64_t seed) {
+        Mesh m = Mesh::two_d(8, 8);
+        Nafta algo;
+        UniformTraffic tr(m);
+        Rng frng(static_cast<std::uint64_t>(k) * 31 + 5);
+        SimConfig cfg;
+        cfg.injection_rate = rate;
+        cfg.packet_length = 4;
+        cfg.warmup_cycles = warmup;
+        cfg.measure_cycles = measure;
+        cfg.seed = seed;
+        return bench::run_point(m, algo, tr, cfg,
+                                k == 0 ? std::function<void(FaultSet&)>{}
+                                       : [&](FaultSet& f) {
+                                           inject_random_link_faults(f, k,
+                                                                     frng);
+                                         });
+      }});
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flexrouter;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  const Cycle single_warmup = smoke ? 200 : 2000;
+  const Cycle single_measure = smoke ? 800 : 8000;
+  const Cycle grid_warmup = smoke ? 100 : 400;
+  const Cycle grid_measure = smoke ? 300 : 1600;
+
+  bench::print_header(
+      "Simulator throughput — serial hot loop and parallel sweep engine");
+
+  // --- 1. single-replica cycles/sec --------------------------------------
+  SingleReplica singles[] = {{"fault-free", 0}, {"6 link faults", 6}};
+  bench::print_row({"scenario", "sim cycles", "wall s", "cycles/sec"});
+  for (SingleReplica& s : singles) {
+    double elapsed = 0.0;
+    const SimResult r =
+        run_single(s.link_faults, single_warmup, single_measure, &s.cycles,
+                   &elapsed);
+    if (r.deadlock_suspected) {
+      std::cerr << "unexpected deadlock in single-replica scenario\n";
+      return 1;
+    }
+    s.cycles_per_sec = static_cast<double>(s.cycles) / elapsed;
+    bench::print_row({s.name, std::to_string(s.cycles), bench::fmt(elapsed, 3),
+                      bench::fmt(s.cycles_per_sec, 0)});
+  }
+
+  // --- 2. sweep wall-clock at 1/2/4/8 threads ----------------------------
+  const std::vector<SweepPoint> points = make_grid(grid_warmup, grid_measure);
+  const int thread_counts[] = {1, 2, 4, 8};
+  std::vector<SimResult> reference;
+  double serial_wall = 0.0;
+  struct SweepRow {
+    int threads;
+    double wall;
+    bool identical;
+  };
+  std::vector<SweepRow> sweep_rows;
+
+  std::cout << "\n";
+  bench::print_row({"threads", "grid points", "wall s", "speedup",
+                    "bit-identical"});
+  for (const int t : thread_counts) {
+    SweepOptions opts;
+    opts.num_threads = t;
+    opts.base_seed = 7;
+    SweepRunner runner(opts);
+    const auto t0 = Clock::now();
+    const std::vector<SimResult> results = runner.run(points);
+    const double wall = seconds_since(t0);
+    bool identical = true;
+    if (t == 1) {
+      reference = results;
+      serial_wall = wall;
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i)
+        identical = identical && bit_identical(results[i], reference[i]);
+    }
+    sweep_rows.push_back({t, wall, identical});
+    bench::print_row({std::to_string(t), std::to_string(points.size()),
+                      bench::fmt(wall, 3), bench::fmt(serial_wall / wall, 2),
+                      identical ? "yes" : "NO"});
+    if (!identical) {
+      std::cerr << "DETERMINISM VIOLATION: sweep results differ at " << t
+                << " threads\n";
+      return 1;
+    }
+  }
+
+  std::cout << "\nNote: speedup is bounded by the physical core count of the"
+               "\nmachine running the bench; bit-identity must hold "
+               "everywhere.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os.precision(17);
+    os << "{\n  \"context\": {\n"
+       << "    \"num_cpus\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "    \"smoke\": " << (smoke ? "true" : "false") << "\n  },\n";
+    os << "  \"single_replica\": [\n";
+    for (std::size_t i = 0; i < 2; ++i) {
+      os << "    {\"scenario\": \"" << singles[i].name
+         << "\", \"sim_cycles\": " << singles[i].cycles
+         << ", \"cycles_per_sec\": " << singles[i].cycles_per_sec << "}"
+         << (i + 1 < 2 ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"sweep_16pt\": [\n";
+    for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
+      const SweepRow& sr = sweep_rows[i];
+      os << "    {\"threads\": " << sr.threads << ", \"wall_sec\": " << sr.wall
+         << ", \"speedup\": " << serial_wall / sr.wall
+         << ", \"bit_identical\": " << (sr.identical ? "true" : "false")
+         << "}" << (i + 1 < sweep_rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

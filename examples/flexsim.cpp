@@ -14,22 +14,58 @@
 //   traffic    = uniform | transpose | tornado | bitcomp | hotspot |
 //                permutation
 //   rate       = 0.10                          (flits/node/cycle)
+//   rates      = 0.02,0.06,0.10                (sweep: overrides rate)
+//   threads    = 0                             (sweep workers; 0 = auto)
 //   packet_length = 4
 //   warmup     = 1000   measure = 2000
 //   link_faults = 0     node_faults = 0
 //   seed       = 1
-//   show_links = false                         (top-5 link loads)
+//   show_links = false                         (top-5 link loads, single run)
+//
+// A multi-point sweep (rates with more than one entry) runs on the
+// deterministic SweepRunner: one independent replica per offered load,
+// per-point seeds derived from (seed, point index), results identical at
+// any thread count. A single rate keeps the historical behaviour (the
+// configured seed drives the one replica directly).
 #include <iostream>
+#include <sstream>
 
 #include "common/config.hpp"
 #include "routing/dor_torus.hpp"
 #include "routing/negative_hop.hpp"
 #include "sim/fault_injector.hpp"
-#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/torus.hpp"
 
 using namespace flexrouter;
+
+namespace {
+
+std::vector<double> parse_rates(const Config& cfg) {
+  std::vector<double> rates;
+  const std::string list = cfg.get_string("rates", "");
+  if (!list.empty()) {
+    std::istringstream is(list);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      if (tok.empty()) continue;
+      rates.push_back(std::stod(tok));
+    }
+  }
+  if (rates.empty()) rates.push_back(cfg.get_double("rate", 0.10));
+  return rates;
+}
+
+std::unique_ptr<RoutingAlgorithm> build_algorithm(const std::string& aname,
+                                                  const Topology& topo) {
+  if (aname == "negative-hop")
+    return std::make_unique<NegativeHop>(NegativeHop::vcs_needed_for(topo));
+  if (aname == "dor-torus") return std::make_unique<DimensionOrderTorus>();
+  return make_algorithm(aname);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Config cfg;
@@ -45,7 +81,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Topology.
+  // Topology (shared by every replica — it is immutable).
   std::unique_ptr<Topology> topo;
   const std::string tname = cfg.get_string("topology", "mesh");
   if (tname == "mesh") {
@@ -64,67 +100,94 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Algorithm (the factory covers most; the parameterised ones are special).
-  std::unique_ptr<RoutingAlgorithm> algo;
   const std::string aname = cfg.get_string("algorithm", "nafta");
-  try {
-    if (aname == "negative-hop") {
-      algo = std::make_unique<NegativeHop>(NegativeHop::vcs_needed_for(*topo));
-    } else if (aname == "dor-torus") {
-      algo = std::make_unique<DimensionOrderTorus>();
-    } else {
-      algo = make_algorithm(aname);
-    }
-  } catch (const std::exception& e) {
-    std::cerr << "algorithm error: " << e.what() << "\n";
-    return 2;
-  }
-
-  Network net(*topo, *algo);
-
-  // Faults (keeping the healthy graph connected, assumption iii).
+  const std::string pattern = cfg.get_string("traffic", "uniform");
   const auto link_faults = static_cast<int>(cfg.get_int("link_faults", 0));
   const auto node_faults = static_cast<int>(cfg.get_int("node_faults", 0));
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  const std::vector<double> rates = parse_rates(cfg);
+  const bool single = rates.size() == 1;
+
+  SimConfig base;
+  base.packet_length = static_cast<int>(cfg.get_int("packet_length", 4));
+  base.warmup_cycles = cfg.get_int("warmup", 1000);
+  base.measure_cycles = cfg.get_int("measure", 2000);
+
+  // One grid point per offered load. Each replica applies the SAME fault
+  // pattern (the fault RNG restarts per point) so the series varies only
+  // in load.
   int exchanges = 0;
-  if (link_faults > 0 || node_faults > 0) {
-    Rng frng(seed ^ 0xfa017ULL);
-    exchanges = net.apply_faults([&](FaultSet& f) {
-      inject_random_node_faults(f, node_faults, frng);
-      inject_random_link_faults(f, link_faults, frng);
-    });
+  std::string link_report;
+  std::vector<SweepPoint> points;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double rate = rates[i];
+    const bool first_point = i == 0;
+    points.push_back({[&, rate, first_point](std::uint64_t derived_seed) {
+      auto algo = build_algorithm(aname, *topo);
+      auto traffic = make_traffic(pattern, *topo, seed);
+      Network net(*topo, *algo);
+      if (link_faults > 0 || node_faults > 0) {
+        Rng frng(seed ^ 0xfa017ULL);
+        const int ex = net.apply_faults([&](FaultSet& f) {
+          inject_random_node_faults(f, node_faults, frng);
+          inject_random_link_faults(f, link_faults, frng);
+        });
+        if (first_point) exchanges = ex;  // identical on every point
+      }
+      SimConfig scfg = base;
+      scfg.injection_rate = rate;
+      scfg.seed = single ? seed : derived_seed;
+      Simulator sim(net, *traffic, scfg);
+      SimResult r = sim.run();
+      if (single && cfg.get_bool("show_links", false)) {
+        std::ostringstream os;
+        os << "hottest links (flits/cycle):\n";
+        const auto loads = net.link_utilization(sim.now());
+        for (std::size_t j = 0; j < std::min<std::size_t>(5, loads.size());
+             ++j)
+          os << "  node " << loads[j].from << " port " << loads[j].port
+             << ": " << loads[j].utilization << "\n";
+        link_report = os.str();
+      }
+      return r;
+    }});
   }
 
-  auto traffic =
-      make_traffic(cfg.get_string("traffic", "uniform"), *topo, seed);
+  SweepOptions sopts;
+  sopts.num_threads =
+      single ? 1 : static_cast<int>(cfg.get_int("threads", 0));
+  sopts.base_seed = seed;
+  SweepRunner runner(sopts);
 
-  SimConfig scfg;
-  scfg.injection_rate = cfg.get_double("rate", 0.10);
-  scfg.packet_length = static_cast<int>(cfg.get_int("packet_length", 4));
-  scfg.warmup_cycles = cfg.get_int("warmup", 1000);
-  scfg.measure_cycles = cfg.get_int("measure", 2000);
-  scfg.seed = seed;
-  Simulator sim(net, *traffic, scfg);
+  std::vector<SimResult> results;
+  try {
+    results = runner.run(points);
+  } catch (const std::exception& e) {
+    std::cerr << "simulation error: " << e.what() << "\n";
+    return 2;
+  }
 
-  std::cout << "flexsim: " << topo->name() << ", " << algo->name() << " ("
-            << algo->num_vcs() << " VCs), " << traffic->name()
-            << " traffic at " << scfg.injection_rate << " flits/node/cycle";
-  if (!net.faults().fault_free())
-    std::cout << ", " << net.faults().num_link_faults() << " link + "
-              << net.faults().num_node_faults()
+  std::cout << "flexsim: " << topo->name() << ", " << aname << ", " << pattern
+            << " traffic";
+  if (link_faults > 0 || node_faults > 0)
+    std::cout << ", " << link_faults << " link + " << node_faults
               << " node faults (reconfiguration: " << exchanges
               << " exchanges)";
+  if (!single)
+    std::cout << ", sweep of " << rates.size() << " loads on "
+              << runner.num_threads() << " threads";
   std::cout << "\n";
 
-  const SimResult r = sim.run();
-  std::cout << r.to_string() << "\n";
-
-  if (cfg.get_bool("show_links", false)) {
-    std::cout << "hottest links (flits/cycle):\n";
-    const auto loads = net.link_utilization(sim.now());
-    for (std::size_t i = 0; i < std::min<std::size_t>(5, loads.size()); ++i)
-      std::cout << "  node " << loads[i].from << " port " << loads[i].port
-                << ": " << loads[i].utilization << "\n";
+  bool deadlock = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!single) std::cout << "rate " << rates[i] << ": ";
+    std::cout << results[i].to_string() << "\n";
+    deadlock = deadlock || results[i].deadlock_suspected;
   }
-  return r.deadlock_suspected ? 1 : 0;
+  if (!single) {
+    const SweepReport rep = summarize(results);
+    std::cout << rep.to_string() << "\n";
+  }
+  if (!link_report.empty()) std::cout << link_report;
+  return deadlock ? 1 : 0;
 }

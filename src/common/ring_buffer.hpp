@@ -1,0 +1,90 @@
+// Pooled FIFO ring buffer: a power-of-two circular array that never shrinks,
+// so a queue that repeatedly fills and drains (per-node injection queues,
+// per-cycle scratch) settles into a fixed allocation instead of the
+// node-churn of std::deque.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace flexrouter {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  explicit RingBuffer(std::size_t initial_capacity) {
+    reserve(initial_capacity);
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Grow the backing store to hold at least `n` elements (never shrinks).
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) regrow(n);
+  }
+
+  const T& front() const {
+    FR_REQUIRE_MSG(count_ > 0, "front() of empty RingBuffer");
+    return buf_[head_];
+  }
+
+  T& front() {
+    FR_REQUIRE_MSG(count_ > 0, "front() of empty RingBuffer");
+    return buf_[head_];
+  }
+
+  /// Element `i` positions behind the front (0 == front()).
+  const T& at(std::size_t i) const {
+    FR_REQUIRE(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(const T& v) {
+    if (count_ == buf_.size()) regrow(count_ + 1);
+    buf_[(head_ + count_) & mask_] = v;
+    ++count_;
+  }
+
+  void push_back(T&& v) {
+    if (count_ == buf_.size()) regrow(count_ + 1);
+    buf_[(head_ + count_) & mask_] = std::move(v);
+    ++count_;
+  }
+
+  void pop_front() {
+    FR_REQUIRE_MSG(count_ > 0, "pop_front() of empty RingBuffer");
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  /// Drop all elements; capacity (the pool) is retained.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void regrow(std::size_t need) {
+    std::size_t cap = buf_.empty() ? 8 : buf_.size();
+    while (cap < need) cap *= 2;
+    std::vector<T> fresh(cap);
+    for (std::size_t i = 0; i < count_; ++i)
+      fresh[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(fresh);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace flexrouter

@@ -17,8 +17,17 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algo,
     routers_.push_back(
         std::make_unique<Router>(i, topo, faults_, algo, cfg.router));
   injection_queues_.resize(n);
+  injection_pending_.assign(n, 0);
   router_active_.assign(n, 0);
+  pending_list_.reserve(n);
+  active_list_.reserve(n);
   records_.reserve(cfg.expected_packets);
+  // Step scratch, pre-sized from the workload hint: deliveries per cycle
+  // cannot exceed the node count, and one router ejects at most a handful
+  // of flits per cycle.
+  delivered_last_cycle_.reserve(std::min(cfg.expected_packets, n));
+  eject_scratch_.reserve(32);
+  for (auto& q : injection_queues_) q.reserve(16);
 
   // One Link object per directed channel.
   for (NodeId u = 0; u < topo.num_nodes(); ++u) {
@@ -59,16 +68,17 @@ PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
   h.length = length;
   MessageInterface::seal(h);
 
-  // Build the flit train in a scratch vector, then bulk-append: one deque
-  // range-insert instead of `length` grow steps.
-  inject_scratch_.clear();
-  inject_scratch_.reserve(static_cast<std::size_t>(length));
-  inject_scratch_.push_back(make_head_flit(h));
-  for (int s = 1; s < length; ++s)
-    inject_scratch_.push_back(make_body_flit(h, s));
+  // The ring's backing store is pooled, so pushing the whole flit train is
+  // amortised one store per flit.
   auto& queue = injection_queues_[static_cast<std::size_t>(src)];
-  queue.insert(queue.end(), inject_scratch_.begin(), inject_scratch_.end());
-  pending_sources_.insert(src);
+  queue.reserve(queue.size() + static_cast<std::size_t>(length));
+  queue.push_back(make_head_flit(h));
+  for (int s = 1; s < length; ++s) queue.push_back(make_body_flit(h, s));
+  if (!injection_pending_[static_cast<std::size_t>(src)]) {
+    injection_pending_[static_cast<std::size_t>(src)] = 1;
+    pending_list_.push_back(src);
+    pending_sorted_ = false;
+  }
   return rec.id;
 }
 
@@ -77,9 +87,15 @@ void Network::step(Cycle now) {
 
   // Injection: at most one flit per node per cycle (local link bandwidth).
   // Only nodes with queued flits are visited, in ascending node order —
-  // identical to the full scan.
-  for (auto it = pending_sources_.begin(); it != pending_sources_.end();) {
-    const NodeId u = *it;
+  // identical to a full scan. Sources whose queue empties drop off the
+  // worklist; the rest compact in place (which keeps the list sorted).
+  if (!pending_sorted_) {
+    std::sort(pending_list_.begin(), pending_list_.end());
+    pending_sorted_ = true;
+  }
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < pending_list_.size(); ++i) {
+    const NodeId u = pending_list_[i];
     auto& queue = injection_queues_[static_cast<std::size_t>(u)];
     Router& r = *routers_[static_cast<std::size_t>(u)];
     if (r.injection_space() > 0) {
@@ -88,15 +104,25 @@ void Network::step(Cycle now) {
       if (f.head)
         records_[static_cast<std::size_t>(f.hdr.packet)].injected = now;
       r.inject(f);
-      router_active_[static_cast<std::size_t>(u)] = 1;
+      activate(u);
     }
-    it = queue.empty() ? pending_sources_.erase(it) : std::next(it);
+    if (queue.empty())
+      injection_pending_[static_cast<std::size_t>(u)] = 0;
+    else
+      pending_list_[keep++] = u;
   }
+  pending_list_.resize(keep);
 
-  // Routers. Inactive routers (no buffered flits, no busy incident link)
-  // step as provable no-ops, so they are skipped outright.
-  for (NodeId u = 0; u < topo_->num_nodes(); ++u) {
-    if (!router_active_[static_cast<std::size_t>(u)]) continue;
+  // Routers: walk the active worklist in ascending node order (identical
+  // to the full scan it replaces). Routers that emptied drop off; the
+  // link pass below re-activates any endpoint of a busy link.
+  if (!active_sorted_) {
+    std::sort(active_list_.begin(), active_list_.end());
+    active_sorted_ = true;
+  }
+  std::size_t akeep = 0;
+  for (std::size_t i = 0; i < active_list_.size(); ++i) {
+    const NodeId u = active_list_[i];
     eject_scratch_.clear();
     routers_[static_cast<std::size_t>(u)]->step(now, eject_scratch_);
     for (const Flit& f : eject_scratch_) {
@@ -114,15 +140,18 @@ void Network::step(Cycle now) {
     }
     if (routers_[static_cast<std::size_t>(u)]->empty())
       router_active_[static_cast<std::size_t>(u)] = 0;
+    else
+      active_list_[akeep++] = u;
   }
+  active_list_.resize(akeep);
 
   // A busy link keeps both endpoints live for the next cycle: the receiver
   // must accept arriving flits, the sender must pick up returning credits
   // the cycle they land.
   for (std::size_t i = 0; i < links_.size(); ++i) {
     if (links_[i]->idle()) continue;
-    router_active_[static_cast<std::size_t>(link_sources_[i].node)] = 1;
-    router_active_[static_cast<std::size_t>(link_dests_[i])] = 1;
+    activate(link_sources_[i].node);
+    activate(link_dests_[i]);
   }
 }
 
@@ -136,10 +165,12 @@ bool Network::idle() const {
   return true;
 }
 
-int Network::apply_faults(const std::function<void(FaultSet&)>& mutate) {
+void Network::begin_fault_mutation() {
   FR_REQUIRE_MSG(idle(), "apply_faults requires a quiesced network "
                          "(fault assumption iv)");
-  mutate(faults_);
+}
+
+int Network::finish_fault_mutation() {
   const int exchanges = algo_->reconfigure();
   for (const auto& r : routers_) r->flush();
   return exchanges;

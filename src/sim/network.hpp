@@ -3,15 +3,11 @@
 // protocol of fault assumption iv.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "router/router.hpp"
-#include "sim/traffic.hpp"
 
 namespace flexrouter {
 
@@ -19,7 +15,8 @@ struct NetworkConfig {
   RouterConfig router;
   int link_latency = 1;
   /// Reserve hint: packets the workload expects to create (pre-sizes the
-  /// record table so injection-heavy benches don't pay reallocation churn).
+  /// record table and the step scratch so injection-heavy benches don't pay
+  /// reallocation churn).
   std::size_t expected_packets = 0;
 };
 
@@ -61,8 +58,15 @@ class Network {
   /// Quiescent reconfiguration (fault assumption iv): the caller must have
   /// drained the network (idle()); `mutate` edits the fault set, then the
   /// routing algorithm recomputes its propagated state. Returns the number
-  /// of neighbour exchanges the reconfiguration needed.
-  int apply_faults(const std::function<void(FaultSet&)>& mutate);
+  /// of neighbour exchanges the reconfiguration needed. Accepts any
+  /// callable taking FaultSet& (kept a template so this header needs no
+  /// <functional>).
+  template <typename Mutate>
+  int apply_faults(Mutate&& mutate) {
+    begin_fault_mutation();
+    mutate(faults_);
+    return finish_fault_mutation();
+  }
 
   const PacketRecord& record(PacketId id) const;
   std::int64_t packets_created() const {
@@ -100,6 +104,19 @@ class Network {
   }
 
  private:
+  /// apply_faults helpers (out of line so the template stays minimal).
+  void begin_fault_mutation();
+  int finish_fault_mutation();
+
+  /// Put `u` on the active worklist (idempotent via the flag).
+  void activate(NodeId u) {
+    if (!router_active_[static_cast<std::size_t>(u)]) {
+      router_active_[static_cast<std::size_t>(u)] = 1;
+      active_list_.push_back(u);
+      active_sorted_ = false;
+    }
+  }
+
   const Topology* topo_;
   RoutingAlgorithm* algo_;
   NetworkConfig cfg_;
@@ -109,17 +126,25 @@ class Network {
   std::vector<LinkRef> link_sources_;  // parallel to links_
   std::vector<NodeId> link_dests_;     // parallel to links_
   std::vector<PacketRecord> records_;
-  /// Flits waiting to enter each source router (one stream per node).
-  std::vector<std::deque<Flit>> injection_queues_;
-  /// Nodes with a non-empty injection queue (ascending = injection order).
-  std::set<NodeId> pending_sources_;
-  /// Routers that may do work this cycle: holding flits, injecting, or on
-  /// either end of a busy link. Everything else is provably a no-op step.
+  /// Flits waiting to enter each source router (one pooled ring per node).
+  std::vector<RingBuffer<Flit>> injection_queues_;
+  /// Worklist of nodes with a non-empty injection queue. Invariant:
+  /// injection_pending_[u] != 0 iff u appears exactly once on the list;
+  /// the list is sorted ascending unless pending_sorted_ is false (new
+  /// sources appended since the last step).
+  std::vector<char> injection_pending_;
+  std::vector<NodeId> pending_list_;
+  bool pending_sorted_ = true;
+  /// Worklist of routers that may do work this cycle: holding flits,
+  /// injecting, or on either end of a busy link. Everything else is
+  /// provably a no-op step. Same invariant as the injection worklist:
+  /// router_active_[u] != 0 iff u is on active_list_ exactly once.
   std::vector<char> router_active_;
+  std::vector<NodeId> active_list_;
+  bool active_sorted_ = true;
   std::int64_t delivered_count_ = 0;
   std::vector<PacketId> delivered_last_cycle_;
   std::vector<Flit> eject_scratch_;
-  std::vector<Flit> inject_scratch_;
 };
 
 }  // namespace flexrouter

@@ -1,11 +1,75 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "topology/graph_algo.hpp"
 
 namespace flexrouter {
+
+namespace {
+
+/// Exact latency order statistics without retaining every sample: packet
+/// latencies are integral cycle counts, so values below kRange live in a
+/// fixed count table (one slot per cycle) and only the rare tail beyond it
+/// is kept verbatim. percentile() reproduces the sorted-sample linear
+/// interpolation bit for bit, at O(kRange) memory instead of O(packets).
+class LatencyQuantiles {
+ public:
+  static constexpr std::int64_t kRange = 4096;
+
+  void add(double x) {
+    const double floor_x = std::floor(x);
+    if (x >= 0.0 && x < static_cast<double>(kRange) && floor_x == x) {
+      ++counts_[static_cast<std::size_t>(x)];
+    } else {
+      // Tail (or non-integral, which the simulator never produces): every
+      // counted value is an integer < kRange, so keeping the outliers
+      // sorted keeps the merged order trivial.
+      FR_ASSERT_MSG(x >= static_cast<double>(kRange),
+                    "negative or fractional latency sample");
+      outliers_.push_back(x);
+      outliers_sorted_ = false;
+    }
+    ++count_;
+  }
+
+  std::int64_t count() const { return count_; }
+
+  /// p in [0, 100]; same rank + interpolation rule as sorting all samples.
+  double percentile(double p) const {
+    FR_REQUIRE(p >= 0.0 && p <= 100.0);
+    FR_REQUIRE_MSG(count_ > 0, "percentile of empty latency set");
+    const double rank =
+        p / 100.0 * static_cast<double>(count_ - 1);
+    const auto i = static_cast<std::int64_t>(rank);
+    const double frac = rank - static_cast<double>(i);
+    if (i + 1 >= count_) return order_stat(count_ - 1);
+    return order_stat(i) * (1.0 - frac) + order_stat(i + 1) * frac;
+  }
+
+ private:
+  double order_stat(std::int64_t k) const {
+    std::int64_t seen = 0;
+    for (std::int64_t v = 0; v < kRange; ++v) {
+      seen += counts_[static_cast<std::size_t>(v)];
+      if (seen > k) return static_cast<double>(v);
+    }
+    if (!outliers_sorted_) {
+      std::sort(outliers_.begin(), outliers_.end());
+      outliers_sorted_ = true;
+    }
+    return outliers_[static_cast<std::size_t>(k - seen)];
+  }
+
+  std::int64_t counts_[kRange] = {};
+  std::int64_t count_ = 0;
+  mutable std::vector<double> outliers_;
+  mutable bool outliers_sorted_ = true;
+};
+
+}  // namespace
 
 std::string SimResult::to_string() const {
   std::ostringstream os;
@@ -24,6 +88,15 @@ Simulator::Simulator(Network& net, TrafficPattern& traffic,
 
 void Simulator::inject_offered_load(bool measured) {
   const Topology& topo = net_->topology();
+  const FaultSet& faults = net_->faults();
+  // Healthy-component ids, recomputed once per fault epoch: the redraw
+  // loop below asks "is dest reachable from n" per candidate, which as a
+  // BFS (graph_algo connected()) dominated injection cost.
+  if (!conn_valid_ || conn_epoch_ != faults.epoch()) {
+    conn_comp_ = components(faults);
+    conn_epoch_ = faults.epoch();
+    conn_valid_ = true;
+  }
   const bool bimodal =
       cfg_.long_packet_length > 0 && cfg_.long_packet_fraction > 0.0;
   const double mean_length =
@@ -32,7 +105,7 @@ void Simulator::inject_offered_load(bool measured) {
               : static_cast<double>(cfg_.packet_length);
   const double packet_prob = cfg_.injection_rate / mean_length;
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-    if (net_->faults().node_faulty(n)) continue;
+    if (faults.node_faulty(n)) continue;
     if (!rng_.next_bool(packet_prob)) continue;
     const int length = bimodal && rng_.next_bool(cfg_.long_packet_fraction)
                            ? cfg_.long_packet_length
@@ -42,17 +115,31 @@ void Simulator::inject_offered_load(bool measured) {
     // faulty fixed destination).
     for (int attempt = 0; attempt < 8; ++attempt) {
       const NodeId dest = traffic_->dest(n, rng_);
-      if (dest == n || !net_->faults().node_ok(dest)) continue;
-      if (!connected(net_->faults(), n, dest)) continue;
+      if (dest == n || !faults.node_ok(dest)) continue;
+      if (conn_comp_[static_cast<std::size_t>(n)] !=
+          conn_comp_[static_cast<std::size_t>(dest)])
+        continue;
       const PacketId id = net_->send(n, dest, length, now_);
-      if (measured) measured_.push_back(id);
+      if (measured) {
+        measured_.push_back(id);
+        if (measured_first_ < 0) measured_first_ = id;
+        ++measured_outstanding_;
+      }
       break;
     }
   }
 }
 
+void Simulator::count_measured_deliveries() {
+  if (measured_first_ < 0) return;
+  for (const PacketId id : net_->delivered_last_cycle())
+    if (id >= measured_first_) --measured_outstanding_;
+}
+
 SimResult Simulator::run() {
   measured_.clear();
+  measured_first_ = -1;
+  measured_outstanding_ = 0;
   SimResult result;
 
   const RouterStats before = net_->aggregate_stats();
@@ -64,23 +151,22 @@ SimResult Simulator::run() {
   for (Cycle c = 0; c < cfg_.measure_cycles; ++c) {
     inject_offered_load(true);
     net_->step(now_++);
+    count_measured_deliveries();
   }
 
-  // Drain: no further injection; watch for stalls.
+  // Drain: no further injection; watch for stalls. The outstanding counter
+  // (fed by delivered_last_cycle) replaces the per-cycle rescan of every
+  // measured packet record.
   std::int64_t last_movement = net_->total_flit_movements();
   Cycle stall = 0;
   Cycle drained = 0;
-  auto all_measured_done = [&]() {
-    return std::all_of(measured_.begin(), measured_.end(), [&](PacketId id) {
-      return net_->record(id).done();
-    });
-  };
-  while (!all_measured_done()) {
+  while (measured_outstanding_ > 0) {
     if (drained++ > cfg_.drain_limit) {
       result.deadlock_suspected = true;
       break;
     }
     net_->step(now_++);
+    count_measured_deliveries();
     const std::int64_t moved = net_->total_flit_movements();
     if (moved == last_movement) {
       if (++stall > cfg_.watchdog_window) {
@@ -93,10 +179,12 @@ SimResult Simulator::run() {
     }
   }
 
-  // Collect metrics over measured packets.
-  Histogram latency(0, 4096, 256, /*keep_samples=*/true);
+  // Collect metrics over measured packets — a single pass: latency sum,
+  // quantiles and the split by misroute mark all come from the same loop.
+  LatencyQuantiles latency;
   StreamingStats hops, ratio, lat_misrouted, lat_direct;
   std::int64_t delivered = 0, misrouted = 0, delivered_flits = 0;
+  double latency_sum = 0.0;
   for (const PacketId id : measured_) {
     const PacketRecord& rec = net_->record(id);
     if (!rec.done()) continue;
@@ -104,6 +192,7 @@ SimResult Simulator::run() {
     delivered_flits += rec.length;
     const auto lat = static_cast<double>(rec.delivered - rec.created);
     latency.add(lat);
+    latency_sum += lat;
     (rec.misrouted ? lat_misrouted : lat_direct).add(lat);
     hops.add(rec.hops);
     const int min_hops = net_->topology().distance(rec.src, rec.dest);
@@ -115,12 +204,7 @@ SimResult Simulator::run() {
   result.injected_packets = static_cast<std::int64_t>(measured_.size());
   result.delivered_packets = delivered;
   if (delivered > 0) {
-    double sum = 0.0;
-    for (const PacketId id : measured_) {
-      const PacketRecord& rec = net_->record(id);
-      if (rec.done()) sum += static_cast<double>(rec.delivered - rec.created);
-    }
-    result.avg_latency = sum / static_cast<double>(delivered);
+    result.avg_latency = latency_sum / static_cast<double>(delivered);
     result.p50_latency = latency.percentile(50);
     result.p99_latency = latency.percentile(99);
     result.avg_hops = hops.mean();

@@ -3,8 +3,12 @@
 // watchdog. This is the harness behind the latency–throughput figures.
 #pragma once
 
-#include "common/stats.hpp"
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "sim/network.hpp"
+#include "sim/traffic.hpp"
 
 namespace flexrouter {
 
@@ -65,6 +69,9 @@ class Simulator {
 
  private:
   void inject_offered_load(bool measured);
+  /// Decrement the outstanding-measured counter for every measured packet
+  /// the last step() delivered, so the drain loop never rescans records.
+  void count_measured_deliveries();
 
   Network* net_;
   TrafficPattern* traffic_;
@@ -72,6 +79,17 @@ class Simulator {
   Rng rng_;
   Cycle now_ = 0;
   std::vector<PacketId> measured_;
+  /// Measured packets sent but not yet delivered. Ids from measured_first_
+  /// upward are exactly the measured packets (send order is sequential and
+  /// the measurement window is the sole sender while it is open).
+  PacketId measured_first_ = -1;
+  std::int64_t measured_outstanding_ = 0;
+  /// Healthy-component cache for fault assumption iii checks: one
+  /// components() pass per fault epoch instead of a BFS per injected
+  /// packet.
+  std::vector<int> conn_comp_;
+  std::uint64_t conn_epoch_ = 0;
+  bool conn_valid_ = false;
 };
 
 }  // namespace flexrouter

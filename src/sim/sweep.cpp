@@ -1,0 +1,228 @@
+#include "sim/sweep.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace flexrouter {
+
+std::uint64_t sweep_point_seed(std::uint64_t base_seed,
+                               std::uint64_t point_key) {
+  // Two SplitMix64 steps over a golden-ratio spread of the key: the first
+  // decorrelates (base, key) pairs, the second whitens. Avoids 0 so the
+  // xoshiro reseed never sees an all-zero expansion input.
+  SplitMix64 sm(base_seed ^ (0x9e3779b97f4a7c15ULL * (point_key + 1)));
+  sm.next();
+  const std::uint64_t s = sm.next();
+  return s != 0 ? s : 0x5eed5eed5eed5eedULL;
+}
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FLEXROUTER_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+/// Simple MPMC task queue + fixed worker pool. Workers block on the
+/// condvar; a batch is done when every task popped has also finished
+/// (in_flight counts popped-but-running tasks, so completion, not just
+/// queue emptiness, gates the caller).
+struct SweepRunner::Pool {
+  explicit Pool(int threads) {
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+      workers.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closing = true;
+    }
+    task_ready.notify_all();
+    for (auto& w : workers) w.join();
+  }
+
+  void run_batch(const std::vector<std::function<void()>>& tasks) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      FR_REQUIRE_MSG(!batch_active, "SweepRunner::run is not reentrant");
+      batch_active = true;
+      remaining = static_cast<std::int64_t>(tasks.size());
+      first_error = nullptr;
+      for (const auto& t : tasks) queue.push_back(&t);
+    }
+    task_ready.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    batch_done.wait(lock, [this] { return remaining == 0; });
+    batch_active = false;
+    if (first_error) {
+      std::exception_ptr e = first_error;
+      first_error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      const std::function<void()>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        task_ready.wait(lock, [this] { return closing || !queue.empty(); });
+        if (queue.empty()) return;  // closing
+        task = queue.front();
+        queue.pop_front();
+      }
+      try {
+        (*task)();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--remaining == 0) batch_done.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers;
+  std::deque<const std::function<void()>*> queue;
+  std::mutex mu;
+  std::condition_variable task_ready;
+  std::condition_variable batch_done;
+  std::int64_t remaining = 0;
+  bool closing = false;
+  bool batch_active = false;
+  std::exception_ptr first_error;
+};
+
+SweepRunner::SweepRunner(const SweepOptions& opts)
+    : pool_(std::make_unique<Pool>(resolve_threads(opts.num_threads))),
+      base_seed_(opts.base_seed) {}
+
+SweepRunner::~SweepRunner() = default;
+
+int SweepRunner::num_threads() const {
+  return static_cast<int>(pool_->workers.size());
+}
+
+std::vector<SimResult> SweepRunner::run(const std::vector<SweepPoint>& points) {
+  std::vector<SimResult> results(points.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    FR_REQUIRE_MSG(static_cast<bool>(p.run), "SweepPoint without a run fn");
+    const std::uint64_t key =
+        p.key == SweepPoint::kAutoKey ? static_cast<std::uint64_t>(i) : p.key;
+    const std::uint64_t seed = sweep_point_seed(base_seed_, key);
+    SimResult* slot = &results[i];
+    tasks.push_back([&p, seed, slot] { *slot = p.run(seed); });
+  }
+  pool_->run_batch(tasks);
+  return results;
+}
+
+void SweepRunner::run_tasks(const std::vector<std::function<void()>>& tasks) {
+  pool_->run_batch(tasks);
+}
+
+SweepReport summarize(const std::vector<SimResult>& results) {
+  SweepReport rep;
+  rep.points = static_cast<std::int64_t>(results.size());
+  StreamingStats lat, p50, p99, thpt, hops, ratio, mis, steps;
+  for (const SimResult& r : results) {
+    rep.deadlocks += r.deadlock_suspected ? 1 : 0;
+    rep.injected_packets += r.injected_packets;
+    rep.delivered_packets += r.delivered_packets;
+    lat.add(r.avg_latency);
+    p50.add(r.p50_latency);
+    p99.add(r.p99_latency);
+    thpt.add(r.throughput);
+    hops.add(r.avg_hops);
+    ratio.add(r.min_hops_ratio);
+    mis.add(r.misrouted_fraction);
+    steps.add(r.avg_decision_steps);
+  }
+  const auto metric = [](const StreamingStats& s) {
+    SweepReport::Metric m;
+    if (s.count() > 0) {
+      m.mean = s.mean();
+      m.min = s.min();
+      m.max = s.max();
+    }
+    return m;
+  };
+  rep.avg_latency = metric(lat);
+  rep.p50_latency = metric(p50);
+  rep.p99_latency = metric(p99);
+  rep.throughput = metric(thpt);
+  rep.avg_hops = metric(hops);
+  rep.min_hops_ratio = metric(ratio);
+  rep.misrouted_fraction = metric(mis);
+  rep.avg_decision_steps = metric(steps);
+  return rep;
+}
+
+std::string SweepReport::to_string() const {
+  std::ostringstream os;
+  os << "sweep: " << points << " points, " << delivered_packets << "/"
+     << injected_packets << " delivered";
+  if (deadlocks > 0) os << ", " << deadlocks << " deadlock-suspected";
+  os << "; avg_lat mean=" << avg_latency.mean << " [" << avg_latency.min
+     << ", " << avg_latency.max << "]"
+     << "; thpt mean=" << throughput.mean << " [" << throughput.min << ", "
+     << throughput.max << "]";
+  return os.str();
+}
+
+namespace {
+
+void json_metric(std::ostringstream& os, const std::string& pad,
+                 const char* name, const SweepReport::Metric& m, bool last) {
+  os << pad << "\"" << name << "\": {\"mean\": " << m.mean
+     << ", \"min\": " << m.min << ", \"max\": " << m.max << "}"
+     << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+std::string SweepReport::to_json(int indent) const {
+  const std::string pad0(static_cast<std::size_t>(indent), ' ');
+  const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+  std::ostringstream os;
+  os.precision(17);
+  os << pad0 << "{\n";
+  os << pad << "\"points\": " << points << ",\n";
+  os << pad << "\"deadlocks\": " << deadlocks << ",\n";
+  os << pad << "\"injected_packets\": " << injected_packets << ",\n";
+  os << pad << "\"delivered_packets\": " << delivered_packets << ",\n";
+  json_metric(os, pad, "avg_latency", avg_latency, false);
+  json_metric(os, pad, "p50_latency", p50_latency, false);
+  json_metric(os, pad, "p99_latency", p99_latency, false);
+  json_metric(os, pad, "throughput", throughput, false);
+  json_metric(os, pad, "avg_hops", avg_hops, false);
+  json_metric(os, pad, "min_hops_ratio", min_hops_ratio, false);
+  json_metric(os, pad, "misrouted_fraction", misrouted_fraction, false);
+  json_metric(os, pad, "avg_decision_steps", avg_decision_steps, true);
+  os << pad0 << "}";
+  return os.str();
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,114 @@
+// Deterministic parallel sweep engine.
+//
+// Every experiment in EXPERIMENTS.md walks a (fault set x offered load x
+// seed) grid of completely independent simulations. SweepRunner runs those
+// grid points on a fixed-size worker pool, one (Network, TrafficPattern,
+// Simulator) replica per point, and guarantees the result vector is
+// bit-identical to serial execution regardless of thread count or
+// scheduling:
+//
+//   - each point's RNG seed is derived by a SplitMix64-style hash of
+//     (base_seed, point key), never from shared generator state;
+//   - a point builds all of its mutable objects (algorithm, traffic,
+//     network, simulator) inside its own task — replicas share only
+//     immutable data (the Topology);
+//   - results land in an index-ordered vector slot, so completion order
+//     is irrelevant.
+//
+// The determinism contract and the step pipeline it drives are documented
+// in docs/SIMULATOR.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace flexrouter {
+
+/// Derive the RNG seed for one grid point. Pure SplitMix64-style hash of
+/// (base_seed, point_key): O(1), collision-resistant across neighbouring
+/// keys, and independent of grid order or thread schedule.
+std::uint64_t sweep_point_seed(std::uint64_t base_seed,
+                               std::uint64_t point_key);
+
+struct SweepOptions {
+  /// Worker threads. 0 = the FLEXROUTER_THREADS environment variable if
+  /// set, otherwise std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Base seed every per-point seed is derived from.
+  std::uint64_t base_seed = 1;
+};
+
+/// One grid point: a closure that builds and runs its own replica. The
+/// closure receives the derived per-point seed; it may ignore it when the
+/// bench pins historical seeds (tables stay comparable across PRs).
+struct SweepPoint {
+  static constexpr std::uint64_t kAutoKey = ~0ULL;
+
+  std::function<SimResult(std::uint64_t seed)> run;
+  /// Seed-derivation identity. kAutoKey = use the point's grid index, so
+  /// identical grids give identical seeds; set explicitly when the grid
+  /// may be reordered but points must keep their seeds.
+  std::uint64_t key = kAutoKey;
+};
+
+/// Fixed-size std::thread pool fed by a simple mutex+condvar MPMC queue.
+/// Construction spawns the workers once; run()/run_tasks() may be called
+/// repeatedly (batches do not overlap). Destruction joins.
+class SweepRunner {
+ public:
+  explicit SweepRunner(const SweepOptions& opts = {});
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  int num_threads() const;
+  std::uint64_t base_seed() const { return base_seed_; }
+
+  /// Run every grid point; result i belongs to points[i] no matter which
+  /// worker ran it or when. The first exception thrown by a point is
+  /// rethrown here after the whole batch settles. A point that merely
+  /// reports deadlock_suspected is a normal result — it never stalls the
+  /// pool or its siblings.
+  std::vector<SimResult> run(const std::vector<SweepPoint>& points);
+
+  /// Generic fan-out for non-simulation grids (hardware-cost tables and
+  /// the like): runs every task, blocks until all complete.
+  void run_tasks(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  struct Pool;
+  std::unique_ptr<Pool> pool_;
+  std::uint64_t base_seed_;
+};
+
+/// Aggregate over an index-ordered result vector: mean/min/max per metric,
+/// plus delivery and deadlock totals.
+struct SweepReport {
+  struct Metric {
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  std::int64_t points = 0;
+  std::int64_t deadlocks = 0;
+  std::int64_t injected_packets = 0;
+  std::int64_t delivered_packets = 0;
+  Metric avg_latency, p50_latency, p99_latency, throughput, avg_hops,
+      min_hops_ratio, misrouted_fraction, avg_decision_steps;
+
+  std::string to_string() const;
+  /// JSON object (bench_util conventions: snake_case keys, one object per
+  /// metric with mean/min/max), for inclusion in BENCH_*.json files.
+  std::string to_json(int indent = 2) const;
+};
+
+SweepReport summarize(const std::vector<SimResult>& results);
+
+}  // namespace flexrouter

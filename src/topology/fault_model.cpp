@@ -6,7 +6,25 @@ namespace flexrouter {
 
 FaultSet::FaultSet(const Topology& topo)
     : topo_(&topo),
-      node_faulty_(static_cast<std::size_t>(topo.num_nodes()), 0) {}
+      node_faulty_(static_cast<std::size_t>(topo.num_nodes()), 0) {
+  rebuild_usable();
+}
+
+void FaultSet::rebuild_usable() {
+  const auto degree = static_cast<std::size_t>(topo_->degree());
+  usable_.assign(static_cast<std::size_t>(topo_->num_nodes()) * degree, 0);
+  for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
+    if (node_faulty_[static_cast<std::size_t>(n)]) continue;
+    for (PortId p = 0; p < topo_->degree(); ++p) {
+      const NodeId other = topo_->neighbor(n, p);
+      if (other == kInvalidNode) continue;
+      if (node_faulty_[static_cast<std::size_t>(other)]) continue;
+      if (faulty_links_.count(canonical(n, p)) > 0) continue;
+      usable_[static_cast<std::size_t>(n) * degree +
+              static_cast<std::size_t>(p)] = 1;
+    }
+  }
+}
 
 LinkRef FaultSet::canonical(NodeId node, PortId port) const {
   FR_REQUIRE(topo_->valid_node(node));
@@ -18,7 +36,10 @@ LinkRef FaultSet::canonical(NodeId node, PortId port) const {
 }
 
 void FaultSet::fail_link(NodeId node, PortId port) {
-  if (faulty_links_.insert(canonical(node, port)).second) ++epoch_;
+  if (faulty_links_.insert(canonical(node, port)).second) {
+    ++epoch_;
+    rebuild_usable();
+  }
 }
 
 void FaultSet::fail_node(NodeId node) {
@@ -27,11 +48,15 @@ void FaultSet::fail_node(NodeId node) {
     node_faulty_[static_cast<std::size_t>(node)] = 1;
     ++num_node_faults_;
     ++epoch_;
+    rebuild_usable();
   }
 }
 
 void FaultSet::repair_link(NodeId node, PortId port) {
-  if (faulty_links_.erase(canonical(node, port)) > 0) ++epoch_;
+  if (faulty_links_.erase(canonical(node, port)) > 0) {
+    ++epoch_;
+    rebuild_usable();
+  }
 }
 
 void FaultSet::repair_node(NodeId node) {
@@ -40,6 +65,7 @@ void FaultSet::repair_node(NodeId node) {
     node_faulty_[static_cast<std::size_t>(node)] = 0;
     --num_node_faults_;
     ++epoch_;
+    rebuild_usable();
   }
 }
 
@@ -48,6 +74,7 @@ void FaultSet::clear() {
   faulty_links_.clear();
   num_node_faults_ = 0;
   ++epoch_;
+  rebuild_usable();
 }
 
 bool FaultSet::node_faulty(NodeId node) const {
@@ -60,15 +87,6 @@ bool FaultSet::link_marked_faulty(NodeId node, PortId port) const {
   FR_REQUIRE(topo_->valid_port(port));
   if (topo_->neighbor(node, port) == kInvalidNode) return false;
   return faulty_links_.count(canonical(node, port)) > 0;
-}
-
-bool FaultSet::link_usable(NodeId node, PortId port) const {
-  FR_REQUIRE(topo_->valid_node(node));
-  FR_REQUIRE(topo_->valid_port(port));
-  const NodeId other = topo_->neighbor(node, port);
-  if (other == kInvalidNode) return false;
-  if (node_faulty(node) || node_faulty(other)) return false;
-  return faulty_links_.count(canonical(node, port)) == 0;
 }
 
 std::vector<PortId> FaultSet::usable_ports(NodeId node) const {

@@ -48,8 +48,16 @@ class FaultSet {
   bool link_marked_faulty(NodeId node, PortId port) const;
 
   /// True iff a message can traverse (node, port): the port is connected,
-  /// the link is not faulty and both endpoints are healthy.
-  bool link_usable(NodeId node, PortId port) const;
+  /// the link is not faulty and both endpoints are healthy. This is the
+  /// router pipeline's innermost fault query, so it is a flat table lookup;
+  /// the table is rebuilt on every (rare) fault mutation.
+  bool link_usable(NodeId node, PortId port) const {
+    FR_REQUIRE(topo_->valid_node(node));
+    FR_REQUIRE(topo_->valid_port(port));
+    return usable_[static_cast<std::size_t>(node) *
+                       static_cast<std::size_t>(topo_->degree()) +
+                   static_cast<std::size_t>(port)] != 0;
+  }
 
   /// Connected, healthy neighbours of `node`.
   std::vector<PortId> usable_ports(NodeId node) const;
@@ -75,8 +83,14 @@ class FaultSet {
   /// Canonical key: endpoint with smaller node id.
   LinkRef canonical(NodeId node, PortId port) const;
 
+  /// Recompute the flattened [node * degree + port] usability table after a
+  /// mutation. O(nodes * degree * log faults) — mutations happen only in
+  /// quiesced reconfiguration windows (assumption iv), never per cycle.
+  void rebuild_usable();
+
   const Topology* topo_;
   std::vector<char> node_faulty_;
+  std::vector<char> usable_;
   std::set<LinkRef> faulty_links_;
   int num_node_faults_ = 0;
   std::uint64_t epoch_ = 0;

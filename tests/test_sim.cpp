@@ -368,5 +368,74 @@ TEST(SimulatorTest, MisroutePriorityBoostConfigurable) {
   EXPECT_EQ(r.delivered_packets, r.injected_packets);
 }
 
+// ------------------------------------------------- numeric regression
+// Exact SimResult values for two pinned scenarios, captured from the
+// pre-sweep-engine simulator. The hot-loop overhaul (active-router
+// worklist, ring-buffer injection queues, counted drain, single metrics
+// pass, exact count-based percentiles) is required to reproduce every
+// field bit-for-bit — EXPECT_EQ on doubles here is deliberate.
+TEST(SimulatorRegression, FaultyMeshNaftaExactResults) {
+  Mesh m = Mesh::two_d(8, 8);
+  Nafta nafta;
+  Network net(m, nafta);
+  net.apply_faults([&](FaultSet& f) { inject_figure2_chain(f, m, 3, 5); });
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.06;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 900;
+  cfg.seed = 12345;
+  Simulator sim(net, traffic, cfg);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.injected_packets, 860);
+  EXPECT_EQ(r.delivered_packets, 860);
+  EXPECT_EQ(r.avg_latency, 62.437209302325584);
+  EXPECT_EQ(r.p50_latency, 34.0);
+  EXPECT_EQ(r.p99_latency, 523.81999999999994);
+  EXPECT_EQ(r.avg_hops, 9.2093023255813975);
+  EXPECT_EQ(r.min_hops_ratio, 1.8372285789146259);
+  EXPECT_EQ(r.throughput, 0.059722222222222225);
+  EXPECT_EQ(r.misrouted_fraction, 0.2069767441860465);
+  EXPECT_EQ(r.avg_latency_misrouted, 153.82584269662922);
+  EXPECT_EQ(r.avg_latency_direct, 38.585043988269803);
+  EXPECT_EQ(r.avg_decision_steps, 2.1247344719177499);
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.cycles_run, 1441);
+}
+
+TEST(SimulatorRegression, BimodalNaraExactResults) {
+  // Fault-free, with the bimodal long-worm mix (exercises the outlier path
+  // of the exact percentile structure and the ring-buffer regrow).
+  Mesh m = Mesh::two_d(6, 6);
+  Nara nara;
+  Network net(m, nara);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.10;
+  cfg.packet_length = 4;
+  cfg.long_packet_length = 16;
+  cfg.long_packet_fraction = 0.1;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 600;
+  cfg.seed = 7;
+  Simulator sim(net, traffic, cfg);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.injected_packets, 451);
+  EXPECT_EQ(r.delivered_packets, 451);
+  EXPECT_EQ(r.avg_latency, 20.713968957871398);
+  EXPECT_EQ(r.p50_latency, 20.0);
+  EXPECT_EQ(r.p99_latency, 47.0);
+  EXPECT_EQ(r.avg_hops, 4.1064301552106448);
+  EXPECT_EQ(r.min_hops_ratio, 1.0);
+  EXPECT_EQ(r.throughput, 0.10907407407407407);
+  EXPECT_EQ(r.misrouted_fraction, 0.0);
+  EXPECT_EQ(r.avg_latency_misrouted, 0.0);
+  EXPECT_EQ(r.avg_latency_direct, 20.713968957871391);
+  EXPECT_EQ(r.avg_decision_steps, 1.0);
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.cycles_run, 832);
+}
+
 }  // namespace
 }  // namespace flexrouter
