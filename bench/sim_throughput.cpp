@@ -25,7 +25,9 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "common/alloc_counter.hpp"
 #include "routing/nafta.hpp"
+#include "topology/graph_algo.hpp"
 
 namespace {
 
@@ -124,6 +126,70 @@ std::vector<SweepPoint> make_grid(Cycle warmup, Cycle measure) {
   return points;
 }
 
+// Zero-allocation regression guard (runs only in FLEXROUTER_COUNT_ALLOCS
+// builds — CI's bench-smoke step enables it). Drives a network replica by
+// hand with Bernoulli injection, then samples the global allocation counter
+// over 100-cycle windows: once the pools (rings, slab, worklists) have
+// grown to the workload's peak, a steady-state cycle must not touch the
+// heap. Requires 3 consecutive clean windows out of 30 — one-time pool
+// growth is tolerated, per-cycle churn is not.
+bool run_alloc_guard(int link_faults) {
+  Mesh m = Mesh::two_d(8, 8);
+  Nafta algo;
+  UniformTraffic tr(m);
+  NetworkConfig ncfg;
+  ncfg.expected_packets = 16384;
+  Network net(m, algo, ncfg);
+  if (link_faults > 0) {
+    Rng frng(99);
+    net.apply_faults(
+        [&](FaultSet& f) { inject_random_link_faults(f, link_faults, frng); });
+  }
+  const std::vector<int> comp = components(net.faults());
+  Rng rng(42);
+  Cycle now = 0;
+  // Same offered load as the timed scenarios: injection_rate 0.10 flits
+  // per node-cycle over 4-flit packets, i.e. 0.025 packets per node-cycle
+  // (the Simulator's packet_prob = rate / mean_length).
+  const double packet_prob = 0.10 / 4.0;
+  const auto inject = [&] {
+    for (NodeId s = 0; s < m.num_nodes(); ++s) {
+      if (!net.faults().node_ok(s)) continue;
+      if (!rng.next_bool(packet_prob)) continue;
+      NodeId d = kInvalidNode;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const NodeId cand = tr.dest(s, rng);
+        if (comp[static_cast<std::size_t>(cand)] ==
+            comp[static_cast<std::size_t>(s)]) {
+          d = cand;
+          break;
+        }
+      }
+      if (d != kInvalidNode) net.send(s, d, 4, now);
+    }
+  };
+  for (int c = 0; c < 400; ++c) {  // warmup: pools grow to peak here
+    inject();
+    net.step(now++);
+  }
+  int clean = 0;
+  for (int window = 0; window < 30 && clean < 3; ++window) {
+    const std::int64_t before = heap_alloc_count();
+    for (int c = 0; c < 100; ++c) {
+      inject();
+      net.step(now++);
+    }
+    const std::int64_t grew = heap_alloc_count() - before;
+    clean = grew == 0 ? clean + 1 : 0;  // a dirty window resets the streak
+  }
+  if (clean < 3) {
+    std::cerr << "ALLOCATION REGRESSION: steady-state cycles still allocate "
+              << "(" << link_faults << " link faults)\n";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,6 +209,14 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Simulator throughput — serial hot loop and parallel sweep engine");
+
+  // --- 0. zero-allocation steady-state guard -----------------------------
+  if (heap_alloc_counting_enabled()) {
+    for (const int faults : {0, 6})
+      if (!run_alloc_guard(faults)) return 1;
+    std::cout << "alloc guard: steady-state cycles allocation-free "
+                 "(both scenarios)\n\n";
+  }
 
   // --- 1. single-replica cycles/sec --------------------------------------
   SingleReplica singles[] = {{"fault-free", 0}, {"6 link faults", 6}};

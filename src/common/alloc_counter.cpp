@@ -1,0 +1,91 @@
+#include "common/alloc_counter.hpp"
+
+#ifdef FLEXROUTER_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::int64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) throw std::bad_alloc();
+    h();
+  }
+}
+
+void* counted_alloc_aligned(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     size ? size : 1))
+      return p;
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) throw std::bad_alloc();
+    h();
+  }
+}
+}  // namespace
+
+// Global replacement operators: one definition per program, so this lives
+// in the core library and covers every translation unit, tests included.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace flexrouter {
+std::int64_t heap_alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+bool heap_alloc_counting_enabled() { return true; }
+}  // namespace flexrouter
+
+#else  // !FLEXROUTER_COUNT_ALLOCS
+
+namespace flexrouter {
+std::int64_t heap_alloc_count() { return 0; }
+bool heap_alloc_counting_enabled() { return false; }
+}  // namespace flexrouter
+
+#endif

@@ -1,0 +1,21 @@
+// Heap-allocation counter for the zero-allocation regression guard.
+//
+// When the build defines FLEXROUTER_COUNT_ALLOCS, every global operator new
+// increments a process-wide counter; sampling it around a window of
+// simulator cycles proves the steady-state flit path never touches the
+// heap (bench/sim_throughput --smoke asserts this in CI). In normal builds
+// the counter is a stub that always reads zero, so callers can keep the
+// sampling code unconditionally compiled.
+#pragma once
+
+#include <cstdint>
+
+namespace flexrouter {
+
+/// Total global operator-new calls so far (0 when counting is disabled).
+std::int64_t heap_alloc_count();
+
+/// True when the build actually counts allocations.
+bool heap_alloc_counting_enabled();
+
+}  // namespace flexrouter

@@ -1,0 +1,123 @@
+// Slab store for in-flight packet headers.
+//
+// Wormhole switching (Section 2.2): only the head flit carries routing
+// information. The data plane therefore stores each in-flight packet's
+// Header exactly once, in a slab owned by the Network and shared by every
+// router of that replica (replicas never share a store — the sweep engine's
+// determinism contract keeps them isolated). Flits shrink to 8-byte records
+// that name their slot; buffers and links move those records by value.
+//
+// Slots are recycled through a free list: a slot released when the tail
+// flit ejects is handed to a later packet. Steady-state traffic therefore
+// allocates nothing — the slab only grows while the peak in-flight packet
+// count is still rising. Released slots are poisoned (header reset to the
+// invalid default) and access to a non-live slot is a contract violation,
+// so a stale flit record aliasing a recycled slot is caught, not silently
+// misrouted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace flexrouter {
+
+/// Index of an in-flight packet's header in a PacketStore. Slots are dense
+/// and recycled; a PacketId, by contrast, is unique forever.
+using PacketSlot = std::uint32_t;
+inline constexpr PacketSlot kInvalidPacketSlot = 0xffffffffu;
+
+struct Header {
+  PacketId packet = -1;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  /// Total message length in flits (known up front — NAFTA's adaptivity
+  /// criterion exploits this).
+  int length = 0;
+  /// Lifelock handling (Section 3): set once the message leaves a minimal
+  /// path due to faults.
+  bool misrouted = false;
+  /// Hops travelled so far; used with misrouted for lifelock avoidance.
+  int path_len = 0;
+  /// Header checksum; must be updated whenever the header is modified
+  /// ("the hardware has to be capable to support this").
+  std::uint32_t checksum = 0;
+};
+
+class PacketStore {
+ public:
+  PacketStore() = default;
+  /// Pre-size for an expected peak of simultaneously in-flight packets.
+  explicit PacketStore(std::size_t expected_in_flight) {
+    entries_.reserve(expected_in_flight);
+    free_.reserve(expected_in_flight);
+  }
+
+  /// Claim a slot for a new in-flight packet. Reuses a released slot when
+  /// one exists; only grows the slab when the free list is empty.
+  PacketSlot alloc(const Header& h) {
+    PacketSlot s;
+    if (!free_.empty()) {
+      s = free_.back();
+      free_.pop_back();
+    } else {
+      s = static_cast<PacketSlot>(entries_.size());
+      entries_.emplace_back();
+    }
+    Entry& e = entries_[static_cast<std::size_t>(s)];
+    FR_ASSERT_MSG(!e.live, "free list handed out a live slot");
+    e.live = true;
+    e.hdr = h;
+    ++live_;
+    return s;
+  }
+
+  /// Retire a slot (the tail flit left the network). The header is poisoned
+  /// so stale readers trip the live-slot contract instead of aliasing the
+  /// slot's next occupant.
+  void release(PacketSlot s) {
+    Entry& e = checked(s);
+    e.live = false;
+    e.hdr = Header{};
+    free_.push_back(s);
+    --live_;
+  }
+
+  /// The single authoritative header of a live packet. Routers read it on
+  /// head flits; only the message interface mutates it.
+  Header& header(PacketSlot s) { return checked(s).hdr; }
+  const Header& header(PacketSlot s) const { return checked(s).hdr; }
+
+  bool live(PacketSlot s) const {
+    return s < entries_.size() && entries_[static_cast<std::size_t>(s)].live;
+  }
+
+  /// Packets currently in flight.
+  std::size_t live_count() const { return live_; }
+  /// High-water mark: total slots ever created (live + recyclable).
+  std::size_t slots() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Header hdr;
+    bool live = false;
+  };
+
+  Entry& checked(PacketSlot s) {
+    FR_REQUIRE_MSG(s < entries_.size(), "packet slot out of range");
+    Entry& e = entries_[static_cast<std::size_t>(s)];
+    FR_REQUIRE_MSG(e.live, "access to a released packet slot");
+    return e;
+  }
+  const Entry& checked(PacketSlot s) const {
+    return const_cast<PacketStore*>(this)->checked(s);
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<PacketSlot> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace flexrouter

@@ -19,7 +19,7 @@ void RoundRobinArbiter::request(int idx, int priority) {
   priority_[static_cast<std::size_t>(idx)] = priority;
 }
 
-int RoundRobinArbiter::grant() {
+int RoundRobinArbiter::peek() const {
   int best = -1;
   // Scan cyclically starting after the last grant so equal-priority
   // requesters are served round-robin.
@@ -31,7 +31,39 @@ int RoundRobinArbiter::grant() {
       best = idx;
     }
   }
+  return best;
+}
+
+void RoundRobinArbiter::consume(int idx) {
+  FR_REQUIRE(idx >= 0 && idx < size_);
+  last_grant_ = idx;
+}
+
+int RoundRobinArbiter::grant() {
+  const int best = peek();
   if (best >= 0) last_grant_ = best;
+  return best;
+}
+
+int RoundRobinArbiter::peek_sorted(const ArbCandidate* cands,
+                                   int count) const {
+  // Cyclic order from last_grant_+1: indices above the pointer come first
+  // (ascending), then the wrapped ones. The winner is the max-priority
+  // candidate earliest in that order — ascending input order means the
+  // first candidate seen in each wrap class has the smallest idx.
+  int best = -1;
+  int best_prio = 0;
+  bool best_wrapped = false;
+  for (int i = 0; i < count; ++i) {
+    FR_ASSERT(cands[i].idx >= 0 && cands[i].idx < size_);
+    const bool wrapped = cands[i].idx <= last_grant_;
+    if (best < 0 || cands[i].priority > best_prio ||
+        (cands[i].priority == best_prio && best_wrapped && !wrapped)) {
+      best = cands[i].idx;
+      best_prio = cands[i].priority;
+      best_wrapped = wrapped;
+    }
+  }
   return best;
 }
 

@@ -11,6 +11,12 @@
 
 namespace flexrouter {
 
+/// One requester in a pre-gathered candidate list (see peek_sorted).
+struct ArbCandidate {
+  int idx = -1;
+  int priority = 0;
+};
+
 /// Round-robin arbiter over `size` requesters with integer priorities:
 /// the highest priority wins; among equals the one closest (cyclically)
 /// after the last grant wins.
@@ -22,8 +28,21 @@ class RoundRobinArbiter {
   void begin();
   /// Register requester `idx` with `priority`.
   void request(int idx, int priority = 0);
-  /// Grant one requester (-1 if none requested); rotates the pointer.
+  /// Compute the winner (-1 if none requested) WITHOUT rotating the
+  /// pointer. The caller decides whether the grant is actually consumed —
+  /// a winner that cannot use its grant (e.g. its crossbar input was taken)
+  /// must not advance the round-robin state, or it loses its fairness turn.
+  int peek() const;
+  /// Commit a grant returned by peek(): rotates the pointer to `idx`.
+  void consume(int idx);
+  /// peek() + consume() in one step, for callers that always accept.
   int grant();
+
+  /// Winner among an externally gathered candidate list, equivalent to
+  /// begin() + request(each) + peek() but O(candidates) instead of
+  /// O(size): no request arrays to clear and no full cyclic scan.
+  /// Contract: `cands` sorted ascending by idx, all idx in [0, size).
+  int peek_sorted(const ArbCandidate* cands, int count) const;
 
   int size() const { return size_; }
 

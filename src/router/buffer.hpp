@@ -2,17 +2,24 @@
 // the interface to the physical link and handle errors on the data link
 // layer" (Section 4.1); occupancy doubles as the local load measure that
 // Information Units report.
+//
+// Backed by a pooled ring (common/ring_buffer.hpp) reserved to `depth` at
+// construction: the credit protocol guarantees push() is never called on a
+// full buffer, so the ring never regrows and steady-state push/pop touch
+// no heap — flit records are 8-byte PODs moving through a fixed array.
 #pragma once
 
-#include <deque>
-
+#include "common/ring_buffer.hpp"
 #include "router/flit.hpp"
 
 namespace flexrouter {
 
 class FlitBuffer {
  public:
-  explicit FlitBuffer(int depth);
+  explicit FlitBuffer(int depth) : depth_(depth), fifo_(
+      static_cast<std::size_t>(depth)) {
+    FR_REQUIRE_MSG(depth >= 1, "flit buffer needs depth >= 1");
+  }
 
   bool empty() const { return fifo_.empty(); }
   bool full() const { return static_cast<int>(fifo_.size()) >= depth_; }
@@ -21,14 +28,27 @@ class FlitBuffer {
   int free_slots() const { return depth_ - size(); }
 
   /// Contract: not full.
-  void push(const Flit& f);
+  void push(const Flit& f) {
+    FR_REQUIRE_MSG(!full(), "flit buffer overflow (credit protocol violated)");
+    fifo_.push_back(f);
+  }
+
   /// Contract: not empty.
-  const Flit& front() const;
-  Flit pop();
+  const Flit& front() const {
+    FR_REQUIRE(!empty());
+    return fifo_.front();
+  }
+
+  Flit pop() {
+    FR_REQUIRE(!empty());
+    const Flit f = fifo_.front();
+    fifo_.pop_front();
+    return f;
+  }
 
  private:
   int depth_;
-  std::deque<Flit> fifo_;
+  RingBuffer<Flit> fifo_;
 };
 
 }  // namespace flexrouter

@@ -2,36 +2,64 @@
 // It switches at most one flit per input port and one per output port per
 // cycle; this class tracks per-cycle port usage and cumulative traversal
 // statistics for the switch-allocation stage.
+//
+// Port usage is a pair of bitmasks: switch allocation probes input_free /
+// output_free for every candidate every cycle, so the per-cycle state must
+// be register-resident — begin_cycle is two stores, a probe is one bit test.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 
 namespace flexrouter {
 
 class Crossbar {
  public:
-  Crossbar(int num_inputs, int num_outputs);
+  /// Bitmask port tracking caps the radix; real routers here are degree+1.
+  static constexpr int kMaxPorts = 64;
+
+  Crossbar(int num_inputs, int num_outputs)
+      : num_inputs_(num_inputs), num_outputs_(num_outputs) {
+    FR_REQUIRE(num_inputs >= 1 && num_inputs <= kMaxPorts);
+    FR_REQUIRE(num_outputs >= 1 && num_outputs <= kMaxPorts);
+  }
 
   /// Start a new cycle: all ports become available.
-  void begin_cycle();
+  void begin_cycle() {
+    in_used_ = 0;
+    out_used_ = 0;
+  }
 
-  bool input_free(PortId in) const;
-  bool output_free(PortId out) const;
+  bool input_free(PortId in) const {
+    FR_REQUIRE(in >= 0 && in < num_inputs_);
+    return ((in_used_ >> static_cast<unsigned>(in)) & 1u) == 0;
+  }
+  bool output_free(PortId out) const {
+    FR_REQUIRE(out >= 0 && out < num_outputs_);
+    return ((out_used_ >> static_cast<unsigned>(out)) & 1u) == 0;
+  }
 
   /// Reserve the path in -> out for this cycle.
   /// Contract: both ports are free.
-  void connect(PortId in, PortId out);
+  void connect(PortId in, PortId out) {
+    FR_REQUIRE(input_free(in));
+    FR_REQUIRE(output_free(out));
+    in_used_ |= std::uint64_t{1} << static_cast<unsigned>(in);
+    out_used_ |= std::uint64_t{1} << static_cast<unsigned>(out);
+    ++traversals_;
+  }
 
   std::int64_t total_traversals() const { return traversals_; }
-  int num_inputs() const { return static_cast<int>(in_used_.size()); }
-  int num_outputs() const { return static_cast<int>(out_used_.size()); }
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
 
  private:
-  std::vector<char> in_used_;
-  std::vector<char> out_used_;
+  int num_inputs_;
+  int num_outputs_;
+  std::uint64_t in_used_ = 0;
+  std::uint64_t out_used_ = 0;
   std::int64_t traversals_ = 0;
 };
 

@@ -1,61 +1,52 @@
-// Flits and packet headers.
+// Flit records.
 //
 // Wormhole switching (Section 2.2): a message is divided into flits
 // transmitted in a pipelined fashion; only the head flit carries routing
-// information. For simulation convenience every flit carries a copy of the
-// header, but routers only read it on head flits, and only the message
-// interface mutates it (misroute marking, path-length counter, checksum).
+// information. A flit is therefore an 8-byte POD naming its packet's slot
+// in the PacketStore plus its position in the train — the header itself
+// lives exactly once, in the store. Buffers and links move these records
+// by value; routers resolve the slot only when they actually need header
+// fields (RC on head flits, SA's misroute boost, ejection bookkeeping).
 #pragma once
 
 #include <cstdint>
 
-#include "common/types.hpp"
+#include "common/packet_store.hpp"
 
 namespace flexrouter {
 
-struct Header {
-  PacketId packet = -1;
-  NodeId src = kInvalidNode;
-  NodeId dest = kInvalidNode;
-  /// Total message length in flits (known up front — NAFTA's adaptivity
-  /// criterion exploits this).
-  int length = 0;
-  /// Lifelock handling (Section 3): set once the message leaves a minimal
-  /// path due to faults.
-  bool misrouted = false;
-  /// Hops travelled so far; used with misrouted for lifelock avoidance.
-  int path_len = 0;
-  /// Header checksum; must be updated whenever the header is modified
-  /// ("the hardware has to be capable to support this").
-  std::uint32_t checksum = 0;
-};
-
-/// Computes the header checksum over all routing-relevant fields.
-std::uint32_t header_checksum(const Header& h);
-
 struct Flit {
-  Header hdr;
-  bool head = false;
-  bool tail = false;
+  static constexpr std::uint8_t kHeadFlag = 1;
+  static constexpr std::uint8_t kTailFlag = 2;
+
+  PacketSlot slot = kInvalidPacketSlot;
   /// Sequence number within the packet (0 = head).
-  int seq = 0;
+  std::uint16_t seq = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t reserved = 0;
+
+  bool head() const { return (flags & kHeadFlag) != 0; }
+  bool tail() const { return (flags & kTailFlag) != 0; }
 };
 
-inline Flit make_head_flit(const Header& h) {
+static_assert(sizeof(Flit) == 8, "Flit must stay an 8-byte POD record");
+
+inline Flit make_head_flit(PacketSlot slot, int length) {
+  FR_REQUIRE(length >= 1);
   Flit f;
-  f.hdr = h;
-  f.head = true;
-  f.tail = h.length == 1;
+  f.slot = slot;
   f.seq = 0;
+  f.flags = Flit::kHeadFlag;
+  if (length == 1) f.flags |= Flit::kTailFlag;
   return f;
 }
 
-inline Flit make_body_flit(const Header& h, int seq) {
+inline Flit make_body_flit(PacketSlot slot, int seq, int length) {
+  FR_REQUIRE(seq >= 1 && seq < length && length <= 0xffff);
   Flit f;
-  f.hdr = h;
-  f.head = false;
-  f.tail = seq == h.length - 1;
-  f.seq = seq;
+  f.slot = slot;
+  f.seq = static_cast<std::uint16_t>(seq);
+  f.flags = seq == length - 1 ? Flit::kTailFlag : 0;
   return f;
 }
 

@@ -1,46 +1,15 @@
 #include "router/link.hpp"
 
-#include "common/assert.hpp"
-
 namespace flexrouter {
 
 Link::Link(int num_vcs, int latency) : num_vcs_(num_vcs), latency_(latency) {
-  FR_REQUIRE(num_vcs >= 1);
+  FR_REQUIRE(num_vcs >= 1 && num_vcs <= kMaxVcs);
   FR_REQUIRE(latency >= 1);
-}
-
-void Link::send_flit(Cycle now, VcId vc, const Flit& flit) {
-  FR_REQUIRE(vc >= 0 && vc < num_vcs_);
-  // One flit per cycle: a second send in the same cycle is a router bug.
-  FR_REQUIRE_MSG(flits_.empty() || std::get<0>(flits_.back()) != now + latency_,
-                 "two flits sent on one link in one cycle");
-  flits_.emplace_back(now + latency_, vc, flit);
-  info_.record_transfer(now);
-}
-
-std::optional<std::pair<VcId, Flit>> Link::receive_flit(Cycle now) {
-  if (flits_.empty() || std::get<0>(flits_.front()) > now) return std::nullopt;
-  FR_ASSERT_MSG(std::get<0>(flits_.front()) == now,
-                "link delivery missed a cycle");
-  auto [cycle, vc, flit] = flits_.front();
-  (void)cycle;
-  flits_.pop_front();
-  return std::make_pair(vc, flit);
-}
-
-void Link::send_credit(Cycle now, VcId vc) {
-  FR_REQUIRE(vc >= 0 && vc < num_vcs_);
-  credits_.emplace_back(now + latency_, vc);
-}
-
-std::vector<VcId> Link::receive_credits(Cycle now) {
-  std::vector<VcId> out;
-  while (!credits_.empty() && credits_.front().first <= now) {
-    FR_ASSERT(credits_.front().first == now);
-    out.push_back(credits_.front().second);
-    credits_.pop_front();
-  }
-  return out;
+  const std::size_t span =
+      std::bit_ceil(static_cast<std::size_t>(latency) + 1);
+  stage_mask_ = span - 1;
+  flits_.resize(span);
+  credits_.resize(span);
 }
 
 }  // namespace flexrouter

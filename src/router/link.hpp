@@ -2,11 +2,20 @@
 // channel) forward with a fixed pipeline latency, and credits backward.
 // Each link has an Information Unit (Figure 3) producing link load and
 // fault status for the control unit.
+//
+// Both directions are fixed-length shift registers sized by the latency —
+// a circular array indexed by arrival cycle — so send/receive are array
+// writes, never heap traffic. The register has latency+1 stages because a
+// flit arriving at cycle t may be consumed only when its receiver steps at
+// t, which (routers step in ascending node order) can be after the sender
+// has already transmitted cycle t's flit. Credits travel as a per-cycle VC
+// bitmask: at most one credit per VC can be issued per cycle (the crossbar
+// pops at most one flit per input port), so one bit per VC is exact.
 #pragma once
 
-#include <deque>
+#include <bit>
+#include <cstdint>
 #include <optional>
-#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -42,6 +51,9 @@ class LinkInfoUnit {
 
 class Link {
  public:
+  /// Bitmask credit encoding caps the VCs a physical link can multiplex.
+  static constexpr int kMaxVcs = 32;
+
   /// `latency` >= 1 cycles flit transport; credits return with the same
   /// latency.
   Link(int num_vcs, int latency);
@@ -49,24 +61,87 @@ class Link {
   int num_vcs() const { return num_vcs_; }
   int latency() const { return latency_; }
 
-  void send_flit(Cycle now, VcId vc, const Flit& flit);
+  void send_flit(Cycle now, VcId vc, const Flit& flit) {
+    FR_REQUIRE(vc >= 0 && vc < num_vcs_);
+    FlitStage& s = flits_[stage_index(now + latency_)];
+    // One flit per cycle: an occupied stage means either a second send in
+    // the same cycle or an earlier flit the receiver never picked up.
+    FR_REQUIRE_MSG(s.arrive < 0, "two flits sent on one link in one cycle");
+    s.arrive = now + latency_;
+    s.vc = vc;
+    s.flit = flit;
+    ++flits_in_flight_;
+    info_.record_transfer(now);
+  }
+
   /// Flit arriving at `now`, if any (at most one per cycle per link).
-  std::optional<std::pair<VcId, Flit>> receive_flit(Cycle now);
+  std::optional<std::pair<VcId, Flit>> receive_flit(Cycle now) {
+    FlitStage& s = flits_[stage_index(now)];
+    if (s.arrive < 0) return std::nullopt;
+    FR_ASSERT_MSG(s.arrive == now, "link delivery missed a cycle");
+    s.arrive = -1;
+    --flits_in_flight_;
+    return std::make_pair(s.vc, s.flit);
+  }
 
-  void send_credit(Cycle now, VcId vc);
-  /// All credits arriving at `now`.
-  std::vector<VcId> receive_credits(Cycle now);
+  void send_credit(Cycle now, VcId vc) {
+    FR_REQUIRE(vc >= 0 && vc < num_vcs_);
+    CreditStage& s = credits_[stage_index(now + latency_)];
+    const std::uint32_t bit = 1u << static_cast<unsigned>(vc);
+    if (s.arrive == now + latency_) {
+      FR_ASSERT_MSG((s.mask & bit) == 0,
+                    "two credits for one VC in one cycle");
+      s.mask |= bit;
+    } else {
+      FR_REQUIRE_MSG(s.arrive < 0, "credit delivery missed a cycle");
+      s.arrive = now + latency_;
+      s.mask = bit;
+    }
+    ++credits_in_flight_;
+  }
 
-  bool idle() const { return flits_.empty() && credits_.empty(); }
+  /// All credits arriving at `now`, one bit per VC (bit v == VC v).
+  std::uint32_t receive_credits(Cycle now) {
+    CreditStage& s = credits_[stage_index(now)];
+    if (s.arrive < 0) return 0;
+    FR_ASSERT_MSG(s.arrive == now, "credit delivery missed a cycle");
+    const std::uint32_t mask = s.mask;
+    credits_in_flight_ -= std::popcount(mask);
+    s.arrive = -1;
+    s.mask = 0;
+    return mask;
+  }
+
+  bool idle() const { return flits_in_flight_ == 0 && credits_in_flight_ == 0; }
 
   LinkInfoUnit& info() { return info_; }
   const LinkInfoUnit& info() const { return info_; }
 
  private:
+  struct FlitStage {
+    Cycle arrive = -1;
+    Flit flit;
+    VcId vc = kInvalidVc;
+  };
+  struct CreditStage {
+    Cycle arrive = -1;
+    std::uint32_t mask = 0;
+  };
+
+  /// Stage count rounded up to a power of two (>= latency+1), so the
+  /// cycle-to-stage map is a mask instead of an integer division. Any
+  /// latency+1 consecutive cycles still map to distinct stages.
+  std::size_t stage_index(Cycle arrival) const {
+    return static_cast<std::size_t>(arrival) & stage_mask_;
+  }
+
   int num_vcs_;
   int latency_;
-  std::deque<std::tuple<Cycle, VcId, Flit>> flits_;
-  std::deque<std::pair<Cycle, VcId>> credits_;
+  std::size_t stage_mask_ = 0;
+  std::vector<FlitStage> flits_;      // bit_ceil(latency_+1) stages
+  std::vector<CreditStage> credits_;  // bit_ceil(latency_+1) stages
+  int flits_in_flight_ = 0;
+  int credits_in_flight_ = 0;
   LinkInfoUnit info_;
 };
 

@@ -4,28 +4,89 @@
 // "much more effort in the interface between the control portion and the
 // data path than just copying some information" (Section 3), including
 // checksum maintenance, which this module models explicitly.
+//
+// Headers live in the PacketStore (one per in-flight packet); flits are
+// slot references. The interface resolves a head flit's slot to the
+// authoritative header and is the sole writer of that record.
+//
+// Everything here is inline: the checksum is verified on every routing
+// computation and re-sealed on every forwarded head flit, so it sits on
+// the cycle-loop hot path.
 #pragma once
 
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/packet_store.hpp"
 #include "router/flit.hpp"
 
 namespace flexrouter {
 
+/// Checksum over the routing-relevant header fields; models a link-layer
+/// CRC. The fields pack injectively into three 64-bit words, each passed
+/// through a splitmix64-style finalizer — word-wide mixing instead of a
+/// byte-serial CRC keeps the per-hop reseal to a handful of multiplies.
+inline std::uint32_t header_checksum(const Header& h) {
+  auto mix = [](std::uint64_t v) {
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ull;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebull;
+    v ^= v >> 31;
+    return v;
+  };
+  const std::uint64_t a = static_cast<std::uint64_t>(h.packet);
+  const std::uint64_t b =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(h.src)) << 32) |
+      static_cast<std::uint32_t>(h.dest);
+  const std::uint64_t c =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(h.length))
+       << 33) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(h.path_len))
+       << 1) |
+      (h.misrouted ? 1u : 0u);
+  std::uint64_t x = mix(a ^ 0x9e3779b97f4a7c15ull);
+  x = mix(x ^ b);
+  x = mix(x ^ c);
+  return static_cast<std::uint32_t>(x ^ (x >> 32));
+}
+
 class MessageInterface {
  public:
-  /// Extract the header of a head flit, verifying its checksum.
-  /// Contract: the flit is a head flit with a valid checksum.
-  static Header extract(const Flit& flit);
+  /// Resolve a head flit to its packet header, verifying the checksum.
+  /// Contract: the flit is a head flit naming a live slot.
+  static const Header& extract(const PacketStore& store, const Flit& flit) {
+    FR_REQUIRE_MSG(flit.head(), "header extraction on a non-head flit");
+    const Header& h = store.header(flit.slot);
+    FR_REQUIRE_MSG(checksum_ok(h), "header checksum mismatch");
+    return h;
+  }
 
-  /// Apply control-unit modifications to a head flit's header: bump the
-  /// path-length counter on every hop, set the misroute mark when requested,
-  /// and re-seal the checksum. Returns the number of header fields changed
-  /// (the hardware-effort statistic).
-  static int update_on_forward(Flit& flit, bool mark_misrouted);
+  /// Apply control-unit modifications to a forwarded head flit's header:
+  /// bump the path-length counter on every hop, set the misroute mark when
+  /// requested, and re-seal the checksum. Returns the number of header
+  /// fields changed (the hardware-effort statistic).
+  static int update_on_forward(PacketStore& store, const Flit& flit,
+                               bool mark_misrouted) {
+    FR_REQUIRE(flit.head());
+    Header& h = store.header(flit.slot);
+    int changed = 0;
+    ++h.path_len;
+    ++changed;
+    if (mark_misrouted && !h.misrouted) {
+      h.misrouted = true;
+      ++changed;
+    }
+    h.checksum = header_checksum(h);
+    return changed;
+  }
 
   /// Seal a freshly generated header (computes the checksum).
-  static void seal(Header& h);
+  static void seal(Header& h) { h.checksum = header_checksum(h); }
 
-  static bool checksum_ok(const Header& h);
+  static bool checksum_ok(const Header& h) {
+    return h.checksum == header_checksum(h);
+  }
 };
 
 }  // namespace flexrouter

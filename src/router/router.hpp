@@ -12,10 +12,12 @@
 // hardware control unit of Figure 3.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/packet_store.hpp"
 #include "common/stats.hpp"
 #include "router/arbiter.hpp"
 #include "router/buffer.hpp"
@@ -25,6 +27,16 @@
 #include "routing/routing.hpp"
 
 namespace flexrouter {
+
+/// Credit count reported for the local (ejection) port by
+/// Router::output_credits. Ejection is modelled as an infinite sink, so the
+/// value only has to dominate every real score input: it must exceed any
+/// physical buffer depth and the VA load-score clamp (1023), and it must
+/// never be decremented — credits on the local port are not tracked, there
+/// is no OutputVc state behind them. Callers treat it as "always room";
+/// forwarding asserts that the decrement path is never reached for the
+/// local port.
+inline constexpr int kEjectionSinkCredits = 1 << 20;
 
 /// VC-allocation adaptivity criterion (Section 2.2: NAFTA exploits that
 /// "it is known how long the remainder of a message is" and uses "the
@@ -55,8 +67,11 @@ struct RouterStats {
 
 class Router {
  public:
+  /// `store` holds the headers of every in-flight packet in this router's
+  /// network replica; the router only reads/updates headers through it.
   Router(NodeId id, const Topology& topo, const FaultSet& faults,
-         const RoutingAlgorithm& algo, const RouterConfig& cfg);
+         const RoutingAlgorithm& algo, PacketStore& store,
+         const RouterConfig& cfg);
 
   NodeId id() const { return id_; }
   int num_vcs() const { return vcs_; }
@@ -94,7 +109,6 @@ class Router {
 
   struct InputVc {
     FlitBuffer buffer;
-    VcStatus status = VcStatus::Idle;
     RouteDecision decision;
     int rc_wait = 0;        // remaining stall cycles for multi-step decisions
     PortId out_port = kInvalidPort;
@@ -112,6 +126,17 @@ class Router {
     /// Flits committed to this output but not yet transmitted — the
     /// paper's out_queue adaptivity measure.
     int assigned_flits = 0;
+  };
+
+  /// Compact per-input-VC scan record. The pipeline stages sweep every VC
+  /// every cycle, and InputVc itself is cache-hostile (it embeds the
+  /// RouteDecision candidate array), so the scanned state — status and
+  /// buffer occupancy — is mirrored here at two bytes per VC: the whole
+  /// sweep reads one or two cache lines. `occ` tracks buffer.size() and is
+  /// updated at every push/pop site.
+  struct VcMeta {
+    std::uint8_t status = 0;  // VcStatus
+    std::uint8_t occ = 0;     // flits buffered (== buffer.size())
   };
 
   int in_index(PortId port, VcId vc) const { return port * vcs_ + vc; }
@@ -134,17 +159,24 @@ class Router {
   const Topology* topo_;
   const FaultSet* faults_;
   const RoutingAlgorithm* algo_;
+  PacketStore* store_;
   RouterConfig cfg_;
   int degree_;
   int vcs_;
 
   std::vector<InputVc> inputs_;    // (degree_+1) x vcs_
+  std::vector<VcMeta> meta_;       // mirrors inputs_' status/occupancy
   std::vector<OutputVc> outputs_;  // (degree_+1) x vcs_ (local row unused for
                                    // ownership; its credits are infinite)
   std::vector<Link*> out_links_;   // degree_ entries (nullptr = no link)
   std::vector<Link*> in_links_;
   Crossbar crossbar_;
   std::vector<RoundRobinArbiter> sa_arbiters_;  // one per output port
+  /// SA gather scratch: per-output request buckets, flat (degree_+1 rows
+  /// of (degree_+1)*vcs_ slots), filled and consumed every cycle without
+  /// touching the heap.
+  std::vector<ArbCandidate> sa_bucket_;
+  std::vector<int> sa_count_;  // candidates per output this cycle
   RouterStats stats_;
 };
 

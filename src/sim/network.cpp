@@ -8,24 +8,28 @@ namespace flexrouter {
 
 Network::Network(const Topology& topo, RoutingAlgorithm& algo,
                  const NetworkConfig& cfg)
-    : topo_(&topo), algo_(&algo), cfg_(cfg), faults_(topo) {
+    : topo_(&topo),
+      algo_(&algo),
+      cfg_(cfg),
+      faults_(topo),
+      store_(cfg.expected_in_flight) {
   algo_->attach(topo, faults_);
 
   const auto n = static_cast<std::size_t>(topo.num_nodes());
   routers_.reserve(n);
   for (NodeId i = 0; i < topo.num_nodes(); ++i)
     routers_.push_back(
-        std::make_unique<Router>(i, topo, faults_, algo, cfg.router));
+        std::make_unique<Router>(i, topo, faults_, algo, store_, cfg.router));
   injection_queues_.resize(n);
   injection_pending_.assign(n, 0);
   router_active_.assign(n, 0);
   pending_list_.reserve(n);
   active_list_.reserve(n);
   records_.reserve(cfg.expected_packets);
-  // Step scratch, pre-sized from the workload hint: deliveries per cycle
-  // cannot exceed the node count, and one router ejects at most a handful
-  // of flits per cycle.
-  delivered_last_cycle_.reserve(std::min(cfg.expected_packets, n));
+  // Step scratch, pre-sized unconditionally: deliveries per cycle cannot
+  // exceed the node count, and one router ejects at most a handful of
+  // flits per cycle. Sized to n so steady-state step() never allocates.
+  delivered_last_cycle_.reserve(n);
   eject_scratch_.reserve(32);
   for (auto& q : injection_queues_) q.reserve(16);
 
@@ -67,13 +71,17 @@ PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
   h.dest = dest;
   h.length = length;
   MessageInterface::seal(h);
+  // One header per in-flight packet: the slot travels in the flit records
+  // and is recycled when the tail flit ejects.
+  const PacketSlot slot = store_.alloc(h);
 
   // The ring's backing store is pooled, so pushing the whole flit train is
   // amortised one store per flit.
   auto& queue = injection_queues_[static_cast<std::size_t>(src)];
   queue.reserve(queue.size() + static_cast<std::size_t>(length));
-  queue.push_back(make_head_flit(h));
-  for (int s = 1; s < length; ++s) queue.push_back(make_body_flit(h, s));
+  queue.push_back(make_head_flit(slot, length));
+  for (int s = 1; s < length; ++s)
+    queue.push_back(make_body_flit(slot, s, length));
   if (!injection_pending_[static_cast<std::size_t>(src)]) {
     injection_pending_[static_cast<std::size_t>(src)] = 1;
     pending_list_.push_back(src);
@@ -101,8 +109,10 @@ void Network::step(Cycle now) {
     if (r.injection_space() > 0) {
       const Flit f = queue.front();
       queue.pop_front();
-      if (f.head)
-        records_[static_cast<std::size_t>(f.hdr.packet)].injected = now;
+      if (f.head()) {
+        const Header& hdr = store_.header(f.slot);
+        records_[static_cast<std::size_t>(hdr.packet)].injected = now;
+      }
       r.inject(f);
       activate(u);
     }
@@ -126,16 +136,21 @@ void Network::step(Cycle now) {
     eject_scratch_.clear();
     routers_[static_cast<std::size_t>(u)]->step(now, eject_scratch_);
     for (const Flit& f : eject_scratch_) {
-      PacketRecord& rec = records_[static_cast<std::size_t>(f.hdr.packet)];
+      // Resolve the slot to the full record at the network boundary — the
+      // last reader before the slot is recycled (head == tail for length-1
+      // packets, so read before release).
+      const Header& hdr = store_.header(f.slot);
+      PacketRecord& rec = records_[static_cast<std::size_t>(hdr.packet)];
       FR_ASSERT_MSG(rec.dest == u, "flit ejected at the wrong node");
-      if (f.head) {
-        rec.hops = f.hdr.path_len;
-        rec.misrouted = f.hdr.misrouted;
+      if (f.head()) {
+        rec.hops = hdr.path_len;
+        rec.misrouted = hdr.misrouted;
       }
-      if (f.tail) {
+      if (f.tail()) {
         rec.delivered = now;
         ++delivered_count_;
         delivered_last_cycle_.push_back(rec.id);
+        store_.release(f.slot);
       }
     }
     if (routers_[static_cast<std::size_t>(u)]->empty())
@@ -171,6 +186,10 @@ void Network::begin_fault_mutation() {
 }
 
 int Network::finish_fault_mutation() {
+  // A quiesced network has delivered every injected packet, so the store
+  // must hold no live slots — flush() below cannot leak headers.
+  FR_ASSERT_MSG(store_.live_count() == 0,
+                "fault mutation with live packet slots");
   const int exchanges = algo_->reconfigure();
   for (const auto& r : routers_) r->flush();
   return exchanges;

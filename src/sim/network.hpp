@@ -18,6 +18,9 @@ struct NetworkConfig {
   /// record table and the step scratch so injection-heavy benches don't pay
   /// reallocation churn).
   std::size_t expected_packets = 0;
+  /// Reserve hint: peak simultaneously in-flight packets (pre-sizes the
+  /// PacketStore slab). Zero lets the slab grow to the observed peak.
+  std::size_t expected_in_flight = 0;
 };
 
 struct PacketRecord {
@@ -43,6 +46,10 @@ class Network {
   FaultSet& faults() { return faults_; }
   const FaultSet& faults() const { return faults_; }
   RoutingAlgorithm& algorithm() { return *algo_; }
+  /// Slab of in-flight packet headers; shared by every router of this
+  /// network (replicas never share one).
+  PacketStore& packet_store() { return store_; }
+  const PacketStore& packet_store() const { return store_; }
 
   /// Queue a packet for injection at `src`. Contract: src and dest healthy,
   /// src != dest (fault assumption iii is the caller's responsibility, but
@@ -121,6 +128,7 @@ class Network {
   RoutingAlgorithm* algo_;
   NetworkConfig cfg_;
   FaultSet faults_;
+  PacketStore store_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<LinkRef> link_sources_;  // parallel to links_

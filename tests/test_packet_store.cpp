@@ -1,0 +1,134 @@
+// PacketStore slot-recycling tests: unit-level free-list behaviour plus a
+// network soak that forces heavy slot reuse and asserts no header ever
+// aliases another packet's (satellite of the packet-table data plane).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "routing/nafta.hpp"
+#include "routing/nara.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/network.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+namespace {
+
+Header sealed(PacketId id, NodeId src, NodeId dest, int len) {
+  Header h;
+  h.packet = id;
+  h.src = src;
+  h.dest = dest;
+  h.length = len;
+  MessageInterface::seal(h);
+  return h;
+}
+
+TEST(PacketStore, AllocReleaseReuseKeepsSlotIdentity) {
+  PacketStore store;
+  const PacketSlot a = store.alloc(sealed(1, 0, 5, 4));
+  const PacketSlot b = store.alloc(sealed(2, 1, 6, 2));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.live_count(), 2u);
+  EXPECT_EQ(store.header(a).packet, 1);
+  EXPECT_EQ(store.header(b).packet, 2);
+
+  store.release(a);
+  EXPECT_EQ(store.live_count(), 1u);
+  // The freed slot is recycled for the next packet; the slab does not grow.
+  const PacketSlot c = store.alloc(sealed(3, 2, 7, 8));
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(store.slots(), 2u);
+  // No aliasing: the recycled slot holds only the new packet's header.
+  EXPECT_EQ(store.header(c).packet, 3);
+  EXPECT_EQ(store.header(c).length, 8);
+  EXPECT_EQ(store.header(b).packet, 2);
+}
+
+TEST(PacketStore, ReleasedSlotIsPoisoned) {
+  PacketStore store;
+  const PacketSlot a = store.alloc(sealed(9, 0, 3, 4));
+  store.release(a);
+  EXPECT_FALSE(store.live(a));
+  EXPECT_THROW(store.header(a), ContractViolation);
+  EXPECT_THROW(store.release(a), ContractViolation);  // double release
+  EXPECT_THROW(store.header(12345u), ContractViolation);  // out of range
+}
+
+TEST(PacketStore, FreeListIsLifoAcrossManyCycles) {
+  PacketStore store;
+  std::vector<PacketSlot> slots;
+  for (int i = 0; i < 8; ++i)
+    slots.push_back(store.alloc(sealed(i, 0, 1, 1)));
+  for (int round = 0; round < 100; ++round) {
+    for (const PacketSlot s : slots) store.release(s);
+    std::set<PacketSlot> reused;
+    for (int i = 0; i < 8; ++i) {
+      const PacketSlot s = store.alloc(sealed(100 + i, 0, 1, 1));
+      EXPECT_LT(s, 8u);  // always recycled, never grown
+      reused.insert(s);
+    }
+    EXPECT_EQ(reused.size(), 8u);  // no slot handed out twice
+    slots.assign(reused.begin(), reused.end());
+  }
+  EXPECT_EQ(store.slots(), 8u);
+}
+
+// Soak: many waves of traffic through a faulted network force the free
+// list to recycle slots thousands of times. After each wave the store must
+// be empty, every record must carry its own packet's data (no header
+// aliasing through a stale slot), and the slab must stay near the peak
+// in-flight count — far below the total packet count.
+TEST(PacketStoreSoak, NetworkRecyclingNoAliasing) {
+  Mesh m = Mesh::two_d(6, 6);
+  Nafta nafta;
+  Network net(m, nafta);
+  Rng frng(5);
+  net.apply_faults([&](FaultSet& f) { inject_random_link_faults(f, 4, frng); });
+
+  Rng rng(2024);
+  Cycle now = 0;
+  std::int64_t total_packets = 0;
+  struct Expect {
+    NodeId src, dest;
+    int length;
+  };
+  std::vector<Expect> expect;
+  for (int wave = 0; wave < 30; ++wave) {
+    expect.clear();
+    const int burst = 40 + static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < burst; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(36));
+      auto d = static_cast<NodeId>(rng.next_below(36));
+      if (d == s) d = (d + 1) % 36;
+      const int len = 1 + static_cast<int>(rng.next_below(8));
+      const PacketId id = net.send(s, d, len, now);
+      EXPECT_EQ(id, total_packets + i);
+      expect.push_back({s, d, len});
+    }
+    for (int c = 0; c < 30000 && !net.idle(); ++c) net.step(now++);
+    ASSERT_TRUE(net.idle());
+    // Drained: every slot released back to the free list.
+    EXPECT_EQ(net.packet_store().live_count(), 0u);
+    // Per-record integrity: each delivered record matches what was sent —
+    // a header aliased through a recycled slot would scramble these.
+    for (int i = 0; i < burst; ++i) {
+      const PacketRecord& rec = net.record(total_packets + i);
+      EXPECT_TRUE(rec.done());
+      EXPECT_EQ(rec.src, expect[static_cast<std::size_t>(i)].src);
+      EXPECT_EQ(rec.dest, expect[static_cast<std::size_t>(i)].dest);
+      EXPECT_EQ(rec.length, expect[static_cast<std::size_t>(i)].length);
+      EXPECT_GE(rec.hops, 0);
+      EXPECT_GE(rec.delivered, rec.injected);
+    }
+    total_packets += burst;
+  }
+  // Slot recycling worked: the slab peaked at the in-flight high-water
+  // mark, not the total packet count.
+  EXPECT_GT(total_packets, 1000);
+  EXPECT_LT(net.packet_store().slots(), 200u);
+}
+
+}  // namespace
+}  // namespace flexrouter

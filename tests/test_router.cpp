@@ -2,6 +2,8 @@
 // arbiters, crossbar, links, and single-router behaviour.
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "router/router.hpp"
 #include "routing/dor.hpp"
 #include "topology/mesh.hpp"
@@ -20,6 +22,12 @@ Header sealed_header(PacketId id, NodeId src, NodeId dest, int len) {
   return h;
 }
 
+/// Allocates a sealed header in `store` and returns its slot.
+PacketSlot sealed_packet(PacketStore& store, PacketId id, NodeId src,
+                         NodeId dest, int len) {
+  return store.alloc(sealed_header(id, src, dest, len));
+}
+
 TEST(MessageInterface, SealAndVerify) {
   Header h = sealed_header(1, 0, 5, 4);
   EXPECT_TRUE(MessageInterface::checksum_ok(h));
@@ -28,59 +36,80 @@ TEST(MessageInterface, SealAndVerify) {
 }
 
 TEST(MessageInterface, ExtractRejectsCorruptHeader) {
-  Header h = sealed_header(1, 0, 5, 4);
-  Flit f = make_head_flit(h);
-  f.hdr.path_len = 9;  // tampered without resealing
-  EXPECT_THROW(MessageInterface::extract(f), ContractViolation);
+  PacketStore store;
+  const PacketSlot slot = sealed_packet(store, 1, 0, 5, 4);
+  store.header(slot).path_len = 9;  // tampered without resealing
+  const Flit f = make_head_flit(slot, 4);
+  EXPECT_THROW(MessageInterface::extract(store, f), ContractViolation);
 }
 
 TEST(MessageInterface, ExtractRejectsBodyFlit) {
-  Header h = sealed_header(1, 0, 5, 4);
-  Flit f = make_body_flit(h, 1);
-  EXPECT_THROW(MessageInterface::extract(f), ContractViolation);
+  PacketStore store;
+  const PacketSlot slot = sealed_packet(store, 1, 0, 5, 4);
+  const Flit f = make_body_flit(slot, 1, 4);
+  EXPECT_THROW(MessageInterface::extract(store, f), ContractViolation);
 }
 
 TEST(MessageInterface, ForwardUpdatesCounterAndChecksum) {
-  Header h = sealed_header(7, 0, 5, 4);
-  Flit f = make_head_flit(h);
-  const int changed = MessageInterface::update_on_forward(f, false);
+  PacketStore store;
+  const PacketSlot slot = sealed_packet(store, 7, 0, 5, 4);
+  const Flit f = make_head_flit(slot, 4);
+  const int changed = MessageInterface::update_on_forward(store, f, false);
   EXPECT_EQ(changed, 1);
-  EXPECT_EQ(f.hdr.path_len, 1);
-  EXPECT_TRUE(MessageInterface::checksum_ok(f.hdr));
+  EXPECT_EQ(store.header(slot).path_len, 1);
+  EXPECT_TRUE(MessageInterface::checksum_ok(store.header(slot)));
 }
 
 TEST(MessageInterface, MisrouteMarkIsSticky) {
-  Header h = sealed_header(7, 0, 5, 4);
-  Flit f = make_head_flit(h);
-  EXPECT_EQ(MessageInterface::update_on_forward(f, true), 2);
-  EXPECT_TRUE(f.hdr.misrouted);
+  PacketStore store;
+  const PacketSlot slot = sealed_packet(store, 7, 0, 5, 4);
+  const Flit f = make_head_flit(slot, 4);
+  EXPECT_EQ(MessageInterface::update_on_forward(store, f, true), 2);
+  EXPECT_TRUE(store.header(slot).misrouted);
   // Marking again changes only the counter.
-  EXPECT_EQ(MessageInterface::update_on_forward(f, true), 1);
-  EXPECT_TRUE(MessageInterface::checksum_ok(f.hdr));
+  EXPECT_EQ(MessageInterface::update_on_forward(store, f, true), 1);
+  EXPECT_TRUE(MessageInterface::checksum_ok(store.header(slot)));
 }
 
 TEST(Flits, HeadTailFlags) {
-  Header h = sealed_header(1, 0, 5, 1);
-  const Flit single = make_head_flit(h);
-  EXPECT_TRUE(single.head);
-  EXPECT_TRUE(single.tail);
+  const PacketSlot slot = 3;  // flit records never dereference the slot
+  const Flit single = make_head_flit(slot, 1);
+  EXPECT_TRUE(single.head());
+  EXPECT_TRUE(single.tail());
 
-  h = sealed_header(1, 0, 5, 3);
-  EXPECT_TRUE(make_head_flit(h).head);
-  EXPECT_FALSE(make_head_flit(h).tail);
-  EXPECT_FALSE(make_body_flit(h, 1).tail);
-  EXPECT_TRUE(make_body_flit(h, 2).tail);
+  EXPECT_TRUE(make_head_flit(slot, 3).head());
+  EXPECT_FALSE(make_head_flit(slot, 3).tail());
+  EXPECT_FALSE(make_body_flit(slot, 1, 3).tail());
+  EXPECT_TRUE(make_body_flit(slot, 2, 3).tail());
+  EXPECT_FALSE(make_body_flit(slot, 1, 3).head());
+}
+
+TEST(Flits, RecordIsEightBytePod) {
+  static_assert(sizeof(Flit) == 8);
+  static_assert(std::is_trivially_copyable_v<Flit>);
+  const Flit f = make_body_flit(9, 2, 4);
+  EXPECT_EQ(f.slot, 9u);
+  EXPECT_EQ(f.seq, 2);
+}
+
+// ------------------------------------------------------------ packet store
+TEST(PacketStoreBasics, AccessAfterReleaseThrows) {
+  PacketStore store;
+  const PacketSlot slot = sealed_packet(store, 1, 0, 5, 4);
+  EXPECT_TRUE(store.live(slot));
+  store.release(slot);
+  EXPECT_FALSE(store.live(slot));
+  EXPECT_THROW(store.header(slot), ContractViolation);
 }
 
 // ------------------------------------------------------------------ buffer
 TEST(FlitBuffer, FifoOrderAndCapacity) {
   FlitBuffer buf(2);
-  Header h = sealed_header(1, 0, 1, 3);
-  buf.push(make_head_flit(h));
-  buf.push(make_body_flit(h, 1));
+  buf.push(make_head_flit(0, 3));
+  buf.push(make_body_flit(0, 1, 3));
   EXPECT_TRUE(buf.full());
-  EXPECT_THROW(buf.push(make_body_flit(h, 2)), ContractViolation);
-  EXPECT_TRUE(buf.pop().head);
+  EXPECT_THROW(buf.push(make_body_flit(0, 2, 3)), ContractViolation);
+  EXPECT_TRUE(buf.pop().head());
   EXPECT_EQ(buf.pop().seq, 1);
   EXPECT_TRUE(buf.empty());
   EXPECT_THROW(buf.pop(), ContractViolation);
@@ -111,6 +140,20 @@ TEST(Arbiter, NoRequestersYieldsMinusOne) {
   RoundRobinArbiter arb(2);
   arb.begin();
   EXPECT_EQ(arb.grant(), -1);
+}
+
+TEST(Arbiter, PeekDoesNotAdvancePointer) {
+  // A winner whose grant is not consumed keeps its fairness turn: peek()
+  // must return the same index until consume() commits it.
+  RoundRobinArbiter arb(3);
+  arb.begin();
+  for (int i = 0; i < 3; ++i) arb.request(i);
+  EXPECT_EQ(arb.peek(), 0);
+  EXPECT_EQ(arb.peek(), 0);  // unchanged — pointer did not move
+  arb.consume(0);
+  arb.begin();
+  for (int i = 0; i < 3; ++i) arb.request(i);
+  EXPECT_EQ(arb.peek(), 1);
 }
 
 TEST(Arbiter, StarvationFreedomUnderContention) {
@@ -147,38 +190,58 @@ TEST(Crossbar, PortExclusivityPerCycle) {
 // -------------------------------------------------------------------- link
 TEST(Link, FlitLatencyAndOrder) {
   Link link(2, /*latency=*/3);
-  Header h = sealed_header(1, 0, 1, 2);
-  link.send_flit(10, 1, make_head_flit(h));
+  link.send_flit(10, 1, make_head_flit(0, 2));
   EXPECT_FALSE(link.receive_flit(11).has_value());
   EXPECT_FALSE(link.receive_flit(12).has_value());
   const auto arrival = link.receive_flit(13);
   ASSERT_TRUE(arrival.has_value());
   EXPECT_EQ(arrival->first, 1);
-  EXPECT_TRUE(arrival->second.head);
+  EXPECT_TRUE(arrival->second.head());
   EXPECT_TRUE(link.idle());
 }
 
 TEST(Link, OneFlitPerCycleEnforced) {
   Link link(1, 1);
-  Header h = sealed_header(1, 0, 1, 2);
-  link.send_flit(5, 0, make_head_flit(h));
-  EXPECT_THROW(link.send_flit(5, 0, make_body_flit(h, 1)), ContractViolation);
+  link.send_flit(5, 0, make_head_flit(0, 2));
+  EXPECT_THROW(link.send_flit(5, 0, make_body_flit(0, 1, 2)),
+               ContractViolation);
 }
 
-TEST(Link, CreditsTravelBackward) {
+TEST(Link, CreditsTravelBackwardAsVcBitmask) {
   Link link(2, 2);
   link.send_credit(4, 0);
   link.send_credit(4, 1);
-  EXPECT_TRUE(link.receive_credits(5).empty());
-  const auto credits = link.receive_credits(6);
-  EXPECT_EQ(credits, (std::vector<VcId>{0, 1}));
+  EXPECT_FALSE(link.idle());
+  EXPECT_EQ(link.receive_credits(5), 0u);
+  EXPECT_EQ(link.receive_credits(6), 0b11u);  // bit v == VC v
+  EXPECT_EQ(link.receive_credits(6), 0u);     // consumed
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(Link, BackToBackFlitsKeepLatency) {
+  // A flit delivered at cycle t must survive a send at cycle t (routers
+  // step in node order, so the sender may transmit before the receiver
+  // picks up) — the pipeline has latency+1 stages for exactly this.
+  Link link(1, 1);
+  link.send_flit(0, 0, make_head_flit(0, 3));
+  link.send_flit(1, 0, make_body_flit(0, 1, 3));
+  auto a = link.receive_flit(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->second.head());
+  link.send_flit(2, 0, make_body_flit(0, 2, 3));
+  a = link.receive_flit(2);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->second.seq, 1);
+  a = link.receive_flit(3);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->second.tail());
+  EXPECT_TRUE(link.idle());
 }
 
 TEST(Link, InfoUnitMeasuresLoad) {
   Link link(1, 1);
-  Header h = sealed_header(1, 0, 1, 1);
   for (Cycle t = 0; t < 200; ++t) {
-    link.send_flit(t, 0, make_head_flit(h));
+    link.send_flit(t, 0, make_head_flit(0, 1));
     (void)link.receive_flit(t + 1);
     link.info().tick(t, true);
   }
@@ -202,22 +265,24 @@ class TwoRouterFixture : public ::testing::Test {
   Mesh mesh_;
   FaultSet faults_;
   DimensionOrderMesh algo_;
+  PacketStore store_;
   RouterConfig cfg_;
 };
 
 TEST_F(TwoRouterFixture, PacketCrossesOneHop) {
-  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, cfg_);
-  Router r1(mesh_.at(1, 0), mesh_, faults_, algo_, cfg_);
+  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, store_, cfg_);
+  Router r1(mesh_.at(1, 0), mesh_, faults_, algo_, store_, cfg_);
   Link east(algo_.num_vcs(), 1), west(algo_.num_vcs(), 1);
   r0.connect_output(port_of(Compass::East), &east);
   r1.connect_input(port_of(Compass::West), &east);
   r1.connect_output(port_of(Compass::West), &west);
   r0.connect_input(port_of(Compass::East), &west);
 
-  Header h = sealed_header(0, mesh_.at(0, 0), mesh_.at(1, 0), 3);
-  r0.inject(make_head_flit(h));
-  r0.inject(make_body_flit(h, 1));
-  r0.inject(make_body_flit(h, 2));
+  const PacketSlot slot =
+      sealed_packet(store_, 0, mesh_.at(0, 0), mesh_.at(1, 0), 3);
+  r0.inject(make_head_flit(slot, 3));
+  r0.inject(make_body_flit(slot, 1, 3));
+  r0.inject(make_body_flit(slot, 2, 3));
 
   std::vector<Flit> ejected;
   for (Cycle t = 0; t < 30 && ejected.size() < 3; ++t) {
@@ -225,9 +290,9 @@ TEST_F(TwoRouterFixture, PacketCrossesOneHop) {
     r1.step(t, ejected);
   }
   ASSERT_EQ(ejected.size(), 3u);
-  EXPECT_TRUE(ejected[0].head);
-  EXPECT_EQ(ejected[0].hdr.path_len, 1);  // one hop
-  EXPECT_TRUE(ejected[2].tail);
+  EXPECT_TRUE(ejected[0].head());
+  EXPECT_EQ(store_.header(slot).path_len, 1);  // one hop
+  EXPECT_TRUE(ejected[2].tail());
   EXPECT_TRUE(r0.empty());
   EXPECT_TRUE(r1.empty());
   EXPECT_EQ(r1.stats().flits_ejected, 3);
@@ -235,20 +300,21 @@ TEST_F(TwoRouterFixture, PacketCrossesOneHop) {
 }
 
 TEST_F(TwoRouterFixture, LocalDeliveryWithoutLinks) {
-  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, cfg_);
-  Header h = sealed_header(0, mesh_.at(1, 0), mesh_.at(0, 0), 2);
-  r0.inject(make_head_flit(h));
-  r0.inject(make_body_flit(h, 1));
+  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, store_, cfg_);
+  const PacketSlot slot =
+      sealed_packet(store_, 0, mesh_.at(1, 0), mesh_.at(0, 0), 2);
+  r0.inject(make_head_flit(slot, 2));
+  r0.inject(make_body_flit(slot, 1, 2));
   std::vector<Flit> ejected;
   for (Cycle t = 0; t < 10 && ejected.size() < 2; ++t) r0.step(t, ejected);
   ASSERT_EQ(ejected.size(), 2u);
-  EXPECT_EQ(ejected[0].hdr.path_len, 0);  // never left the router
+  EXPECT_EQ(store_.header(slot).path_len, 0);  // never left the router
 }
 
 TEST_F(TwoRouterFixture, CreditsThrottleAndRecover) {
   // Fill downstream buffer (depth 4), verify upstream stalls, then drains.
-  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, cfg_);
-  Router r1(mesh_.at(1, 0), mesh_, faults_, algo_, cfg_);
+  Router r0(mesh_.at(0, 0), mesh_, faults_, algo_, store_, cfg_);
+  Router r1(mesh_.at(1, 0), mesh_, faults_, algo_, store_, cfg_);
   Link east(algo_.num_vcs(), 1), west(algo_.num_vcs(), 1);
   r0.connect_output(port_of(Compass::East), &east);
   r1.connect_input(port_of(Compass::West), &east);
@@ -257,9 +323,10 @@ TEST_F(TwoRouterFixture, CreditsThrottleAndRecover) {
 
   // A long packet: 12 flits through a depth-4 buffer must still flow.
   const int kLen = 12;
-  Header h = sealed_header(0, mesh_.at(0, 0), mesh_.at(1, 0), kLen);
-  r0.inject(make_head_flit(h));
-  for (int s = 1; s < kLen; ++s) r0.inject(make_body_flit(h, s));
+  const PacketSlot slot =
+      sealed_packet(store_, 0, mesh_.at(0, 0), mesh_.at(1, 0), kLen);
+  r0.inject(make_head_flit(slot, kLen));
+  for (int s = 1; s < kLen; ++s) r0.inject(make_body_flit(slot, s, kLen));
 
   std::vector<Flit> ejected;
   for (Cycle t = 0; t < 100 && ejected.size() < kLen; ++t) {

@@ -78,16 +78,17 @@ TEST(RouterProps, CorruptHeaderIsRejectedAtRC) {
   FaultSet f(m);
   Nara nara;
   nara.attach(m, f);
-  Router r(m.at(0, 0), m, f, nara, RouterConfig{});
+  PacketStore store;
+  Router r(m.at(0, 0), m, f, nara, store, RouterConfig{});
   Header h;
   h.packet = 1;
   h.src = m.at(1, 1);
   h.dest = m.at(1, 0);
   h.length = 1;
   MessageInterface::seal(h);
-  Flit flit = make_head_flit(h);
-  flit.hdr.dest = m.at(0, 1);  // tampered after sealing
-  r.inject(flit);
+  const PacketSlot slot = store.alloc(h);
+  store.header(slot).dest = m.at(0, 1);  // tampered after sealing
+  r.inject(make_head_flit(slot, 1));
   std::vector<Flit> ejected;
   EXPECT_THROW(r.step(0, ejected), ContractViolation);
 }

@@ -437,5 +437,43 @@ TEST(SimulatorRegression, BimodalNaraExactResults) {
   EXPECT_EQ(r.cycles_run, 832);
 }
 
+TEST(SimulatorRegression, FaultyHypercubeRouteCExactResults) {
+  // Third rule base pinned (ROUTE_C on a faulted hypercube), so all three
+  // of NAFTA / NARA / ROUTE_C have an exact-value scenario. Captured from
+  // the pre-packet-store data plane; the slab-store refactor must
+  // reproduce every field bit-for-bit.
+  Hypercube h(4);
+  RouteC routec;
+  Network net(h, routec);
+  Rng rng(17);
+  net.apply_faults([&](FaultSet& f) {
+    inject_random_node_faults(f, 2, rng);
+    inject_random_link_faults(f, 2, rng);
+  });
+  UniformTraffic traffic(h);
+  SimConfig cfg;
+  cfg.injection_rate = 0.06;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 900;
+  cfg.seed = 4242;
+  Simulator sim(net, traffic, cfg);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.injected_packets, 198);
+  EXPECT_EQ(r.delivered_packets, 198);
+  EXPECT_EQ(r.avg_latency, 18.878787878787879);
+  EXPECT_EQ(r.p50_latency, 14.0);
+  EXPECT_EQ(r.p99_latency, 118.12);
+  EXPECT_EQ(r.avg_hops, 3.0505050505050524);
+  EXPECT_EQ(r.min_hops_ratio, 1.5976430976430989);
+  EXPECT_EQ(r.throughput, 0.062857142857142861);
+  EXPECT_EQ(r.misrouted_fraction, 0.10606060606060606);
+  EXPECT_EQ(r.avg_latency_misrouted, 54.666666666666657);
+  EXPECT_EQ(r.avg_latency_direct, 14.632768361581926);
+  EXPECT_EQ(r.avg_decision_steps, 2.0);
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.cycles_run, 1278);
+}
+
 }  // namespace
 }  // namespace flexrouter
