@@ -84,6 +84,11 @@ class Rng {
   bool next_bool(double p) { return next_unit() < p; }
 
   /// Fisher–Yates shuffle of a random-access range.
+  // GCC 12 at -O3 reports a maybe-uninitialized false positive inside
+  // libstdc++ when swap() is inlined over variant-holding elements
+  // (std::vector<Value>); suppress locally so -Werror stays usable.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
   template <typename Range>
   void shuffle(Range& r) {
     const auto n = static_cast<std::uint64_t>(r.size());
@@ -93,6 +98,7 @@ class Rng {
       swap(r[i - 1], r[j]);
     }
   }
+#pragma GCC diagnostic pop
 
   /// Derive an independent child generator (for per-node streams).
   Rng split() { return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL); }

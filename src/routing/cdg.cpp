@@ -65,31 +65,69 @@ bool find_cycle(const std::vector<std::vector<int>>& adj,
 
 }  // namespace
 
+int ChannelDepGraph::channel_id(const Channel& c) {
+  const auto [it, inserted] =
+      index_.emplace(c, static_cast<int>(channels_.size()));
+  if (inserted) {
+    channels_.push_back(c);
+    adj_.emplace_back();
+  }
+  return it->second;
+}
+
+int ChannelDepGraph::find_channel(const Channel& c) const {
+  const auto it = index_.find(c);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void ChannelDepGraph::add_edge(int from, int to) {
+  FR_REQUIRE(from >= 0 && from < num_channels());
+  FR_REQUIRE(to >= 0 && to < num_channels());
+  adj_[static_cast<std::size_t>(from)].insert(to);
+}
+
+std::int64_t ChannelDepGraph::num_edges() const {
+  std::int64_t n = 0;
+  for (const auto& s : adj_) n += static_cast<std::int64_t>(s.size());
+  return n;
+}
+
+CdgReport ChannelDepGraph::check() const {
+  CdgReport report;
+  report.num_channels = num_channels();
+  report.num_edges = num_edges();
+
+  std::vector<std::vector<int>> adj_v(adj_.size());
+  for (std::size_t i = 0; i < adj_.size(); ++i)
+    adj_v[i].assign(adj_[i].begin(), adj_[i].end());
+
+  std::vector<int> witness;
+  if (find_cycle(adj_v, witness)) {
+    report.acyclic = false;
+    for (const int i : witness)
+      report.cycle.push_back(channels_[static_cast<std::size_t>(i)]);
+  }
+  return report;
+}
+
 CdgReport check_cdg(const Topology& topo, const FaultSet& faults,
                     const RoutingAlgorithm& algo, bool escape_only) {
-  CdgReport report;
-
   auto included = [&](VcId vc) {
     return !escape_only || algo.is_escape_vc(vc);
   };
 
-  // Enumerate channels.
-  std::map<Channel, int> index;
-  std::vector<Channel> channels;
+  // Enumerate channels of the checked layer up front so the report counts
+  // them even when no dependency touches them.
+  ChannelDepGraph graph;
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     for (PortId p = 0; p < topo.degree(); ++p) {
       if (!faults.link_usable(n, p)) continue;
       for (VcId v = 0; v < algo.num_vcs(); ++v) {
         if (!included(v)) continue;
-        const Channel c{n, p, v};
-        index.emplace(c, static_cast<int>(channels.size()));
-        channels.push_back(c);
+        graph.channel_id(Channel{n, p, v});
       }
     }
   }
-  report.num_channels = static_cast<int>(channels.size());
-
-  std::vector<std::set<int>> adj(channels.size());
 
   // Dependency edges must only be drawn for header states that can actually
   // occupy a channel — enumerating every destination at every channel
@@ -115,7 +153,7 @@ CdgReport check_cdg(const Topology& topo, const FaultSet& faults,
              std::tie(o.channel, o.dest, o.misrouted, o.path_class);
     }
   };
-  // Channel indices over ALL VCs (for reachability), separate from `index`
+  // Channel indices over ALL VCs (for reachability), separate from `graph`
   // which holds only the included ones.
   std::map<Channel, int> all_index;
   std::vector<Channel> all_channels;
@@ -143,8 +181,9 @@ CdgReport check_cdg(const Topology& topo, const FaultSet& faults,
         const Channel& from_ch =
             all_channels[static_cast<std::size_t>(from_state->channel)];
         if (included(from_ch.vc)) {
-          adj[static_cast<std::size_t>(index.at(from_ch))].insert(
-              index.at(Channel{ctx.node, cand.port, cand.vc}));
+          graph.add_edge(graph.channel_id(from_ch),
+                         graph.channel_id(Channel{ctx.node, cand.port,
+                                                  cand.vc}));
         }
       }
       const State next{all_it->second, ctx.dest,
@@ -189,19 +228,7 @@ CdgReport check_cdg(const Topology& topo, const FaultSet& faults,
     expand(&st, ctx);
   }
 
-  for (const auto& s : adj) report.num_edges += static_cast<std::int64_t>(s.size());
-
-  std::vector<std::vector<int>> adj_v(adj.size());
-  for (std::size_t i = 0; i < adj.size(); ++i)
-    adj_v[i].assign(adj[i].begin(), adj[i].end());
-
-  std::vector<int> witness;
-  if (find_cycle(adj_v, witness)) {
-    report.acyclic = false;
-    for (const int i : witness)
-      report.cycle.push_back(channels[static_cast<std::size_t>(i)]);
-  }
-  return report;
+  return graph.check();
 }
 
 }  // namespace flexrouter

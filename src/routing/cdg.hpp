@@ -11,6 +11,8 @@
 // claim deadlock freedom without an escape layer, e.g. NARA or DOR).
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,38 @@ struct CdgReport {
   std::vector<Channel> cycle;
 
   std::string to_string() const;
+};
+
+/// The mechanical core every deadlock-freedom argument reduces to: a set of
+/// interned channels, dependency edges between them, and an acyclicity check
+/// that extracts one witness cycle on failure. `check_cdg` builds it from a
+/// live RoutingAlgorithm; the static analyzer (ruleanalysis) builds it from
+/// rule conclusions alone. Edges are deduplicated; isolated channels still
+/// count towards num_channels in the report.
+class ChannelDepGraph {
+ public:
+  /// Intern `c`, returning its dense id (stable across calls).
+  int channel_id(const Channel& c);
+  /// The id of `c` if interned, -1 otherwise.
+  int find_channel(const Channel& c) const;
+  void add_edge(int from, int to);
+  void add_edge(const Channel& from, const Channel& to) {
+    add_edge(channel_id(from), channel_id(to));
+  }
+
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  std::int64_t num_edges() const;
+  const Channel& channel(int id) const {
+    return channels_[static_cast<std::size_t>(id)];
+  }
+
+  /// Cycle detection with witness extraction.
+  CdgReport check() const;
+
+ private:
+  std::map<Channel, int> index_;
+  std::vector<Channel> channels_;
+  std::vector<std::set<int>> adj_;
 };
 
 /// Build the dependency graph restricted to channels for which

@@ -1,0 +1,25 @@
+// Sampled abstract interpretation over rule programs.
+//
+// The analyzer builds, per rule base, a finite abstraction of the input
+// space: one axis per referenced parameter, scalar input/variable, and
+// array element (arrays indexed by data collapse to one shared element when
+// too large). Each axis carries a sample set — the full domain when small,
+// otherwise boundaries plus the cut points of every comparison in the
+// premises — and the cartesian product is enumerated. Every enumerated
+// point is a *concrete* state, so anything the analyzer observes (a gap, an
+// out-of-range assignment) is a real behavior, never a false positive; when
+// the product covers the whole concrete space the pass is marked exact and
+// universal claims (dead rule, shadowed rule) become proofs.
+#pragma once
+
+#include "ruleanalysis/diagnostics.hpp"
+#include "ruleengine/ast.hpp"
+
+namespace flexrouter::ruleanalysis {
+
+/// Run completeness, shadowing/dead-rule and range/index analysis over
+/// every rule base of `prog`. The program must have passed validation.
+AnalysisReport analyze_program(const rules::Program& prog,
+                               const AnalysisOptions& opts = {});
+
+}  // namespace flexrouter::ruleanalysis

@@ -1,0 +1,41 @@
+// rulelint driver: run the full static-analysis pipeline (parse, validate,
+// abstract interpretation, deadlock certification) over one source text or
+// over the whole rule-base corpus. Shared by the tools/rulelint CLI, the
+// rulelint_corpus ctest and the mutation tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ruleanalysis/analyzer.hpp"
+#include "ruleanalysis/deadlock.hpp"
+
+namespace flexrouter::ruleanalysis {
+
+struct CorpusLintOptions {
+  AnalysisOptions analysis;
+  /// Skip the deadlock certification stage (analysis only).
+  bool deadlock = true;
+};
+
+/// Lint one rule program source: parse, validate, analyze and — when
+/// `model_for` knows the program — statically certify deadlock freedom on
+/// the topology the program's own constants describe (width/height for
+/// meshes, dim for hypercubes). Parse and validation failures are reported
+/// as error findings, not exceptions.
+AnalysisReport lint_source(const std::string& source,
+                           const CorpusLintOptions& opts = {});
+
+struct CorpusLintResult {
+  std::vector<AnalysisReport> reports;
+
+  bool clean(bool werror) const;
+  std::string to_string() const;
+};
+
+/// Lint every program of rulebases:: — the runnable decision programs at
+/// the sizes the differential tests use, the Table 1/2 accounting corpora
+/// at a closure-friendly 4x4 / d=3, plus a faulted ft_mesh certification.
+CorpusLintResult lint_corpus(const CorpusLintOptions& opts = {});
+
+}  // namespace flexrouter::ruleanalysis

@@ -1,0 +1,89 @@
+// Static deadlock certification of rule programs (rulelint).
+//
+// Reconstructs, from the rules alone, the channel-dependency graph a
+// routing program induces on its topology. The routing conclusions —
+// !cand(port, vc, prio) events, RETURN <port> values or ROUTE_C
+// !dirset(mask, class) events — are enumerated under an abstract input
+// model: inputs the host catalog of RuleDrivenRouting computes (node
+// coordinates, link health, the escape-layer signals) are evaluated
+// concretely per (node, dest, in_port, in_vc) decision header, every other
+// input is left free and enumerated over its declared domain. A rule MAY
+// fire when its premise holds under some assignment of its free inputs and
+// MUST fire when it holds under all of them; the channels requested by
+// every may-firing rule up to and including the first must-firing one are
+// collected, so the dependency relation is an over-approximation: a cycle
+// is never missed, the certificate can only err towards reporting one.
+// Edges feed the same ChannelDepGraph used by check_cdg on the live
+// algorithms, so static and dynamic verdicts are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "routing/cdg.hpp"
+#include "ruleanalysis/diagnostics.hpp"
+#include "ruleengine/ast.hpp"
+#include "topology/fault_model.hpp"
+#include "topology/topology.hpp"
+
+namespace flexrouter::ruleanalysis {
+
+/// How the certified rule base expresses its (turn, vc) decision.
+enum class DecisionStyle {
+  CandEvents,  // !cand(port, vc, prio) host events (runnable programs)
+  ReturnPort,  // RETURN <symbol> ranked in the RETURNS domain; vc = in_vc
+  DirsetMask,  // !dirset(mask, class): mask bits = ports, class -> vc
+};
+
+/// Virtual channels a header occupies when injected at the source.
+enum class InjectionVcs {
+  Zero,      // always VC 0 (the rules re-route onto the right VC)
+  All,       // any certified VC
+  BySignDy,  // NAFTA/NARA double network: VC 1 iff ydes > ypos, VC 0 iff
+             // ydes < ypos, both when equal (x-only traffic)
+};
+
+/// Input model of one corpus program: which rule base routes, how its
+/// conclusions map to channels, and which VCs the certificate covers.
+struct DeadlockModel {
+  std::string route_base = "route";
+  DecisionStyle style = DecisionStyle::CandEvents;
+  InjectionVcs injection = InjectionVcs::Zero;
+  int num_vcs = 1;
+  /// VC of the up*/down* escape layer (-1 = none). Enables the escape_*
+  /// entries of the input catalog.
+  int escape_vc = -1;
+  /// DirsetMask only: class id -> VC. Classes absent here (ROUTE_C's
+  /// escape/misroute commands) are excluded and reported as a note.
+  std::map<std::int64_t, int> class_vcs;
+};
+
+/// The certifier's verdict. `report.acyclic` is the deadlock-freedom
+/// claim; it is trustworthy as a proof only when `modeled` (no construct
+/// fell outside the input model and no free-input space was truncated).
+struct DeadlockCertificate {
+  CdgReport report;
+  std::vector<Finding> findings;
+  /// False when part of the program escaped the abstraction (findings
+  /// carry deadlock-unmodeled notes saying what).
+  bool modeled = true;
+  /// Distinct (node, dest, in_port, in_vc) decision headers evaluated.
+  std::uint64_t decisions = 0;
+};
+
+/// The built-in model for a corpus program, keyed by PROGRAM name;
+/// nullopt when the program has no routing rule base to certify.
+std::optional<DeadlockModel> model_for(const rules::Program& prog);
+
+/// Build and check the static channel-dependency graph of `prog` on
+/// `topo` with the given fault state. The program must have passed
+/// validation.
+DeadlockCertificate certify_deadlock(const rules::Program& prog,
+                                     const DeadlockModel& model,
+                                     const Topology& topo,
+                                     const FaultSet& faults);
+
+}  // namespace flexrouter::ruleanalysis

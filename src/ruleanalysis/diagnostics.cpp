@@ -1,0 +1,74 @@
+#include "ruleanalysis/diagnostics.hpp"
+
+#include <sstream>
+
+namespace flexrouter::ruleanalysis {
+
+const char* to_string(DiagClass c) {
+  switch (c) {
+    case DiagClass::InvalidProgram: return "invalid-program";
+    case DiagClass::Incomplete: return "incomplete";
+    case DiagClass::ShadowedRule: return "shadowed-rule";
+    case DiagClass::DeadRule: return "dead-rule";
+    case DiagClass::RangeOverflow: return "range-overflow";
+    case DiagClass::IndexOverflow: return "index-overflow";
+    case DiagClass::StateBlowup: return "state-blowup";
+    case DiagClass::DeadlockCycle: return "deadlock-cycle";
+    case DiagClass::DeadlockUnmodeled: return "deadlock-unmodeled";
+  }
+  return "?";
+}
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << ruleanalysis::to_string(severity) << "["
+     << ruleanalysis::to_string(cls) << "]";
+  if (!rule_base.empty()) {
+    os << " " << rule_base;
+    if (rule_index >= 0) os << "#" << rule_index;
+  }
+  if (line > 0) os << " (line " << line << ")";
+  os << ": " << message;
+  if (!witness.empty()) os << " [" << witness << "]";
+  return os.str();
+}
+
+int AnalysisReport::count(Severity s) const {
+  int n = 0;
+  for (const Finding& f : findings)
+    if (f.severity == s) ++n;
+  return n;
+}
+
+bool AnalysisReport::clean(bool werror) const {
+  if (count(Severity::Error) > 0) return false;
+  return !werror || count(Severity::Warning) == 0;
+}
+
+std::string AnalysisReport::to_string() const {
+  std::ostringstream os;
+  os << "== " << program << " ==\n";
+  for (const BaseReport& b : bases) {
+    os << "  base " << b.rule_base << ": " << b.states << " states";
+    if (b.exact) os << " (exact)";
+    if (b.gap_states > 0) os << ", " << b.gap_states << " gaps";
+    os << "\n";
+  }
+  for (const std::string& line : info) os << "  " << line << "\n";
+  for (const Finding& f : findings) os << "  " << f.to_string() << "\n";
+  os << "  " << count(Severity::Error) << " errors, "
+     << count(Severity::Warning) << " warnings, " << count(Severity::Note)
+     << " notes\n";
+  return os.str();
+}
+
+}  // namespace flexrouter::ruleanalysis

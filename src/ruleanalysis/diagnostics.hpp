@@ -1,0 +1,94 @@
+// Diagnostic vocabulary of the rule-program static analyzer (rulelint).
+//
+// Findings are classified along the paper's fault taxonomy: completeness
+// (does some rule fire in every reachable input state), determinism/priority
+// (shadowed and dead rules), register safety (assignments provably inside
+// the declared domains the hardware cost model charges bits for) and
+// deadlock freedom (static channel-dependency certification).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexrouter::ruleanalysis {
+
+enum class DiagClass {
+  InvalidProgram,  // parse or validation failure (pre-analysis)
+  Incomplete,     // abstract input state where no rule of a base fires
+  ShadowedRule,   // rule never first-to-fire: an earlier rule always wins
+  DeadRule,       // premise unsatisfiable over the analyzed input space
+  RangeOverflow,  // assignment/RETURN/event argument outside its domain
+  IndexOverflow,  // array or input index outside the declared bounds
+  StateBlowup,    // abstract state space exceeded the budget; pass skipped
+  DeadlockCycle,  // static channel-dependency graph has a cycle (witness)
+  DeadlockUnmodeled,  // program shape outside the certifier's input model
+};
+
+enum class Severity { Note, Warning, Error };
+
+const char* to_string(DiagClass c);
+const char* to_string(Severity s);
+
+/// One diagnostic. `witness` carries the abstract state (or dependency
+/// cycle) that exhibits the problem; empty when no witness applies.
+struct Finding {
+  DiagClass cls = DiagClass::Incomplete;
+  Severity severity = Severity::Note;
+  std::string rule_base;  // empty = program level
+  int rule_index = -1;    // 0-based within the base, -1 = base level
+  int line = 0;           // source line in the rule program
+  std::string message;
+  std::string witness;
+
+  std::string to_string() const;
+};
+
+/// Knobs of the sampled abstract interpretation. Defaults fit the corpus:
+/// full enumeration of mesh-coordinate domains (cardinality 8), bounded
+/// cartesian products, boundary+cut-point sampling beyond that.
+struct AnalysisOptions {
+  /// Domains up to this cardinality enumerate fully; larger ones sample
+  /// boundaries, midpoints and comparison cut points.
+  std::uint64_t full_enum_cardinality = 8;
+  /// Abstract state budget of the per-base completeness/shadowing pass.
+  std::uint64_t max_states = std::uint64_t{1} << 18;
+  /// Abstract state budget of the per-rule range pass.
+  std::uint64_t max_range_states = std::uint64_t{1} << 14;
+  /// Arrays accessed with data-dependent indices are modeled per element up
+  /// to this many elements, then collapsed to one shared abstract element.
+  std::uint64_t max_array_elements = 16;
+  /// Completeness gap witnesses reported per rule base.
+  int max_gap_witnesses = 3;
+  /// Promote Incomplete from Note to Warning (a base whose fall-through
+  /// means "no action this cycle" legitimately has gaps, so default off).
+  bool completeness_is_warning = false;
+};
+
+/// Per-rule-base coverage statistics of the completeness pass.
+struct BaseReport {
+  std::string rule_base;
+  /// Abstract states enumerated (0 when the pass was skipped).
+  std::uint64_t states = 0;
+  /// States where no rule fired.
+  std::uint64_t gap_states = 0;
+  /// True when the analyzed space was the exact concrete input space
+  /// (every axis fully enumerated, nothing collapsed): Shadowed/Dead
+  /// verdicts are then proofs, not samples, and report as warnings.
+  bool exact = false;
+};
+
+struct AnalysisReport {
+  std::string program;
+  std::vector<Finding> findings;
+  std::vector<BaseReport> bases;
+  /// Informational lines (deadlock certificate summaries etc.).
+  std::vector<std::string> info;
+
+  int count(Severity s) const;
+  /// With `werror`: no warnings or errors. Without: no errors.
+  bool clean(bool werror) const;
+  std::string to_string() const;
+};
+
+}  // namespace flexrouter::ruleanalysis

@@ -214,6 +214,27 @@ std::string to_string(const Cmd& c, const SymTable& syms) {
   return os.str();
 }
 
+void for_each_subexpr(const ExprPtr& e,
+                      const std::function<void(const Expr&)>& fn) {
+  if (!e) return;
+  fn(*e);
+  for (const ExprPtr& a : e->args) for_each_subexpr(a, fn);
+  for_each_subexpr(e->lhs, fn);
+  for_each_subexpr(e->rhs, fn);
+}
+
+void for_each_expr(const Cmd& c, const std::function<void(const Expr&)>& fn) {
+  for (const ExprPtr& a : c.args) for_each_subexpr(a, fn);
+  for_each_subexpr(c.value, fn);
+  for_each_subexpr(c.domain, fn);
+  for (const Cmd& b : c.body) for_each_expr(b, fn);
+}
+
+void for_each_expr(const Rule& r, const std::function<void(const Expr&)>& fn) {
+  for_each_subexpr(r.premise, fn);
+  for (const Cmd& c : r.conclusion) for_each_expr(c, fn);
+}
+
 std::string to_string(const Rule& r, const SymTable& syms) {
   std::ostringstream os;
   os << "IF " << to_string(r.premise, syms) << " THEN ";

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -145,6 +146,17 @@ struct Program {
   /// Total register bits across all variables (paper Section 5 accounting).
   std::int64_t total_register_bits() const;
 };
+
+/// Depth-first walkers over the immutable AST — the traversal backbone of
+/// the static analyzers (signal discovery, cut-point collection). The
+/// visitor sees every node exactly once, parents before children.
+void for_each_subexpr(const ExprPtr& e,
+                      const std::function<void(const Expr&)>& fn);
+/// Every expression reachable from a command: assignment index args and RHS,
+/// RETURN value, emit args, FORALL domain and body (recursively).
+void for_each_expr(const Cmd& c, const std::function<void(const Expr&)>& fn);
+/// Every expression of a rule: premise plus all conclusion commands.
+void for_each_expr(const Rule& r, const std::function<void(const Expr&)>& fn);
 
 /// Pretty-printers — canonical text used for structural dedupe and testing.
 std::string to_string(const Expr& e, const SymTable& syms);

@@ -197,6 +197,39 @@ std::vector<Value> Domain::enumerate() const {
   FR_UNREACHABLE("bad domain kind");
 }
 
+std::vector<Value> Domain::sample_values(std::uint64_t full_enum_cap) const {
+  if (cardinality() <= full_enum_cap) return enumerate();
+  std::vector<Value> out;
+  switch (kind_) {
+    case Kind::IntRange:
+    case Kind::Boolean:
+      for (const std::int64_t v :
+           {lo_, lo_ + 1, lo_ + (hi_ - lo_) / 2, hi_ - 1, hi_})
+        out.push_back(Value::make_int(v));
+      break;
+    case Kind::Symbols:
+      // Symbol domains are small by construction; keep the head and tail of
+      // the lattice order when capped.
+      for (std::size_t i = 0; i < syms_.size(); ++i)
+        if (i == 0 || i + 1 == syms_.size() ||
+            i < static_cast<std::size_t>(full_enum_cap))
+          out.push_back(Value::make_sym(syms_[i]));
+      break;
+    case Kind::SetOf: {
+      out.push_back(Value::make_set(SetValue{}));
+      std::vector<Value> univ = element().sample_values(full_enum_cap);
+      for (const Value& e : univ)
+        out.push_back(Value::make_set(SetValue({e})));
+      out.push_back(Value::make_set(SetValue(std::move(univ))));
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  FR_ASSERT(!out.empty());
+  return out;
+}
+
 std::uint64_t Domain::index_of(const Value& v) const {
   FR_REQUIRE_MSG(contains(v), "value outside domain");
   switch (kind_) {

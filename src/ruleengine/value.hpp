@@ -138,6 +138,12 @@ class Domain {
   /// small (used by the compiler to enumerate feature axes).
   std::vector<Value> enumerate() const;
 
+  /// Finite abstraction of the domain for static analysis: every value when
+  /// cardinality <= full_enum_cap, otherwise a boundary sample (lo, lo+1,
+  /// midpoint, hi-1, hi for ranges; empty and full set for SetOf). Sorted
+  /// and unique; never empty.
+  std::vector<Value> sample_values(std::uint64_t full_enum_cap) const;
+
   /// Position of `v` in enumerate() order. Contract: contains(v).
   std::uint64_t index_of(const Value& v) const;
   Value value_at(std::uint64_t index) const;

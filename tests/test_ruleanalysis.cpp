@@ -1,0 +1,345 @@
+// Tests for the rule-program static analyzer (rulelint).
+//
+// Strategy: the shipped corpus must lint clean under --werror semantics;
+// then seeded mutants — one deliberate fault each, injected into a pristine
+// corpus source by exact string surgery — must each be caught with the
+// expected diagnostic class. The deadlock certifier is additionally checked
+// for agreement with the dynamic channel-dependency checker (`check_cdg`)
+// on both the healthy programs and a cyclic mutant.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "routing/cdg.hpp"
+#include "routing/nafta.hpp"
+#include "routing/route_c.hpp"
+#include "routing/rule_driven.hpp"
+#include "rulebases/corpus.hpp"
+#include "ruleanalysis/corpus_lint.hpp"
+#include "ruleengine/parser.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+namespace {
+
+using ruleanalysis::AnalysisReport;
+using ruleanalysis::DiagClass;
+using ruleanalysis::Finding;
+using ruleanalysis::Severity;
+
+/// Replace exactly one occurrence of `from` with `to`; the test fails if
+/// the anchor text is missing or ambiguous, so mutations cannot rot
+/// silently when the corpus is edited.
+std::string mutate(std::string source, const std::string& from,
+                   const std::string& to) {
+  const auto pos = source.find(from);
+  EXPECT_NE(pos, std::string::npos) << "mutation anchor not found: " << from;
+  EXPECT_EQ(source.find(from, pos + 1), std::string::npos)
+      << "mutation anchor ambiguous: " << from;
+  if (pos == std::string::npos) return source;
+  source.replace(pos, from.size(), to);
+  return source;
+}
+
+int count_class(const AnalysisReport& rep, DiagClass cls) {
+  int n = 0;
+  for (const Finding& f : rep.findings)
+    if (f.cls == cls) ++n;
+  return n;
+}
+
+const Finding* find_class(const AnalysisReport& rep, DiagClass cls) {
+  for (const Finding& f : rep.findings)
+    if (f.cls == cls) return &f;
+  return nullptr;
+}
+
+AnalysisReport lint(const std::string& source) {
+  return ruleanalysis::lint_source(source);
+}
+
+// ------------------------------------------------------------ corpus gate
+
+TEST(RulelintCorpus, EveryShippedProgramIsCleanUnderWerror) {
+  const auto result = ruleanalysis::lint_corpus();
+  EXPECT_TRUE(result.clean(/*werror=*/true)) << result.to_string();
+  // All four runnable-program certificates plus the accounting corpora.
+  EXPECT_EQ(result.reports.size(), 8u);
+}
+
+TEST(RulelintCorpus, DeadlockCertificatesCoverEveryModeledProgram) {
+  const auto result = ruleanalysis::lint_corpus();
+  for (const AnalysisReport& rep : result.reports) {
+    bool has_certificate = false;
+    for (const std::string& line : rep.info)
+      if (line.find("deadlock certificate") != std::string::npos &&
+          line.find("acyclic") != std::string::npos)
+        has_certificate = true;
+    EXPECT_TRUE(has_certificate) << rep.program << " has no certificate";
+  }
+}
+
+TEST(RulelintCorpus, RouteCExcludedClassesAreReportedNotSilent) {
+  // The certifier covers ROUTE_C's ascending/descending classes; the
+  // escape and misroute classes fall outside the VC mapping and must be
+  // called out rather than silently dropped.
+  const auto rep = lint(rulebases::route_c_program_source(3, 2));
+  const Finding* f = find_class(rep, DiagClass::DeadlockUnmodeled);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("classes"), std::string::npos);
+  EXPECT_EQ(f->severity, Severity::Note);
+}
+
+// --------------------------------------------------- seeded mutants (>=10)
+
+// Mutant 1: syntax damage -> invalid-program error.
+TEST(RulelintMutants, UnterminatedRuleBaseIsInvalidProgram) {
+  const auto rep = lint(
+      mutate(rulebases::nara_route_source(4, 4), "END route;\n", ""));
+  const Finding* f = find_class(rep, DiagClass::InvalidProgram);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Error);
+  EXPECT_FALSE(rep.clean(/*werror=*/false));
+}
+
+// Mutant 2: undeclared register -> invalid-program error (validation).
+TEST(RulelintMutants, UndeclaredNameIsInvalidProgram) {
+  const auto rep = lint(mutate(rulebases::nara_route_source(4, 4),
+                               "THEN !cand(0, in_vc, 0);",
+                               "THEN !cand(0, ghost_vc, 0);"));
+  const Finding* f = find_class(rep, DiagClass::InvalidProgram);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Error);
+}
+
+// Mutant 3: dropped local-delivery rule -> completeness gap.
+TEST(RulelintMutants, DroppedDeliveryRuleIsIncomplete) {
+  ASSERT_EQ(count_class(lint(rulebases::nara_route_source(4, 4)),
+                        DiagClass::Incomplete),
+            0);
+  const auto rep = lint(
+      mutate(rulebases::nara_route_source(4, 4),
+             "  IF ypos = ydes AND xpos = xdes THEN !cand(4, 0, 0);\n", ""));
+  const Finding* f = find_class(rep, DiagClass::Incomplete);
+  ASSERT_NE(f, nullptr);
+  // The witness names the uncovered abstract state.
+  EXPECT_NE(f->witness.find("xpos"), std::string::npos);
+  ASSERT_FALSE(rep.bases.empty());
+  EXPECT_GT(rep.bases[0].gap_states, 0u);
+}
+
+// Mutant 4: dropped x-aligned northbound case -> a different gap.
+TEST(RulelintMutants, DroppedAxisCaseIsIncomplete) {
+  const auto rep = lint(mutate(
+      rulebases::nara_route_source(4, 4),
+      "  IF ypos < ydes AND xpos = xdes THEN !cand(2, 1, 0);\n", ""));
+  EXPECT_GE(count_class(rep, DiagClass::Incomplete), 1);
+}
+
+// Mutant 5: widened premise swallows a later rule -> shadowed rule.
+TEST(RulelintMutants, WidenedPremiseShadowsLaterRule) {
+  const auto rep = lint(mutate(rulebases::nara_route_source(4, 4),
+                               "IF ypos < ydes AND xpos > xdes THEN",
+                               "IF ypos < ydes THEN"));
+  const Finding* f = find_class(rep, DiagClass::ShadowedRule);
+  ASSERT_NE(f, nullptr);
+  // The input space is exact, so the verdict is a proof -> warning.
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_EQ(f->rule_index, 2);  // "ypos < ydes AND xpos = xdes" is dead code
+  EXPECT_FALSE(rep.clean(/*werror=*/true));
+}
+
+// Mutant 6: duplicated rule -> the copy is shadowed by the original.
+TEST(RulelintMutants, DuplicatedRuleIsShadowed) {
+  const std::string line =
+      "  IF ypos = ydes AND xpos = xdes THEN !cand(4, 0, 0);\n";
+  const auto rep =
+      lint(mutate(rulebases::nara_route_source(4, 4), line, line + line));
+  const Finding* f = find_class(rep, DiagClass::ShadowedRule);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_NE(f->message.find("rule #10"), std::string::npos);
+}
+
+// Mutant 7: contradictory premise -> dead rule.
+TEST(RulelintMutants, ContradictoryPremiseIsDeadRule) {
+  const auto rep = lint(mutate(
+      rulebases::nara_route_source(4, 4),
+      "IF ypos < ydes AND xpos = xdes THEN !cand(2, 1, 0);",
+      "IF ypos < ydes AND ypos > ydes THEN !cand(2, 1, 0);"));
+  const Finding* f = find_class(rep, DiagClass::DeadRule);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_EQ(f->rule_index, 2);
+}
+
+// Mutant 8: widened guard lets a counter leave its declared width.
+TEST(RulelintMutants, WidenedGuardOverflowsRegister) {
+  ASSERT_EQ(count_class(lint(rulebases::nafta_program_source(4, 4)),
+                        DiagClass::RangeOverflow),
+            0);
+  // fault_count is 5 bits (0..31); "< 2" guards the increment. Flipping
+  // the comparison admits fault_count = 31, where +1 assigns 32.
+  const auto rep = lint(mutate(rulebases::nafta_program_source(4, 4),
+                               "IF fault_count < 2\n",
+                               "IF fault_count > 2\n"));
+  const Finding* f = find_class(rep, DiagClass::RangeOverflow);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_EQ(f->rule_base, "consider_neighbor_state");
+  EXPECT_NE(f->witness.find("fault_count=31"), std::string::npos);
+}
+
+// Mutant 9: computed store index exceeds the array bound.
+TEST(RulelintMutants, ComputedIndexOverflowsArray) {
+  // dir_state has 4 entries; fault_count + 3 reaches 4 under the < 2 guard.
+  const auto rep = lint(mutate(
+      rulebases::nafta_program_source(4, 4),
+      "THEN fault_count <- fault_count + 1, dir_state(0) <- nb_state;",
+      "THEN fault_count <- fault_count + 1,"
+      " dir_state(fault_count + 3) <- nb_state;"));
+  const Finding* f = find_class(rep, DiagClass::IndexOverflow);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_NE(f->message.find("dir_state"), std::string::npos);
+}
+
+// Mutant 10: sideways candidates on the southbound network close a
+// dependency cycle (east at x = xdes flips the sign, west flips it back).
+TEST(RulelintMutants, SidewaysCandidatesAreACertifiedDeadlock) {
+  const std::string mutant = mutate(
+      rulebases::nara_route_source(4, 4),
+      "IF ypos > ydes AND xpos = xdes THEN !cand(3, 0, 0);",
+      "IF ypos > ydes AND xpos = xdes"
+      " THEN !cand(3, 0, 0), !cand(0, 0, 0), !cand(1, 0, 0);");
+  const auto rep = lint(mutant);
+  const Finding* f = find_class(rep, DiagClass::DeadlockCycle);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Error);
+  // A witness cycle in channel notation is printed.
+  EXPECT_NE(f->witness.find("->"), std::string::npos);
+  EXPECT_FALSE(rep.clean(/*werror=*/false));
+
+  // The dynamic checker agrees: the same program driving a live router
+  // yields a cyclic channel-dependency graph.
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet faults(m);
+  RuleDrivenRouting algo(mutant, 2, rules::ExecMode::Interpret);
+  algo.attach(m, faults);
+  EXPECT_FALSE(check_full_cdg(m, faults, algo).acyclic);
+}
+
+// Mutant 11: letting the e-cube correct a not-yet-due dimension breaks the
+// dimension order -> two-channel cycle, caught statically and dynamically.
+TEST(RulelintMutants, BrokenDimensionOrderIsACertifiedDeadlock) {
+  const std::string mutant =
+      mutate(rulebases::ecube_route_source(3),
+             "IF bit(xor(node, dest), 0) = 1 THEN !cand(0, 0, 0);",
+             "IF bit(xor(node, dest), 0) = 1"
+             " THEN !cand(0, 0, 0), !cand(1, 0, 0);");
+  const auto rep = lint(mutant);
+  const Finding* f = find_class(rep, DiagClass::DeadlockCycle);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Error);
+  EXPECT_NE(f->witness.find("->"), std::string::npos);
+
+  Hypercube h(3);
+  FaultSet faults(h);
+  RuleDrivenRouting algo(mutant, 1, rules::ExecMode::Interpret);
+  algo.attach(h, faults);
+  EXPECT_FALSE(check_full_cdg(h, faults, algo).acyclic);
+}
+
+// Mutant 12: an input space too wide to reduce -> state-blowup note, not a
+// hang and not a bogus verdict.
+TEST(RulelintMutants, IrreducibleInputSpaceReportsBlowup) {
+  std::string src = "PROGRAM blowup;\n";
+  for (int i = 0; i < 13; ++i)
+    src += "INPUT w" + std::to_string(i) + " IN 0 TO 1000000\n";
+  src += "ON act\n  IF w0 = 0";
+  for (int i = 1; i < 13; ++i) src += " AND w" + std::to_string(i) + " = 0";
+  src += " THEN !go(0);\nEND act;\n";
+  const auto rep = lint(src);
+  const Finding* f = find_class(rep, DiagClass::StateBlowup);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::Note);
+}
+
+// ------------------------------------- static vs dynamic CDG agreement
+
+TEST(RulelintAgreement, NaraRulesStaticAndDynamicVerdictsMatch) {
+  const std::string src = rulebases::nara_route_source(4, 4);
+  const auto prog = rules::parse_program(src);
+  const auto model = ruleanalysis::model_for(prog);
+  ASSERT_TRUE(model.has_value());
+
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet faults(m);
+  const auto cert = ruleanalysis::certify_deadlock(prog, *model, m, faults);
+  EXPECT_TRUE(cert.modeled);
+  EXPECT_TRUE(cert.report.acyclic) << cert.report.to_string();
+
+  RuleDrivenRouting algo(src, 2, rules::ExecMode::Interpret);
+  algo.attach(m, faults);
+  const CdgReport dynamic = check_full_cdg(m, faults, algo);
+  EXPECT_EQ(cert.report.acyclic, dynamic.acyclic);
+}
+
+TEST(RulelintAgreement, NaftaCertificateMatchesNativeAlgorithm) {
+  const auto prog = rules::parse_program(rulebases::nafta_program_source(4, 4));
+  const auto model = ruleanalysis::model_for(prog);
+  ASSERT_TRUE(model.has_value());
+
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet faults(m);
+  const auto cert = ruleanalysis::certify_deadlock(prog, *model, m, faults);
+  EXPECT_TRUE(cert.report.acyclic) << cert.report.to_string();
+
+  Nafta nafta;
+  nafta.attach(m, faults);
+  const CdgReport dynamic = check_full_cdg(m, faults, nafta);
+  EXPECT_EQ(cert.report.acyclic, dynamic.acyclic);
+}
+
+TEST(RulelintAgreement, RouteCCertificateMatchesNativeAlgorithm) {
+  const auto prog =
+      rules::parse_program(rulebases::route_c_nft_program_source(3, 2));
+  const auto model = ruleanalysis::model_for(prog);
+  ASSERT_TRUE(model.has_value());
+
+  Hypercube h(3);
+  FaultSet faults(h);
+  const auto cert = ruleanalysis::certify_deadlock(prog, *model, h, faults);
+  EXPECT_TRUE(cert.report.acyclic) << cert.report.to_string();
+
+  StrippedRouteC nft;
+  nft.attach(h, faults);
+  const CdgReport dynamic = check_full_cdg(h, faults, nft);
+  EXPECT_EQ(cert.report.acyclic, dynamic.acyclic);
+}
+
+TEST(RulelintAgreement, FaultedFtMeshStaysCertified) {
+  const std::string src = rulebases::ft_mesh_route_source(4, 4);
+  const auto prog = rules::parse_program(src);
+  const auto model = ruleanalysis::model_for(prog);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->escape_vc, 2);
+
+  Mesh m = Mesh::two_d(4, 4);
+  FaultSet faults(m);
+  faults.fail_link(m.at(1, 1), 0);
+  faults.fail_node(m.at(2, 2));
+  const auto cert = ruleanalysis::certify_deadlock(prog, *model, m, faults);
+  EXPECT_TRUE(cert.report.acyclic) << cert.report.to_string();
+
+  RuleDrivenRouting algo(src, 3, rules::ExecMode::Interpret, "route",
+                         /*escape_vc=*/2);
+  algo.attach(m, faults);
+  algo.reconfigure();
+  const CdgReport dynamic = check_full_cdg(m, faults, algo);
+  EXPECT_EQ(cert.report.acyclic, dynamic.acyclic);
+}
+
+}  // namespace
+}  // namespace flexrouter

@@ -1,0 +1,145 @@
+// rulelint — static analyzer for rule programs.
+//
+// With no file arguments, lints the whole built-in rule-base corpus
+// (completeness, shadowed/dead rules, register ranges, static deadlock
+// certification). With files, lints each rule program source.
+//
+//   rulelint [--json] [--werror] [--no-deadlock] [file...]
+//
+// Exit status: 0 when clean (no errors; with --werror also no warnings),
+// 1 when findings fail the gate, 2 on usage errors.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ruleanalysis/corpus_lint.hpp"
+
+namespace {
+
+using flexrouter::ruleanalysis::AnalysisReport;
+using flexrouter::ruleanalysis::BaseReport;
+using flexrouter::ruleanalysis::CorpusLintOptions;
+using flexrouter::ruleanalysis::Finding;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const std::vector<AnalysisReport>& reports, std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const AnalysisReport& r = reports[i];
+    os << (i ? ",\n " : "\n ") << "{\"program\": \"" << json_escape(r.program)
+       << "\",\n  \"bases\": [";
+    for (std::size_t b = 0; b < r.bases.size(); ++b) {
+      const BaseReport& br = r.bases[b];
+      os << (b ? ", " : "") << "{\"name\": \"" << json_escape(br.rule_base)
+         << "\", \"states\": " << br.states
+         << ", \"gap_states\": " << br.gap_states
+         << ", \"exact\": " << (br.exact ? "true" : "false") << "}";
+    }
+    os << "],\n  \"info\": [";
+    for (std::size_t k = 0; k < r.info.size(); ++k)
+      os << (k ? ", " : "") << "\"" << json_escape(r.info[k]) << "\"";
+    os << "],\n  \"findings\": [";
+    for (std::size_t f = 0; f < r.findings.size(); ++f) {
+      const Finding& fd = r.findings[f];
+      os << (f ? ",\n   " : "") << "{\"class\": \"" << to_string(fd.cls)
+         << "\", \"severity\": \"" << to_string(fd.severity)
+         << "\", \"rule_base\": \"" << json_escape(fd.rule_base)
+         << "\", \"rule_index\": " << fd.rule_index
+         << ", \"line\": " << fd.line << ", \"message\": \""
+         << json_escape(fd.message) << "\", \"witness\": \""
+         << json_escape(fd.witness) << "\"}";
+    }
+    os << "]}";
+  }
+  os << "\n]\n";
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: rulelint [--json] [--werror] [--no-deadlock] [file...]\n"
+        "Lints the built-in rule-base corpus, or the given rule program\n"
+        "sources. --werror fails on warnings as well as errors.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  CorpusLintOptions opts;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--no-deadlock") {
+      opts.deadlock = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rulelint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::vector<AnalysisReport> reports;
+  if (files.empty()) {
+    reports = flexrouter::ruleanalysis::lint_corpus(opts).reports;
+  } else {
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "rulelint: cannot open '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream src;
+      src << in.rdbuf();
+      AnalysisReport rep =
+          flexrouter::ruleanalysis::lint_source(src.str(), opts);
+      if (rep.program.empty() || rep.program == "<unparsed>")
+        rep.program = path;
+      reports.push_back(std::move(rep));
+    }
+  }
+
+  bool clean = true;
+  for (const AnalysisReport& r : reports)
+    if (!r.clean(werror)) clean = false;
+
+  if (json) {
+    print_json(reports, std::cout);
+  } else {
+    for (const AnalysisReport& r : reports) std::cout << r.to_string();
+    std::cout << (clean ? "rulelint: clean" : "rulelint: FAILED")
+              << (werror ? " (warnings are errors)" : "") << "\n";
+  }
+  return clean ? 0 : 1;
+}
