@@ -1,0 +1,311 @@
+// Dynamic fault recovery benchmark — the live fault lifecycle end to end.
+//
+// A link is killed in the middle of the measurement window (fault
+// assumption v: faults arrive while the network operates) and the recovery
+// controller runs the paper's quiescent diagnosis phase: in-flight victims
+// are truncated and accounted, injection is gated while survivors drain,
+// the fault is committed (epoch bump + reconfigure) and sources retransmit
+// lost packets. Reported per scenario: loss/retransmission counts,
+// recovery cycles, availability, and the hard accounting identity
+//     delivered + unrecoverable == injected
+// (every measured packet must be delivered or explicitly given up on —
+// nothing may vanish).
+//
+// Scenarios compare the paper's two flexibility poles: NAFTA on an 8x8
+// mesh vs ROUTE_C on a 4-cube, same offered load, same mid-measurement
+// link kill.
+//
+// Also checked, because they are the contracts the lifecycle must not
+// break:
+//   - sweep bit-identity at 1/2/4/8 worker threads with the fault
+//     schedule armed (recovery metrics included in the comparison), and
+//   - the zero-allocation steady state after a live kill + recovery
+//     (FLEXROUTER_COUNT_ALLOCS builds only).
+//
+// Usage:
+//   ./dynamic_fault_recovery              # full run
+//   ./dynamic_fault_recovery --smoke      # tiny cycle counts for CI
+//   ./dynamic_fault_recovery --json FILE  # also emit a JSON report
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/alloc_counter.hpp"
+#include "routing/nafta.hpp"
+#include "topology/graph_algo.hpp"
+#include "topology/hypercube.hpp"
+
+namespace {
+
+using namespace flexrouter;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Field-wise bit-identity including the recovery metrics — the sweep
+/// determinism contract now covers the lifecycle counters too.
+bool bit_identical(const SimResult& a, const SimResult& b) {
+  if (a.blocked_chain.size() != b.blocked_chain.size()) return false;
+  for (std::size_t i = 0; i < a.blocked_chain.size(); ++i) {
+    if (a.blocked_chain[i].node != b.blocked_chain[i].node ||
+        a.blocked_chain[i].port != b.blocked_chain[i].port ||
+        a.blocked_chain[i].vc != b.blocked_chain[i].vc ||
+        a.blocked_chain[i].packet != b.blocked_chain[i].packet)
+      return false;
+  }
+  return a.injected_packets == b.injected_packets &&
+         a.delivered_packets == b.delivered_packets &&
+         std::memcmp(&a.avg_latency, &b.avg_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.p50_latency, &b.p50_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.p99_latency, &b.p99_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.avg_hops, &b.avg_hops, sizeof(double)) == 0 &&
+         std::memcmp(&a.throughput, &b.throughput, sizeof(double)) == 0 &&
+         std::memcmp(&a.availability, &b.availability, sizeof(double)) == 0 &&
+         a.packets_lost == b.packets_lost &&
+         a.packets_retransmitted == b.packets_retransmitted &&
+         a.packets_unrecoverable == b.packets_unrecoverable &&
+         a.fault_events == b.fault_events &&
+         a.recovery_events == b.recovery_events &&
+         a.recovery_cycles == b.recovery_cycles &&
+         a.worms_killed == b.worms_killed &&
+         a.reconfig_exchanges == b.reconfig_exchanges &&
+         a.deadlock_suspected == b.deadlock_suspected &&
+         a.cycles_run == b.cycles_run;
+}
+
+constexpr int kScenarios = 2;
+const char* scenario_name(int s) {
+  return s == 0 ? "nafta / 8x8 mesh" : "route_c / 4-cube";
+}
+
+/// One replica of scenario `s`: build topology + algorithm, arm a single
+/// link kill halfway through the measurement window, run the lifecycle.
+SimResult run_recovery_point(int s, double rate, Cycle warmup, Cycle measure,
+                             std::uint64_t seed) {
+  std::unique_ptr<Topology> topo;
+  std::unique_ptr<RoutingAlgorithm> algo;
+  NodeId kill_node = kInvalidNode;
+  PortId kill_port = kInvalidPort;
+  if (s == 0) {
+    auto m = std::make_unique<Mesh>(std::vector<int>{8, 8});
+    kill_node = m->at(3, 3);
+    kill_port = port_of(Compass::East);
+    topo = std::move(m);
+    algo = make_algorithm("nafta");
+  } else {
+    topo = std::make_unique<Hypercube>(4);
+    kill_node = 5;
+    kill_port = 0;
+    algo = make_algorithm("route_c");
+  }
+  UniformTraffic tr(*topo);
+  Network net(*topo, *algo);
+  SimConfig cfg;
+  cfg.injection_rate = rate;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = measure;
+  cfg.seed = seed;
+  FaultSchedule schedule;
+  schedule.fail_link_at(warmup + measure / 2, kill_node, kill_port);
+  Simulator sim(net, tr, cfg);
+  sim.set_fault_schedule(schedule);
+  return sim.run();
+}
+
+/// Zero-allocation steady state across a live kill: drive a replica by
+/// hand, kill a link mid-run, drain, commit the fault, and verify that
+/// post-recovery steady-state cycles stay off the heap (the truncation and
+/// recovery machinery must run out of the pre-reserved pools).
+bool run_alloc_guard() {
+  Mesh m = Mesh::two_d(8, 8);
+  Nafta algo;
+  UniformTraffic tr(m);
+  NetworkConfig ncfg;
+  ncfg.expected_packets = 16384;
+  Network net(m, algo, ncfg);
+  std::vector<int> comp = components(net.faults());
+  Rng rng(42);
+  Cycle now = 0;
+  const double packet_prob = 0.10 / 4.0;
+  const auto inject = [&] {
+    for (NodeId s = 0; s < m.num_nodes(); ++s) {
+      if (!net.faults().node_ok(s)) continue;
+      if (!rng.next_bool(packet_prob)) continue;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const NodeId cand = tr.dest(s, rng);
+        if (cand == s) continue;
+        if (comp[static_cast<std::size_t>(cand)] ==
+            comp[static_cast<std::size_t>(s)]) {
+          net.send(s, cand, 4, now);
+          break;
+        }
+      }
+    }
+  };
+  for (int c = 0; c < 300; ++c) {
+    inject();
+    net.step(now++);
+  }
+  // Live kill, quiescent drain, control-plane commit — the lifecycle the
+  // Simulator's recovery controller performs, driven by hand.
+  net.kill_link_live(m.at(3, 3), port_of(Compass::East));
+  for (int c = 0; c < 20000 && !net.idle(); ++c) net.step(now++);
+  if (!net.idle()) {
+    std::cerr << "alloc guard: network failed to drain after live kill\n";
+    return false;
+  }
+  net.commit_pending_faults();
+  comp = components(net.faults());
+  for (int c = 0; c < 400; ++c) {  // regrow pools to the new steady state
+    inject();
+    net.step(now++);
+  }
+  int clean = 0;
+  for (int window = 0; window < 30 && clean < 3; ++window) {
+    const std::int64_t before = heap_alloc_count();
+    for (int c = 0; c < 100; ++c) {
+      inject();
+      net.step(now++);
+    }
+    const std::int64_t grew = heap_alloc_count() - before;
+    clean = grew == 0 ? clean + 1 : 0;
+  }
+  if (clean < 3) {
+    std::cerr << "ALLOCATION REGRESSION: post-recovery steady-state cycles "
+                 "still allocate\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flexrouter;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  const Cycle warmup = smoke ? 200 : 1000;
+  const Cycle measure = smoke ? 800 : 4000;
+  const double rate = 0.08;
+
+  bench::print_header(
+      "Dynamic fault recovery — live link kill mid-measurement");
+
+  // --- 0. zero-allocation guard across a live kill -----------------------
+  if (heap_alloc_counting_enabled()) {
+    if (!run_alloc_guard()) return 1;
+    std::cout << "alloc guard: post-recovery steady state allocation-free\n\n";
+  }
+
+  // --- 1. recovery comparison + accounting identity ----------------------
+  SimResult scen[kScenarios];
+  bench::print_row({"scenario", "delivered", "lost", "retx", "unrec",
+                    "kills", "rec cycles", "avail"},
+                   12);
+  for (int s = 0; s < kScenarios; ++s) {
+    scen[s] = run_recovery_point(s, rate, warmup, measure, 42);
+    const SimResult& r = scen[s];
+    std::ostringstream frac;
+    frac << r.delivered_packets << "/" << r.injected_packets;
+    bench::print_row(
+        {scenario_name(s), frac.str(), std::to_string(r.packets_lost),
+         std::to_string(r.packets_retransmitted),
+         std::to_string(r.packets_unrecoverable),
+         std::to_string(r.worms_killed), std::to_string(r.recovery_cycles),
+         bench::fmt(r.availability, 4)},
+        12);
+    if (r.deadlock_suspected) {
+      std::cerr << "RECOVERY FAILURE: watchdog abort in '" << scenario_name(s)
+                << "'\n";
+      return 1;
+    }
+    if (r.fault_events != 1) {
+      std::cerr << "RECOVERY FAILURE: expected exactly one fault event in '"
+                << scenario_name(s) << "', saw " << r.fault_events << "\n";
+      return 1;
+    }
+    if (r.delivered_packets + r.packets_unrecoverable != r.injected_packets) {
+      std::cerr << "ACCOUNTING VIOLATION in '" << scenario_name(s) << "': "
+                << r.delivered_packets << " delivered + "
+                << r.packets_unrecoverable << " unrecoverable != "
+                << r.injected_packets << " injected\n";
+      return 1;
+    }
+  }
+  std::cout << "accounting identity: delivered + unrecoverable == injected "
+               "(both scenarios)\n";
+
+  // --- 2. sweep bit-identity with the lifecycle armed --------------------
+  std::vector<SweepPoint> points;
+  for (int s = 0; s < kScenarios; ++s) {
+    for (const double r : {0.04, 0.08}) {
+      points.push_back({[s, r, warmup, measure](std::uint64_t seed) {
+        return run_recovery_point(s, r, warmup, measure, seed);
+      }});
+    }
+  }
+  const int thread_counts[] = {1, 2, 4, 8};
+  std::vector<SimResult> reference;
+  double serial_wall = 0.0;
+  std::cout << "\n";
+  bench::print_row({"threads", "points", "wall s", "bit-identical"}, 12);
+  for (const int t : thread_counts) {
+    SweepOptions opts;
+    opts.num_threads = t;
+    opts.base_seed = 7;
+    SweepRunner runner(opts);
+    const auto t0 = Clock::now();
+    const std::vector<SimResult> results = runner.run(points);
+    const double wall = seconds_since(t0);
+    bool identical = true;
+    if (t == 1) {
+      reference = results;
+      serial_wall = wall;
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i)
+        identical = identical && bit_identical(results[i], reference[i]);
+    }
+    bench::print_row({std::to_string(t), std::to_string(points.size()),
+                      bench::fmt(wall, 3), identical ? "yes" : "NO"},
+                     12);
+    if (!identical) {
+      std::cerr << "DETERMINISM VIOLATION: recovery sweep differs at " << t
+                << " threads\n";
+      return 1;
+    }
+  }
+  static_cast<void>(serial_wall);
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os.precision(17);
+    os << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+       << ",\n  \"scenarios\": [\n";
+    for (int s = 0; s < kScenarios; ++s) {
+      const SimResult& r = scen[s];
+      os << "    {\"name\": \"" << scenario_name(s)
+         << "\", \"injected\": " << r.injected_packets
+         << ", \"delivered\": " << r.delivered_packets
+         << ", \"lost\": " << r.packets_lost
+         << ", \"retransmitted\": " << r.packets_retransmitted
+         << ", \"unrecoverable\": " << r.packets_unrecoverable
+         << ", \"recovery_cycles\": " << r.recovery_cycles
+         << ", \"availability\": " << r.availability << "}"
+         << (s + 1 < kScenarios ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -22,6 +22,12 @@
 //   seed       = 1
 //   show_links = false                         (top-5 link loads, single run)
 //
+// Live fault lifecycle (optional; arms the recovery controller):
+//   fault_at   = 1500:link:27:1,2200:node:12   (timed mid-run kill events:
+//                <cycle>:link:<node>:<port> or <cycle>:node:<id>)
+//   detection_delay = 0                        (cycles before diagnosis)
+//   max_retries     = 3                        (abort-and-retransmit budget)
+//
 // A multi-point sweep (rates with more than one entry) runs on the
 // deterministic SweepRunner: one independent replica per offered load,
 // per-point seeds derived from (seed, point index), results identical at
@@ -55,6 +61,34 @@ std::vector<double> parse_rates(const Config& cfg) {
   }
   if (rates.empty()) rates.push_back(cfg.get_double("rate", 0.10));
   return rates;
+}
+
+/// Parse `fault_at = <cycle>:link:<node>:<port>,<cycle>:node:<id>,...`
+/// into a FaultSchedule. Throws std::invalid_argument on malformed entries
+/// (caught by the config error handler in main).
+FaultSchedule parse_fault_schedule(const std::string& spec) {
+  FaultSchedule schedule;
+  std::istringstream is(spec);
+  std::string entry;
+  while (std::getline(is, entry, ',')) {
+    if (entry.empty()) continue;
+    std::istringstream fields(entry);
+    std::string cycle_s, kind, a, b;
+    std::getline(fields, cycle_s, ':');
+    std::getline(fields, kind, ':');
+    std::getline(fields, a, ':');
+    const Cycle at = std::stoll(cycle_s);
+    if (kind == "link") {
+      std::getline(fields, b, ':');
+      schedule.fail_link_at(at, std::stoi(a), std::stoi(b));
+    } else if (kind == "node") {
+      schedule.fail_node_at(at, std::stoi(a));
+    } else {
+      throw std::invalid_argument("fault_at entry '" + entry +
+                                  "': kind must be 'link' or 'node'");
+    }
+  }
+  return schedule;
 }
 
 std::unique_ptr<RoutingAlgorithm> build_algorithm(const std::string& aname,
@@ -112,6 +146,16 @@ int main(int argc, char** argv) {
   base.packet_length = static_cast<int>(cfg.get_int("packet_length", 4));
   base.warmup_cycles = cfg.get_int("warmup", 1000);
   base.measure_cycles = cfg.get_int("measure", 2000);
+  base.detection_delay = cfg.get_int("detection_delay", 0);
+  base.max_retries = static_cast<int>(cfg.get_int("max_retries", 3));
+
+  FaultSchedule schedule;
+  try {
+    schedule = parse_fault_schedule(cfg.get_string("fault_at", ""));
+  } catch (const std::exception& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 2;
+  }
 
   // One grid point per offered load. Each replica applies the SAME fault
   // pattern (the fault RNG restarts per point) so the series varies only
@@ -138,6 +182,7 @@ int main(int argc, char** argv) {
       scfg.injection_rate = rate;
       scfg.seed = single ? seed : derived_seed;
       Simulator sim(net, *traffic, scfg);
+      if (!schedule.empty()) sim.set_fault_schedule(schedule);
       SimResult r = sim.run();
       if (single && cfg.get_bool("show_links", false)) {
         std::ostringstream os;

@@ -14,6 +14,14 @@
 // invalid default) and access to a non-live slot is a contract violation,
 // so a stale flit record aliasing a recycled slot is caught, not silently
 // misrouted.
+//
+// Live faults (fault assumption v: faults may arrive during operation)
+// add a second kind of poisoning: a *live* slot can be marked poisoned,
+// which turns the packet into an orphaned worm whose flits must leave the
+// network (dropped hop by hop) instead of being delivered. Every flit of
+// every packet is accounted exactly once through note_flit_gone — the call
+// that observes the last flit leave owns releasing the slot, which is what
+// makes "zero leaked slots after truncation" checkable.
 #pragma once
 
 #include <cstdint>
@@ -69,20 +77,57 @@ class PacketStore {
     Entry& e = entries_[static_cast<std::size_t>(s)];
     FR_ASSERT_MSG(!e.live, "free list handed out a live slot");
     e.live = true;
+    e.poisoned = false;
+    e.flits_left = h.length;
     e.hdr = h;
     ++live_;
     return s;
   }
 
-  /// Retire a slot (the tail flit left the network). The header is poisoned
+  /// Retire a slot (the last flit left the network). The header is reset
   /// so stale readers trip the live-slot contract instead of aliasing the
   /// slot's next occupant.
   void release(PacketSlot s) {
     Entry& e = checked(s);
+    if (e.poisoned) --poisoned_live_;
     e.live = false;
+    e.poisoned = false;
     e.hdr = Header{};
     free_.push_back(s);
     --live_;
+  }
+
+  /// Mark a live packet as an orphaned worm: its flits are dropped instead
+  /// of delivered from here on. Idempotent.
+  void poison(PacketSlot s) {
+    Entry& e = checked(s);
+    if (e.poisoned) return;
+    e.poisoned = true;
+    ++poisoned_live_;
+  }
+
+  bool poisoned(PacketSlot s) const { return checked(s).poisoned; }
+
+  /// Live packets currently marked poisoned. Zero means the data plane has
+  /// no truncation work pending, so the per-cycle drain stage can be
+  /// skipped entirely.
+  std::size_t poisoned_live() const { return poisoned_live_; }
+
+  /// One flit of the packet left the network for good (ejected at the
+  /// destination or dropped during truncation). Returns true when it was
+  /// the packet's last flit — the caller then owns finalising the packet
+  /// and releasing the slot.
+  bool note_flit_gone(PacketSlot s) {
+    Entry& e = checked(s);
+    FR_ASSERT_MSG(e.flits_left > 0, "more flits left the network than sent");
+    return --e.flits_left == 0;
+  }
+
+  /// Visit every live slot (used to orphan packets whose endpoint died).
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      if (entries_[i].live) fn(static_cast<PacketSlot>(i), entries_[i].hdr);
   }
 
   /// The single authoritative header of a live packet. Routers read it on
@@ -102,7 +147,9 @@ class PacketStore {
  private:
   struct Entry {
     Header hdr;
+    int flits_left = 0;  // flits still somewhere in the network
     bool live = false;
+    bool poisoned = false;
   };
 
   Entry& checked(PacketSlot s) {
@@ -118,6 +165,7 @@ class PacketStore {
   std::vector<Entry> entries_;
   std::vector<PacketSlot> free_;
   std::size_t live_ = 0;
+  std::size_t poisoned_live_ = 0;
 };
 
 }  // namespace flexrouter

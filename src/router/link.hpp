@@ -63,6 +63,7 @@ class Link {
 
   void send_flit(Cycle now, VcId vc, const Flit& flit) {
     FR_REQUIRE(vc >= 0 && vc < num_vcs_);
+    FR_REQUIRE_MSG(!failed_, "flit sent on a failed link");
     FlitStage& s = flits_[stage_index(now + latency_)];
     // One flit per cycle: an occupied stage means either a second send in
     // the same cycle or an earlier flit the receiver never picked up.
@@ -86,6 +87,9 @@ class Link {
 
   void send_credit(Cycle now, VcId vc) {
     FR_REQUIRE(vc >= 0 && vc < num_vcs_);
+    // A failed link swallows credits: the upstream output VC is dead anyway
+    // and its counters are rebuilt by Router::flush at reconfiguration.
+    if (failed_) return;
     CreditStage& s = credits_[stage_index(now + latency_)];
     const std::uint32_t bit = 1u << static_cast<unsigned>(vc);
     if (s.arrive == now + latency_) {
@@ -113,6 +117,30 @@ class Link {
   }
 
   bool idle() const { return flits_in_flight_ == 0 && credits_in_flight_ == 0; }
+
+  /// Live fault (assumption v): the channel dies mid-operation. Every flit
+  /// in the pipeline is destroyed — appended to `destroyed` so the caller
+  /// can poison the owning worms and keep the per-packet flit accounting
+  /// exact — and in-flight credits vanish with the wire. Idempotent.
+  void fail(std::vector<Flit>& destroyed) {
+    if (failed_) return;
+    failed_ = true;
+    for (FlitStage& s : flits_) {
+      if (s.arrive >= 0) destroyed.push_back(s.flit);
+      s.arrive = -1;
+    }
+    flits_in_flight_ = 0;
+    for (CreditStage& s : credits_) {
+      s.arrive = -1;
+      s.mask = 0;
+    }
+    credits_in_flight_ = 0;
+  }
+
+  /// The Information Unit's fault status (Figure 3): both endpoints see a
+  /// dead channel immediately, so VC allocation refuses it without waiting
+  /// for the control plane's quiescent reconfiguration.
+  bool failed() const { return failed_; }
 
   LinkInfoUnit& info() { return info_; }
   const LinkInfoUnit& info() const { return info_; }
@@ -142,6 +170,7 @@ class Link {
   std::vector<CreditStage> credits_;  // bit_ceil(latency_+1) stages
   int flits_in_flight_ = 0;
   int credits_in_flight_ = 0;
+  bool failed_ = false;
   LinkInfoUnit info_;
 };
 

@@ -71,16 +71,82 @@ void Router::flush() {
   for (InputVc& vc : inputs_) {
     while (!vc.buffer.empty()) vc.buffer.pop();
     vc.rc_wait = 0;
+    vc.out_port = kInvalidPort;
+    vc.out_vc = kInvalidVc;
+    vc.committed = 0;
   }
   std::fill(meta_.begin(), meta_.end(), VcMeta{});
   for (OutputVc& vc : outputs_) {
     vc.owned = false;
+    vc.owner_slot = kInvalidPacketSlot;
     vc.assigned_flits = 0;
   }
   // Restore credits to full: the network guarantees links are drained.
   for (PortId p = 0; p < degree_; ++p)
     if (out_links_[static_cast<std::size_t>(p)] != nullptr)
       for (VcId v = 0; v < vcs_; ++v) ovc(p, v).credits = cfg_.buffer_depth;
+}
+
+void Router::release_commitment(InputVc& in) {
+  if (in.out_port != kInvalidPort && in.out_port != local_port()) {
+    OutputVc& o = ovc(in.out_port, in.out_vc);
+    o.owned = false;
+    o.owner_slot = kInvalidPacketSlot;
+    o.assigned_flits = std::max(0, o.assigned_flits - in.committed);
+  }
+  in.out_port = kInvalidPort;
+  in.out_vc = kInvalidVc;
+  in.committed = 0;
+}
+
+void Router::kill_output_port(PortId port, std::vector<PacketSlot>& orphaned) {
+  FR_REQUIRE(port >= 0 && port < degree_);
+  for (VcId v = 0; v < vcs_; ++v) {
+    OutputVc& o = ovc(port, v);
+    if (!o.owned) continue;
+    orphaned.push_back(o.owner_slot);
+    // Ownership is torn down here; the owner input VC's share of
+    // assigned_flits is rolled back when its first poisoned flit drains
+    // (release_commitment), or by flush() if the worm's remaining flits
+    // were all destroyed elsewhere.
+    o.owned = false;
+    o.owner_slot = kInvalidPacketSlot;
+  }
+}
+
+void Router::destroy_all_flits(std::vector<Flit>& destroyed) {
+  for (InputVc& vc : inputs_) {
+    while (!vc.buffer.empty()) destroyed.push_back(vc.buffer.pop());
+    vc.rc_wait = 0;
+    vc.out_port = kInvalidPort;
+    vc.out_vc = kInvalidVc;
+    vc.committed = 0;
+  }
+  std::fill(meta_.begin(), meta_.end(), VcMeta{});
+  for (OutputVc& vc : outputs_) {
+    vc.owned = false;
+    vc.owner_slot = kInvalidPacketSlot;
+    vc.assigned_flits = 0;
+  }
+}
+
+void Router::collect_stalled(std::vector<StalledVc>& out) const {
+  const int ninputs = (degree_ + 1) * vcs_;
+  for (int idx = 0; idx < ninputs; ++idx) {
+    if (meta_[static_cast<std::size_t>(idx)].occ == 0) continue;
+    const InputVc& in = inputs_[static_cast<std::size_t>(idx)];
+    StalledVc s;
+    s.in_port = idx / vcs_;
+    s.in_vc = idx % vcs_;
+    s.slot = in.buffer.front().slot;
+    s.active = meta_[static_cast<std::size_t>(idx)].status ==
+               static_cast<std::uint8_t>(VcStatus::Active);
+    if (s.active) {
+      s.out_port = in.out_port;
+      s.out_vc = in.out_vc;
+    }
+    out.push_back(s);
+  }
 }
 
 int Router::output_credits(PortId port, VcId vc) const {
@@ -127,6 +193,33 @@ void Router::accept_arrivals(Cycle now) {
   }
 }
 
+void Router::stage_drain_poisoned(Cycle now, std::vector<Flit>& dropped) {
+  // Poisoned-tail semantics, hop by hop: each cycle, every input VC whose
+  // front flit belongs to a truncated worm drops that flit, returns the
+  // credit upstream, and (on the first drop) releases the worm's VA
+  // commitment — output VC ownership, crossbar eligibility, assigned
+  // data — exactly as a real poisoned tail flit would on its way through.
+  // One flit per VC per cycle, matching the link's one-credit-per-VC
+  // bitmask encoding.
+  const int ninputs = (degree_ + 1) * vcs_;
+  for (int idx = 0; idx < ninputs; ++idx) {
+    VcMeta& m = meta_[static_cast<std::size_t>(idx)];
+    if (m.occ == 0) continue;
+    InputVc& in = inputs_[static_cast<std::size_t>(idx)];
+    if (!store_->poisoned(in.buffer.front().slot)) continue;
+    const Flit f = in.buffer.pop();
+    --m.occ;
+    ++stats_.flits_dropped;
+    const PortId p = idx / vcs_;
+    if (p < degree_ && in_links_[static_cast<std::size_t>(p)] != nullptr)
+      in_links_[static_cast<std::size_t>(p)]->send_credit(now, idx % vcs_);
+    if (m.status == static_cast<std::uint8_t>(VcStatus::Active))
+      release_commitment(in);
+    m.status = static_cast<std::uint8_t>(VcStatus::Idle);
+    dropped.push_back(f);
+  }
+}
+
 void Router::stage_rc(Cycle now) {
   (void)now;
   const int ninputs = (degree_ + 1) * vcs_;
@@ -136,6 +229,9 @@ void Router::stage_rc(Cycle now) {
       continue;
     InputVc& in = inputs_[static_cast<std::size_t>(idx)];
     const Flit& flit = in.buffer.front();
+    // A truncated worm's flits wait for the drain stage; they may be body
+    // flits at the front of an idle VC, which is unreachable otherwise.
+    if (poison_active_ && store_->poisoned(flit.slot)) continue;
     FR_ASSERT_MSG(flit.head(), "non-head flit at the head of an idle VC");
 
     RouteContext ctx;
@@ -195,6 +291,13 @@ void Router::stage_va() {
     const RouteCandidate* best = nullptr;
     int best_score = 0;
     for (const RouteCandidate& c : in.decision.candidates) {
+      // Information Units report link faults to their endpoints at once
+      // (Figure 3): a VC on a dead channel is never granted, even before
+      // the control plane's quiescent reconfiguration catches up.
+      if (c.port != local_port() &&
+          (out_links_[static_cast<std::size_t>(c.port)] == nullptr ||
+           out_links_[static_cast<std::size_t>(c.port)]->failed()))
+        continue;
       if (!output_vc_free(c.port, c.vc)) continue;
       if (output_credits(c.port, c.vc) <= 0) continue;
       // Adaptivity selection: router-visible load ranks equal-priority
@@ -221,9 +324,13 @@ void Router::stage_va() {
       o.owned = true;
       o.owner_port = idx / vcs_;
       o.owner_vc = idx % vcs_;
+      o.owner_slot = in.buffer.front().slot;
       // The whole message is now committed to this output; wormhole
-      // switching knows its length up front (Section 2.2).
-      o.assigned_flits += store_->header(in.buffer.front().slot).length;
+      // switching knows its length up front (Section 2.2). `committed`
+      // mirrors the worm's share so a truncation can roll it back.
+      const int length = store_->header(in.buffer.front().slot).length;
+      o.assigned_flits += length;
+      in.committed = length;
     }
     m.status = static_cast<std::uint8_t>(VcStatus::Active);
   }
@@ -291,7 +398,10 @@ void Router::stage_sa_st(Cycle now, std::vector<Flit>& ejected) {
 
     if (out == local_port()) {
       ++stats_.flits_ejected;
-      if (flit.tail()) wm.status = static_cast<std::uint8_t>(VcStatus::Idle);
+      if (flit.tail()) {
+        wm.status = static_cast<std::uint8_t>(VcStatus::Idle);
+        in.out_port = kInvalidPort;
+      }
       ejected.push_back(flit);
       continue;
     }
@@ -306,6 +416,7 @@ void Router::stage_sa_st(Cycle now, std::vector<Flit>& ejected) {
     OutputVc& o = ovc(out, in.out_vc);
     --o.credits;
     if (o.assigned_flits > 0) --o.assigned_flits;
+    if (in.committed > 0) --in.committed;
     Link* link = out_links_[static_cast<std::size_t>(out)];
     FR_ASSERT_MSG(link != nullptr, "active VC aimed at an unconnected port");
     link->send_flit(now, in.out_vc, flit);
@@ -313,13 +424,22 @@ void Router::stage_sa_st(Cycle now, std::vector<Flit>& ejected) {
 
     if (flit.tail()) {
       o.owned = false;
+      o.owner_slot = kInvalidPacketSlot;
       wm.status = static_cast<std::uint8_t>(VcStatus::Idle);
+      in.out_port = kInvalidPort;
+      in.committed = 0;
     }
   }
 }
 
-void Router::step(Cycle now, std::vector<Flit>& ejected) {
+void Router::step(Cycle now, std::vector<Flit>& ejected,
+                  std::vector<Flit>& dropped) {
+  // Truncation work is rare (only after a live fault), so the drain stage
+  // is gated on the store's poisoned-live count and costs nothing in the
+  // fault-free steady state.
+  poison_active_ = store_->poisoned_live() != 0;
   accept_arrivals(now);
+  if (poison_active_) stage_drain_poisoned(now, dropped);
   stage_sa_st(now, ejected);  // move established flows first
   stage_va();
   stage_rc(now);

@@ -58,6 +58,7 @@ struct RouterConfig {
 struct RouterStats {
   std::int64_t flits_forwarded = 0;   // network-to-network + injected
   std::int64_t flits_ejected = 0;
+  std::int64_t flits_dropped = 0;     // truncated worm flits (live faults)
   std::int64_t packets_routed = 0;    // RC decisions taken
   std::int64_t decision_steps = 0;    // total rule interpretations
   std::int64_t rc_no_candidates = 0;  // RC retries (no usable output yet)
@@ -85,8 +86,16 @@ class Router {
   int injection_space() const;
   void inject(const Flit& flit);
 
-  /// One simulation cycle. Ejected flits are appended to `ejected`.
-  void step(Cycle now, std::vector<Flit>& ejected);
+  /// One simulation cycle. Ejected flits are appended to `ejected`;
+  /// truncated flits of poisoned worms are appended to `dropped` (the
+  /// network accounts each against the packet's flit budget).
+  void step(Cycle now, std::vector<Flit>& ejected, std::vector<Flit>& dropped);
+  /// Convenience overload for unit tests driving a router directly: drops
+  /// land in an internal scratch (there are none unless a test poisons).
+  void step(Cycle now, std::vector<Flit>& ejected) {
+    drop_scratch_.clear();
+    step(now, ejected, drop_scratch_);
+  }
 
   /// True if no flit is buffered anywhere in this router.
   bool empty() const;
@@ -94,6 +103,27 @@ class Router {
   /// Abort all in-flight state (used between quiesced reconfigurations in
   /// tests; the normal simulator drains instead).
   void flush();
+
+  /// Live link fault on output `port`: release the worm committed to each
+  /// of its VCs and report the worm's slot so the caller can poison it.
+  /// The link object itself is failed by the network (it is shared with
+  /// the neighbour's input side).
+  void kill_output_port(PortId port, std::vector<PacketSlot>& orphaned);
+
+  /// Live node fault on this router: destroy every buffered flit (appended
+  /// to `destroyed` for accounting) and reset all pipeline state.
+  void destroy_all_flits(std::vector<Flit>& destroyed);
+
+  /// Watchdog diagnostics: one record per input VC that holds flits.
+  struct StalledVc {
+    PortId in_port = kInvalidPort;
+    VcId in_vc = kInvalidVc;
+    PacketSlot slot = kInvalidPacketSlot;  // packet at the buffer front
+    bool active = false;                   // committed to an output VC
+    PortId out_port = kInvalidPort;        // valid when active
+    VcId out_vc = kInvalidVc;
+  };
+  void collect_stalled(std::vector<StalledVc>& out) const;
 
   const RouterStats& stats() const { return stats_; }
 
@@ -113,6 +143,10 @@ class Router {
     int rc_wait = 0;        // remaining stall cycles for multi-step decisions
     PortId out_port = kInvalidPort;
     VcId out_vc = kInvalidVc;
+    /// Flits of the current worm still owed to the committed output —
+    /// the exact amount to roll back from assigned_flits when a live
+    /// fault truncates the worm mid-transfer.
+    int committed = 0;
     bool mark_misrouted = false;
 
     explicit InputVc(int depth) : buffer(depth) {}
@@ -122,6 +156,8 @@ class Router {
     bool owned = false;
     PortId owner_port = kInvalidPort;
     VcId owner_vc = kInvalidVc;
+    /// Worm holding the VC (valid while owned): live faults poison it.
+    PacketSlot owner_slot = kInvalidPacketSlot;
     int credits = 0;
     /// Flits committed to this output but not yet transmitted — the
     /// paper's out_queue adaptivity measure.
@@ -151,9 +187,13 @@ class Router {
   }
 
   void accept_arrivals(Cycle now);
+  void stage_drain_poisoned(Cycle now, std::vector<Flit>& dropped);
   void stage_rc(Cycle now);
   void stage_va();
   void stage_sa_st(Cycle now, std::vector<Flit>& ejected);
+  /// Undo a truncated worm's VA commitment (output ownership + assigned
+  /// data); safe to call for VCs that never committed.
+  void release_commitment(InputVc& in);
 
   NodeId id_;
   const Topology* topo_;
@@ -177,6 +217,9 @@ class Router {
   /// touching the heap.
   std::vector<ArbCandidate> sa_bucket_;
   std::vector<int> sa_count_;  // candidates per output this cycle
+  std::vector<Flit> drop_scratch_;  // backs the two-argument step overload
+  /// Latched at step() entry: any poisoned worms alive in this replica?
+  bool poison_active_ = false;
   RouterStats stats_;
 };
 

@@ -44,27 +44,43 @@ int inject_random_node_faults(FaultSet& faults, int count, Rng& rng,
   return failed;
 }
 
+namespace {
+
+/// Shared contract for the shaped injectors: the [x0,x1]x[y0,y1] region
+/// must lie inside the mesh. Out-of-range coordinates would otherwise
+/// surface as an opaque index assertion deep inside Mesh::at.
+void require_region_in_mesh(const Mesh& mesh, int x0, int y0, int x1,
+                            int y1) {
+  FR_REQUIRE_MSG(mesh.dims() == 2, "shaped fault injectors need a 2-D mesh");
+  FR_REQUIRE_MSG(x0 >= 0 && y0 >= 0, "fault region starts outside the mesh");
+  FR_REQUIRE_MSG(x1 < mesh.radix(0) && y1 < mesh.radix(1),
+                 "fault region extends past the mesh edge");
+}
+
+}  // namespace
+
 void inject_figure2_chain(FaultSet& faults, const Mesh& mesh, int x,
                           int length) {
-  FR_REQUIRE(mesh.dims() == 2);
-  FR_REQUIRE(x >= 0 && x + 1 < mesh.radix(0));
-  FR_REQUIRE(length >= 1 && length <= mesh.radix(1));
+  FR_REQUIRE_MSG(length >= 1, "fault chain must have at least one link");
+  // East links out of column x: the region spans columns x..x+1.
+  require_region_in_mesh(mesh, x, 0, x + 1, length - 1);
   for (int y = 0; y < length; ++y)
     faults.fail_link(mesh.at(x, y), port_of(Compass::East));
 }
 
 void inject_fault_block(FaultSet& faults, const Mesh& mesh, int x0, int y0,
                         int x1, int y1) {
-  FR_REQUIRE(mesh.dims() == 2);
-  FR_REQUIRE(x0 <= x1 && y0 <= y1);
+  FR_REQUIRE_MSG(x0 <= x1 && y0 <= y1, "fault block corners are inverted");
+  require_region_in_mesh(mesh, x0, y0, x1, y1);
   for (int x = x0; x <= x1; ++x)
     for (int y = y0; y <= y1; ++y) faults.fail_node(mesh.at(x, y));
 }
 
 void inject_concave_faults(FaultSet& faults, const Mesh& mesh, int x0, int y0,
                            int x1, int y1) {
-  FR_REQUIRE(mesh.dims() == 2);
-  FR_REQUIRE(x0 < x1 && y0 < y1);
+  FR_REQUIRE_MSG(x0 < x1 && y0 < y1,
+                 "concave fault region needs a 2x2 or larger block");
+  require_region_in_mesh(mesh, x0, y0, x1, y1);
   const int mx = (x0 + x1) / 2;
   const int my = (y0 + y1) / 2;
   for (int x = x0; x <= x1; ++x)

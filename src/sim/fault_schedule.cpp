@@ -1,0 +1,78 @@
+#include "sim/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace flexrouter {
+
+void FaultSchedule::fail_link_at(Cycle at, NodeId node, PortId port) {
+  FR_REQUIRE(at >= 0);
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::LinkFault;
+  e.node = node;
+  e.port = port;
+  events_.push_back(e);
+  sorted_ = false;
+}
+
+void FaultSchedule::fail_node_at(Cycle at, NodeId node) {
+  FR_REQUIRE(at >= 0);
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::NodeFault;
+  e.node = node;
+  events_.push_back(e);
+  sorted_ = false;
+}
+
+void FaultSchedule::add_random_link_faults(const Topology& topo,
+                                           double mtbf_cycles, Cycle horizon,
+                                           std::uint64_t seed) {
+  FR_REQUIRE(mtbf_cycles > 0.0 && horizon >= 0);
+  const std::vector<LinkRef> links = topo.undirected_links();
+  FR_REQUIRE_MSG(!links.empty(), "topology has no links to fail");
+  Rng rng(seed);
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival: -mtbf * ln(1 - U), U uniform in [0, 1).
+    t += -mtbf_cycles * std::log(1.0 - rng.next_unit());
+    const auto at = static_cast<Cycle>(t);
+    if (at > horizon) break;
+    const LinkRef l =
+        links[rng.next_below(static_cast<std::uint64_t>(links.size()))];
+    fail_link_at(at, l.node, l.port);
+  }
+}
+
+void FaultSchedule::add_random_node_faults(const Topology& topo,
+                                           double mtbf_cycles, Cycle horizon,
+                                           std::uint64_t seed) {
+  FR_REQUIRE(mtbf_cycles > 0.0 && horizon >= 0);
+  FR_REQUIRE(topo.num_nodes() > 0);
+  Rng rng(seed);
+  double t = 0.0;
+  for (;;) {
+    t += -mtbf_cycles * std::log(1.0 - rng.next_unit());
+    const auto at = static_cast<Cycle>(t);
+    if (at > horizon) break;
+    fail_node_at(
+        at, static_cast<NodeId>(
+                rng.next_below(static_cast<std::uint64_t>(topo.num_nodes()))));
+  }
+}
+
+const std::vector<FaultEvent>& FaultSchedule::events() const {
+  if (!sorted_) {
+    std::stable_sort(
+        events_.begin(), events_.end(),
+        [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+}  // namespace flexrouter

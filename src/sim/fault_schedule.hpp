@@ -1,0 +1,58 @@
+// Fault schedule for live fault injection (fault assumption v: faults may
+// arrive while the network is operating).
+//
+// A schedule is a sorted list of timed kill events, built from explicit
+// timed entries, seeded MTBF-style random arrivals, or both. It is fully
+// materialised before the simulation starts — random arrivals are drawn up
+// front from their own Rng — so replicas of a parallel sweep carry
+// identical, self-contained schedules and the bit-identity contract of the
+// sweep engine survives fault injection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/topology.hpp"
+
+namespace flexrouter {
+
+struct FaultEvent {
+  enum class Kind { LinkFault, NodeFault };
+
+  Cycle at = 0;
+  Kind kind = Kind::LinkFault;
+  NodeId node = kInvalidNode;
+  PortId port = kInvalidPort;  // LinkFault only
+};
+
+class FaultSchedule {
+ public:
+  /// Kill the (bidirectional) link at `node`/`port` at cycle `at`.
+  void fail_link_at(Cycle at, NodeId node, PortId port);
+  /// Kill `node` at cycle `at`.
+  void fail_node_at(Cycle at, NodeId node);
+
+  /// Seeded MTBF-style random link failures: inter-arrival times are
+  /// exponential with mean `mtbf_cycles`, each event kills a uniformly
+  /// random undirected link of `topo`. Events beyond `horizon` are not
+  /// generated. Deterministic for a given (topo, mtbf, horizon, seed).
+  void add_random_link_faults(const Topology& topo, double mtbf_cycles,
+                              Cycle horizon, std::uint64_t seed);
+  /// Same arrival process, killing uniformly random nodes.
+  void add_random_node_faults(const Topology& topo, double mtbf_cycles,
+                              Cycle horizon, std::uint64_t seed);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events sorted by cycle (stable: same-cycle events keep insertion
+  /// order, so mixed explicit/random schedules stay deterministic).
+  const std::vector<FaultEvent>& events() const;
+
+ private:
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace flexrouter

@@ -23,6 +23,7 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algo,
   injection_queues_.resize(n);
   injection_pending_.assign(n, 0);
   router_active_.assign(n, 0);
+  live_killed_.assign(n, 0);
   pending_list_.reserve(n);
   active_list_.reserve(n);
   records_.reserve(cfg.expected_packets);
@@ -31,13 +32,22 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algo,
   // flits per cycle. Sized to n so steady-state step() never allocates.
   delivered_last_cycle_.reserve(n);
   eject_scratch_.reserve(32);
+  drop_scratch_.reserve(32);
+  destroyed_scratch_.reserve(64);
+  orphan_scratch_.reserve(16);
+  lost_log_.reserve(64);
   for (auto& q : injection_queues_) q.reserve(16);
 
   // One Link object per directed channel.
+  link_lookup_.assign(n * static_cast<std::size_t>(topo.degree()), -1);
   for (NodeId u = 0; u < topo.num_nodes(); ++u) {
     for (PortId p = 0; p < topo.degree(); ++p) {
       const NodeId v = topo.neighbor(u, p);
       if (v == kInvalidNode) continue;
+      link_lookup_[static_cast<std::size_t>(u) *
+                       static_cast<std::size_t>(topo.degree()) +
+                   static_cast<std::size_t>(p)] =
+          static_cast<std::ptrdiff_t>(links_.size());
       links_.push_back(
           std::make_unique<Link>(algo.num_vcs(), cfg.link_latency));
       link_sources_.push_back({u, p});
@@ -55,6 +65,8 @@ PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
   FR_REQUIRE_MSG(src != dest, "self-addressed packet");
   FR_REQUIRE_MSG(faults_.node_ok(src) && faults_.node_ok(dest),
                  "packet to/from a faulty node violates fault assumption iii");
+  FR_REQUIRE_MSG(!node_live_killed(src) && !node_live_killed(dest),
+                 "packet to/from a node killed live (diagnosis pending)");
   FR_REQUIRE(length >= 1);
 
   PacketRecord rec;
@@ -74,6 +86,7 @@ PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
   // One header per in-flight packet: the slot travels in the flit records
   // and is recycled when the tail flit ejects.
   const PacketSlot slot = store_.alloc(h);
+  records_.back().slot = slot;
 
   // The ring's backing store is pooled, so pushing the whole flit train is
   // amortised one store per flit.
@@ -90,6 +103,20 @@ PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
   return rec.id;
 }
 
+PacketId Network::resend(PacketId prior, Cycle now) {
+  FR_REQUIRE(prior >= 0 && static_cast<std::size_t>(prior) < records_.size());
+  // Copy: send() below grows records_ and would invalidate a reference.
+  const PacketRecord old = records_[static_cast<std::size_t>(prior)];
+  FR_REQUIRE_MSG(old.lost, "resend of a packet that was not lost");
+  const PacketId root_id = old.retry_of >= 0 ? old.retry_of : prior;
+  const PacketId id = send(old.src, old.dest, old.length, now);
+  records_[static_cast<std::size_t>(id)].retry_of = root_id;
+  PacketRecord& root = records_[static_cast<std::size_t>(root_id)];
+  ++root.retries;
+  root.last_attempt = id;
+  return id;
+}
+
 void Network::step(Cycle now) {
   delivered_last_cycle_.clear();
 
@@ -101,12 +128,24 @@ void Network::step(Cycle now) {
     std::sort(pending_list_.begin(), pending_list_.end());
     pending_sorted_ = true;
   }
+  const bool purge = store_.poisoned_live() > 0;
   std::size_t keep = 0;
   for (std::size_t i = 0; i < pending_list_.size(); ++i) {
     const NodeId u = pending_list_[i];
     auto& queue = injection_queues_[static_cast<std::size_t>(u)];
     Router& r = *routers_[static_cast<std::size_t>(u)];
-    if (r.injection_space() > 0) {
+    // Source-side abort: queued flits of a truncated worm never enter the
+    // network. The whole front run goes at once — dead flits consume no
+    // injection bandwidth.
+    if (purge) {
+      while (!queue.empty() && store_.poisoned(queue.front().slot)) {
+        const Flit f = queue.front();
+        queue.pop_front();
+        ++network_dropped_flits_;
+        account_dropped_flit(f.slot);
+      }
+    }
+    if (!queue.empty() && r.injection_space() > 0) {
       const Flit f = queue.front();
       queue.pop_front();
       if (f.head()) {
@@ -134,7 +173,10 @@ void Network::step(Cycle now) {
   for (std::size_t i = 0; i < active_list_.size(); ++i) {
     const NodeId u = active_list_[i];
     eject_scratch_.clear();
-    routers_[static_cast<std::size_t>(u)]->step(now, eject_scratch_);
+    drop_scratch_.clear();
+    routers_[static_cast<std::size_t>(u)]->step(now, eject_scratch_,
+                                               drop_scratch_);
+    for (const Flit& f : drop_scratch_) account_dropped_flit(f.slot);
     for (const Flit& f : eject_scratch_) {
       // Resolve the slot to the full record at the network boundary — the
       // last reader before the slot is recycled (head == tail for length-1
@@ -142,12 +184,21 @@ void Network::step(Cycle now) {
       const Header& hdr = store_.header(f.slot);
       PacketRecord& rec = records_[static_cast<std::size_t>(hdr.packet)];
       FR_ASSERT_MSG(rec.dest == u, "flit ejected at the wrong node");
+      const bool last = store_.note_flit_gone(f.slot);
+      if (store_.poisoned(f.slot)) {
+        // The worm was truncated after part of it reached the destination;
+        // what does arrive is discarded, not delivered.
+        if (last) finalize_lost(f.slot);
+        continue;
+      }
       if (f.head()) {
         rec.hops = hdr.path_len;
         rec.misrouted = hdr.misrouted;
       }
       if (f.tail()) {
+        FR_ASSERT_MSG(last, "tail ejected with flits unaccounted");
         rec.delivered = now;
+        rec.slot = kInvalidPacketSlot;
         ++delivered_count_;
         delivered_last_cycle_.push_back(rec.id);
         store_.release(f.slot);
@@ -195,6 +246,173 @@ int Network::finish_fault_mutation() {
   return exchanges;
 }
 
+void Network::poison_slot(PacketSlot s) {
+  if (store_.live(s)) store_.poison(s);
+}
+
+void Network::account_dropped_flit(PacketSlot s) {
+  if (store_.note_flit_gone(s)) finalize_lost(s);
+}
+
+void Network::finalize_lost(PacketSlot s) {
+  const Header& h = store_.header(s);
+  PacketRecord& rec = records_[static_cast<std::size_t>(h.packet)];
+  FR_ASSERT_MSG(!rec.done(), "lost packet already delivered");
+  FR_ASSERT_MSG(!rec.lost, "packet lost twice");
+  rec.lost = true;
+  rec.slot = kInvalidPacketSlot;
+  lost_log_.push_back(rec.id);
+  store_.release(s);
+}
+
+void Network::kill_link_live(NodeId node, PortId port) {
+  FR_REQUIRE(topo_->valid_node(node) && topo_->valid_port(port));
+  const NodeId peer = topo_->neighbor(node, port);
+  FR_REQUIRE_MSG(peer != kInvalidNode, "live kill of an unconnected port");
+  const std::ptrdiff_t fwd = link_index(node, port);
+  const PortId rport = topo_->reverse_port(node, port);
+  const std::ptrdiff_t rev = link_index(peer, rport);
+  FR_ASSERT(fwd >= 0 && rev >= 0);
+  if (links_[static_cast<std::size_t>(fwd)]->failed() &&
+      links_[static_cast<std::size_t>(rev)]->failed())
+    return;  // already dead (e.g. via a node kill)
+
+  // Damage the data plane: both directions die together (assumption i).
+  // Flits inside the channel are destroyed; worms committed through the
+  // dead channel on either side are orphaned, so their upstream fragments
+  // truncate hop by hop and their buffers/VCs/slots come back.
+  destroyed_scratch_.clear();
+  links_[static_cast<std::size_t>(fwd)]->fail(destroyed_scratch_);
+  links_[static_cast<std::size_t>(rev)]->fail(destroyed_scratch_);
+  orphan_scratch_.clear();
+  routers_[static_cast<std::size_t>(node)]->kill_output_port(port,
+                                                            orphan_scratch_);
+  routers_[static_cast<std::size_t>(peer)]->kill_output_port(rport,
+                                                             orphan_scratch_);
+  for (const PacketSlot s : orphan_scratch_) poison_slot(s);
+  for (const Flit& f : destroyed_scratch_) poison_slot(f.slot);
+  for (const Flit& f : destroyed_scratch_) {
+    ++network_dropped_flits_;
+    account_dropped_flit(f.slot);
+  }
+  pending_link_faults_.push_back({node, port});
+  activate(node);
+  activate(peer);
+}
+
+void Network::kill_node_live(NodeId node) {
+  FR_REQUIRE(topo_->valid_node(node));
+  if (live_killed_[static_cast<std::size_t>(node)]) return;
+  live_killed_[static_cast<std::size_t>(node)] = 1;
+
+  destroyed_scratch_.clear();
+  orphan_scratch_.clear();
+  // Every live packet sourced at or destined to the dead node is orphaned
+  // (fault assumption iii no longer holds for it).
+  store_.for_each_live([&](PacketSlot s, const Header& h) {
+    if (h.src == node || h.dest == node) orphan_scratch_.push_back(s);
+  });
+  // Adjacent channels die with the node; neighbours' worms committed
+  // toward it are orphaned.
+  for (PortId p = 0; p < topo_->degree(); ++p) {
+    const NodeId peer = topo_->neighbor(node, p);
+    if (peer == kInvalidNode) continue;
+    const PortId rport = topo_->reverse_port(node, p);
+    links_[static_cast<std::size_t>(link_index(node, p))]->fail(
+        destroyed_scratch_);
+    links_[static_cast<std::size_t>(link_index(peer, rport))]->fail(
+        destroyed_scratch_);
+    routers_[static_cast<std::size_t>(peer)]->kill_output_port(
+        rport, orphan_scratch_);
+    activate(peer);
+  }
+  // The dead router's buffered flits and its local injection queue vanish.
+  routers_[static_cast<std::size_t>(node)]->destroy_all_flits(
+      destroyed_scratch_);
+  auto& queue = injection_queues_[static_cast<std::size_t>(node)];
+  while (!queue.empty()) {
+    destroyed_scratch_.push_back(queue.front());
+    queue.pop_front();
+  }
+
+  for (const PacketSlot s : orphan_scratch_) poison_slot(s);
+  for (const Flit& f : destroyed_scratch_) poison_slot(f.slot);
+  for (const Flit& f : destroyed_scratch_) {
+    ++network_dropped_flits_;
+    account_dropped_flit(f.slot);
+  }
+  pending_node_faults_.push_back(node);
+}
+
+void Network::kill_packet(PacketId id) {
+  FR_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < records_.size());
+  PacketRecord& rec = records_[static_cast<std::size_t>(id)];
+  FR_REQUIRE_MSG(!rec.done() && !rec.lost, "kill of a finished packet");
+  FR_ASSERT(rec.slot != kInvalidPacketSlot);
+  store_.poison(rec.slot);
+}
+
+int Network::commit_pending_faults() {
+  FR_REQUIRE_MSG(recovery_pending(), "no pending live damage to commit");
+  return apply_faults([this](FaultSet& f) {
+    for (const LinkRef& l : pending_link_faults_)
+      if (!f.link_marked_faulty(l.node, l.port)) f.fail_link(l.node, l.port);
+    for (const NodeId n : pending_node_faults_)
+      if (!f.node_faulty(n)) f.fail_node(n);
+    pending_link_faults_.clear();
+    pending_node_faults_.clear();
+  });
+}
+
+std::vector<Network::BlockedChannel> Network::blocked_channels() const {
+  std::vector<BlockedChannel> out;
+  std::vector<Router::StalledVc> scratch;
+  for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
+    scratch.clear();
+    routers_[static_cast<std::size_t>(n)]->collect_stalled(scratch);
+    for (const Router::StalledVc& s : scratch) {
+      BlockedChannel b;
+      b.node = n;
+      b.port = s.in_port;
+      b.vc = s.in_vc;
+      b.slot = s.slot;
+      b.packet = store_.header(s.slot).packet;
+      b.active = s.active;
+      b.out_port = s.out_port;
+      b.out_vc = s.out_vc;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::vector<Network::BlockedChannel> Network::blocked_chain() const {
+  const std::vector<BlockedChannel> all = blocked_channels();
+  std::vector<BlockedChannel> chain;
+  if (all.empty()) return chain;
+  auto find = [&all](NodeId n, PortId p, VcId v) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < all.size(); ++i)
+      if (all[i].node == n && all[i].port == p && all[i].vc == v)
+        return static_cast<std::ptrdiff_t>(i);
+    return -1;
+  };
+  std::vector<char> visited(all.size(), 0);
+  std::ptrdiff_t cur = 0;  // lowest blocked channel; deterministic start
+  while (cur >= 0 && !visited[static_cast<std::size_t>(cur)]) {
+    visited[static_cast<std::size_t>(cur)] = 1;
+    const BlockedChannel& b = all[static_cast<std::size_t>(cur)];
+    chain.push_back(b);
+    if (!b.active ||
+        b.out_port ==
+            routers_[static_cast<std::size_t>(b.node)]->local_port())
+      break;  // waiting on RC/VA or on the ejection sink: chain ends here
+    const NodeId next = topo_->neighbor(b.node, b.out_port);
+    if (next == kInvalidNode) break;
+    cur = find(next, topo_->reverse_port(b.node, b.out_port), b.out_vc);
+  }
+  return chain;
+}
+
 const PacketRecord& Network::record(PacketId id) const {
   FR_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < records_.size());
   return records_[static_cast<std::size_t>(id)];
@@ -204,14 +422,17 @@ std::size_t Network::in_flight() const {
   std::size_t pending = 0;
   for (const auto& q : injection_queues_) pending += q.size();
   for (const auto& rec : records_)
-    if (rec.injected >= 0 && !rec.done()) ++pending;
+    if (rec.injected >= 0 && !rec.done() && !rec.lost) ++pending;
   return pending;
 }
 
 std::int64_t Network::total_flit_movements() const {
-  std::int64_t total = 0;
+  // Dropped flits count as movement: truncation progress must reset the
+  // deadlock watchdog's stall counter exactly like delivery progress.
+  std::int64_t total = network_dropped_flits_;
   for (const auto& r : routers_)
-    total += r->stats().flits_forwarded + r->stats().flits_ejected;
+    total += r->stats().flits_forwarded + r->stats().flits_ejected +
+             r->stats().flits_dropped;
   return total;
 }
 
@@ -247,6 +468,7 @@ RouterStats Network::aggregate_stats() const {
     const RouterStats& s = r->stats();
     agg.flits_forwarded += s.flits_forwarded;
     agg.flits_ejected += s.flits_ejected;
+    agg.flits_dropped += s.flits_dropped;
     agg.packets_routed += s.packets_routed;
     agg.decision_steps += s.decision_steps;
     agg.rc_no_candidates += s.rc_no_candidates;

@@ -33,6 +33,17 @@ struct PacketRecord {
   Cycle delivered = -1;  // tail flit ejected at the destination
   int hops = 0;          // path length from the delivered header
   bool misrouted = false;
+  /// This attempt was truncated by a live fault (or killed by the
+  /// watchdog) — its flits were dropped, it will never be delivered.
+  bool lost = false;
+  /// Retransmission chain: a resent attempt points at the original
+  /// (root) packet; the root tracks how many retries it has consumed and
+  /// which attempt is current. -1 on packets outside any chain.
+  PacketId retry_of = -1;
+  PacketId last_attempt = -1;
+  int retries = 0;
+  /// Store slot while the attempt is in flight (recycled afterwards).
+  PacketSlot slot = kInvalidPacketSlot;
 
   bool done() const { return delivered >= 0; }
 };
@@ -56,6 +67,12 @@ class Network {
   /// violations are rejected here).
   PacketId send(NodeId src, NodeId dest, int length, Cycle now);
 
+  /// Source-side abort-and-retransmit: queue a fresh copy of a lost
+  /// attempt. The new packet joins the original's retry chain (retry_of /
+  /// last_attempt / retries on the root record). The caller enforces the
+  /// retry budget and endpoint health.
+  PacketId resend(PacketId prior, Cycle now);
+
   /// Advance one cycle.
   void step(Cycle now);
 
@@ -74,6 +91,66 @@ class Network {
     mutate(faults_);
     return finish_fault_mutation();
   }
+
+  // --- Live fault lifecycle (fault assumption v) ------------------------
+  //
+  // A live kill damages the data plane immediately — the link's in-flight
+  // flits are destroyed, worms cut by the fault are poisoned and truncate
+  // hop by hop — but the control-plane mutation (FaultSet + reconfigure)
+  // is deferred until the network has quiesced, matching the paper's
+  // diagnosis phase (assumption iv): stateful routing algorithms keep
+  // serving survivors against their current epoch in between.
+
+  /// Kill the undirected channel between `node` and its neighbour on
+  /// `port`, while traffic is in flight. Idempotent.
+  void kill_link_live(NodeId node, PortId port);
+  /// Kill `node` while traffic is in flight: its buffered flits and
+  /// injection queue are destroyed, all adjacent channels die, and every
+  /// live packet sourced at or destined to it is orphaned. Idempotent.
+  void kill_node_live(NodeId node);
+  /// Watchdog victim kill: orphan one in-flight worm so its buffers, VCs
+  /// and crossbar claims free up hop by hop.
+  void kill_packet(PacketId id);
+
+  /// Damage recorded by live kills but not yet applied to the FaultSet.
+  bool recovery_pending() const {
+    return !pending_link_faults_.empty() || !pending_node_faults_.empty();
+  }
+  /// Node killed live (dead hardware), whether or not the FaultSet has
+  /// caught up yet. Traffic sources must treat it as faulty immediately.
+  bool node_live_killed(NodeId node) const {
+    return live_killed_[static_cast<std::size_t>(node)] != 0;
+  }
+  /// Quiescent diagnosis step: fold the pending live damage into the
+  /// FaultSet (bumping the fault epoch) and reconfigure the routing
+  /// algorithm. Requires idle(). Returns the neighbour-exchange count.
+  int commit_pending_faults();
+
+  /// Append-only log of lost packets (truncated or killed attempts), in
+  /// the order their last flit left the network. The simulator consumes
+  /// it with a monotonic cursor; it is never cleared mid-run.
+  const std::vector<PacketId>& lost_log() const { return lost_log_; }
+  std::int64_t packets_lost() const {
+    return static_cast<std::int64_t>(lost_log_.size());
+  }
+
+  /// Watchdog diagnostics: every input VC in the network still holding
+  /// flits (node, port, vc, front packet), ascending by node.
+  struct BlockedChannel {
+    NodeId node = kInvalidNode;
+    PortId port = kInvalidPort;
+    VcId vc = kInvalidVc;
+    PacketId packet = -1;
+    PacketSlot slot = kInvalidPacketSlot;
+    bool active = false;
+    PortId out_port = kInvalidPort;
+    VcId out_vc = kInvalidVc;
+  };
+  std::vector<BlockedChannel> blocked_channels() const;
+  /// Follow the wait-for chain from the lowest blocked channel across
+  /// routers (committed output -> downstream input VC) until it ends or
+  /// closes a cycle; the classic deadlock dump. Deterministic.
+  std::vector<BlockedChannel> blocked_chain() const;
 
   const PacketRecord& record(PacketId id) const;
   std::int64_t packets_created() const {
@@ -115,6 +192,22 @@ class Network {
   void begin_fault_mutation();
   int finish_fault_mutation();
 
+  /// Index into links_ for the directed channel (u, p); kInvalidNode-free
+  /// lookup built at construction. -1 when no link exists.
+  std::ptrdiff_t link_index(NodeId u, PortId p) const {
+    return link_lookup_[static_cast<std::size_t>(u) *
+                            static_cast<std::size_t>(topo_->degree()) +
+                        static_cast<std::size_t>(p)];
+  }
+  /// Poison a live slot (no-op when already poisoned / not live).
+  void poison_slot(PacketSlot s);
+  /// A flit left the network without being delivered: decrement the
+  /// packet's flit budget and finalise the loss if it was the last.
+  void account_dropped_flit(PacketSlot s);
+  /// Last flit of a poisoned packet is gone: mark the record lost, append
+  /// to the lost log, release the slot.
+  void finalize_lost(PacketSlot s);
+
   /// Put `u` on the active worklist (idempotent via the flag).
   void activate(NodeId u) {
     if (!router_active_[static_cast<std::size_t>(u)]) {
@@ -153,6 +246,17 @@ class Network {
   std::int64_t delivered_count_ = 0;
   std::vector<PacketId> delivered_last_cycle_;
   std::vector<Flit> eject_scratch_;
+  std::vector<Flit> drop_scratch_;
+  /// Live-fault state: directed-link lookup, damage pending control-plane
+  /// commit, loss accounting, and kill-time scratch.
+  std::vector<std::ptrdiff_t> link_lookup_;  // (node, port) -> links_ index
+  std::vector<LinkRef> pending_link_faults_;
+  std::vector<NodeId> pending_node_faults_;
+  std::vector<char> live_killed_;  // per node
+  std::vector<PacketId> lost_log_;
+  std::int64_t network_dropped_flits_ = 0;  // destroyed in links/queues/nodes
+  std::vector<Flit> destroyed_scratch_;
+  std::vector<PacketSlot> orphan_scratch_;
 };
 
 }  // namespace flexrouter

@@ -78,13 +78,40 @@ std::string SimResult::to_string() const {
      << " thpt=" << throughput << " hops=" << avg_hops
      << " steps/dec=" << avg_decision_steps
      << " misrouted=" << misrouted_fraction * 100.0 << "%";
+  // Recovery metrics only appear when the lifecycle did something, so
+  // fault-free output stays byte-identical to earlier revisions.
+  if (fault_events > 0 || packets_lost > 0 || worms_killed > 0) {
+    os << " | faults=" << fault_events << " recoveries=" << recovery_events
+       << " recovery_cycles=" << recovery_cycles << " lost=" << packets_lost
+       << " retx=" << packets_retransmitted
+       << " unrecoverable=" << packets_unrecoverable
+       << " kills=" << worms_killed << " avail=" << availability;
+  }
   if (deadlock_suspected) os << " [DEADLOCK SUSPECTED]";
   return os.str();
 }
 
 Simulator::Simulator(Network& net, TrafficPattern& traffic,
                      const SimConfig& cfg)
-    : net_(&net), traffic_(&traffic), cfg_(cfg), rng_(cfg.seed) {}
+    : net_(&net), traffic_(&traffic), cfg_(cfg), rng_(cfg.seed) {
+  lifecycle_ = cfg.structured_watchdog;
+  retry_queue_.reserve(16);
+}
+
+void Simulator::set_fault_schedule(const FaultSchedule& schedule) {
+  events_ = schedule.events();  // sorted copy
+  next_event_ = 0;
+  if (!events_.empty()) lifecycle_ = true;
+}
+
+void Simulator::refresh_components() {
+  const FaultSet& faults = net_->faults();
+  if (!conn_valid_ || conn_epoch_ != faults.epoch()) {
+    conn_comp_ = components(faults);
+    conn_epoch_ = faults.epoch();
+    conn_valid_ = true;
+  }
+}
 
 void Simulator::inject_offered_load(bool measured) {
   const Topology& topo = net_->topology();
@@ -92,11 +119,7 @@ void Simulator::inject_offered_load(bool measured) {
   // Healthy-component ids, recomputed once per fault epoch: the redraw
   // loop below asks "is dest reachable from n" per candidate, which as a
   // BFS (graph_algo connected()) dominated injection cost.
-  if (!conn_valid_ || conn_epoch_ != faults.epoch()) {
-    conn_comp_ = components(faults);
-    conn_epoch_ = faults.epoch();
-    conn_valid_ = true;
-  }
+  refresh_components();
   const bool bimodal =
       cfg_.long_packet_length > 0 && cfg_.long_packet_fraction > 0.0;
   const double mean_length =
@@ -106,6 +129,10 @@ void Simulator::inject_offered_load(bool measured) {
   const double packet_prob = cfg_.injection_rate / mean_length;
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     if (faults.node_faulty(n)) continue;
+    // Live-killed nodes are dead hardware even before the FaultSet catches
+    // up at the next quiescent commit (gated on lifecycle_ so the fault-free
+    // RNG stream is untouched).
+    if (lifecycle_ && net_->node_live_killed(n)) continue;
     if (!rng_.next_bool(packet_prob)) continue;
     const int length = bimodal && rng_.next_bool(cfg_.long_packet_fraction)
                            ? cfg_.long_packet_length
@@ -116,13 +143,14 @@ void Simulator::inject_offered_load(bool measured) {
     for (int attempt = 0; attempt < 8; ++attempt) {
       const NodeId dest = traffic_->dest(n, rng_);
       if (dest == n || !faults.node_ok(dest)) continue;
+      if (lifecycle_ && net_->node_live_killed(dest)) continue;
       if (conn_comp_[static_cast<std::size_t>(n)] !=
           conn_comp_[static_cast<std::size_t>(dest)])
         continue;
       const PacketId id = net_->send(n, dest, length, now_);
       if (measured) {
         measured_.push_back(id);
-        if (measured_first_ < 0) measured_first_ = id;
+        mark_measured(id);
         ++measured_outstanding_;
       }
       break;
@@ -131,45 +159,91 @@ void Simulator::inject_offered_load(bool measured) {
 }
 
 void Simulator::count_measured_deliveries() {
-  if (measured_first_ < 0) return;
   for (const PacketId id : net_->delivered_last_cycle())
-    if (id >= measured_first_) --measured_outstanding_;
+    if (is_measured(id)) --measured_outstanding_;
 }
 
 SimResult Simulator::run() {
   measured_.clear();
-  measured_first_ = -1;
+  std::fill(measured_flag_.begin(), measured_flag_.end(), 0);
   measured_outstanding_ = 0;
+  retry_queue_.clear();
+  gated_measure_cycles_ = 0;
+  lost_cursor_ = net_->lost_log().size();
+  wd_armed_ = false;
+  wd_stall_ = 0;
   SimResult result;
 
   const RouterStats before = net_->aggregate_stats();
 
   for (Cycle c = 0; c < cfg_.warmup_cycles; ++c) {
-    inject_offered_load(false);
+    if (lifecycle_) {
+      fire_due_faults(result);
+      update_recovery(result);
+    }
+    if (rstate_ == RecoveryState::Normal) {
+      if (lifecycle_) flush_retry_queue(result);
+      inject_offered_load(false);
+    }
     net_->step(now_++);
+    if (lifecycle_) {
+      count_measured_deliveries();
+      process_losses(result);
+      if (rstate_ == RecoveryState::Draining) drain_watchdog_tick(result);
+    }
   }
   for (Cycle c = 0; c < cfg_.measure_cycles; ++c) {
-    inject_offered_load(true);
-    net_->step(now_++);
-    count_measured_deliveries();
-  }
-
-  // Drain: no further injection; watch for stalls. The outstanding counter
-  // (fed by delivered_last_cycle) replaces the per-cycle rescan of every
-  // measured packet record.
-  std::int64_t last_movement = net_->total_flit_movements();
-  Cycle stall = 0;
-  Cycle drained = 0;
-  while (measured_outstanding_ > 0) {
-    if (drained++ > cfg_.drain_limit) {
-      result.deadlock_suspected = true;
-      break;
+    if (lifecycle_) {
+      fire_due_faults(result);
+      update_recovery(result);
+    }
+    if (rstate_ == RecoveryState::Normal) {
+      if (lifecycle_) flush_retry_queue(result);
+      inject_offered_load(true);
+    } else {
+      ++gated_measure_cycles_;
     }
     net_->step(now_++);
     count_measured_deliveries();
+    if (lifecycle_) {
+      process_losses(result);
+      if (rstate_ == RecoveryState::Draining) drain_watchdog_tick(result);
+    }
+  }
+
+  // Drain: no further offered load; watch for stalls. The outstanding
+  // counter (fed by delivered_last_cycle) replaces the per-cycle rescan of
+  // every measured packet record. With the lifecycle armed the loop also
+  // runs any still-open recovery to completion (pending damage committed,
+  // retry queue flushed) so every measured packet ends delivered or
+  // unrecoverable.
+  std::int64_t last_movement = net_->total_flit_movements();
+  Cycle stall = 0;
+  Cycle drained = 0;
+  while (measured_outstanding_ > 0 ||
+         (lifecycle_ && (rstate_ != RecoveryState::Normal ||
+                         !retry_queue_.empty() || net_->recovery_pending()))) {
+    if (drained++ > cfg_.drain_limit) {
+      capture_blocked_chain(result);
+      result.deadlock_suspected = true;
+      break;
+    }
+    if (lifecycle_) {
+      fire_due_faults(result);
+      update_recovery(result);
+      if (rstate_ == RecoveryState::Normal) flush_retry_queue(result);
+    }
+    net_->step(now_++);
+    count_measured_deliveries();
+    if (lifecycle_) process_losses(result);
     const std::int64_t moved = net_->total_flit_movements();
     if (moved == last_movement) {
       if (++stall > cfg_.watchdog_window) {
+        if (lifecycle_ && structured_kill(result)) {
+          stall = 0;
+          continue;
+        }
+        capture_blocked_chain(result);
         result.deadlock_suspected = true;
         break;
       }
@@ -181,24 +255,30 @@ SimResult Simulator::run() {
 
   // Collect metrics over measured packets — a single pass: latency sum,
   // quantiles and the split by misroute mark all come from the same loop.
+  // Retry chains resolve to the final attempt: latency spans the original
+  // creation to the final delivery (the abort-and-retransmit penalty is
+  // real latency), hops/misroute come from the attempt that got through.
   LatencyQuantiles latency;
   StreamingStats hops, ratio, lat_misrouted, lat_direct;
   std::int64_t delivered = 0, misrouted = 0, delivered_flits = 0;
   double latency_sum = 0.0;
   for (const PacketId id : measured_) {
-    const PacketRecord& rec = net_->record(id);
-    if (!rec.done()) continue;
+    const PacketRecord& orig = net_->record(id);
+    if (orig.retry_of >= 0) continue;  // resends fold into their root
+    const PacketRecord* rec = &orig;
+    if (orig.last_attempt >= 0) rec = &net_->record(orig.last_attempt);
+    if (!rec->done()) continue;
     ++delivered;
-    delivered_flits += rec.length;
-    const auto lat = static_cast<double>(rec.delivered - rec.created);
+    delivered_flits += rec->length;
+    const auto lat = static_cast<double>(rec->delivered - orig.created);
     latency.add(lat);
     latency_sum += lat;
-    (rec.misrouted ? lat_misrouted : lat_direct).add(lat);
-    hops.add(rec.hops);
-    const int min_hops = net_->topology().distance(rec.src, rec.dest);
+    (rec->misrouted ? lat_misrouted : lat_direct).add(lat);
+    hops.add(rec->hops);
+    const int min_hops = net_->topology().distance(rec->src, rec->dest);
     if (min_hops > 0)
-      ratio.add(static_cast<double>(rec.hops) / min_hops);
-    misrouted += rec.misrouted ? 1 : 0;
+      ratio.add(static_cast<double>(rec->hops) / min_hops);
+    misrouted += rec->misrouted ? 1 : 0;
   }
 
   result.injected_packets = static_cast<std::int64_t>(measured_.size());
@@ -232,17 +312,172 @@ SimResult Simulator::run() {
                           static_cast<double>(decisions)
                     : 0.0;
   result.cycles_run = now_;
+  result.availability =
+      cfg_.measure_cycles > 0
+          ? 1.0 - static_cast<double>(gated_measure_cycles_) /
+                      static_cast<double>(cfg_.measure_cycles)
+          : 1.0;
   return result;
+}
+
+void Simulator::fire_due_faults(SimResult& result) {
+  while (next_event_ < events_.size() && events_[next_event_].at <= now_) {
+    const FaultEvent& e = events_[next_event_++];
+    if (e.kind == FaultEvent::Kind::LinkFault) {
+      net_->kill_link_live(e.node, e.port);
+    } else {
+      net_->kill_node_live(e.node);
+    }
+    ++result.fault_events;
+    if (rstate_ == RecoveryState::Normal) {
+      rstate_ = RecoveryState::Detecting;
+      detect_at_ = now_ + cfg_.detection_delay;
+      recovery_started_ = now_;
+    }
+  }
+}
+
+void Simulator::update_recovery(SimResult& result) {
+  if (rstate_ == RecoveryState::Detecting && now_ >= detect_at_) {
+    rstate_ = RecoveryState::Draining;
+    ++result.recovery_events;
+    wd_armed_ = false;
+    wd_stall_ = 0;
+  }
+  if (rstate_ == RecoveryState::Draining && net_->idle()) {
+    if (net_->recovery_pending())
+      result.reconfig_exchanges += net_->commit_pending_faults();
+    result.recovery_cycles += now_ - recovery_started_;
+    rstate_ = RecoveryState::Normal;
+  }
+}
+
+void Simulator::drain_watchdog_tick(SimResult& result) {
+  const std::int64_t moved = net_->total_flit_movements();
+  if (!wd_armed_ || moved != wd_last_movement_) {
+    wd_armed_ = true;
+    wd_last_movement_ = moved;
+    wd_stall_ = 0;
+    return;
+  }
+  if (++wd_stall_ > cfg_.watchdog_window) {
+    if (!structured_kill(result)) capture_blocked_chain(result);
+    wd_stall_ = 0;
+  }
+}
+
+void Simulator::process_losses(SimResult& result) {
+  const std::vector<PacketId>& log = net_->lost_log();
+  for (; lost_cursor_ < log.size(); ++lost_cursor_) {
+    const PacketId id = log[lost_cursor_];
+    const PacketRecord& rec = net_->record(id);
+    const PacketId root = rec.retry_of >= 0 ? rec.retry_of : id;
+    const bool meas = is_measured(root);
+    if (meas) ++result.packets_lost;
+    if (!cfg_.retransmit ||
+        net_->record(root).retries >= cfg_.max_retries) {
+      finalize_unrecoverable(root, meas, result);
+    } else {
+      retry_queue_.push_back(id);
+    }
+  }
+}
+
+void Simulator::flush_retry_queue(SimResult& result) {
+  if (retry_queue_.empty()) return;
+  refresh_components();
+  const FaultSet& faults = net_->faults();
+  for (const PacketId id : retry_queue_) {
+    const PacketRecord& rec = net_->record(id);
+    const PacketId root = rec.retry_of >= 0 ? rec.retry_of : id;
+    const bool meas = is_measured(root);
+    // Endpoint health and connectivity re-checked against the
+    // post-reconfiguration fault picture: a retry toward dead or
+    // unreachable hardware is abandoned at the source.
+    if (!faults.node_ok(rec.src) || !faults.node_ok(rec.dest) ||
+        net_->node_live_killed(rec.src) || net_->node_live_killed(rec.dest) ||
+        conn_comp_[static_cast<std::size_t>(rec.src)] !=
+            conn_comp_[static_cast<std::size_t>(rec.dest)]) {
+      finalize_unrecoverable(root, meas, result);
+      continue;
+    }
+    const PacketId nid = net_->resend(id, now_);
+    if (meas) {
+      mark_measured(nid);
+      ++result.packets_retransmitted;
+    }
+  }
+  retry_queue_.clear();
+}
+
+bool Simulator::structured_kill(SimResult& result) {
+  const std::vector<Network::BlockedChannel> chain = net_->blocked_chain();
+  if (result.blocked_chain.empty()) {
+    for (const Network::BlockedChannel& c : chain) {
+      SimResult::BlockedChannelInfo info;
+      info.node = c.node;
+      info.port = c.port;
+      info.vc = c.vc;
+      info.packet = c.packet;
+      result.blocked_chain.push_back(info);
+    }
+  }
+  // Victim: the lowest packet id in the chain — deterministic, and killing
+  // any one member breaks the cycle. Its buffers free hop by hop as the
+  // poisoned flits drain, which restarts everyone behind it.
+  PacketId victim = -1;
+  for (const Network::BlockedChannel& c : chain) {
+    if (c.packet < 0) continue;
+    const PacketRecord& rec = net_->record(c.packet);
+    if (rec.done() || rec.lost) continue;
+    if (victim < 0 || c.packet < victim) victim = c.packet;
+  }
+  if (victim < 0) return false;
+  net_->kill_packet(victim);
+  ++result.worms_killed;
+  return true;
+}
+
+void Simulator::capture_blocked_chain(SimResult& result) {
+  if (!result.blocked_chain.empty()) return;
+  for (const Network::BlockedChannel& c : net_->blocked_chain()) {
+    SimResult::BlockedChannelInfo info;
+    info.node = c.node;
+    info.port = c.port;
+    info.vc = c.vc;
+    info.packet = c.packet;
+    result.blocked_chain.push_back(info);
+  }
+}
+
+void Simulator::finalize_unrecoverable(PacketId root, bool measured_root,
+                                       SimResult& result) {
+  static_cast<void>(root);
+  if (measured_root) {
+    ++result.packets_unrecoverable;
+    --measured_outstanding_;
+  }
 }
 
 bool Simulator::quiesce(Cycle limit) {
   std::int64_t last_movement = net_->total_flit_movements();
   Cycle stall = 0;
+  // With the lifecycle armed the stall watchdog victim-kills instead of
+  // giving up: quiesce() must be able to empty a network whose unmeasured
+  // worms are wedged (run() only guarantees the measured ones). Kills are
+  // recorded into a scratch result — quiesce() has no metrics to report.
+  SimResult scratch;
   for (Cycle c = 0; c < limit && !net_->idle(); ++c) {
     net_->step(now_++);
     const std::int64_t moved = net_->total_flit_movements();
     if (moved == last_movement) {
-      if (++stall > cfg_.watchdog_window) return false;
+      if (++stall > cfg_.watchdog_window) {
+        if (lifecycle_ && structured_kill(scratch)) {
+          stall = 0;
+          continue;
+        }
+        return false;
+      }
     } else {
       stall = 0;
       last_movement = moved;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault_schedule.hpp"
 #include "sim/network.hpp"
 #include "sim/traffic.hpp"
 
@@ -29,6 +30,20 @@ struct SimConfig {
   /// deadlock watchdog.
   Cycle watchdog_window = 2000;
   std::uint64_t seed = 1;
+
+  // --- Live fault lifecycle (set_fault_schedule) ------------------------
+  /// Cycles between a fault event firing and the recovery controller
+  /// opening the quiescent diagnosis phase (detection latency; the paper's
+  /// Information Units report faults, the control plane reacts here).
+  Cycle detection_delay = 0;
+  /// Source-side abort-and-retransmit of lost packets, with a bounded
+  /// per-packet retry budget; beyond it the packet counts unrecoverable.
+  bool retransmit = true;
+  int max_retries = 3;
+  /// Upgrade the deadlock watchdog from "suspect and give up" to
+  /// structured recovery: dump the blocked worm chain, kill the victim
+  /// worm, retransmit it. Implied by a non-empty fault schedule.
+  bool structured_watchdog = false;
 };
 
 struct SimResult {
@@ -50,12 +65,44 @@ struct SimResult {
   bool deadlock_suspected = false;
   Cycle cycles_run = 0;
 
+  // --- Recovery metrics (live fault lifecycle; all zero/1.0 without one) —
+  // counts below are over the measured window's packets.
+  std::int64_t packets_lost = 0;           // attempts truncated or killed
+  std::int64_t packets_retransmitted = 0;  // resends issued
+  std::int64_t packets_unrecoverable = 0;  // originals abandoned for good
+  int fault_events = 0;     // schedule events fired during this run
+  int recovery_events = 0;  // diagnosis phases opened
+  /// Total cycles from each fault event to the end of its quiescent
+  /// diagnosis (recovery cycles per event = this / recovery_events).
+  Cycle recovery_cycles = 0;
+  /// Fraction of the measured window with injection open (not gated by a
+  /// diagnosis phase).
+  double availability = 1.0;
+  int worms_killed = 0;  // watchdog victim kills
+  int reconfig_exchanges = 0;
+
+  /// Deadlock-watchdog diagnostics: the blocked wait-for chain captured
+  /// the first time the watchdog fired (empty if it never did). Channel
+  /// order follows the chain: each entry waits on the next.
+  struct BlockedChannelInfo {
+    NodeId node = kInvalidNode;
+    PortId port = kInvalidPort;
+    VcId vc = kInvalidVc;
+    PacketId packet = -1;
+  };
+  std::vector<BlockedChannelInfo> blocked_chain;
+
   std::string to_string() const;
 };
 
 class Simulator {
  public:
   Simulator(Network& net, TrafficPattern& traffic, const SimConfig& cfg);
+
+  /// Arm the live fault lifecycle: events fire at their absolute cycle
+  /// (the simulator clock keeps advancing across run() calls). Enables
+  /// the structured watchdog implicitly.
+  void set_fault_schedule(const FaultSchedule& schedule);
 
   /// Run warmup + measurement + drain. May be called repeatedly; the clock
   /// keeps advancing (fault injection between runs via quiesce()).
@@ -68,10 +115,44 @@ class Simulator {
   Cycle now() const { return now_; }
 
  private:
+  /// Recovery controller states. Normal: injection open. Detecting: a
+  /// fault fired, damage is live, the detection latency is running.
+  /// Draining: quiescent diagnosis phase — injection gated, survivors
+  /// drain, watchdog kills stuck worms; when the network is idle the
+  /// pending damage is committed (epoch bump + reconfigure) and injection
+  /// reopens.
+  enum class RecoveryState { Normal, Detecting, Draining };
+
   void inject_offered_load(bool measured);
   /// Decrement the outstanding-measured counter for every measured packet
   /// the last step() delivered, so the drain loop never rescans records.
   void count_measured_deliveries();
+  void refresh_components();
+
+  // Live fault lifecycle steps (all no-ops when idle / not armed).
+  void fire_due_faults(SimResult& result);
+  void update_recovery(SimResult& result);
+  void process_losses(SimResult& result);
+  void flush_retry_queue(SimResult& result);
+  /// Stall watchdog for the quiescent diagnosis phase: worms wedged behind
+  /// live damage are victim-killed so the drain can complete.
+  void drain_watchdog_tick(SimResult& result);
+  /// Diagnose the blocked chain, record it (first time), kill the victim
+  /// worm. Returns false when there was nothing to kill.
+  bool structured_kill(SimResult& result);
+  void capture_blocked_chain(SimResult& result);
+  void finalize_unrecoverable(PacketId root, bool measured_root,
+                              SimResult& result);
+
+  void mark_measured(PacketId id) {
+    if (static_cast<std::size_t>(id) >= measured_flag_.size())
+      measured_flag_.resize(static_cast<std::size_t>(id) + 1, 0);
+    measured_flag_[static_cast<std::size_t>(id)] = 1;
+  }
+  bool is_measured(PacketId id) const {
+    return static_cast<std::size_t>(id) < measured_flag_.size() &&
+           measured_flag_[static_cast<std::size_t>(id)] != 0;
+  }
 
   Network* net_;
   TrafficPattern* traffic_;
@@ -79,10 +160,10 @@ class Simulator {
   Rng rng_;
   Cycle now_ = 0;
   std::vector<PacketId> measured_;
-  /// Measured packets sent but not yet delivered. Ids from measured_first_
-  /// upward are exactly the measured packets (send order is sequential and
-  /// the measurement window is the sole sender while it is open).
-  PacketId measured_first_ = -1;
+  /// Measured-packet flags by PacketId: originals from the measurement
+  /// window plus their retransmissions. Replaces the old contiguous-id
+  /// trick, which broke once resends interleave with measured sends.
+  std::vector<char> measured_flag_;
   std::int64_t measured_outstanding_ = 0;
   /// Healthy-component cache for fault assumption iii checks: one
   /// components() pass per fault epoch instead of a BFS per injected
@@ -90,6 +171,22 @@ class Simulator {
   std::vector<int> conn_comp_;
   std::uint64_t conn_epoch_ = 0;
   bool conn_valid_ = false;
+
+  /// Live fault lifecycle state.
+  bool lifecycle_ = false;  // schedule set or structured watchdog enabled
+  std::vector<FaultEvent> events_;
+  std::size_t next_event_ = 0;
+  RecoveryState rstate_ = RecoveryState::Normal;
+  Cycle detect_at_ = 0;
+  Cycle recovery_started_ = 0;
+  std::size_t lost_cursor_ = 0;  // consumed prefix of Network::lost_log()
+  std::vector<PacketId> retry_queue_;
+  std::int64_t gated_measure_cycles_ = 0;
+  /// Stall tracking for the Draining-phase watchdog (the post-measurement
+  /// drain loop keeps its own local tracker).
+  bool wd_armed_ = false;
+  std::int64_t wd_last_movement_ = 0;
+  Cycle wd_stall_ = 0;
 };
 
 }  // namespace flexrouter

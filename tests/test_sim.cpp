@@ -475,5 +475,52 @@ TEST(SimulatorRegression, FaultyHypercubeRouteCExactResults) {
   EXPECT_EQ(r.cycles_run, 1278);
 }
 
+TEST(SimulatorRegression, DynamicFaultNaftaExactResults) {
+  // Live fault lifecycle pinned: a link dies mid-measurement on a healthy
+  // NAFTA mesh. The kill wedges one worm against the stale routing epoch
+  // (the structured watchdog breaks it), two packets retransmit, and the
+  // recovery controller gates injection until the quiescent commit. Every
+  // field — including the recovery metrics — must reproduce bit-for-bit.
+  Mesh m = Mesh::two_d(8, 8);
+  Nafta nafta;
+  Network net(m, nafta);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.08;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 1000;
+  cfg.seed = 20260807;
+  FaultSchedule schedule;
+  schedule.fail_link_at(800, m.at(3, 3), port_of(Compass::East));
+  Simulator sim(net, traffic, cfg);
+  sim.set_fault_schedule(schedule);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.injected_packets, 647);
+  EXPECT_EQ(r.delivered_packets, 647);
+  EXPECT_EQ(r.avg_latency, 29.822256568778979);
+  EXPECT_EQ(r.p50_latency, 21.0);
+  EXPECT_EQ(r.p99_latency, 44.539999999999964);
+  EXPECT_EQ(r.avg_hops, 5.2936630602782087);
+  EXPECT_EQ(r.min_hops_ratio, 1.0077279752704793);
+  EXPECT_EQ(r.throughput, 0.040437500000000001);
+  EXPECT_EQ(r.misrouted_fraction, 0.0015455950540958269);
+  EXPECT_EQ(r.avg_latency_misrouted, 2731.0);
+  EXPECT_EQ(r.avg_latency_direct, 25.640866873065015);
+  EXPECT_EQ(r.avg_decision_steps, 1.0109626069980477);
+  EXPECT_EQ(r.packets_lost, 2);
+  EXPECT_EQ(r.packets_retransmitted, 2);
+  EXPECT_EQ(r.packets_unrecoverable, 0);
+  EXPECT_EQ(r.fault_events, 1);
+  EXPECT_EQ(r.recovery_events, 1);
+  EXPECT_EQ(r.recovery_cycles, 2506);
+  EXPECT_EQ(r.worms_killed, 1);
+  EXPECT_EQ(r.reconfig_exchanges, 2952);
+  EXPECT_EQ(r.availability, 0.5);
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.blocked_chain.size(), 1u);
+  EXPECT_EQ(r.cycles_run, 3524);
+}
+
 }  // namespace
 }  // namespace flexrouter
