@@ -21,6 +21,11 @@
 //   link_faults = 0     node_faults = 0
 //   seed       = 1
 //   show_links = false                         (top-5 link loads, single run)
+//   shards     = 1                             (spatial shards; results are
+//                                               bit-identical at any count)
+//   shard_threads = 0                          (shard pool size; 0 = auto)
+//   idle_skip  = false                         (skip provably-inert cycles;
+//                                               implies event-driven mode)
 //
 // Live fault lifecycle (optional; arms the recovery controller):
 //   fault_at   = 1500:link:27:1,2200:node:12   (timed mid-run kill events:
@@ -148,6 +153,13 @@ int main(int argc, char** argv) {
   base.measure_cycles = cfg.get_int("measure", 2000);
   base.detection_delay = cfg.get_int("detection_delay", 0);
   base.max_retries = static_cast<int>(cfg.get_int("max_retries", 3));
+  base.idle_skip = cfg.get_bool("idle_skip", false);
+
+  NetworkConfig ncfg;
+  ncfg.shards = static_cast<int>(cfg.get_int("shards", 1));
+  ncfg.shard_threads = static_cast<int>(cfg.get_int("shard_threads", 0));
+  // Idle skipping needs the event-driven worklists even at one shard.
+  ncfg.event_driven = base.idle_skip;
 
   FaultSchedule schedule;
   try {
@@ -169,7 +181,7 @@ int main(int argc, char** argv) {
     points.push_back({[&, rate, first_point](std::uint64_t derived_seed) {
       auto algo = build_algorithm(aname, *topo);
       auto traffic = make_traffic(pattern, *topo, seed);
-      Network net(*topo, *algo);
+      Network net(*topo, *algo, ncfg);
       if (link_faults > 0 || node_faults > 0) {
         Rng frng(seed ^ 0xfa017ULL);
         const int ex = net.apply_faults([&](FaultSet& f) {
@@ -218,6 +230,8 @@ int main(int argc, char** argv) {
     std::cout << ", " << link_faults << " link + " << node_faults
               << " node faults (reconfiguration: " << exchanges
               << " exchanges)";
+  if (ncfg.shards > 1) std::cout << ", " << ncfg.shards << " shards";
+  if (base.idle_skip) std::cout << ", idle-skip";
   if (!single)
     std::cout << ", sweep of " << rates.size() << " loads on "
               << runner.num_threads() << " threads";

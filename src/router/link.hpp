@@ -64,6 +64,17 @@ class Link {
   void send_flit(Cycle now, VcId vc, const Flit& flit) {
     FR_REQUIRE(vc >= 0 && vc < num_vcs_);
     FR_REQUIRE_MSG(!failed_, "flit sent on a failed link");
+    if (deferred_) {
+      // Shard-boundary staging: park the flit in a slot only the sending
+      // shard touches; flush_deferred applies it at the cycle barrier. A
+      // send at cycle t is first observable at t+latency >= t+1, so the
+      // deferral is invisible to every same-cycle reader.
+      FR_REQUIRE_MSG(pending_vc_ < 0,
+                     "two flits sent on one link in one cycle");
+      pending_vc_ = vc;
+      pending_flit_ = flit;
+      return;
+    }
     FlitStage& s = flits_[stage_index(now + latency_)];
     // One flit per cycle: an occupied stage means either a second send in
     // the same cycle or an earlier flit the receiver never picked up.
@@ -90,6 +101,13 @@ class Link {
     // A failed link swallows credits: the upstream output VC is dead anyway
     // and its counters are rebuilt by Router::flush at reconfiguration.
     if (failed_) return;
+    if (deferred_) {
+      const std::uint32_t bit = 1u << static_cast<unsigned>(vc);
+      FR_ASSERT_MSG((pending_credit_mask_ & bit) == 0,
+                    "two credits for one VC in one cycle");
+      pending_credit_mask_ |= bit;
+      return;
+    }
     CreditStage& s = credits_[stage_index(now + latency_)];
     const std::uint32_t bit = 1u << static_cast<unsigned>(vc);
     if (s.arrive == now + latency_) {
@@ -116,7 +134,39 @@ class Link {
     return mask;
   }
 
-  bool idle() const { return flits_in_flight_ == 0 && credits_in_flight_ == 0; }
+  bool idle() const {
+    return flits_in_flight_ == 0 && credits_in_flight_ == 0 &&
+           pending_vc_ < 0 && pending_credit_mask_ == 0;
+  }
+
+  /// Shard-boundary mode: sends stage into pending slots instead of the
+  /// shift registers until flush_deferred applies them (canonical link
+  /// order, at the network's cycle barrier).
+  void set_deferred(bool on) { deferred_ = on; }
+  bool deferred() const { return deferred_; }
+
+  /// Apply this cycle's staged send/credits. Serial-context only; replays
+  /// exactly what the direct send paths would have written at cycle `now`.
+  void flush_deferred(Cycle now) {
+    if (pending_vc_ >= 0) {
+      FlitStage& s = flits_[stage_index(now + latency_)];
+      FR_REQUIRE_MSG(s.arrive < 0, "two flits sent on one link in one cycle");
+      s.arrive = now + latency_;
+      s.vc = pending_vc_;
+      s.flit = pending_flit_;
+      ++flits_in_flight_;
+      info_.record_transfer(now);
+      pending_vc_ = kInvalidVc;
+    }
+    if (pending_credit_mask_ != 0) {
+      CreditStage& s = credits_[stage_index(now + latency_)];
+      FR_REQUIRE_MSG(s.arrive < 0, "credit delivery missed a cycle");
+      s.arrive = now + latency_;
+      s.mask = pending_credit_mask_;
+      credits_in_flight_ += std::popcount(pending_credit_mask_);
+      pending_credit_mask_ = 0;
+    }
+  }
 
   /// Live fault (assumption v): the channel dies mid-operation. Every flit
   /// in the pipeline is destroyed — appended to `destroyed` so the caller
@@ -125,6 +175,11 @@ class Link {
   void fail(std::vector<Flit>& destroyed) {
     if (failed_) return;
     failed_ = true;
+    if (pending_vc_ >= 0) {
+      destroyed.push_back(pending_flit_);
+      pending_vc_ = kInvalidVc;
+    }
+    pending_credit_mask_ = 0;
     for (FlitStage& s : flits_) {
       if (s.arrive >= 0) destroyed.push_back(s.flit);
       s.arrive = -1;
@@ -171,6 +226,12 @@ class Link {
   int flits_in_flight_ = 0;
   int credits_in_flight_ = 0;
   bool failed_ = false;
+  /// Shard-boundary staging (set_deferred): written only by the sending
+  /// router's shard during the parallel phase, drained at the barrier.
+  bool deferred_ = false;
+  VcId pending_vc_ = kInvalidVc;
+  Flit pending_flit_;
+  std::uint32_t pending_credit_mask_ = 0;
   LinkInfoUnit info_;
 };
 

@@ -96,35 +96,41 @@ void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
                                            : nullptr;
   cand_event_id_ = bytecode_ ? bytecode_->event_id("cand") : -1;
 
-  cand_handler_ = [this](const rules::EmittedEvent& ev) {
-    const bool is_cand = ev.name_id >= 0 ? ev.name_id == cand_event_id_
-                                         : ev.name == "cand";
-    if (!is_cand) return;
-    // Other events (e.g. state propagation to neighbours) are dropped by
-    // this adapter; dedicated tests exercise them through the machines.
-    FR_REQUIRE_MSG(ev.args.size() == 3, "!cand needs (port, vc, priority)");
-    FR_REQUIRE_MSG(active_decision_ != nullptr,
-                   "rule program emitted !cand outside a decision");
-    add_candidate(*active_decision_,
-                  static_cast<PortId>(ev.args[0].as_int()),
-                  static_cast<VcId>(ev.args[1].as_int()),
-                  static_cast<int>(ev.args[2].as_int()));
-  };
-
+  // One DecisionSlot per node, allocated before the machines so the
+  // callbacks can capture stable slot pointers. Everything a decision
+  // mutates goes through its node's slot — route() calls on distinct
+  // nodes (the sharded network step) share nothing mutable.
+  slots_.assign(static_cast<std::size_t>(topo.num_nodes()), DecisionSlot{});
   machines_.clear();
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-    auto em =
-        std::make_unique<rules::EventManager>(*program_, mode_, rules::CompileOptions{},
-                                              bytecode_);
-    // The input providers close over the *algorithm*; the active context is
-    // installed per decision.
+    DecisionSlot* slot = &slots_[static_cast<std::size_t>(n)];
+    slot->owner = this;
+    slot->cand_handler = [slot](const rules::EmittedEvent& ev) {
+      const bool is_cand = ev.name_id >= 0
+                               ? ev.name_id == slot->owner->cand_event_id_
+                               : ev.name == "cand";
+      if (!is_cand) return;
+      // Other events (e.g. state propagation to neighbours) are dropped by
+      // this adapter; dedicated tests exercise them through the machines.
+      FR_REQUIRE_MSG(ev.args.size() == 3, "!cand needs (port, vc, priority)");
+      FR_REQUIRE_MSG(slot->decision != nullptr,
+                     "rule program emitted !cand outside a decision");
+      slot->owner->add_candidate(*slot->decision,
+                                 static_cast<PortId>(ev.args[0].as_int()),
+                                 static_cast<VcId>(ev.args[1].as_int()),
+                                 static_cast<int>(ev.args[2].as_int()));
+    };
+    auto em = std::make_unique<rules::EventManager>(
+        *program_, mode_, rules::CompileOptions{}, bytecode_);
+    // The input providers close over the node's slot; the active context is
+    // installed there per decision.
     em->set_input_provider(
-        [this](const std::string& input, const std::vector<Value>& idx) {
-          FR_REQUIRE_MSG(active_ctx_ != nullptr,
+        [slot](const std::string& input, const std::vector<Value>& idx) {
+          FR_REQUIRE_MSG(slot->ctx != nullptr,
                          "rule program read an input outside a decision");
-          return input_value(*active_ctx_, input, idx);
+          return slot->owner->input_value(*slot->ctx, input, idx);
         });
-    em->set_input_provider_raw(&RuleDrivenRouting::input_raw, this);
+    em->set_input_provider_raw(&RuleDrivenRouting::input_raw, slot);
     machines_.push_back(std::move(em));
   }
 
@@ -137,8 +143,6 @@ void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
       std::all_of(analysis.inputs_read.begin(), analysis.inputs_read.end(),
                   cache_safe_input);
   caches_.assign(static_cast<std::size_t>(topo.num_nodes()), NodeCache{});
-  cache_hits_ = 0;
-  cache_misses_ = 0;
 }
 
 rules::EventManager& RuleDrivenRouting::machine(NodeId n) const {
@@ -154,9 +158,9 @@ void RuleDrivenRouting::clear_decision_cache() const {
   }
 }
 
-Value RuleDrivenRouting::input_by_code(InCode code, const Value* idx,
+Value RuleDrivenRouting::input_by_code(InCode code, const RouteContext& ctx,
+                                       const Value* idx,
                                        std::size_t nidx) const {
-  const RouteContext& ctx = *active_ctx_;
   switch (code) {
     case InCode::Node: return Value::make_int(ctx.node);
     case InCode::Dest: return Value::make_int(ctx.dest);
@@ -211,21 +215,22 @@ Value RuleDrivenRouting::input_by_code(InCode code, const Value* idx,
 
 Value RuleDrivenRouting::input_raw(void* ctx, std::int32_t input_id,
                                    const Value* idx, std::size_t nidx) {
-  const auto* self = static_cast<const RuleDrivenRouting*>(ctx);
-  FR_REQUIRE_MSG(self->active_ctx_ != nullptr,
+  const auto* slot = static_cast<const DecisionSlot*>(ctx);
+  FR_REQUIRE_MSG(slot->ctx != nullptr,
                  "rule program read an input outside a decision");
-  return self->input_by_code(
-      self->input_codes_[static_cast<std::size_t>(input_id)], idx, nidx);
+  return slot->owner->input_by_code(
+      slot->owner->input_codes_[static_cast<std::size_t>(input_id)],
+      *slot->ctx, idx, nidx);
 }
 
 void RuleDrivenRouting::event_sink(void* ctx, std::int32_t name_id,
                                    std::int32_t target_rb, const Value* args,
                                    std::size_t nargs) {
-  const auto* self = static_cast<const RuleDrivenRouting*>(ctx);
+  auto* slot = static_cast<DecisionSlot*>(ctx);
   if (target_rb >= 0) {
     // Rule-bound event: queue for the cascade loop in compute_route. The
     // args must outlive this call, so they are the one copy on this path.
-    rules::EmittedEvent& ev = self->event_scratch_.emplace_back();
+    rules::EmittedEvent& ev = slot->scratch.emplace_back();
     ev.name_id = name_id;
     ev.target_rb = target_rb;
     ev.args.assign(args, args + nargs);
@@ -233,14 +238,14 @@ void RuleDrivenRouting::event_sink(void* ctx, std::int32_t name_id,
   }
   // Host-bound events other than !cand are dropped by this adapter (state
   // propagation to neighbours etc. is exercised through the machines).
-  if (name_id != self->cand_event_id_) return;
+  if (name_id != slot->owner->cand_event_id_) return;
   FR_REQUIRE_MSG(nargs == 3, "!cand needs (port, vc, priority)");
-  FR_REQUIRE_MSG(self->active_decision_ != nullptr,
+  FR_REQUIRE_MSG(slot->decision != nullptr,
                  "rule program emitted !cand outside a decision");
-  self->add_candidate(*self->active_decision_,
-                      static_cast<PortId>(args[0].as_int()),
-                      static_cast<VcId>(args[1].as_int()),
-                      static_cast<int>(args[2].as_int()));
+  slot->owner->add_candidate(*slot->decision,
+                             static_cast<PortId>(args[0].as_int()),
+                             static_cast<VcId>(args[1].as_int()),
+                             static_cast<int>(args[2].as_int()));
 }
 
 Value RuleDrivenRouting::input_value(const RouteContext& ctx,
@@ -308,10 +313,11 @@ void RuleDrivenRouting::add_candidate(RouteDecision& d, PortId port, VcId vc,
 
 RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
   rules::EventManager& em = machine(ctx.node);
-  active_ctx_ = &ctx;
+  DecisionSlot& slot = slots_[static_cast<std::size_t>(ctx.node)];
+  slot.ctx = &ctx;
 
   RouteDecision d;
-  active_decision_ = &d;
+  slot.decision = &d;
 
   int steps;
   std::optional<rules::Value> returned;
@@ -327,9 +333,9 @@ RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
     // are queued and re-fired below. Handler order equals drain()'s FIFO:
     // fires happen in the same order either way, and within one fire the
     // sink sees emissions in program order.
-    std::vector<rules::EmittedEvent>& work = event_scratch_;
+    std::vector<rules::EmittedEvent>& work = slot.scratch;
     work.clear();
-    void* const sink_ctx = const_cast<RuleDrivenRouting*>(this);
+    void* const sink_ctx = &slot;
     returned =
         vm.fire_fast(route_rb_, {}, &RuleDrivenRouting::event_sink, sink_ctx);
     steps = 1;
@@ -342,9 +348,9 @@ RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
     work.clear();
   } else {
     // Reinstall per decision: tests may have swapped the machine's handler
-    // (last installed wins), and the member copy fits std::function's small
+    // (last installed wins), and the slot's copy fits std::function's small
     // buffer — no allocation on this path.
-    em.set_host_handler_fast(cand_handler_);
+    em.set_host_handler_fast(slot.cand_handler);
     const auto interpretations_before = em.total_interpretations();
     const rules::FireResult r = em.fire(route_base_, {});
     em.drain();
@@ -373,8 +379,8 @@ RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
   }
 
   d.steps = steps;
-  active_ctx_ = nullptr;
-  active_decision_ = nullptr;
+  slot.ctx = nullptr;
+  slot.decision = nullptr;
   return d;
 }
 
@@ -401,10 +407,10 @@ RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
       static_cast<std::uint64_t>(static_cast<std::uint8_t>(ctx.in_vc + 1));
   const auto it = nc.entries.find(key);
   if (it != nc.entries.end()) {
-    ++cache_hits_;
+    ++slots_[static_cast<std::size_t>(ctx.node)].cache_hits;
     return it->second;
   }
-  ++cache_misses_;
+  ++slots_[static_cast<std::size_t>(ctx.node)].cache_misses;
   RouteDecision d = compute_route(ctx);
   // A stateless program cannot have bumped the env version; the fault epoch
   // cannot change mid-decision. The tags taken above are still valid.

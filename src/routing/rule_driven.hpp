@@ -22,7 +22,11 @@
 //      on_escape                   1 iff the packet arrived on the escape VC
 //  * Each router node owns an independent register file (one EventManager
 //    per node), so stateful programs keep per-node state like real rule
-//    bases.
+//    bases. All mutable per-decision state (active context, candidate
+//    sink, event scratch, cache counters) lives in a per-node DecisionSlot,
+//    so concurrent route() calls on *different* nodes — the sharded
+//    network step — never share mutable state. Decisions on one node are
+//    never concurrent (a node belongs to exactly one shard).
 //
 // Execution: the default ExecMode::Vm compiles the program to bytecode once
 // (shared by all nodes) and serves inputs/candidate events through
@@ -79,8 +83,16 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
     return cache_enabled_ && cache_wanted_;
   }
   void set_decision_cache_enabled(bool on) { cache_wanted_ = on; }
-  std::int64_t decision_cache_hits() const { return cache_hits_; }
-  std::int64_t decision_cache_misses() const { return cache_misses_; }
+  std::int64_t decision_cache_hits() const {
+    std::int64_t sum = 0;
+    for (const DecisionSlot& s : slots_) sum += s.cache_hits;
+    return sum;
+  }
+  std::int64_t decision_cache_misses() const {
+    std::int64_t sum = 0;
+    for (const DecisionSlot& s : slots_) sum += s.cache_misses;
+    return sum;
+  }
   void clear_decision_cache() const;
 
  private:
@@ -98,11 +110,25 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
     std::unordered_map<std::uint64_t, RouteDecision> entries;
   };
 
+  /// All mutable state one in-flight decision needs, owned per node: the
+  /// VM callback context. route() on node n touches only slots_[n] (plus
+  /// the node's machine and cache), which is what makes concurrent
+  /// decisions on distinct nodes race-free.
+  struct DecisionSlot {
+    const RuleDrivenRouting* owner = nullptr;
+    const RouteContext* ctx = nullptr;
+    RouteDecision* decision = nullptr;
+    std::vector<rules::EmittedEvent> scratch;
+    rules::EventManager::HostHandlerFast cand_handler;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+  };
+
   rules::Value input_value(const RouteContext& ctx, const std::string& name,
                            const std::vector<rules::Value>& idx) const;
-  rules::Value input_by_code(InCode code, const rules::Value* idx,
-                             std::size_t nidx) const;
-  /// Raw VM callbacks for the decision path (ctx = const RuleDrivenRouting*).
+  rules::Value input_by_code(InCode code, const RouteContext& ctx,
+                             const rules::Value* idx, std::size_t nidx) const;
+  /// Raw VM callbacks for the decision path (ctx = DecisionSlot*).
   static rules::Value input_raw(void* ctx, std::int32_t input_id,
                                 const rules::Value* idx, std::size_t nidx);
   static void event_sink(void* ctx, std::int32_t name_id,
@@ -128,19 +154,11 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   int route_rb_ = -1;                 // index of the decision rule base
   std::int32_t cand_event_id_ = -1;   // interned "cand" (VM events)
   std::vector<InCode> input_codes_;   // parallel to program_->inputs
-  rules::EventManager::HostHandlerFast cand_handler_;
 
   bool cache_enabled_ = false;  // static analysis verdict
   bool cache_wanted_ = true;    // host switch (benches measure cold paths)
   mutable std::vector<NodeCache> caches_;  // one per node
-  mutable std::vector<rules::EmittedEvent> event_scratch_;
-  mutable std::int64_t cache_hits_ = 0;
-  mutable std::int64_t cache_misses_ = 0;
-
-  /// Context/decision of the route() currently being evaluated (input
-  /// provider and candidate handler).
-  mutable const RouteContext* active_ctx_ = nullptr;
-  mutable RouteDecision* active_decision_ = nullptr;
+  mutable std::vector<DecisionSlot> slots_;  // one per node
 };
 
 }  // namespace flexrouter

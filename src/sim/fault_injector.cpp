@@ -1,6 +1,7 @@
 #include "sim/fault_injector.hpp"
 
 #include "topology/graph_algo.hpp"
+#include "topology/torus.hpp"
 
 namespace flexrouter {
 
@@ -46,18 +47,79 @@ int inject_random_node_faults(FaultSet& faults, int count, Rng& rng,
 
 namespace {
 
-/// Shared contract for the shaped injectors: the [x0,x1]x[y0,y1] region
-/// must lie inside the mesh. Out-of-range coordinates would otherwise
-/// surface as an opaque index assertion deep inside Mesh::at.
+/// Shared contract for the paper's 2-D shaped injectors: the
+/// [x0,x1]x[y0,y1] region must lie inside a 2-D mesh. Out-of-range
+/// coordinates would otherwise surface as an opaque index assertion deep
+/// inside Mesh::at. Higher-dimensional grids take inject_fault_region.
 void require_region_in_mesh(const Mesh& mesh, int x0, int y0, int x1,
                             int y1) {
-  FR_REQUIRE_MSG(mesh.dims() == 2, "shaped fault injectors need a 2-D mesh");
+  FR_REQUIRE_MSG(mesh.dims() == 2,
+                 "shaped 2-D fault injectors need a 2-D mesh, got '" +
+                     mesh.name() + "'; use inject_fault_region for k-ary "
+                     "grids of other dimensionality");
   FR_REQUIRE_MSG(x0 >= 0 && y0 >= 0, "fault region starts outside the mesh");
   FR_REQUIRE_MSG(x1 < mesh.radix(0) && y1 < mesh.radix(1),
                  "fault region extends past the mesh edge");
 }
 
+/// Per-dimension geometry of the two grid topologies, resolved once so
+/// inject_fault_region can walk either without a shared grid base class.
+struct GridView {
+  int dims = 0;
+  const Mesh* mesh = nullptr;
+  const Torus* torus = nullptr;
+
+  int radix(int d) const { return mesh ? mesh->radix(d) : torus->radix(d); }
+  NodeId node_at(const std::vector<int>& c) const {
+    return mesh ? mesh->node_at(c) : torus->node_at(c);
+  }
+};
+
 }  // namespace
+
+int inject_fault_region(FaultSet& faults, const std::vector<int>& lo,
+                        const std::vector<int>& hi) {
+  const Topology& topo = faults.topology();
+  GridView grid;
+  grid.mesh = dynamic_cast<const Mesh*>(&topo);
+  grid.torus = grid.mesh ? nullptr : dynamic_cast<const Torus*>(&topo);
+  FR_REQUIRE_MSG(grid.mesh != nullptr || grid.torus != nullptr,
+                 "inject_fault_region needs a k-ary Mesh or Torus, got '" +
+                     topo.name() + "'");
+  grid.dims = grid.mesh ? grid.mesh->dims() : grid.torus->dims();
+  FR_REQUIRE_MSG(static_cast<int>(lo.size()) == grid.dims &&
+                     static_cast<int>(hi.size()) == grid.dims,
+                 "fault region on '" + topo.name() + "' needs one [lo, hi] "
+                 "pair per dimension");
+  for (int d = 0; d < grid.dims; ++d) {
+    FR_REQUIRE_MSG(lo[static_cast<std::size_t>(d)] >= 0 &&
+                       hi[static_cast<std::size_t>(d)] <
+                           grid.radix(d),
+                   "fault region extends past the edge of '" + topo.name() +
+                       "'");
+    FR_REQUIRE_MSG(lo[static_cast<std::size_t>(d)] <=
+                       hi[static_cast<std::size_t>(d)],
+                   "fault region corners are inverted");
+  }
+  // Mixed-radix odometer over the hyper-rectangle, dimension 0 fastest.
+  std::vector<int> c = lo;
+  int failed = 0;
+  for (;;) {
+    const NodeId n = grid.node_at(c);
+    if (!faults.node_faulty(n)) {
+      faults.fail_node(n);
+      ++failed;
+    }
+    int d = 0;
+    while (d < grid.dims && ++c[static_cast<std::size_t>(d)] >
+                                hi[static_cast<std::size_t>(d)]) {
+      c[static_cast<std::size_t>(d)] = lo[static_cast<std::size_t>(d)];
+      ++d;
+    }
+    if (d == grid.dims) break;
+  }
+  return failed;
+}
 
 void inject_figure2_chain(FaultSet& faults, const Mesh& mesh, int x,
                           int length) {

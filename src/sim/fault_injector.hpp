@@ -21,6 +21,15 @@ int inject_random_link_faults(FaultSet& faults, int count, Rng& rng,
 int inject_random_node_faults(FaultSet& faults, int count, Rng& rng,
                               bool keep_connected = true);
 
+/// Fail every node in the axis-aligned hyper-rectangle whose corners are
+/// `lo` and `hi` (inclusive, one coordinate pair per dimension), on the
+/// k-ary Mesh or Torus of any dimensionality underlying `faults`. Any other
+/// topology is rejected with a contract error naming it — grid coordinates
+/// are meaningless on, say, a hypercube. Returns the number of nodes newly
+/// failed (nodes already faulty are counted once, not re-failed).
+int inject_fault_region(FaultSet& faults, const std::vector<int>& lo,
+                        const std::vector<int>& hi);
+
 /// Figure 2: a chain of faulty links attached to the southern border,
 /// severing columns `x` and `x+1` for rows 0..length-1. A router at the top
 /// of the chain must know on which side a destination lies — the paper's

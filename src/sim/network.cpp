@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "topology/graph_algo.hpp"
 
@@ -58,6 +59,61 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algo,
           topo.reverse_port(u, p), link);
     }
   }
+
+  // Unified (sharded / event-driven) execution state. The legacy serial
+  // path keeps running through the original members when this is off.
+  unified_ = cfg_.shards > 1 || cfg_.event_driven;
+  if (!unified_) return;
+  FR_REQUIRE(cfg_.shards >= 1);
+  plan_ = plan_shards(topo, cfg_.shards);
+  shards_.resize(static_cast<std::size_t>(cfg_.shards));
+  link_busy_.assign(links_.size(), 0);
+  merge_pos_.assign(static_cast<std::size_t>(cfg_.shards), 0);
+  for (int s = 0; s < cfg_.shards; ++s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    const std::size_t sn = plan_.nodes[static_cast<std::size_t>(s)].size();
+    sh.pending_list.reserve(sn);
+    sh.active_list.reserve(sn);
+    sh.busy_links.reserve(links_.size());
+    sh.purge_drops.reserve(32);
+    sh.purges.reserve(32);
+    // One ejection per router per cycle bounds the eject buffer; drops are
+    // rare (fault cycles only) and may grow outside the steady state.
+    sh.ejects.reserve(sn + 8);
+    sh.drops.reserve(32);
+    sh.spans.reserve(sn);
+  }
+  // Boundary links (endpoints in different shards) stage their sends and
+  // flush at the barrier, in ascending link id — the canonical order.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (plan_.shard(link_sources_[i].node) == plan_.shard(link_dests_[i]))
+      continue;
+    boundary_links_.push_back(static_cast<std::int32_t>(i));
+    links_[i]->set_deferred(true);
+  }
+  // Per-node adjacency over in-shard links only (out-links first, then
+  // in-links): the post-step busy-link discovery walk. Boundary links are
+  // rescanned serially every cycle instead.
+  const auto deg = static_cast<std::size_t>(topo.degree());
+  adj_links_.assign(n * 2 * deg, -1);
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    for (PortId p = 0; p < topo.degree(); ++p) {
+      const NodeId v = topo.neighbor(u, p);
+      if (v == kInvalidNode || plan_.shard(u) != plan_.shard(v)) continue;
+      const std::size_t base = static_cast<std::size_t>(u) * 2 * deg;
+      adj_links_[base + static_cast<std::size_t>(p)] =
+          static_cast<std::int32_t>(link_index(u, p));
+      adj_links_[base + deg + static_cast<std::size_t>(p)] =
+          static_cast<std::int32_t>(link_index(v, topo.reverse_port(u, p)));
+    }
+  }
+  int threads = cfg_.shard_threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  threads = std::min(threads, cfg_.shards);
+  if (threads > 1) pool_ = std::make_unique<ShardPool>(threads);
 }
 
 PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
@@ -95,11 +151,7 @@ PacketId Network::send(NodeId src, NodeId dest, int length, Cycle now) {
   queue.push_back(make_head_flit(slot, length));
   for (int s = 1; s < length; ++s)
     queue.push_back(make_body_flit(slot, s, length));
-  if (!injection_pending_[static_cast<std::size_t>(src)]) {
-    injection_pending_[static_cast<std::size_t>(src)] = 1;
-    pending_list_.push_back(src);
-    pending_sorted_ = false;
-  }
+  mark_pending(src);
   return rec.id;
 }
 
@@ -118,6 +170,14 @@ PacketId Network::resend(PacketId prior, Cycle now) {
 }
 
 void Network::step(Cycle now) {
+  if (unified_) {
+    step_sharded(now);
+  } else {
+    step_serial(now);
+  }
+}
+
+void Network::step_serial(Cycle now) {
   delivered_last_cycle_.clear();
 
   // Injection: at most one flit per node per cycle (local link bandwidth).
@@ -219,6 +279,239 @@ void Network::step(Cycle now) {
     activate(link_sources_[i].node);
     activate(link_dests_[i]);
   }
+}
+
+void Network::shard_phase(int s, Cycle now, bool purge) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  sh.purge_drops.clear();
+  sh.purges.clear();
+  sh.ejects.clear();
+  sh.drops.clear();
+  sh.spans.clear();
+
+  // Injection, exactly as step_serial — but loss accounting is deferred:
+  // the shared store, lost log and counters mutate only in the epilogue,
+  // in the serial path's node order.
+  if (!sh.pending_sorted) {
+    std::sort(sh.pending_list.begin(), sh.pending_list.end());
+    sh.pending_sorted = true;
+  }
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < sh.pending_list.size(); ++i) {
+    const NodeId u = sh.pending_list[i];
+    auto& queue = injection_queues_[static_cast<std::size_t>(u)];
+    Router& r = *routers_[static_cast<std::size_t>(u)];
+    if (purge) {
+      const auto begin = static_cast<std::uint32_t>(sh.purge_drops.size());
+      while (!queue.empty() && store_.poisoned(queue.front().slot)) {
+        sh.purge_drops.push_back(queue.front());
+        queue.pop_front();
+      }
+      const auto end = static_cast<std::uint32_t>(sh.purge_drops.size());
+      if (end != begin) sh.purges.push_back({u, begin, end});
+    }
+    if (!queue.empty() && r.injection_space() > 0) {
+      const Flit f = queue.front();
+      queue.pop_front();
+      if (f.head()) {
+        const Header& hdr = store_.header(f.slot);
+        records_[static_cast<std::size_t>(hdr.packet)].injected = now;
+      }
+      r.inject(f);
+      activate(u);
+    }
+    if (queue.empty())
+      injection_pending_[static_cast<std::size_t>(u)] = 0;
+    else
+      sh.pending_list[keep++] = u;
+  }
+  sh.pending_list.resize(keep);
+
+  // Routers, ascending node order within the shard. Ejects and drops are
+  // recorded per router and replayed in the epilogue; everything a router
+  // touches here is shard-local, a per-packet slot it exclusively holds
+  // (the head flit lives in exactly one router), or a boundary link's
+  // staging slot.
+  if (!sh.active_sorted) {
+    std::sort(sh.active_list.begin(), sh.active_list.end());
+    sh.active_sorted = true;
+  }
+  const auto deg2 = 2 * static_cast<std::size_t>(topo_->degree());
+  std::size_t akeep = 0;
+  for (std::size_t i = 0; i < sh.active_list.size(); ++i) {
+    const NodeId u = sh.active_list[i];
+    Shard::RouterSpan span;
+    span.node = u;
+    span.eject_begin = static_cast<std::uint32_t>(sh.ejects.size());
+    span.drop_begin = static_cast<std::uint32_t>(sh.drops.size());
+    routers_[static_cast<std::size_t>(u)]->step(now, sh.ejects, sh.drops);
+    span.eject_end = static_cast<std::uint32_t>(sh.ejects.size());
+    span.drop_end = static_cast<std::uint32_t>(sh.drops.size());
+    if (span.eject_end != span.eject_begin || span.drop_end != span.drop_begin)
+      sh.spans.push_back(span);
+    // Busy-link discovery: a link only turns busy through a send by an
+    // adjacent stepped router, so walking the stepped routers' in-shard
+    // adjacency finds every newly busy link.
+    const std::int32_t* adj = &adj_links_[static_cast<std::size_t>(u) * deg2];
+    for (std::size_t k = 0; k < deg2; ++k) {
+      const std::int32_t l = adj[k];
+      if (l >= 0 && !link_busy_[static_cast<std::size_t>(l)] &&
+          !links_[static_cast<std::size_t>(l)]->idle())
+        mark_link_busy(l);
+    }
+    if (routers_[static_cast<std::size_t>(u)]->empty())
+      router_active_[static_cast<std::size_t>(u)] = 0;
+    else
+      sh.active_list[akeep++] = u;
+  }
+  sh.active_list.resize(akeep);
+
+  // Busy in-shard links keep both endpoints live for the next cycle (both
+  // endpoints are this shard's nodes); links that went idle drop off.
+  std::size_t lkeep = 0;
+  for (std::size_t i = 0; i < sh.busy_links.size(); ++i) {
+    const std::int32_t l = sh.busy_links[i];
+    if (links_[static_cast<std::size_t>(l)]->idle()) {
+      link_busy_[static_cast<std::size_t>(l)] = 0;
+      continue;
+    }
+    activate(link_sources_[static_cast<std::size_t>(l)].node);
+    activate(link_dests_[static_cast<std::size_t>(l)]);
+    sh.busy_links[lkeep++] = l;
+  }
+  sh.busy_links.resize(lkeep);
+}
+
+void Network::step_sharded(Cycle now) {
+  delivered_last_cycle_.clear();
+  const bool purge = store_.poisoned_live() > 0;
+
+  const int num_shards = static_cast<int>(shards_.size());
+  if (pool_ != nullptr) {
+    struct Ctx {
+      Network* net;
+      Cycle now;
+      bool purge;
+    } ctx{this, now, purge};
+    pool_->run(
+        num_shards,
+        [](void* c, int s) {
+          auto* p = static_cast<Ctx*>(c);
+          p->net->shard_phase(s, p->now, p->purge);
+        },
+        &ctx);
+  } else {
+    for (int s = 0; s < num_shards; ++s) shard_phase(s, now, purge);
+  }
+
+  // --- Serial epilogue -------------------------------------------------
+  // 1. Cross-shard exchange: apply every boundary link's staged flit and
+  // credits in ascending link id — the canonical order — and keep the
+  // endpoints of non-idle boundary links on next cycle's active lists.
+  // Link flushes touch no shared packet state, so their order relative to
+  // the replays below is free; the replays themselves reproduce the serial
+  // path's mutation order exactly.
+  for (const std::int32_t l : boundary_links_) {
+    Link& link = *links_[static_cast<std::size_t>(l)];
+    link.flush_deferred(now);
+    if (!link.idle()) {
+      activate(link_sources_[static_cast<std::size_t>(l)].node);
+      activate(link_dests_[static_cast<std::size_t>(l)]);
+    }
+  }
+
+  // 2. Source-side purge accounting, ascending node order across shards
+  // (each shard's groups are already ascending: k-way merge).
+  if (purge) {
+    std::fill(merge_pos_.begin(), merge_pos_.end(), 0);
+    for (;;) {
+      int best = -1;
+      for (int s = 0; s < num_shards; ++s) {
+        const auto& purges = shards_[static_cast<std::size_t>(s)].purges;
+        const std::size_t pos = merge_pos_[static_cast<std::size_t>(s)];
+        if (pos >= purges.size()) continue;
+        if (best < 0 ||
+            purges[pos].node <
+                shards_[static_cast<std::size_t>(best)]
+                    .purges[merge_pos_[static_cast<std::size_t>(best)]]
+                    .node)
+          best = s;
+      }
+      if (best < 0) break;
+      Shard& sh = shards_[static_cast<std::size_t>(best)];
+      const Shard::PurgeSpan& span =
+          sh.purges[merge_pos_[static_cast<std::size_t>(best)]++];
+      for (std::uint32_t i = span.begin; i < span.end; ++i) {
+        ++network_dropped_flits_;
+        account_dropped_flit(sh.purge_drops[i].slot);
+      }
+    }
+  }
+
+  // 3. Per-router drop/eject replay, ascending node order across shards —
+  // byte for byte the serial path's accounting, so the lost log, the
+  // delivery order and the store's free-list state match exactly.
+  std::fill(merge_pos_.begin(), merge_pos_.end(), 0);
+  for (;;) {
+    int best = -1;
+    for (int s = 0; s < num_shards; ++s) {
+      const auto& spans = shards_[static_cast<std::size_t>(s)].spans;
+      const std::size_t pos = merge_pos_[static_cast<std::size_t>(s)];
+      if (pos >= spans.size()) continue;
+      if (best < 0 ||
+          spans[pos].node < shards_[static_cast<std::size_t>(best)]
+                                .spans[merge_pos_[static_cast<std::size_t>(
+                                    best)]]
+                                .node)
+        best = s;
+    }
+    if (best < 0) break;
+    Shard& sh = shards_[static_cast<std::size_t>(best)];
+    const Shard::RouterSpan& span =
+        sh.spans[merge_pos_[static_cast<std::size_t>(best)]++];
+    const NodeId u = span.node;
+    for (std::uint32_t i = span.drop_begin; i < span.drop_end; ++i)
+      account_dropped_flit(sh.drops[i].slot);
+    for (std::uint32_t i = span.eject_begin; i < span.eject_end; ++i) {
+      const Flit& f = sh.ejects[i];
+      const Header& hdr = store_.header(f.slot);
+      PacketRecord& rec = records_[static_cast<std::size_t>(hdr.packet)];
+      FR_ASSERT_MSG(rec.dest == u, "flit ejected at the wrong node");
+      const bool last = store_.note_flit_gone(f.slot);
+      if (store_.poisoned(f.slot)) {
+        if (last) finalize_lost(f.slot);
+        continue;
+      }
+      if (f.head()) {
+        rec.hops = hdr.path_len;
+        rec.misrouted = hdr.misrouted;
+      }
+      if (f.tail()) {
+        FR_ASSERT_MSG(last, "tail ejected with flits unaccounted");
+        rec.delivered = now;
+        rec.slot = kInvalidPacketSlot;
+        ++delivered_count_;
+        delivered_last_cycle_.push_back(rec.id);
+        store_.release(f.slot);
+      }
+    }
+  }
+}
+
+bool Network::inert() const {
+  if (!unified_) return false;
+  // Every router holding flits sits on an active list; every busy link
+  // (boundary included) re-activates its endpoints each cycle; every
+  // queued injection keeps its source on a pending list. Empty worklists
+  // therefore certify that stepping would change nothing.
+  for (const Shard& sh : shards_)
+    if (!sh.pending_list.empty() || !sh.active_list.empty()) return false;
+  return true;
+}
+
+void Network::skip_cycle() {
+  FR_ASSERT_MSG(inert(), "skip_cycle on a non-inert network");
+  delivered_last_cycle_.clear();
 }
 
 bool Network::idle() const {

@@ -8,6 +8,8 @@
 
 #include "common/ring_buffer.hpp"
 #include "router/router.hpp"
+#include "sim/shard_pool.hpp"
+#include "topology/shard_plan.hpp"
 
 namespace flexrouter {
 
@@ -21,6 +23,19 @@ struct NetworkConfig {
   /// Reserve hint: peak simultaneously in-flight packets (pre-sizes the
   /// PacketStore slab). Zero lets the slab grow to the observed peak.
   std::size_t expected_in_flight = 0;
+  /// Spatial shards stepped in parallel (plan_shards tiles the topology).
+  /// 1 with event_driven off runs the original serial step, byte for byte;
+  /// any other setting produces bit-identical SimResults — the cycle
+  /// barrier exchanges cross-shard traffic in canonical link order.
+  int shards = 1;
+  /// Worker threads for the shard pool, including the stepping thread
+  /// (0 = one per shard, capped at hardware_concurrency). Thread count
+  /// never affects results, only wall clock.
+  int shard_threads = 0;
+  /// Event-driven bookkeeping at shards == 1: busy-link worklists replace
+  /// the per-cycle full link scan, and the network can certify inert
+  /// cycles for the simulator's idle skipping. Implied by shards > 1.
+  bool event_driven = false;
 };
 
 struct PacketRecord {
@@ -78,6 +93,18 @@ class Network {
 
   /// No queued, buffered or in-flight flits anywhere.
   bool idle() const;
+
+  /// Event-driven mode is on (shards > 1 or cfg.event_driven): inert() and
+  /// skip_cycle() are available.
+  bool event_capable() const { return unified_; }
+  /// Cheap certificate that step() would be a provable no-op this cycle:
+  /// every worklist is empty — no queued injections, no buffered flits, no
+  /// busy links (a busy link keeps both endpoints on the active list).
+  /// O(shards), not O(nodes). Only meaningful in event-driven mode.
+  bool inert() const;
+  /// Stand-in for step() on an inert cycle: clears the delivered-last-cycle
+  /// list (its only observable per-cycle effect) and nothing else.
+  void skip_cycle();
 
   /// Quiescent reconfiguration (fault assumption iv): the caller must have
   /// drained the network (idle()); `mutate` edits the fault set, then the
@@ -208,13 +235,82 @@ class Network {
   /// to the lost log, release the slot.
   void finalize_lost(PacketSlot s);
 
-  /// Put `u` on the active worklist (idempotent via the flag).
+  /// Per-shard execution state. In unified (event-driven / sharded) mode
+  /// each shard owns its slice of the worklists plus deferred-event buffers
+  /// the serial epilogue replays in canonical order; the legacy members
+  /// below stay in use only on the original serial path.
+  struct Shard {
+    std::vector<NodeId> pending_list;
+    bool pending_sorted = true;
+    std::vector<NodeId> active_list;
+    bool active_sorted = true;
+    /// Non-idle in-shard links (both endpoints in this shard).
+    std::vector<std::int32_t> busy_links;
+    /// Deferred source-side purge drops: flits in pop order, grouped per
+    /// node (pending_list order is ascending, so groups are too).
+    std::vector<Flit> purge_drops;
+    struct PurgeSpan {
+      NodeId node;
+      std::uint32_t begin, end;
+    };
+    std::vector<PurgeSpan> purges;
+    /// Deferred router step events, grouped per router in step order.
+    std::vector<Flit> ejects;
+    std::vector<Flit> drops;
+    struct RouterSpan {
+      NodeId node;
+      std::uint32_t eject_begin, eject_end, drop_begin, drop_end;
+    };
+    std::vector<RouterSpan> spans;
+  };
+
+  void step_serial(Cycle now);
+  void step_sharded(Cycle now);
+  /// Parallel phase of one shard: inject, step routers, maintain the
+  /// shard's busy-link list. Touches only shard-local state, per-node /
+  /// per-packet slots of shared tables, and boundary-link staging slots.
+  void shard_phase(int s, Cycle now, bool purge);
+
+  /// Put `u` on the active worklist (idempotent via the flag). In unified
+  /// mode the list is the owning shard's; callers inside shard_phase only
+  /// ever activate nodes of their own shard.
   void activate(NodeId u) {
     if (!router_active_[static_cast<std::size_t>(u)]) {
       router_active_[static_cast<std::size_t>(u)] = 1;
-      active_list_.push_back(u);
-      active_sorted_ = false;
+      if (unified_) {
+        Shard& sh = shards_[static_cast<std::size_t>(plan_.shard(u))];
+        sh.active_list.push_back(u);
+        sh.active_sorted = false;
+      } else {
+        active_list_.push_back(u);
+        active_sorted_ = false;
+      }
     }
+  }
+
+  /// Queue `u` on the injection worklist (idempotent via the flag).
+  void mark_pending(NodeId u) {
+    if (!injection_pending_[static_cast<std::size_t>(u)]) {
+      injection_pending_[static_cast<std::size_t>(u)] = 1;
+      if (unified_) {
+        Shard& sh = shards_[static_cast<std::size_t>(plan_.shard(u))];
+        sh.pending_list.push_back(u);
+        sh.pending_sorted = false;
+      } else {
+        pending_list_.push_back(u);
+        pending_sorted_ = false;
+      }
+    }
+  }
+
+  /// Track `link` on its shard's busy list (in-shard links only; boundary
+  /// links are rescanned serially each cycle).
+  void mark_link_busy(std::int32_t link) {
+    if (link_busy_[static_cast<std::size_t>(link)]) return;
+    link_busy_[static_cast<std::size_t>(link)] = 1;
+    const int s = plan_.shard(link_sources_[static_cast<std::size_t>(link)]
+                                  .node);
+    shards_[static_cast<std::size_t>(s)].busy_links.push_back(link);
   }
 
   const Topology* topo_;
@@ -257,6 +353,22 @@ class Network {
   std::int64_t network_dropped_flits_ = 0;  // destroyed in links/queues/nodes
   std::vector<Flit> destroyed_scratch_;
   std::vector<PacketSlot> orphan_scratch_;
+
+  /// Unified (sharded / event-driven) execution state; unused on the
+  /// legacy serial path so shards == 1 && !event_driven stays byte-exact.
+  bool unified_ = false;
+  ShardPlan plan_;
+  std::vector<Shard> shards_;
+  std::vector<char> link_busy_;  // in-shard links tracked on busy lists
+  /// Directed links whose endpoints live in different shards, ascending by
+  /// link id — the canonical cross-shard exchange order.
+  std::vector<std::int32_t> boundary_links_;
+  /// Adjacent link ids per node (out-links then in-links, -1 padded,
+  /// 2*degree entries each): the post-step busy-link discovery walk.
+  std::vector<std::int32_t> adj_links_;
+  /// Per-shard merge cursors for the epilogue (scratch, reused).
+  std::vector<std::size_t> merge_pos_;
+  std::unique_ptr<ShardPool> pool_;
 };
 
 }  // namespace flexrouter

@@ -1,0 +1,88 @@
+#include "sim/shard_pool.hpp"
+
+#include "common/assert.hpp"
+
+namespace flexrouter {
+
+namespace {
+
+/// Contiguous shard range of worker `w` out of `t` over `s` shards.
+inline int range_begin(int w, int t, int s) { return (w * s) / t; }
+
+}  // namespace
+
+ShardPool::ShardPool(int threads) : threads_(threads) {
+  FR_REQUIRE(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int w = 1; w < threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardPool::run(int num_shards, Job job, void* ctx) {
+  FR_REQUIRE(num_shards >= 1 && job != nullptr);
+  const int active = threads_ < num_shards ? threads_ : num_shards;
+  if (active > 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ctx_ = ctx;
+    num_shards_ = num_shards;
+    outstanding_ = active - 1;
+    ++epoch_;
+  }
+  if (active > 1) cv_start_.notify_all();
+  // The caller is worker 0.
+  const int end = active > 1 ? range_begin(1, active, num_shards) : num_shards;
+  for (int s = 0; s < end; ++s) job(ctx, s);
+  if (active > 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+}
+
+void ShardPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job job;
+    void* ctx;
+    int num_shards;
+    int active;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+      ctx = ctx_;
+      num_shards = num_shards_;
+      active = threads_ < num_shards ? threads_ : num_shards;
+    }
+    if (worker < active) {
+      const int begin = range_begin(worker, active, num_shards);
+      const int end = range_begin(worker + 1, active, num_shards);
+      for (int s = begin; s < end; ++s) job(ctx, s);
+    }
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Workers beyond the active count still acknowledge the epoch; only
+      // active ones are counted in outstanding_.
+      if (worker < active) {
+        last = --outstanding_ == 0;
+      } else {
+        last = false;
+      }
+    }
+    if (last) cv_done_.notify_one();
+  }
+}
+
+}  // namespace flexrouter

@@ -1,0 +1,53 @@
+// Persistent worker pool for the sharded network step. One pool per
+// Network; the calling thread participates, so `threads` workers means
+// `threads - 1` spawned std::threads. Each run() is one barrier epoch:
+// shards are split across workers in fixed contiguous ranges (worker w
+// gets shards [w*S/T, (w+1)*S/T)), every worker processes its range, and
+// run() returns only after all ranges finished. The mutex/condvar
+// handshake gives the serial epilogue a happens-before edge over every
+// shard's writes, and the steady-state path performs no allocation (the
+// job is a raw function pointer + context, not a std::function).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flexrouter {
+
+class ShardPool {
+ public:
+  using Job = void (*)(void* ctx, int shard);
+
+  /// `threads` >= 1 total workers including the caller.
+  explicit ShardPool(int threads);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Run job(ctx, s) for every shard s in [0, num_shards), split across
+  /// the pool; blocks until all shards completed. The job must not throw.
+  void run(int num_shards, Job job, void* ctx);
+
+ private:
+  void worker_loop(int worker);
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  int threads_;
+  std::uint64_t epoch_ = 0;
+  int outstanding_ = 0;
+  bool stop_ = false;
+  Job job_ = nullptr;
+  void* ctx_ = nullptr;
+  int num_shards_ = 0;
+};
+
+}  // namespace flexrouter

@@ -94,6 +94,9 @@ std::string SimResult::to_string() const {
 Simulator::Simulator(Network& net, TrafficPattern& traffic,
                      const SimConfig& cfg)
     : net_(&net), traffic_(&traffic), cfg_(cfg), rng_(cfg.seed) {
+  FR_REQUIRE_MSG(!cfg.idle_skip || net.event_capable(),
+                 "idle_skip requires an event-capable network "
+                 "(NetworkConfig::event_driven or shards > 1)");
   lifecycle_ = cfg.structured_watchdog;
   retry_queue_.reserve(16);
 }
@@ -158,6 +161,17 @@ void Simulator::inject_offered_load(bool measured) {
   }
 }
 
+Cycle Simulator::jump_span(Cycle remaining) const {
+  Cycle jump = remaining;
+  // Detecting means update_recovery did not transition, so detect_at_ >
+  // now_; fire_due_faults drained every event with at <= now_, so the next
+  // event (if any) is strictly ahead. Both bounds keep jump >= 1.
+  if (detect_at_ - now_ < jump) jump = detect_at_ - now_;
+  if (next_event_ < events_.size() && events_[next_event_].at - now_ < jump)
+    jump = events_[next_event_].at - now_;
+  return jump < 1 ? 1 : jump;
+}
+
 void Simulator::count_measured_deliveries() {
   for (const PacketId id : net_->delivered_last_cycle())
     if (is_measured(id)) --measured_outstanding_;
@@ -185,6 +199,21 @@ SimResult Simulator::run() {
       if (lifecycle_) flush_retry_queue(result);
       inject_offered_load(false);
     }
+    if (cfg_.idle_skip && net_->inert()) {
+      // Inert network: stepping would change nothing. Normal-state cycles
+      // advance one at a time (the injection RNG above already drew for
+      // this cycle); Detecting-state cycles consume no randomness, so the
+      // clock jumps to the next schedule boundary. Draining is never inert
+      // here: update_recovery would have closed the diagnosis already.
+      const Cycle jump = rstate_ == RecoveryState::Detecting
+                             ? jump_span(cfg_.warmup_cycles - c)
+                             : 1;
+      net_->skip_cycle();
+      now_ += jump;
+      c += jump - 1;
+      skipped_cycles_ += jump;
+      continue;
+    }
     net_->step(now_++);
     if (lifecycle_) {
       count_measured_deliveries();
@@ -202,6 +231,19 @@ SimResult Simulator::run() {
       inject_offered_load(true);
     } else {
       ++gated_measure_cycles_;
+    }
+    if (cfg_.idle_skip && net_->inert()) {
+      const Cycle jump = rstate_ == RecoveryState::Detecting
+                             ? jump_span(cfg_.measure_cycles - c)
+                             : 1;
+      // The else-branch above already gated this cycle; the jumped-over
+      // ones are gated too (only Detecting jumps more than one).
+      if (rstate_ != RecoveryState::Normal) gated_measure_cycles_ += jump - 1;
+      net_->skip_cycle();
+      now_ += jump;
+      c += jump - 1;
+      skipped_cycles_ += jump;
+      continue;
     }
     net_->step(now_++);
     count_measured_deliveries();

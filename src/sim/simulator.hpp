@@ -44,6 +44,16 @@ struct SimConfig {
   /// structured recovery: dump the blocked worm chain, kill the victim
   /// worm, retransmit it. Implied by a non-empty fault schedule.
   bool structured_watchdog = false;
+
+  // --- Event-driven idle skipping ---------------------------------------
+  /// Skip network steps while the network is inert (no flits, no queued
+  /// injections, no in-flight link traffic). Requires an event-capable
+  /// network (NetworkConfig::event_driven or shards > 1). Results are
+  /// bit-identical with skipping on or off: inert Normal-state cycles elide
+  /// only the no-op step (the injection RNG still draws every cycle), and
+  /// Detecting-state cycles — where no RNG is consumed — jump straight to
+  /// the next scheduled event (detection deadline or fault firing).
+  bool idle_skip = false;
 };
 
 struct SimResult {
@@ -114,6 +124,11 @@ class Simulator {
 
   Cycle now() const { return now_; }
 
+  /// Cumulative count of cycles whose network step was elided by idle
+  /// skipping (a simulator-side perf counter; deliberately not part of
+  /// SimResult, which stays bit-identical with skipping on or off).
+  Cycle idle_cycles_skipped() const { return skipped_cycles_; }
+
  private:
   /// Recovery controller states. Normal: injection open. Detecting: a
   /// fault fired, damage is live, the detection latency is running.
@@ -124,6 +139,10 @@ class Simulator {
   enum class RecoveryState { Normal, Detecting, Draining };
 
   void inject_offered_load(bool measured);
+  /// Longest jump from an inert Detecting-state cycle that crosses no
+  /// schedule boundary: capped by the detection deadline, the next fault
+  /// event, and the enclosing loop's remaining iterations. Always >= 1.
+  Cycle jump_span(Cycle remaining) const;
   /// Decrement the outstanding-measured counter for every measured packet
   /// the last step() delivered, so the drain loop never rescans records.
   void count_measured_deliveries();
@@ -159,6 +178,7 @@ class Simulator {
   SimConfig cfg_;
   Rng rng_;
   Cycle now_ = 0;
+  Cycle skipped_cycles_ = 0;
   std::vector<PacketId> measured_;
   /// Measured-packet flags by PacketId: originals from the measurement
   /// window plus their retransmissions. Replaces the old contiguous-id

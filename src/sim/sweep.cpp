@@ -38,6 +38,19 @@ int resolve_threads(int requested) {
 
 }  // namespace
 
+ThreadBudget compose_thread_budget(int total_threads, std::size_t num_points) {
+  const int total = resolve_threads(total_threads);
+  if (num_points == 0) num_points = 1;
+  ThreadBudget b;
+  b.sweep_threads = num_points < static_cast<std::size_t>(total)
+                        ? static_cast<int>(num_points)
+                        : total;
+  // Leftover capacity feeds each replica's shard pool; the floor division
+  // guarantees sweep_threads * replica_threads <= total.
+  b.replica_threads = total / b.sweep_threads;
+  return b;
+}
+
 /// Simple MPMC task queue + fixed worker pool. Workers block on the
 /// condvar; a batch is done when every task popped has also finished
 /// (in_flight counts popped-but-running tasks, so completion, not just

@@ -43,6 +43,22 @@ struct SweepOptions {
   std::uint64_t base_seed = 1;
 };
 
+/// One machine-wide thread budget split between sweep workers (replicas in
+/// flight) and per-replica shard-pool threads, so replica parallelism and
+/// sharded stepping compose without oversubscription: total running threads
+/// stay <= sweep_threads * replica_threads <= budget. Replica-level
+/// parallelism wins while grid points can absorb the budget (independent
+/// replicas scale embarrassingly); only leftover capacity goes to the
+/// shard pools. Thread counts never affect results, only wall clock.
+struct ThreadBudget {
+  int sweep_threads = 1;    // pass as SweepOptions::num_threads
+  int replica_threads = 1;  // pass as NetworkConfig::shard_threads
+};
+
+/// `total_threads` <= 0 resolves like SweepOptions::num_threads (the
+/// FLEXROUTER_THREADS environment variable, then hardware_concurrency).
+ThreadBudget compose_thread_budget(int total_threads, std::size_t num_points);
+
 /// One grid point: a closure that builds and runs its own replica. The
 /// closure receives the derived per-point seed; it may ignore it when the
 /// bench pins historical seeds (tables stay comparable across PRs).

@@ -1,0 +1,40 @@
+// Spatial shard planning: partition a topology's nodes into a fixed number
+// of shards so the network can step each shard on its own worker while
+// keeping cross-shard traffic confined to a small set of boundary links.
+//
+// The planner is topology-aware. Meshes and tori are cut into axis-aligned
+// tiles by recursive longest-axis bisection (quadrant tiles for four shards
+// on a square mesh); hypercubes with a power-of-two shard count are cut
+// into subcubes on the top address bits. Anything else falls back to
+// balanced contiguous node-id ranges — always valid, just with a larger
+// boundary. The plan itself carries no execution state: determinism of the
+// sharded step comes from the network's barrier protocol, not from which
+// nodes land where, so any total partition is correct.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace flexrouter {
+
+struct ShardPlan {
+  int num_shards = 1;
+  /// Shard id per node, dense in [0, num_shards).
+  std::vector<int> shard_of;
+  /// Nodes per shard, ascending; every node appears exactly once.
+  std::vector<std::vector<NodeId>> nodes;
+  /// Which cutter produced the plan: "mesh-tiles", "subcubes", "ranges".
+  std::string scheme;
+
+  int shard(NodeId n) const {
+    return shard_of[static_cast<std::size_t>(n)];
+  }
+};
+
+/// Partition `topo` into `num_shards` non-empty shards. Contract:
+/// 1 <= num_shards <= topo.num_nodes().
+ShardPlan plan_shards(const Topology& topo, int num_shards);
+
+}  // namespace flexrouter

@@ -384,6 +384,69 @@ TEST(FaultInjectorContracts, NonTwoDimensionalMeshRejected) {
                ContractViolation);
 }
 
+TEST(FaultInjectorContracts, RegionInjectorCoversKAryMesh) {
+  // 3-D mesh: the hyper-rectangle [1,2]x[0,1]x[2,2] is exactly 4 nodes.
+  Mesh m(std::vector<int>{4, 3, 3});
+  FaultSet faults(m);
+  EXPECT_EQ(inject_fault_region(faults, {1, 0, 2}, {2, 1, 2}), 4);
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    const bool inside = m.coord(n, 0) >= 1 && m.coord(n, 0) <= 2 &&
+                        m.coord(n, 1) <= 1 && m.coord(n, 2) == 2;
+    EXPECT_EQ(faults.node_faulty(n), inside);
+  }
+  // An overlapping region counts only the nodes it newly fails: the
+  // [1,2]x[0,1]x[1,2] box is 8 nodes, 4 of which are already down.
+  EXPECT_EQ(inject_fault_region(faults, {1, 0, 1}, {2, 1, 2}), 4);
+}
+
+TEST(FaultInjectorContracts, RegionInjectorCoversTorus) {
+  Torus t(std::vector<int>{5, 5});
+  FaultSet faults(t);
+  EXPECT_EQ(inject_fault_region(faults, {3, 1}, {4, 2}), 4);
+  EXPECT_TRUE(faults.node_faulty(t.node_at({3, 1})));
+  EXPECT_TRUE(faults.node_faulty(t.node_at({4, 2})));
+  EXPECT_FALSE(faults.node_faulty(t.node_at({2, 1})));
+}
+
+TEST(FaultInjectorContracts, RegionInjectorNamesNonGridTopologies) {
+  // Grid coordinates are meaningless on a hypercube; the rejection must
+  // say which topology was handed in.
+  Hypercube h(3);
+  FaultSet faults(h);
+  try {
+    inject_fault_region(faults, {0, 0, 0}, {1, 1, 1});
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(h.name()), std::string::npos);
+  }
+}
+
+TEST(FaultInjectorContracts, RegionInjectorValidatesCorners) {
+  Mesh m(std::vector<int>{4, 3, 3});
+  FaultSet faults(m);
+  EXPECT_THROW(inject_fault_region(faults, {0, 0}, {1, 1}),
+               ContractViolation);  // wrong arity for a 3-D grid
+  EXPECT_THROW(inject_fault_region(faults, {0, 0, 0}, {4, 1, 1}),
+               ContractViolation);  // past the edge of dimension 0
+  EXPECT_THROW(inject_fault_region(faults, {2, 0, 0}, {1, 1, 1}),
+               ContractViolation);  // inverted corners
+  for (NodeId n = 0; n < m.num_nodes(); ++n)
+    EXPECT_FALSE(faults.node_faulty(n));
+}
+
+TEST(FaultInjectorContracts, TwoDimGuardNamesTheMesh) {
+  Mesh cube(std::vector<int>{3, 3, 3});
+  FaultSet faults(cube);
+  try {
+    inject_fault_block(faults, cube, 0, 0, 1, 1);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(cube.name()), std::string::npos);
+    EXPECT_NE(what.find("inject_fault_region"), std::string::npos);
+  }
+}
+
 // -------------------------------------------------- random MTBF soak
 TEST(FaultLifecycle, RandomMtbfSoakStaysAccountedAndDeterministic) {
   const auto run_once = [] {

@@ -522,5 +522,41 @@ TEST(SimulatorRegression, DynamicFaultNaftaExactResults) {
   EXPECT_EQ(r.cycles_run, 3524);
 }
 
+TEST(SimulatorRegression, Mesh64ShardedExactResults) {
+  // Large-fabric pin: 4096-node mesh stepped on the sharded/event-driven
+  // path (4 spatial shards). The sharded engine is proven bit-identical to
+  // the serial step in test_shard; this pin additionally freezes the
+  // absolute values so drift in either path is caught even if both drift
+  // together.
+  Mesh m = Mesh::two_d(64, 64);
+  Nafta nafta;
+  NetworkConfig ncfg;
+  ncfg.shards = 4;
+  Network net(m, nafta, ncfg);
+  UniformTraffic traffic(m);
+  SimConfig cfg;
+  cfg.injection_rate = 0.02;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 300;
+  cfg.seed = 6464;
+  Simulator sim(net, traffic, cfg);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.injected_packets, 6240);
+  EXPECT_EQ(r.delivered_packets, 6240);
+  EXPECT_EQ(r.avg_latency, 139.16073717948717);
+  EXPECT_EQ(r.p50_latency, 135.0);
+  EXPECT_EQ(r.p99_latency, 302.0);
+  EXPECT_EQ(r.avg_hops, 43.283173076923006);
+  EXPECT_EQ(r.min_hops_ratio, 1.0);
+  EXPECT_EQ(r.throughput, 0.020312500000000001);
+  EXPECT_EQ(r.misrouted_fraction, 0.0);
+  EXPECT_EQ(r.avg_latency_misrouted, 0.0);
+  EXPECT_EQ(r.avg_latency_direct, 139.16073717948734);
+  EXPECT_EQ(r.avg_decision_steps, 1.0);
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.cycles_run, 711);
+}
+
 }  // namespace
 }  // namespace flexrouter

@@ -104,6 +104,65 @@ TEST(SweepRunner, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ThreadBudget, ComposesSweepAndShardThreads) {
+  // Replica parallelism absorbs the budget first; leftovers feed the shard
+  // pools; the product never exceeds the budget.
+  ThreadBudget b = compose_thread_budget(8, 3);
+  EXPECT_EQ(b.sweep_threads, 3);
+  EXPECT_EQ(b.replica_threads, 2);
+  b = compose_thread_budget(2, 8);
+  EXPECT_EQ(b.sweep_threads, 2);
+  EXPECT_EQ(b.replica_threads, 1);
+  b = compose_thread_budget(8, 1);
+  EXPECT_EQ(b.sweep_threads, 1);
+  EXPECT_EQ(b.replica_threads, 8);
+  b = compose_thread_budget(5, 5);
+  EXPECT_EQ(b.sweep_threads, 5);
+  EXPECT_EQ(b.replica_threads, 1);
+  b = compose_thread_budget(1, 100);
+  EXPECT_EQ(b.sweep_threads, 1);
+  EXPECT_EQ(b.replica_threads, 1);
+}
+
+TEST(SweepRunner, ShardedReplicasBitIdenticalUnderSweep) {
+  // Replica threads (sweep pool) composing with per-replica shard pools:
+  // a grid of sharded networks run under a multi-thread sweep must equal
+  // the serial single-shard grid bit for bit.
+  const auto grid = [](int shards, int shard_threads) {
+    const double rates[] = {0.04, 0.08};
+    std::vector<SweepPoint> points;
+    for (const double rate : rates) {
+      points.push_back({[rate, shards, shard_threads](std::uint64_t seed) {
+        Mesh m = Mesh::two_d(8, 8);
+        Nafta algo;
+        NetworkConfig ncfg;
+        ncfg.shards = shards;
+        ncfg.shard_threads = shard_threads;
+        Network net(m, algo, ncfg);
+        UniformTraffic tr(m);
+        SimConfig cfg;
+        cfg.injection_rate = rate;
+        cfg.packet_length = 4;
+        cfg.warmup_cycles = 150;
+        cfg.measure_cycles = 450;
+        cfg.seed = seed;
+        Simulator sim(net, tr, cfg);
+        return sim.run();
+      }});
+    }
+    return points;
+  };
+  SweepOptions opts;
+  opts.num_threads = 2;
+  opts.base_seed = 11;
+  SweepRunner runner(opts);
+  const std::vector<SimResult> base = runner.run(grid(1, 1));
+  const std::vector<SimResult> sharded = runner.run(grid(4, 2));
+  ASSERT_EQ(base.size(), sharded.size());
+  for (std::size_t i = 0; i < base.size(); ++i)
+    EXPECT_TRUE(bit_identical(base[i], sharded[i])) << "point " << i;
+}
+
 TEST(SweepRunner, SeedsFollowExplicitKeysUnderReordering) {
   // A point's seed comes from its key, not its position: shuffling the grid
   // must shuffle the results, not change them.
