@@ -1,0 +1,279 @@
+// Rule hot-swap benchmark — live program replacement under traffic.
+//
+// The paper's reprogramming story: a router's rule sets can be streamed in
+// while the old ones keep deciding. This bench measures what that costs at
+// the system level with the AOT tier active: a complete routing-program
+// swap is scheduled in the middle of the measurement window, the new image
+// (parse + compile + AOT table fill) is built off the critical path, and
+// the commit runs either Immediate (stateless programs, between two
+// cycles) or Quiescent (gate injection, drain, swap, resume).
+//
+// Reported per scenario: swap downtime (cycles injection was gated by the
+// drain), post-swap throughput, and the accounting identity
+//     delivered + unrecoverable == injected
+// (a swap must not lose packets).
+//
+// Also checked, because they are the contracts the swap must not break:
+//   - an Immediate self-swap perturbs nothing: the SimResult is
+//     bit-identical to the same run without the swap (modulo the swap
+//     counter itself),
+//   - sweep bit-identity at 1/2/4/8 worker threads with swaps armed, and
+//   - the AOT table is serving again after the commit (the swapped-in
+//     program was compiled all the way down, 0% fallback).
+//
+// Usage:
+//   ./rule_hotswap              # full run
+//   ./rule_hotswap --smoke      # tiny cycle counts for CI
+//   ./rule_hotswap --json FILE  # also emit a JSON report
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/rule_driven.hpp"
+#include "rulebases/corpus.hpp"
+#include "topology/hypercube.hpp"
+
+namespace {
+
+using namespace flexrouter;
+using rules::ExecMode;
+
+/// Field-wise bit-identity. `swap_metrics` folds the swap counters into the
+/// comparison (the thread-sweep check wants them; the self-swap-vs-no-swap
+/// check excludes them — they differ by design).
+bool bit_identical(const SimResult& a, const SimResult& b,
+                   bool swap_metrics) {
+  if (a.blocked_chain.size() != b.blocked_chain.size()) return false;
+  for (std::size_t i = 0; i < a.blocked_chain.size(); ++i) {
+    if (a.blocked_chain[i].node != b.blocked_chain[i].node ||
+        a.blocked_chain[i].port != b.blocked_chain[i].port ||
+        a.blocked_chain[i].vc != b.blocked_chain[i].vc ||
+        a.blocked_chain[i].packet != b.blocked_chain[i].packet)
+      return false;
+  }
+  if (swap_metrics && (a.rule_swaps != b.rule_swaps ||
+                       a.swap_gated_cycles != b.swap_gated_cycles))
+    return false;
+  return a.injected_packets == b.injected_packets &&
+         a.delivered_packets == b.delivered_packets &&
+         std::memcmp(&a.avg_latency, &b.avg_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.p50_latency, &b.p50_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.p99_latency, &b.p99_latency, sizeof(double)) == 0 &&
+         std::memcmp(&a.avg_hops, &b.avg_hops, sizeof(double)) == 0 &&
+         std::memcmp(&a.throughput, &b.throughput, sizeof(double)) == 0 &&
+         std::memcmp(&a.availability, &b.availability, sizeof(double)) == 0 &&
+         a.packets_lost == b.packets_lost &&
+         a.packets_retransmitted == b.packets_retransmitted &&
+         a.packets_unrecoverable == b.packets_unrecoverable &&
+         a.fault_events == b.fault_events &&
+         a.recovery_events == b.recovery_events &&
+         a.recovery_cycles == b.recovery_cycles &&
+         a.worms_killed == b.worms_killed &&
+         a.reconfig_exchanges == b.reconfig_exchanges &&
+         a.deadlock_suspected == b.deadlock_suspected &&
+         a.cycles_run == b.cycles_run;
+}
+
+struct Scenario {
+  const char* name;
+  bool swap = true;  // false: the no-swap baseline for the same point
+  Simulator::RuleSwapPolicy policy = Simulator::RuleSwapPolicy::Auto;
+  bool self_swap = false;  // swap to the program already running
+};
+
+/// One replica: 6-cube, e-cube rules under the AOT tier, swap scheduled
+/// halfway through the measurement window. The swap target is the MSB-first
+/// e-cube variant — a genuinely different routing function at every
+/// multi-bit premise point — unless `self_swap` re-installs the running
+/// program. Returns the result plus the post-run AOT table stats so the
+/// caller can assert the swapped-in image is serving.
+SimResult run_swap_point(const Scenario& sc, double rate, Cycle warmup,
+                         Cycle measure, std::uint64_t seed,
+                         rules::AotTable::Stats* stats_out = nullptr) {
+  constexpr int kDim = 6;
+  Hypercube topo(kDim);
+  RuleDrivenRouting algo(rulebases::ecube_route_source(kDim), 1,
+                         ExecMode::Aot);
+  UniformTraffic tr(topo);
+  Network net(topo, algo);
+  SimConfig cfg;
+  cfg.injection_rate = rate;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = measure;
+  cfg.seed = seed;
+  Simulator sim(net, tr, cfg);
+  if (sc.swap)
+    sim.schedule_rule_swap(warmup + measure / 2,
+                           sc.self_swap
+                               ? rulebases::ecube_route_source(kDim)
+                               : rulebases::ecube_msb_route_source(kDim),
+                           sc.policy);
+  SimResult r = sim.run();
+  if (stats_out != nullptr) *stats_out = algo.aot_stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flexrouter;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  const Cycle warmup = smoke ? 200 : 1000;
+  const Cycle measure = smoke ? 800 : 4000;
+  const double rate = 0.08;
+
+  bench::print_header(
+      "Rule hot-swap — live program replacement mid-measurement (AOT tier)");
+
+  const Scenario scenarios[] = {
+      {"no swap (baseline)", /*swap=*/false},
+      {"lsb->msb, immediate", true, Simulator::RuleSwapPolicy::Auto},
+      {"lsb->msb, quiescent", true, Simulator::RuleSwapPolicy::Quiescent},
+      {"self-swap, immediate", true, Simulator::RuleSwapPolicy::Auto,
+       /*self_swap=*/true},
+  };
+  constexpr int kScenarios = 4;
+
+  // --- 1. swap downtime + post-swap throughput + accounting --------------
+  SimResult res[kScenarios];
+  bench::print_row({"scenario", "delivered", "swaps", "downtime",
+                    "throughput", "avail"},
+                   14);
+  for (int s = 0; s < kScenarios; ++s) {
+    rules::AotTable::Stats st;
+    res[s] = run_swap_point(scenarios[s], rate, warmup, measure, 42, &st);
+    const SimResult& r = res[s];
+    std::ostringstream frac;
+    frac << r.delivered_packets << "/" << r.injected_packets;
+    bench::print_row({scenarios[s].name, frac.str(),
+                      std::to_string(r.rule_swaps),
+                      std::to_string(r.swap_gated_cycles),
+                      bench::fmt(r.throughput, 4),
+                      bench::fmt(r.availability, 4)},
+                     14);
+    if (r.deadlock_suspected) {
+      std::cerr << "SWAP FAILURE: watchdog abort in '" << scenarios[s].name
+                << "'\n";
+      return 1;
+    }
+    if (r.rule_swaps != (scenarios[s].swap ? 1 : 0)) {
+      std::cerr << "SWAP FAILURE: expected " << (scenarios[s].swap ? 1 : 0)
+                << " committed swap(s) in '" << scenarios[s].name
+                << "', saw " << r.rule_swaps << "\n";
+      return 1;
+    }
+    if (r.delivered_packets + r.packets_unrecoverable != r.injected_packets) {
+      std::cerr << "ACCOUNTING VIOLATION in '" << scenarios[s].name << "': "
+                << r.delivered_packets << " delivered + "
+                << r.packets_unrecoverable << " unrecoverable != "
+                << r.injected_packets << " injected\n";
+      return 1;
+    }
+    // The swapped-in image must be serving from its AOT table again —
+    // compiled all the way down, no presentable point left to the VM.
+    if (st.entries == 0 || st.fallback != 0) {
+      std::cerr << "AOT REGRESSION in '" << scenarios[s].name
+                << "': post-run table entries=" << st.entries
+                << " fallback=" << st.fallback << "\n";
+      return 1;
+    }
+  }
+
+  // Downtime bounds: Immediate commits between two cycles (zero gated
+  // cycles); Quiescent pays a bounded drain — it must gate something (the
+  // network is loaded mid-measurement) but far less than the window.
+  if (res[1].swap_gated_cycles != 0 || res[3].swap_gated_cycles != 0) {
+    std::cerr << "DOWNTIME VIOLATION: immediate swap gated injection\n";
+    return 1;
+  }
+  if (res[2].swap_gated_cycles <= 0 ||
+      res[2].swap_gated_cycles >= static_cast<Cycle>(measure)) {
+    std::cerr << "DOWNTIME VIOLATION: quiescent drain took "
+              << res[2].swap_gated_cycles << " cycles (window " << measure
+              << ")\n";
+    return 1;
+  }
+  std::cout << "downtime bounds: immediate = 0, quiescent drain = "
+            << res[2].swap_gated_cycles << " cycles < " << measure
+            << "-cycle window\n";
+
+  // --- 2. immediate self-swap perturbs nothing ---------------------------
+  // Same seed, same traffic, same (re-installed) program: every decision
+  // replays identically, so the result must match the no-swap baseline bit
+  // for bit — the swap machinery itself is invisible.
+  if (!bit_identical(res[3], res[0], /*swap_metrics=*/false)) {
+    std::cerr << "PERTURBATION: immediate self-swap changed the result\n";
+    return 1;
+  }
+  std::cout << "self-swap identity: immediate self-swap bit-identical to "
+               "the no-swap baseline\n";
+
+  // --- 3. sweep bit-identity with swaps armed ----------------------------
+  std::vector<SweepPoint> points;
+  for (int s = 0; s < kScenarios; ++s) {
+    const Scenario sc = scenarios[s];
+    for (const double r : {0.04, 0.08}) {
+      points.push_back({[sc, r, warmup, measure](std::uint64_t seed) {
+        return run_swap_point(sc, r, warmup, measure, seed);
+      }});
+    }
+  }
+  const int thread_counts[] = {1, 2, 4, 8};
+  std::vector<SimResult> reference;
+  std::cout << "\n";
+  bench::print_row({"threads", "points", "bit-identical"}, 14);
+  for (const int t : thread_counts) {
+    SweepOptions opts;
+    opts.num_threads = t;
+    opts.base_seed = 7;
+    SweepRunner runner(opts);
+    const std::vector<SimResult> results = runner.run(points);
+    bool identical = true;
+    if (t == 1) {
+      reference = results;
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i)
+        identical = identical &&
+                    bit_identical(results[i], reference[i],
+                                  /*swap_metrics=*/true);
+    }
+    bench::print_row({std::to_string(t), std::to_string(points.size()),
+                      identical ? "yes" : "NO"},
+                     14);
+    if (!identical) {
+      std::cerr << "DETERMINISM VIOLATION: hot-swap sweep differs at " << t
+                << " threads\n";
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os.precision(17);
+    os << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+       << ",\n  \"scenarios\": [\n";
+    for (int s = 0; s < kScenarios; ++s) {
+      const SimResult& r = res[s];
+      os << "    {\"name\": \"" << scenarios[s].name
+         << "\", \"injected\": " << r.injected_packets
+         << ", \"delivered\": " << r.delivered_packets
+         << ", \"rule_swaps\": " << r.rule_swaps
+         << ", \"swap_gated_cycles\": " << r.swap_gated_cycles
+         << ", \"throughput\": " << r.throughput
+         << ", \"availability\": " << r.availability << "}"
+         << (s + 1 < kScenarios ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

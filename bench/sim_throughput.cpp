@@ -33,6 +33,8 @@
 #include "bench_util.hpp"
 #include "common/alloc_counter.hpp"
 #include "routing/nafta.hpp"
+#include "routing/rule_driven.hpp"
+#include "rulebases/corpus.hpp"
 #include "topology/graph_algo.hpp"
 #include "topology/hypercube.hpp"
 
@@ -192,9 +194,20 @@ std::vector<SweepPoint> make_grid(Cycle warmup, Cycle measure) {
 // grown to the workload's peak, a steady-state cycle must not touch the
 // heap. Requires 3 consecutive clean windows out of 30 — one-time pool
 // growth is tolerated, per-cycle churn is not.
-bool run_alloc_guard(int link_faults, int shards) {
+bool run_alloc_guard(int link_faults, int shards, bool aot_rules = false) {
   Mesh m = Mesh::two_d(8, 8);
-  Nafta algo;
+  // `aot_rules` swaps the native router for the rule-driven one with the
+  // pre-resolved decision table: an AOT hit must be as heap-free in the
+  // steady state as a native decision (the table is filled during attach/
+  // reconfigure, never per decision).
+  std::unique_ptr<RoutingAlgorithm> rule_algo;
+  if (aot_rules)
+    rule_algo = std::make_unique<RuleDrivenRouting>(
+        rulebases::ft_mesh_route_source(8, 8), 3, rules::ExecMode::Aot,
+        "route", /*escape_vc=*/2);
+  Nafta nafta;
+  RoutingAlgorithm& algo = aot_rules ? *rule_algo
+                                     : static_cast<RoutingAlgorithm&>(nafta);
   UniformTraffic tr(m);
   NetworkConfig ncfg;
   ncfg.expected_packets = 16384;
@@ -245,7 +258,7 @@ bool run_alloc_guard(int link_faults, int shards) {
   if (clean < 3) {
     std::cerr << "ALLOCATION REGRESSION: steady-state cycles still allocate "
               << "(" << link_faults << " link faults, " << shards
-              << " shards)\n";
+              << " shards" << (aot_rules ? ", AOT rules" : "") << ")\n";
     return false;
   }
   return true;
@@ -279,8 +292,13 @@ int main(int argc, char** argv) {
     for (const int shards : {1, 4})
       for (const int faults : {0, 6})
         if (!run_alloc_guard(faults, shards)) return 1;
+    // The AOT decision table must hold the same bar: a table hit may not
+    // touch the heap, fault-free or after a reconfigure-triggered refill.
+    for (const int faults : {0, 6})
+      if (!run_alloc_guard(faults, 1, /*aot_rules=*/true)) return 1;
     std::cout << "alloc guard: steady-state cycles allocation-free "
-                 "(serial and 4-shard, fault-free and faulted)\n\n";
+                 "(serial and 4-shard, fault-free and faulted, native and "
+                 "AOT rule-driven)\n\n";
   }
 
   // --- 1. single-replica cycles/sec --------------------------------------

@@ -10,7 +10,10 @@
 //   width      = 8      height = 8             (mesh/torus)
 //   dimension  = 4                             (hypercube)
 //   algorithm  = nafta | nara | dor-mesh | dor-torus | ecube | route_c |
-//                route_c_nft | updown | spanning-tree | negative-hop
+//                route_c_nft | updown | spanning-tree | negative-hop |
+//                nara-rules | ft-mesh-rules (mesh) | ecube-rules (hypercube)
+//                -- the *-rules algorithms run the corpus rule programs
+//                   through RuleDrivenRouting instead of native C++
 //   traffic    = uniform | transpose | tornado | bitcomp | hotspot |
 //                permutation
 //   rate       = 0.10                          (flits/node/cycle)
@@ -33,17 +36,30 @@
 //   detection_delay = 0                        (cycles before diagnosis)
 //   max_retries     = 3                        (abort-and-retransmit budget)
 //
+// Rule-engine keys (need a *-rules algorithm; contract error otherwise):
+//   exec_mode  = interp | vm | aot             (decision backend; default
+//                                               aot, the pre-resolved table)
+//   swap_rules_at = 2000,new_rules.txt         (live hot-swap: at the cycle,
+//                                               load the rule program from
+//                                               the file and commit it under
+//                                               traffic — quiescent drain
+//                                               for stateful programs,
+//                                               between-cycles otherwise)
+//
 // A multi-point sweep (rates with more than one entry) runs on the
 // deterministic SweepRunner: one independent replica per offered load,
 // per-point seeds derived from (seed, point index), results identical at
 // any thread count. A single rate keeps the historical behaviour (the
 // configured seed drives the one replica directly).
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "common/config.hpp"
 #include "routing/dor_torus.hpp"
 #include "routing/negative_hop.hpp"
+#include "routing/rule_driven.hpp"
+#include "rulebases/corpus.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/sweep.hpp"
 #include "topology/hypercube.hpp"
@@ -96,8 +112,51 @@ FaultSchedule parse_fault_schedule(const std::string& spec) {
   return schedule;
 }
 
+bool rule_driven_name(const std::string& aname) {
+  return aname == "nara-rules" || aname == "ft-mesh-rules" ||
+         aname == "ecube-rules";
+}
+
+rules::ExecMode parse_exec_mode(const std::string& mode) {
+  if (mode == "interp") return rules::ExecMode::Interpret;
+  if (mode == "vm") return rules::ExecMode::Vm;
+  if (mode == "aot") return rules::ExecMode::Aot;
+  throw std::invalid_argument("exec_mode must be interp, vm or aot (got '" +
+                              mode + "')");
+}
+
+/// The *-rules algorithms need the topology's construction parameters (the
+/// corpus generators are parameterised the same way), so they take the
+/// config rather than the built Topology.
+std::unique_ptr<RoutingAlgorithm> build_rule_algorithm(
+    const std::string& aname, const std::string& tname, const Config& cfg,
+    rules::ExecMode mode) {
+  const int w = static_cast<int>(cfg.get_int("width", 8));
+  const int h = static_cast<int>(cfg.get_int("height", 8));
+  const int d = static_cast<int>(cfg.get_int("dimension", 4));
+  if (aname == "ecube-rules") {
+    if (tname != "hypercube")
+      throw std::invalid_argument("ecube-rules needs topology = hypercube");
+    return std::make_unique<RuleDrivenRouting>(
+        rulebases::ecube_route_source(d), 1, mode);
+  }
+  if (tname != "mesh")
+    throw std::invalid_argument(aname + " needs topology = mesh");
+  if (aname == "nara-rules")
+    return std::make_unique<RuleDrivenRouting>(
+        rulebases::nara_route_source(w, h), 2, mode);
+  return std::make_unique<RuleDrivenRouting>(
+      rulebases::ft_mesh_route_source(w, h), 3, mode, "route",
+      /*escape_vc=*/2);
+}
+
 std::unique_ptr<RoutingAlgorithm> build_algorithm(const std::string& aname,
+                                                  const std::string& tname,
+                                                  const Config& cfg,
+                                                  rules::ExecMode mode,
                                                   const Topology& topo) {
+  if (rule_driven_name(aname))
+    return build_rule_algorithm(aname, tname, cfg, mode);
   if (aname == "negative-hop")
     return std::make_unique<NegativeHop>(NegativeHop::vcs_needed_for(topo));
   if (aname == "dor-torus") return std::make_unique<DimensionOrderTorus>();
@@ -140,6 +199,46 @@ int main(int argc, char** argv) {
   }
 
   const std::string aname = cfg.get_string("algorithm", "nafta");
+
+  // Rule-engine keys: both are contracts on the algorithm choice — a
+  // decision backend or a live program swap only mean something when the
+  // router is executing rules.
+  const std::string exec_mode_s = cfg.get_string("exec_mode", "");
+  const std::string swap_spec = cfg.get_string("swap_rules_at", "");
+  if ((!exec_mode_s.empty() || !swap_spec.empty()) &&
+      !rule_driven_name(aname)) {
+    std::cerr << "config error: "
+              << (!exec_mode_s.empty() ? "exec_mode" : "swap_rules_at")
+              << " needs a rule-driven algorithm (nara-rules, ft-mesh-rules "
+                 "or ecube-rules); algorithm = '"
+              << aname << "' executes no rules\n";
+    return 2;
+  }
+  rules::ExecMode exec_mode = rules::ExecMode::Aot;
+  Cycle swap_at = 0;
+  std::string swap_source;
+  try {
+    if (!exec_mode_s.empty()) exec_mode = parse_exec_mode(exec_mode_s);
+    if (!swap_spec.empty()) {
+      const std::size_t comma = swap_spec.find(',');
+      if (comma == std::string::npos)
+        throw std::invalid_argument(
+            "swap_rules_at must be <cycle>,<file> (got '" + swap_spec + "')");
+      swap_at = std::stoll(swap_spec.substr(0, comma));
+      const std::string path = swap_spec.substr(comma + 1);
+      std::ifstream in(path);
+      if (!in)
+        throw std::invalid_argument("swap_rules_at: cannot read rule file '" +
+                                    path + "'");
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      swap_source = buf.str();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 2;
+  }
+
   const std::string pattern = cfg.get_string("traffic", "uniform");
   const auto link_faults = static_cast<int>(cfg.get_int("link_faults", 0));
   const auto node_faults = static_cast<int>(cfg.get_int("node_faults", 0));
@@ -179,7 +278,7 @@ int main(int argc, char** argv) {
     const double rate = rates[i];
     const bool first_point = i == 0;
     points.push_back({[&, rate, first_point](std::uint64_t derived_seed) {
-      auto algo = build_algorithm(aname, *topo);
+      auto algo = build_algorithm(aname, tname, cfg, exec_mode, *topo);
       auto traffic = make_traffic(pattern, *topo, seed);
       Network net(*topo, *algo, ncfg);
       if (link_faults > 0 || node_faults > 0) {
@@ -195,6 +294,7 @@ int main(int argc, char** argv) {
       scfg.seed = single ? seed : derived_seed;
       Simulator sim(net, *traffic, scfg);
       if (!schedule.empty()) sim.set_fault_schedule(schedule);
+      if (!swap_source.empty()) sim.schedule_rule_swap(swap_at, swap_source);
       SimResult r = sim.run();
       if (single && cfg.get_bool("show_links", false)) {
         std::ostringstream os;
@@ -232,6 +332,12 @@ int main(int argc, char** argv) {
               << " exchanges)";
   if (ncfg.shards > 1) std::cout << ", " << ncfg.shards << " shards";
   if (base.idle_skip) std::cout << ", idle-skip";
+  if (rule_driven_name(aname))
+    std::cout << ", exec " << (exec_mode_s.empty() ? "aot" : exec_mode_s);
+  if (!swap_source.empty())
+    std::cout << ", rule swap at cycle " << swap_at << " ("
+              << results[0].rule_swaps << " committed, "
+              << results[0].swap_gated_cycles << " gated cycles)";
   if (!single)
     std::cout << ", sweep of " << rates.size() << " loads on "
               << runner.num_threads() << " threads";

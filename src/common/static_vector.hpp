@@ -43,6 +43,16 @@ class StaticVector {
     data_[size_++] = v;
   }
 
+  /// Set the size to n and hand back the storage for the caller to fill —
+  /// one bounds check for a whole batch instead of one per push_back
+  /// (AOT candidate replay). The caller must write all n slots; elements
+  /// past the old size are default-lived until then (POD use only).
+  constexpr T* resize_for_overwrite(std::size_t n) {
+    FR_REQUIRE_MSG(n <= N, "StaticVector overflow");
+    size_ = n;
+    return data_.data();
+  }
+
   template <typename... Args>
   constexpr T& emplace_back(Args&&... args) {
     FR_REQUIRE_MSG(size_ < N, "StaticVector overflow");

@@ -22,11 +22,16 @@ namespace flexrouter {
 /// Maximum (port, vc) candidates a decision may produce.
 inline constexpr std::size_t kMaxCandidates = 48;
 
+/// Trivially default-constructible on purpose: RouteDecision embeds 48 of
+/// these in a StaticVector, and per-decision fast paths (the AOT table, the
+/// decision cache) construct/copy RouteDecisions every cycle — an NSDMI here
+/// would zero the whole tail each time. Always aggregate-initialize with all
+/// three fields; the StaticVector never exposes elements past size().
 struct RouteCandidate {
-  PortId port = kInvalidPort;
-  VcId vc = kInvalidVc;
+  PortId port;
+  VcId vc;
   /// Larger = preferred; ties broken by local load (credits) then index.
-  int priority = 0;
+  int priority;
 
   friend bool operator==(const RouteCandidate&, const RouteCandidate&) = default;
 };

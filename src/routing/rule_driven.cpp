@@ -12,10 +12,11 @@ using rules::Value;
 
 namespace {
 
-/// Inputs a cached decision may depend on: fully determined by the cache
-/// key (dest, in_port, in_vc), the node, the topology and the fault epoch.
-/// Notably absent: src, path_len, misrouted — they vary per packet without
-/// being part of the key.
+/// Inputs a tabulated decision may depend on: fully determined by the
+/// premise point (dest, in_port, in_vc), the node, the topology and the
+/// fault epoch. Notably absent: src, path_len, misrouted — they vary per
+/// packet without being part of the premise. The decision cache and the
+/// AOT table share this soundness condition.
 bool cache_safe_input(const std::string& name) {
   static const char* safe[] = {
       "dest",       "dest_reachable", "escape_ok", "escape_port",
@@ -42,34 +43,42 @@ RuleDrivenRouting::RuleDrivenRouting(std::string program_source, int num_vcs,
   FR_REQUIRE(escape_vc < num_vcs);
 }
 
+RuleDrivenRouting::~RuleDrivenRouting() = default;
+
 int RuleDrivenRouting::reconfigure() {
-  if (escape_vc_ < 0) return 0;
-  return escape_.rebuild(*faults_);
+  int exchanges = 0;
+  if (escape_vc_ >= 0) exchanges = escape_.rebuild(*faults_);
+  // The AOT table is a function of the fault epoch (link_ok,
+  // dest_reachable, escape_*): refill it during the same quiescent phase
+  // that rebuilds the escape layer. Local recomputation — no exchanges.
+  if (img_ != nullptr) fill_aot(*img_);
+  refresh_aot_view();
+  return exchanges;
 }
 
 std::string RuleDrivenRouting::name() const {
-  return program_ ? "rule:" + program_->name : "rule:<unattached>";
+  return img_ ? "rule:" + img_->program->name : "rule:<unattached>";
 }
 
-void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
-  topo_ = &topo;
-  mesh_ = dynamic_cast<const Mesh*>(&topo);
-  faults_ = &faults;
-  program_ = std::make_unique<rules::Program>(rules::parse_program(source_));
-  rules::require_valid(*program_);  // reject kind errors before compiling
-  if (escape_vc_ >= 0) escape_.rebuild(faults);
-  const rules::RuleBase* route_rb = program_->find_rule_base(route_base_);
+std::unique_ptr<RuleDrivenRouting::Image> RuleDrivenRouting::build_image(
+    std::string program_source) const {
+  FR_REQUIRE(topo_ != nullptr);
+  auto im = std::make_unique<Image>();
+  im->source = std::move(program_source);
+  im->program =
+      std::make_unique<rules::Program>(rules::parse_program(im->source));
+  rules::require_valid(*im->program);  // reject kind errors before compiling
+  const rules::RuleBase* route_rb = im->program->find_rule_base(route_base_);
   FR_REQUIRE_MSG(route_rb != nullptr,
                  "rule program lacks the decision rule base '" + route_base_ +
                      "'");
-  route_rb_ = static_cast<int>(route_rb - program_->rule_bases.data());
+  im->route_rb = static_cast<int>(route_rb - im->program->rule_bases.data());
 
   // Resolve every declared input against the host catalog once; unresolved
   // names keep erroring at read time, exactly like the name-keyed path.
   const bool is_mesh2d = mesh_ != nullptr && mesh_->dims() == 2;
-  input_codes_.clear();
-  input_codes_.reserve(program_->inputs.size());
-  for (const rules::InputDecl& in : program_->inputs) {
+  im->input_codes.reserve(im->program->inputs.size());
+  for (const rules::InputDecl& in : im->program->inputs) {
     InCode code = InCode::Unknown;
     if (in.name == "node") code = InCode::Node;
     else if (in.name == "dest") code = InCode::Dest;
@@ -89,25 +98,28 @@ void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
     else if (is_mesh2d && in.name == "ypos") code = InCode::YPos;
     else if (is_mesh2d && in.name == "xdes") code = InCode::XDes;
     else if (is_mesh2d && in.name == "ydes") code = InCode::YDes;
-    input_codes_.push_back(code);
+    im->input_codes.push_back(code);
   }
 
-  bytecode_ = mode_ == rules::ExecMode::Vm ? rules::compile_bytecode(*program_)
-                                           : nullptr;
-  cand_event_id_ = bytecode_ ? bytecode_->event_id("cand") : -1;
+  const bool has_vm =
+      mode_ == rules::ExecMode::Vm || mode_ == rules::ExecMode::Aot;
+  im->bytecode = has_vm ? rules::compile_bytecode(*im->program) : nullptr;
+  im->cand_event_id = im->bytecode ? im->bytecode->event_id("cand") : -1;
 
   // One DecisionSlot per node, allocated before the machines so the
   // callbacks can capture stable slot pointers. Everything a decision
   // mutates goes through its node's slot — route() calls on distinct
   // nodes (the sharded network step) share nothing mutable.
-  slots_.assign(static_cast<std::size_t>(topo.num_nodes()), DecisionSlot{});
-  machines_.clear();
-  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-    DecisionSlot* slot = &slots_[static_cast<std::size_t>(n)];
+  im->slots.assign(static_cast<std::size_t>(topo_->num_nodes()),
+                   DecisionSlot{});
+  for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
+    DecisionSlot* slot = &im->slots[static_cast<std::size_t>(n)];
     slot->owner = this;
+    slot->input_codes = im->input_codes.data();
+    slot->cand_event_id = im->cand_event_id;
     slot->cand_handler = [slot](const rules::EmittedEvent& ev) {
       const bool is_cand = ev.name_id >= 0
-                               ? ev.name_id == slot->owner->cand_event_id_
+                               ? ev.name_id == slot->cand_event_id
                                : ev.name == "cand";
       if (!is_cand) return;
       // Other events (e.g. state propagation to neighbours) are dropped by
@@ -121,7 +133,7 @@ void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
                                  static_cast<int>(ev.args[2].as_int()));
     };
     auto em = std::make_unique<rules::EventManager>(
-        *program_, mode_, rules::CompileOptions{}, bytecode_);
+        *im->program, mode_, rules::CompileOptions{}, im->bytecode);
     // The input providers close over the node's slot; the active context is
     // installed there per decision.
     em->set_input_provider(
@@ -131,31 +143,180 @@ void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
           return slot->owner->input_value(*slot->ctx, input, idx);
         });
     em->set_input_provider_raw(&RuleDrivenRouting::input_raw, slot);
-    machines_.push_back(std::move(em));
+    im->machines.push_back(std::move(em));
   }
 
-  // The decision cache is sound only if no reachable rule writes registers
-  // and every input read is covered by the cache key + fault epoch.
+  // Tabulation (decision cache / AOT table) is sound only if no reachable
+  // rule writes registers and every input read is covered by the premise
+  // point + fault epoch.
   const rules::RouteAnalysis analysis =
-      rules::analyze_reachable(*program_, route_base_);
-  cache_enabled_ =
-      mode_ == rules::ExecMode::Vm && !analysis.writes_state &&
+      rules::analyze_reachable(*im->program, route_base_);
+  im->stateless = !analysis.writes_state;
+  im->tabulable =
+      im->stateless &&
       std::all_of(analysis.inputs_read.begin(), analysis.inputs_read.end(),
                   cache_safe_input);
-  caches_.assign(static_cast<std::size_t>(topo.num_nodes()), NodeCache{});
+  im->cache_enabled = has_vm && im->tabulable;
+  im->caches.assign(static_cast<std::size_t>(topo_->num_nodes()), NodeCache{});
+  return im;
+}
+
+void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
+  topo_ = &topo;
+  mesh_ = dynamic_cast<const Mesh*>(&topo);
+  faults_ = &faults;
+  if (escape_vc_ >= 0) escape_.rebuild(faults);
+  pending_.reset();
+  img_ = build_image(source_);
+  fill_aot(*img_);
+  refresh_aot_view();
+}
+
+void RuleDrivenRouting::fill_aot(Image& im) const {
+  if (mode_ != rules::ExecMode::Aot || !im.tabulable) return;
+  const rules::AotTable::Dims dims{
+      topo_->num_nodes(), topo_->num_nodes(),
+      topo_->degree() + 2,  // in_port in -1 .. degree (degree = injection)
+      vcs_ + 1,             // in_vc in -1 .. vcs-1
+  };
+  if (!rules::AotTable::within_budget(dims, kAotMaxEntries)) return;
+  const std::uint64_t epoch = faults_->epoch();
+  if (!im.aot.empty() && im.aot_epoch == epoch) return;  // already fresh
+  FR_ASSERT_MSG(escape_vc_ < 0 || escape_.built_for_epoch() == epoch,
+                "AOT fill needs the escape table rebuilt first");
+
+  // Evaluate the decision once per premise point through the very engine
+  // the fallback path uses — the table is bit-identical to the VM by
+  // construction. Nearly every entry packs its candidates inline; the
+  // arena only holds the rare oversized sets, so a token reservation
+  // suffices.
+  im.aot.reset(dims, 256);
+  RouteContext ctx;
+  ctx.path_len = 0;
+  ctx.misrouted = false;
+  rules::AotCand buf[kMaxCandidates];
+  for (NodeId node = 0; node < dims.nodes; ++node) {
+    ctx.node = node;
+    ctx.src = node;
+    for (NodeId dest = 0; dest < dims.dests; ++dest) {
+      ctx.dest = dest;
+      for (std::int32_t pa = 0; pa < dims.ports; ++pa) {
+        ctx.in_port = pa - 1;
+        for (std::int32_t va = 0; va < dims.vcs; ++va) {
+          ctx.in_vc = va - 1;
+          const std::uint64_t flat = im.aot.flat_index(node, dest, pa, va);
+          try {
+            const RouteDecision d = compute_route(im, ctx);
+            // steps == 0 is the fallback encoding and > 16 bits cannot be
+            // stored; header-modifying decisions (none of the adapter's
+            // today) are not representable either — all stay on the VM.
+            if (d.steps < 1 || d.steps > 0xffff || d.mark_misrouted) continue;
+            for (std::size_t i = 0; i < d.candidates.size(); ++i)
+              buf[i] = {d.candidates[i].port, d.candidates[i].vc,
+                        d.candidates[i].priority};
+            im.aot.set_entry(flat, d.steps, buf, d.candidates.size());
+          } catch (const std::exception& e) {
+            // The exhaustive walk visits premise points no packet can
+            // dynamically present — e.g. arrival through a nonexistent
+            // boundary link, an escape-VC arrival whose up*/down* phase
+            // has no legal move (ContractViolation), or a collapsed-axis
+            // value like in_port = -1 outside a declared input domain
+            // (EvalError). The engine throws on them exactly as the VM
+            // would at runtime; record the point as unreachable and let
+            // the fallback reproduce the throw should one ever
+            // materialize. Anything else is a build bug: rethrow.
+            if (dynamic_cast<const ContractViolation*>(&e) == nullptr &&
+                dynamic_cast<const rules::EvalError*>(&e) == nullptr)
+              throw;
+            DecisionSlot& slot = im.slots[static_cast<std::size_t>(node)];
+            slot.ctx = nullptr;
+            slot.decision = nullptr;
+            slot.scratch.clear();
+            im.aot.mark_unreachable(flat);
+          }
+        }
+      }
+    }
+  }
+  im.aot_epoch = epoch;
+}
+
+void RuleDrivenRouting::refresh_aot_view() const {
+  aot_view_ = AotView{};
+  if (img_ == nullptr || img_->aot.empty()) return;
+  const rules::AotTable& t = img_->aot;
+  aot_view_.entries = t.entries_raw();
+  aot_view_.arena = t.arena_raw();
+  aot_view_.nodes = t.dims().nodes;
+  aot_view_.dests = t.dims().dests;
+  aot_view_.ports = t.dims().ports;
+  aot_view_.vcs = t.dims().vcs;
+  aot_view_.node_stride = t.node_stride();
+  aot_view_.dest_stride = t.dest_stride();
+  aot_view_.epoch = img_->aot_epoch;
+}
+
+void RuleDrivenRouting::prepare_swap(std::string program_source) {
+  FR_REQUIRE_MSG(img_ != nullptr, "prepare_swap() before attach()");
+  // Build the whole pending image off the critical path. Any failure —
+  // parse error, missing rule base, unresolvable input — throws here and
+  // leaves the active image serving traffic. (Premise points the engine
+  // throws on during the AOT fill are recorded as unreachable, not errors:
+  // the exhaustive walk visits combinations real traffic cannot present.)
+  std::unique_ptr<Image> im = build_image(std::move(program_source));
+  fill_aot(*im);
+  pending_ = std::move(im);
+}
+
+void RuleDrivenRouting::commit_swap() {
+  FR_REQUIRE_MSG(pending_ != nullptr, "commit_swap() without prepare_swap()");
+  // A fault epoch may have slipped in between prepare and commit; refill
+  // so the installed table is fresh (no-op when it already is).
+  fill_aot(*pending_);
+  source_ = pending_->source;
+  img_ = std::move(pending_);
+  refresh_aot_view();
 }
 
 rules::EventManager& RuleDrivenRouting::machine(NodeId n) const {
   FR_REQUIRE(topo_ != nullptr && topo_->valid_node(n));
-  return *machines_[static_cast<std::size_t>(n)];
+  // Handing out a machine lets the caller mutate rule state behind the
+  // table's back (the decision cache guards against that with per-lookup
+  // env-version tags; the AOT path deliberately carries no per-decision
+  // check). Drop the table conservatively: decisions fall back to the
+  // VM/cache tiers until the next fill (reconfigure or swap) rebuilds it.
+  if (img_ != nullptr && !img_->aot.empty()) {
+    img_->aot.clear();
+    refresh_aot_view();
+  }
+  return *img_->machines[static_cast<std::size_t>(n)];
+}
+
+std::int64_t RuleDrivenRouting::decision_cache_hits() const {
+  if (img_ == nullptr) return 0;
+  std::int64_t sum = 0;
+  for (const DecisionSlot& s : img_->slots) sum += s.cache_hits;
+  return sum;
+}
+
+std::int64_t RuleDrivenRouting::decision_cache_misses() const {
+  if (img_ == nullptr) return 0;
+  std::int64_t sum = 0;
+  for (const DecisionSlot& s : img_->slots) sum += s.cache_misses;
+  return sum;
 }
 
 void RuleDrivenRouting::clear_decision_cache() const {
-  for (NodeCache& nc : caches_) {
+  if (img_ == nullptr) return;
+  for (NodeCache& nc : img_->caches) {
     nc.entries.clear();
     nc.epoch_tag = ~std::uint64_t{0};
     nc.env_tag = ~std::uint64_t{0};
   }
+}
+
+rules::AotTable::Stats RuleDrivenRouting::aot_stats() const {
+  return img_ != nullptr ? img_->aot.stats() : rules::AotTable::Stats{};
 }
 
 Value RuleDrivenRouting::input_by_code(InCode code, const RouteContext& ctx,
@@ -219,8 +380,8 @@ Value RuleDrivenRouting::input_raw(void* ctx, std::int32_t input_id,
   FR_REQUIRE_MSG(slot->ctx != nullptr,
                  "rule program read an input outside a decision");
   return slot->owner->input_by_code(
-      slot->owner->input_codes_[static_cast<std::size_t>(input_id)],
-      *slot->ctx, idx, nidx);
+      slot->input_codes[static_cast<std::size_t>(input_id)], *slot->ctx, idx,
+      nidx);
 }
 
 void RuleDrivenRouting::event_sink(void* ctx, std::int32_t name_id,
@@ -238,7 +399,7 @@ void RuleDrivenRouting::event_sink(void* ctx, std::int32_t name_id,
   }
   // Host-bound events other than !cand are dropped by this adapter (state
   // propagation to neighbours etc. is exercised through the machines).
-  if (name_id != slot->owner->cand_event_id_) return;
+  if (name_id != slot->cand_event_id) return;
   FR_REQUIRE_MSG(nargs == 3, "!cand needs (port, vc, priority)");
   FR_REQUIRE_MSG(slot->decision != nullptr,
                  "rule program emitted !cand outside a decision");
@@ -311,9 +472,11 @@ void RuleDrivenRouting::add_candidate(RouteDecision& d, PortId port, VcId vc,
   d.candidates.push_back({port, vc, prio});
 }
 
-RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
-  rules::EventManager& em = machine(ctx.node);
-  DecisionSlot& slot = slots_[static_cast<std::size_t>(ctx.node)];
+RouteDecision RuleDrivenRouting::compute_route(Image& im,
+                                               const RouteContext& ctx) const {
+  FR_REQUIRE(topo_ != nullptr && topo_->valid_node(ctx.node));
+  rules::EventManager& em = *im.machines[static_cast<std::size_t>(ctx.node)];
+  DecisionSlot& slot = im.slots[static_cast<std::size_t>(ctx.node)];
   slot.ctx = &ctx;
 
   RouteDecision d;
@@ -321,7 +484,7 @@ RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
 
   int steps;
   std::optional<rules::Value> returned;
-  if (mode_ == rules::ExecMode::Vm) {
+  if (mode_ == rules::ExecMode::Vm || mode_ == rules::ExecMode::Aot) {
     // Direct VM path: fire the decision rule base and run the event cascade
     // inline — no queue, no handler reinstall, no name dispatch. Events
     // bound to a rule base re-fire (and count as steps, exactly like
@@ -336,8 +499,8 @@ RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
     std::vector<rules::EmittedEvent>& work = slot.scratch;
     work.clear();
     void* const sink_ctx = &slot;
-    returned =
-        vm.fire_fast(route_rb_, {}, &RuleDrivenRouting::event_sink, sink_ctx);
+    returned = vm.fire_fast(im.route_rb, {}, &RuleDrivenRouting::event_sink,
+                            sink_ctx);
     steps = 1;
     for (std::size_t next = 0; next < work.size(); ++next) {
       const int rb = work[next].target_rb;
@@ -365,7 +528,7 @@ RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
     if (r_returned->is_int()) {
       port = static_cast<PortId>(r_returned->as_int());
     } else {
-      const rules::RuleBase& rb = program_->rule_base(route_base_);
+      const rules::RuleBase& rb = im.program->rule_base(route_base_);
       FR_REQUIRE_MSG(rb.returns.has_value(),
                      "symbolic RETURN without a RETURNS domain");
       port = static_cast<PortId>(rb.returns->index_of(*r_returned));
@@ -384,17 +547,26 @@ RouteDecision RuleDrivenRouting::compute_route(const RouteContext& ctx) const {
   return d;
 }
 
-RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
-  FR_REQUIRE_MSG(program_ != nullptr, "route() before attach()");
+/// The non-AOT tiers, kept out of route() and filling the caller's object
+/// in place: route()'s AOT hit keeps NRVO (a second named return object in
+/// the same function would defeat it) and the fallback pays no extra
+/// temporary.
+void RuleDrivenRouting::route_fallback(const RouteContext& ctx,
+                                       RouteDecision& d) const {
+  FR_REQUIRE_MSG(img_ != nullptr, "route() before attach()");
   FR_REQUIRE_MSG(escape_vc_ < 0 ||
                      escape_.built_for_epoch() == faults_->epoch(),
                  "stale escape table: reconfigure() missed an epoch");
+  Image& im = *img_;
+  if (!im.cache_enabled || !cache_wanted_) {
+    d = compute_route(im, ctx);
+    return;
+  }
 
-  if (!cache_enabled_ || !cache_wanted_) return compute_route(ctx);
-
-  NodeCache& nc = caches_[static_cast<std::size_t>(ctx.node)];
+  NodeCache& nc = im.caches[static_cast<std::size_t>(ctx.node)];
   const std::uint64_t epoch = faults_->epoch();
-  const std::uint64_t env_ver = machine(ctx.node).env().version();
+  const std::uint64_t env_ver =
+      im.machines[static_cast<std::size_t>(ctx.node)]->env().version();
   if (nc.epoch_tag != epoch || nc.env_tag != env_ver) {
     nc.entries.clear();
     nc.epoch_tag = epoch;
@@ -407,15 +579,15 @@ RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
       static_cast<std::uint64_t>(static_cast<std::uint8_t>(ctx.in_vc + 1));
   const auto it = nc.entries.find(key);
   if (it != nc.entries.end()) {
-    ++slots_[static_cast<std::size_t>(ctx.node)].cache_hits;
-    return it->second;
+    ++im.slots[static_cast<std::size_t>(ctx.node)].cache_hits;
+    d = it->second;
+    return;
   }
-  ++slots_[static_cast<std::size_t>(ctx.node)].cache_misses;
-  RouteDecision d = compute_route(ctx);
+  ++im.slots[static_cast<std::size_t>(ctx.node)].cache_misses;
+  d = compute_route(im, ctx);
   // A stateless program cannot have bumped the env version; the fault epoch
   // cannot change mid-decision. The tags taken above are still valid.
   nc.entries.emplace(key, d);
-  return d;
 }
 
 }  // namespace flexrouter

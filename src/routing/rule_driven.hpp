@@ -28,23 +28,43 @@
 //    network step — never share mutable state. Decisions on one node are
 //    never concurrent (a node belongs to exactly one shard).
 //
-// Execution: the default ExecMode::Vm compiles the program to bytecode once
-// (shared by all nodes) and serves inputs/candidate events through
-// id-resolved fast paths. On top sits a per-node decision cache keyed by
-// (dest, in_port, in_vc) — the software analogue of the paper's RBR-kernel
-// table lookup. It is enabled only when static analysis proves every
-// reachable rule base is stateless and reads only inputs determined by the
-// key, the topology and the fault set; cached entries are invalidated by
-// FaultSet::epoch() and by rule-register writes (RuleEnv::version()).
+// Execution tiers:
+//  * ExecMode::Vm (default) compiles the program to bytecode once (shared
+//    by all nodes) and serves inputs/candidate events through id-resolved
+//    fast paths. On top sits a per-node decision cache keyed by
+//    (dest, in_port, in_vc) — the software analogue of the paper's
+//    RBR-kernel table lookup. It is enabled only when static analysis
+//    proves every reachable rule base is stateless and reads only inputs
+//    determined by the key, the topology and the fault set; cached entries
+//    are invalidated by FaultSet::epoch() and by rule-register writes
+//    (RuleEnv::version()).
+//  * ExecMode::Aot additionally pre-resolves, at attach/reconfigure time,
+//    every premise point (node, dest, in_port, in_vc) through the VM into
+//    one flat AotTable (ruleengine/aot.hpp) — route() becomes a strided
+//    load plus a candidate copy, bit-identical to the VM by construction
+//    (the table stores what the VM answered). The same soundness analysis
+//    gates it; unsound or over-budget programs silently keep the VM+cache
+//    tiers, out-of-range premise points fall back per decision, and a
+//    machine() poke drops the whole table until the next fill (the
+//    conservative analogue of the cache's env-version tags).
+//
+// Hot swap: prepare_swap() parses, compiles and AOT-fills a complete
+// pending execution image for a new program while the active image keeps
+// serving traffic; commit_swap() installs it atomically between decisions.
+// Everything program-scoped lives in the Image; the escape layer, which is
+// a property of the host (topology + fault set), survives the swap.
 //
 // The decision cost (steps) is the number of rule interpretations the
-// decision consumed — exactly the unit Section 5 reports. Cache hits report
-// the steps of the decision they replay, keeping the paper's metric intact.
+// decision consumed — exactly the unit Section 5 reports. Cache and AOT
+// hits report the steps of the decision they replay, keeping the paper's
+// metric intact.
 #pragma once
 
 #include <memory>
 #include <unordered_map>
 
+#include "common/assert.hpp"
+#include "ruleengine/aot.hpp"
 #include "ruleengine/event_manager.hpp"
 #include "routing/routing.hpp"
 #include "routing/updown.hpp"
@@ -54,6 +74,11 @@ namespace flexrouter {
 
 class RuleDrivenRouting final : public RoutingAlgorithm {
  public:
+  /// Premise spaces above this entry count keep the VM + cache tiers (the
+  /// paper's exponential-blow-up discussion applies to the decision table
+  /// exactly as to the ARON kernel).
+  static constexpr std::uint64_t kAotMaxEntries = std::uint64_t{1} << 22;
+
   /// `escape_vc` >= 0 equips the rule program with a hardware escape layer
   /// (a deterministic up*/down* table rebuilt each diagnosis phase, exposed
   /// through the escape_* inputs) — the Duato construction that makes
@@ -61,6 +86,7 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   RuleDrivenRouting(std::string program_source, int num_vcs,
                     rules::ExecMode mode = rules::ExecMode::Vm,
                     std::string route_base = "route", VcId escape_vc = -1);
+  ~RuleDrivenRouting() override;
 
   std::string name() const override;
   int num_vcs() const override { return vcs_; }
@@ -72,7 +98,11 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   int reconfigure() override;
   RouteDecision route(const RouteContext& ctx) const override;
 
-  const rules::Program& program() const { return *program_; }
+  /// The execution image only exists once attached.
+  const rules::Program& program() const {
+    FR_ASSERT_MSG(img_ != nullptr, "program() before attach()");
+    return *img_->program;
+  }
 
   /// Per-node machine access (tests poke state / post events).
   rules::EventManager& machine(NodeId n) const;
@@ -80,20 +110,38 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   /// Decision-cache introspection (benches and tests). The setter only
   /// narrows: caching stays off when static analysis ruled it unsound.
   bool decision_cache_enabled() const {
-    return cache_enabled_ && cache_wanted_;
+    return img_ != nullptr && img_->cache_enabled && cache_wanted_;
   }
   void set_decision_cache_enabled(bool on) { cache_wanted_ = on; }
-  std::int64_t decision_cache_hits() const {
-    std::int64_t sum = 0;
-    for (const DecisionSlot& s : slots_) sum += s.cache_hits;
-    return sum;
-  }
-  std::int64_t decision_cache_misses() const {
-    std::int64_t sum = 0;
-    for (const DecisionSlot& s : slots_) sum += s.cache_misses;
-    return sum;
-  }
+  std::int64_t decision_cache_hits() const;
+  std::int64_t decision_cache_misses() const;
   void clear_decision_cache() const;
+
+  /// True when decisions are being served from an AOT table (false also
+  /// after a machine() poke dropped the table pending the next fill).
+  bool aot_active() const { return aot_view_.entries != nullptr; }
+  /// Table statistics of the active image (empty stats when no table —
+  /// fallback_fraction() reports 1.0 then). For rulelint and benches.
+  rules::AotTable::Stats aot_stats() const;
+
+  // --- hot swap -------------------------------------------------------------
+  /// Build a complete execution image (parse, validate, compile and — in
+  /// Aot mode — fill the decision table) for a new program while the active
+  /// image keeps serving traffic. Throws on any error (parse, validation,
+  /// unresolvable input), leaving the active image untouched. Requires
+  /// attach().
+  void prepare_swap(std::string program_source);
+  bool swap_prepared() const { return pending_ != nullptr; }
+  /// Whether static analysis proved the *prepared* program stateless — the
+  /// soundness condition for an immediate (zero-downtime) commit.
+  bool swap_target_stateless() const {
+    FR_REQUIRE_MSG(pending_ != nullptr, "no swap prepared");
+    return pending_->stateless;
+  }
+  /// Install the prepared image. The caller must guarantee no route() call
+  /// is in flight (the simulator commits between cycles or at quiescence).
+  void commit_swap();
+  void abort_swap() { pending_.reset(); }
 
  private:
   /// Catalog slot of one declared input, resolved once at attach().
@@ -113,15 +161,64 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   /// All mutable state one in-flight decision needs, owned per node: the
   /// VM callback context. route() on node n touches only slots_[n] (plus
   /// the node's machine and cache), which is what makes concurrent
-  /// decisions on distinct nodes race-free.
+  /// decisions on distinct nodes race-free. The image-scoped fields the
+  /// raw callbacks need (input-code array, cand event id) are flattened in
+  /// by value / data pointer so a slot never dereferences its Image —
+  /// slots stay valid across image moves.
   struct DecisionSlot {
     const RuleDrivenRouting* owner = nullptr;
+    const InCode* input_codes = nullptr;      // this image's resolved inputs
+    std::int32_t cand_event_id = -1;          // this image's interned "cand"
     const RouteContext* ctx = nullptr;
     RouteDecision* decision = nullptr;
     std::vector<rules::EmittedEvent> scratch;
     rules::EventManager::HostHandlerFast cand_handler;
     std::int64_t cache_hits = 0;
     std::int64_t cache_misses = 0;
+  };
+
+  /// Everything scoped to one rule program: the unit of hot swap. The
+  /// active image serves traffic; prepare_swap() builds a pending one on
+  /// the side and commit_swap() exchanges the unique_ptrs. Host-scoped
+  /// state — topology, fault set, the escape layer, the cache switch —
+  /// lives outside and survives the swap.
+  struct Image {
+    std::string source;
+    std::unique_ptr<rules::Program> program;
+    std::shared_ptr<const rules::BytecodeProgram> bytecode;
+    int route_rb = -1;                // index of the decision rule base
+    std::int32_t cand_event_id = -1;  // interned "cand" (VM events)
+    std::vector<InCode> input_codes;  // parallel to program->inputs
+    /// Analysis verdict: no reachable rule writes registers. Gates the
+    /// immediate (zero-downtime) swap policy.
+    bool stateless = false;
+    /// Stateless and every input read is premise-keyed — the soundness
+    /// condition shared by the decision cache and the AOT table.
+    bool tabulable = false;
+    bool cache_enabled = false;
+    std::vector<std::unique_ptr<rules::EventManager>> machines;
+    std::vector<DecisionSlot> slots;    // one per node
+    std::vector<NodeCache> caches;      // one per node
+    // AOT tier (ExecMode::Aot + tabulable + within budget only).
+    rules::AotTable aot;
+    std::uint64_t aot_epoch = ~std::uint64_t{0};
+  };
+
+  /// Snapshot of the active image's AOT table, flattened into the routing
+  /// object: a table hit must not chase img_ -> Image -> vector storage
+  /// (two extra dependent cache loads per decision). entries == nullptr
+  /// means "no table serving" — absent, over budget, or dropped after a
+  /// machine() poke. Refreshed at every point img_ or its table changes.
+  struct AotView {
+    const rules::AotEntry* entries = nullptr;
+    const rules::AotCand* arena = nullptr;
+    std::int32_t nodes = 0;
+    std::int32_t dests = 0;
+    std::int32_t ports = 0;
+    std::int32_t vcs = 0;
+    std::uint64_t node_stride = 0;
+    std::uint64_t dest_stride = 0;
+    std::uint64_t epoch = ~std::uint64_t{0};
   };
 
   rules::Value input_value(const RouteContext& ctx, const std::string& name,
@@ -135,30 +232,99 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
                          std::int32_t target_rb, const rules::Value* args,
                          std::size_t nargs);
   void add_candidate(RouteDecision& d, PortId port, VcId vc, int prio) const;
-  RouteDecision compute_route(const RouteContext& ctx) const;
+  std::unique_ptr<Image> build_image(std::string program_source) const;
+  /// (Re)fill the image's AOT table for the current fault epoch; no-op
+  /// when the image is not AOT-eligible or the table is already fresh.
+  void fill_aot(Image& im) const;
+  /// Re-point aot_view_ at the active image's table (null when it has
+  /// none). Call after anything that changes img_ or its table.
+  void refresh_aot_view() const;
+  /// Decision-cache + VM/interpreter tiers, out of line so route()'s AOT
+  /// hit keeps NRVO (see the definition). Fills `d` in place.
+  void route_fallback(const RouteContext& ctx, RouteDecision& d) const;
+  RouteDecision compute_route(Image& im, const RouteContext& ctx) const;
 
-  std::string source_;
+  std::string source_;  // pre-attach program; updated on commit_swap()
   std::string route_base_;
   rules::ExecMode mode_;
   int vcs_;
   VcId escape_vc_;
   UpDownTable escape_;
-  std::unique_ptr<rules::Program> program_;
   const Topology* topo_ = nullptr;
   const Mesh* mesh_ = nullptr;  // non-null on 2-D meshes
   const FaultSet* faults_ = nullptr;
-  mutable std::vector<std::unique_ptr<rules::EventManager>> machines_;
-
-  // Resolved once at attach().
-  std::shared_ptr<const rules::BytecodeProgram> bytecode_;
-  int route_rb_ = -1;                 // index of the decision rule base
-  std::int32_t cand_event_id_ = -1;   // interned "cand" (VM events)
-  std::vector<InCode> input_codes_;   // parallel to program_->inputs
-
-  bool cache_enabled_ = false;  // static analysis verdict
-  bool cache_wanted_ = true;    // host switch (benches measure cold paths)
-  mutable std::vector<NodeCache> caches_;  // one per node
-  mutable std::vector<DecisionSlot> slots_;  // one per node
+  bool cache_wanted_ = true;  // host switch (benches measure cold paths)
+  std::unique_ptr<Image> img_;      // active; null before attach()
+  std::unique_ptr<Image> pending_;  // prepared swap target, if any
+  /// Mutable: machine() (a const accessor) drops the view when it hands
+  /// out mutable rule state. Only mutated in single-threaded phases
+  /// (attach / reconfigure / commit / test pokes), never during stepping.
+  mutable AotView aot_view_;
 };
+
+// Defined in the header so the network step and the benches inline the
+// AOT hit: out of line, the loop-invariant view and epoch loads are
+// reloaded on every decision behind an opaque call.
+inline RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
+  // Every return below names this one object — the only shape GCC applies
+  // NRVO to. Without it each AOT hit pays a ~600-byte RouteDecision copy
+  // into the caller's slot, which costs more than the table lookup itself.
+  RouteDecision d;
+  const AotView& av = aot_view_;
+  if (av.entries != nullptr) {
+    // A non-null view implies attach() ran, and table freshness implies
+    // escape-layer freshness (fill_aot asserts the escape table was
+    // rebuilt for the same epoch before filling) — so this one check
+    // subsumes the attach/escape preconditions route_fallback() enforces.
+    FR_REQUIRE_MSG(av.epoch == faults_->epoch(),
+                   "stale AOT table: reconfigure() missed an epoch");
+    const std::int32_t pa = ctx.in_port + 1;  // port axis: -1 collapses to 0
+    const std::int32_t va = ctx.in_vc + 1;    // vc axis: likewise
+    // The range test doubles as the bounds proof for the raw-indexed
+    // lookup; anything outside the table is a VM premise point.
+    if (static_cast<std::uint32_t>(ctx.node) <
+            static_cast<std::uint32_t>(av.nodes) &&
+        static_cast<std::uint32_t>(ctx.dest) <
+            static_cast<std::uint32_t>(av.dests) &&
+        static_cast<std::uint32_t>(pa) < static_cast<std::uint32_t>(av.ports) &&
+        static_cast<std::uint32_t>(va) < static_cast<std::uint32_t>(av.vcs)) {
+      const std::uint64_t flat =
+          static_cast<std::uint64_t>(ctx.node) * av.node_stride +
+          static_cast<std::uint64_t>(ctx.dest) * av.dest_stride +
+          static_cast<std::uint64_t>(pa) * static_cast<std::uint64_t>(av.vcs) +
+          static_cast<std::uint64_t>(va);
+      const rules::AotEntry e = av.entries[flat];
+      // steps == 0: premise point the fill left to the VM (or marked
+      // unreachable — the VM reproduces the throw).
+      if (e.steps != 0) {
+        if (e.count & rules::AotEntry::kArenaFlag) {
+          // Oversized / unpackable candidate set: overflow arena.
+          const std::uint32_t n =
+              e.count & (rules::AotEntry::kArenaFlag - 1u);
+          const rules::AotCand* c = av.arena + e.first;
+          RouteCandidate* dst = d.candidates.resize_for_overwrite(n);
+          for (std::uint32_t i = 0; i < n; ++i) {
+            dst[i].port = c[i].port;
+            dst[i].vc = c[i].vc;
+            dst[i].priority = c[i].priority;
+          }
+        } else {
+          // Unpack every inline slot unconditionally — branch-free; slots
+          // past `count` land in the container's unspecified tail.
+          RouteCandidate* dst = d.candidates.resize_for_overwrite(e.count);
+          for (std::uint32_t i = 0; i < rules::AotEntry::kInlineCands; ++i) {
+            dst[i].port = e.inl[i].port;
+            dst[i].vc = e.inl[i].vc;
+            dst[i].priority = e.inl[i].priority;
+          }
+        }
+        d.steps = e.steps;
+        return d;
+      }
+    }
+  }
+  route_fallback(ctx, d);
+  return d;
+}
 
 }  // namespace flexrouter

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "routing/rule_driven.hpp"
 #include "rulebases/corpus.hpp"
 #include "ruleengine/parser.hpp"
 #include "ruleengine/validate.hpp"
@@ -138,6 +139,67 @@ CorpusLintResult lint_corpus(const CorpusLintOptions& opts) {
     }
   }
   return out;
+}
+
+std::vector<TableReport> emit_table_corpus() {
+  struct Case {
+    std::string source;
+    int num_vcs;
+    VcId escape_vc;
+  };
+  // The runnable decision programs at the sizes the differential tests and
+  // benches use. Each AOT-compiles against its own topology (topology_of on
+  // the program's constants) with a clean fault set.
+  const Case cases[] = {
+      {rulebases::nara_route_source(8, 8), 2, -1},
+      {rulebases::ft_mesh_route_source(8, 8), 3, 2},
+      {rulebases::ecube_route_source(6), 1, -1},
+      {rulebases::ecube_msb_route_source(6), 1, -1},
+  };
+  std::vector<TableReport> out;
+  for (const Case& c : cases) {
+    // The algorithm builds its execution image on attach; parse a separate
+    // copy up front to read the topology constants.
+    const rules::Program prog = rules::parse_program(c.source);
+    const std::unique_ptr<Topology> topo = topology_of(prog);
+    TableReport rep;
+    rep.program = prog.name;
+    if (topo == nullptr) {
+      out.push_back(std::move(rep));
+      continue;
+    }
+    RuleDrivenRouting algo(c.source, c.num_vcs, rules::ExecMode::Aot, "route",
+                           c.escape_vc);
+    const FaultSet faults(*topo);
+    algo.attach(*topo, faults);
+    rep.program += " @ " + topo->name();
+    rep.active = algo.aot_active();
+    const rules::AotTable::Stats st = algo.aot_stats();
+    rep.entries = st.entries;
+    rep.resolved = st.resolved;
+    rep.unreachable = st.unreachable;
+    rep.fallback = st.fallback;
+    rep.bytes = st.bytes;
+    rep.fallback_fraction = st.fallback_fraction();
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+std::string to_string(const std::vector<TableReport>& reports) {
+  std::ostringstream os;
+  for (const TableReport& r : reports) {
+    os << r.program << ": ";
+    if (!r.active) {
+      os << "NO TABLE (VM fallback serves every decision)\n";
+      continue;
+    }
+    os << r.entries << " entries (" << r.resolved << " resolved, "
+       << r.unreachable << " unreachable, " << r.fallback << " fallback), "
+       << r.bytes << " bytes, fallback fraction " << r.fallback_fraction
+       << "\n";
+  }
+  return os.str();
 }
 
 bool CorpusLintResult::clean(bool werror) const {

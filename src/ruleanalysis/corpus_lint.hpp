@@ -4,6 +4,7 @@
 // rulelint_corpus ctest and the mutation tests.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,5 +38,27 @@ struct CorpusLintResult {
 /// the sizes the differential tests use, the Table 1/2 accounting corpora
 /// at a closure-friendly 4x4 / d=3, plus a faulted ft_mesh certification.
 CorpusLintResult lint_corpus(const CorpusLintOptions& opts = {});
+
+/// One runnable rule base AOT-compiled to its decision table
+/// (rulelint --emit-table / the aot_table_corpus ctest).
+struct TableReport {
+  std::string program;            // program @ the topology it was built for
+  bool active = false;            // a table is serving (analysis accepted,
+                                  // premise space within budget)
+  std::uint64_t entries = 0;      // premise points tabulated
+  std::uint64_t resolved = 0;     // entries with a stored decision
+  std::uint64_t unreachable = 0;  // points no packet can present
+  std::uint64_t fallback = 0;     // presentable points left to the VM
+  std::uint64_t bytes = 0;        // entries + arena footprint
+  double fallback_fraction = 1.0;
+};
+
+/// AOT-compile every runnable decision program of the corpus at the sizes
+/// the differential tests use and report its table. The shipped-corpus
+/// gate: each report must be `active` with `fallback == 0` (every
+/// presentable premise point pre-resolved).
+std::vector<TableReport> emit_table_corpus();
+
+std::string to_string(const std::vector<TableReport>& reports);
 
 }  // namespace flexrouter::ruleanalysis

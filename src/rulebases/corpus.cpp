@@ -141,6 +141,27 @@ std::string ecube_route_source(int dimension) {
   return os.str();
 }
 
+std::string ecube_msb_route_source(int dimension) {
+  FR_REQUIRE(dimension >= 1 && dimension <= 12);
+  std::ostringstream os;
+  os << "PROGRAM ecube_msb_rules;\n"
+     << "CONSTANT dim = " << dimension << "\n"
+     << "CONSTANT maxnode = " << ((1 << dimension) - 1) << "\n"
+     << "INPUT node IN 0 TO maxnode\n"
+     << "INPUT dest IN 0 TO maxnode\n"
+     << "ON route\n"
+     << "  IF node = dest THEN !cand(dim, 0, 0);\n";
+  // One rule per dimension: bit i differs and all higher bits agree.
+  for (int i = dimension - 1; i >= 0; --i) {
+    os << "  IF bit(xor(node, dest), " << i << ") = 1";
+    for (int j = dimension - 1; j > i; --j)
+      os << " AND bit(xor(node, dest), " << j << ") = 0";
+    os << " THEN !cand(" << i << ", 0, 0);\n";
+  }
+  os << "END route;\n";
+  return os.str();
+}
+
 namespace {
 
 /// Registers shared by NAFTA and its non-FT variant (NARA): 112 bits in

@@ -29,6 +29,13 @@ std::string nara_route_source(int width, int height);
 /// builtins. Differential-tested against the native ECubeHypercube.
 std::string ecube_route_source(int dimension);
 
+/// The same e-cube discipline with the opposite dimension order (highest
+/// differing bit first). Still deadlock-free dimension-ordered routing, but
+/// a genuinely different routing function at every multi-bit premise point
+/// — the live hot-swap scenario's "new program" (bench/rule_hotswap,
+/// tests/test_aot).
+std::string ecube_msb_route_source(int dimension);
+
 /// Runnable FAULT-TOLERANT mesh decision program (3 VCs: the NARA double
 /// networks on 0/1, filtered by link health, plus the hardware escape layer
 /// on VC 2 via the escape_* input catalog). Construct the algorithm as

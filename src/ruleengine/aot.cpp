@@ -1,0 +1,81 @@
+#include "ruleengine/aot.hpp"
+
+#include <limits>
+
+namespace flexrouter::rules {
+
+void AotTable::reset(const Dims& d, std::size_t expected_cands) {
+  FR_REQUIRE(d.nodes > 0 && d.dests > 0 && d.ports > 0 && d.vcs > 0);
+  dims_ = d;
+  dest_stride_ = static_cast<std::uint64_t>(d.ports) *
+                 static_cast<std::uint64_t>(d.vcs);
+  node_stride_ = dest_stride_ * static_cast<std::uint64_t>(d.dests);
+  entries_.assign(static_cast<std::size_t>(d.entry_count()), AotEntry{});
+  arena_.clear();
+  arena_.reserve(expected_cands);
+}
+
+namespace {
+
+bool packable(const AotCand& c) {
+  return c.port >= std::numeric_limits<std::int8_t>::min() &&
+         c.port <= std::numeric_limits<std::int8_t>::max() &&
+         c.vc >= std::numeric_limits<std::int8_t>::min() &&
+         c.vc <= std::numeric_limits<std::int8_t>::max() &&
+         c.priority >= std::numeric_limits<std::int16_t>::min() &&
+         c.priority <= std::numeric_limits<std::int16_t>::max();
+}
+
+}  // namespace
+
+void AotTable::set_entry(std::uint64_t flat, int steps, const AotCand* cands,
+                         std::size_t n) {
+  FR_REQUIRE(flat < entries_.size());
+  FR_REQUIRE_MSG(steps >= 1, "a resolved AOT entry needs steps >= 1");
+  FR_REQUIRE(steps <= std::numeric_limits<std::uint16_t>::max());
+  FR_REQUIRE(n < AotEntry::kArenaFlag);
+  AotEntry& e = entries_[static_cast<std::size_t>(flat)];
+  FR_REQUIRE_MSG(e.steps == 0 && e.count == 0,
+                 "AOT premise point resolved twice");
+  bool inlinable = n <= AotEntry::kInlineCands;
+  for (std::size_t i = 0; inlinable && i < n; ++i)
+    inlinable = packable(cands[i]);
+  if (inlinable) {
+    for (std::size_t i = 0; i < n; ++i)
+      e.inl[i] = {static_cast<std::int8_t>(cands[i].port),
+                  static_cast<std::int8_t>(cands[i].vc),
+                  static_cast<std::int16_t>(cands[i].priority)};
+    e.count = static_cast<std::uint16_t>(n);
+  } else {
+    FR_REQUIRE(arena_.size() <= std::numeric_limits<std::uint32_t>::max());
+    e.first = static_cast<std::uint32_t>(arena_.size());
+    e.count = static_cast<std::uint16_t>(n) | AotEntry::kArenaFlag;
+    arena_.insert(arena_.end(), cands, cands + n);
+  }
+  e.steps = static_cast<std::uint16_t>(steps);
+}
+
+void AotTable::mark_unreachable(std::uint64_t flat) {
+  FR_REQUIRE(flat < entries_.size());
+  AotEntry& e = entries_[static_cast<std::size_t>(flat)];
+  FR_REQUIRE_MSG(e.steps == 0 && e.count == 0,
+                 "AOT premise point resolved twice");
+  e.count = kUnreachableCount;
+}
+
+AotTable::Stats AotTable::stats() const {
+  Stats s;
+  s.entries = entries_.size();
+  for (const AotEntry& e : entries_) {
+    if (e.steps != 0)
+      ++s.resolved;
+    else if (e.count == kUnreachableCount)
+      ++s.unreachable;
+  }
+  s.fallback = s.entries - s.resolved - s.unreachable;
+  s.arena_candidates = arena_.size();
+  s.bytes = s.entries * sizeof(AotEntry) + s.arena_candidates * sizeof(AotCand);
+  return s;
+}
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,136 @@
+// Ahead-of-time decision table: the whole route() cascade pre-resolved over
+// the premise space a router can ever present — the same
+// (node, dest, in_port, in_vc) axes the static deadlock certifier walks.
+//
+// The host (routing/rule_driven.*) enumerates every premise point at
+// reconfigure time, runs the decision once through the VM, and stores the
+// result here: a flat direct-LUT of 16-byte AotEntry records over
+// precomputed strides, candidates packed inline in the entry (oversized
+// sets overflow to a shared arena). A table lookup is branchless up to the
+// fallback test — no bytecode dispatch, no hashing, no allocation, and for
+// inline entries no second memory dependency. Premise points outside the
+// table (or whole
+// programs the soundness analysis rejects) keep going through the VM; the
+// entry encoding (steps == 0) makes the fallback test a single compare.
+//
+// The table is rebuilt from scratch whenever its inputs can have changed
+// (fault epoch / program swap); build() tags the result so the host can
+// assert freshness the same way the escape table does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "ruleengine/rule_table.hpp"
+
+namespace flexrouter::rules {
+
+/// Flat direct-LUT over (node, dest, port-axis, vc-axis) premise points.
+/// Axis conventions are the host's: the port axis collapses in_port = -1
+/// (injection) to 0, so its extent is degree + 2 (−1 .. degree); the vc
+/// axis collapses in_vc = -1 the same way (extent num_vcs + 1).
+class AotTable {
+ public:
+  struct Dims {
+    std::int32_t nodes = 0;
+    std::int32_t dests = 0;
+    std::int32_t ports = 0;  // degree + 2: in_port in -1 .. degree
+    std::int32_t vcs = 0;    // num_vcs + 1: in_vc in -1 .. num_vcs-1
+
+    std::uint64_t entry_count() const {
+      return static_cast<std::uint64_t>(nodes) *
+             static_cast<std::uint64_t>(dests) *
+             static_cast<std::uint64_t>(ports) *
+             static_cast<std::uint64_t>(vcs);
+    }
+  };
+
+  struct Stats {
+    std::uint64_t entries = 0;          // premise points tabulated
+    std::uint64_t resolved = 0;         // entries with a stored decision
+    /// Premise points no packet can dynamically present (the engine threw
+    /// a contract violation evaluating them — e.g. arrival through a
+    /// nonexistent boundary link). The VM fallback reproduces the throw
+    /// should one ever materialize.
+    std::uint64_t unreachable = 0;
+    std::uint64_t fallback = 0;         // presentable entries left to the VM
+    std::uint64_t arena_candidates = 0; // AotCand records in the arena
+    std::uint64_t bytes = 0;            // entries + arena footprint
+
+    /// Fraction of presentable premise points the table cannot serve —
+    /// the rulelint --emit-table / aot_table_corpus metric.
+    double fallback_fraction() const {
+      const std::uint64_t presentable = entries - unreachable;
+      return presentable == 0 ? 1.0
+                              : static_cast<double>(fallback) /
+                                    static_cast<double>(presentable);
+    }
+  };
+
+  /// Sentinel in AotEntry::count (with steps == 0) distinguishing an
+  /// unreachable premise point from an ordinary fallback. The fast path
+  /// never reads count when steps == 0, so the encoding is free.
+  static constexpr std::uint16_t kUnreachableCount = 0xffff;
+
+  AotTable() = default;
+
+  /// True iff a table over `d` fits the entry budget. Oversized premise
+  /// spaces are not an error — the host simply keeps the VM + cache tiers.
+  static bool within_budget(const Dims& d, std::uint64_t max_entries) {
+    return d.entry_count() > 0 && d.entry_count() <= max_entries;
+  }
+
+  /// Drop any previous contents and allocate `d.entry_count()` unresolved
+  /// entries. `expected_cands` presizes the arena (one reallocation-free
+  /// build when the estimate holds; growing during build is correct too —
+  /// the arena is only indexed, never pointed into, until the build ends).
+  void reset(const Dims& d, std::size_t expected_cands);
+
+  /// Store the decision for one premise point. Candidates are appended to
+  /// the arena; `steps` must be >= 1 (0 is the fallback encoding).
+  void set_entry(std::uint64_t flat, int steps, const AotCand* cands,
+                 std::size_t n);
+
+  /// Record a premise point the engine threw on. Runtime-wise identical to
+  /// an ordinary fallback (steps stays 0); only the accounting differs.
+  void mark_unreachable(std::uint64_t flat);
+
+  /// Drop the table (host bypass after external state mutation); the next
+  /// fill rebuilds it from scratch.
+  void clear() {
+    entries_.clear();
+    arena_.clear();
+  }
+
+  bool empty() const { return entries_.empty(); }
+  const Dims& dims() const { return dims_; }
+  std::uint64_t node_stride() const { return node_stride_; }
+  std::uint64_t dest_stride() const { return dest_stride_; }
+
+  std::uint64_t flat_index(std::int32_t node, std::int32_t dest,
+                           std::int32_t port_axis,
+                           std::int32_t vc_axis) const {
+    return (static_cast<std::uint64_t>(node) * node_stride_) +
+           (static_cast<std::uint64_t>(dest) * dest_stride_) +
+           (static_cast<std::uint64_t>(port_axis) *
+            static_cast<std::uint64_t>(dims_.vcs)) +
+           static_cast<std::uint64_t>(vc_axis);
+  }
+
+  // Raw views for the host's fast path (no bounds checks — the host proves
+  // the premise point in-range before indexing).
+  const AotEntry* entries_raw() const { return entries_.data(); }
+  const AotCand* arena_raw() const { return arena_.data(); }
+
+  Stats stats() const;
+
+ private:
+  Dims dims_;
+  std::uint64_t node_stride_ = 0;  // dests * ports * vcs
+  std::uint64_t dest_stride_ = 0;  // ports * vcs
+  std::vector<AotEntry> entries_;
+  std::vector<AotCand> arena_;
+};
+
+}  // namespace flexrouter::rules

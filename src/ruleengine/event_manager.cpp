@@ -10,7 +10,7 @@ EventManager::EventManager(const Program& prog, ExecMode mode,
     : prog_(&prog), mode_(mode), interp_(prog), env_(prog) {
   if (mode_ == ExecMode::Table)
     compiled_ = compile_program(prog, interp_, opts);
-  if (mode_ == ExecMode::Vm) {
+  if (mode_ == ExecMode::Vm || mode_ == ExecMode::Aot) {
     bytecode_ = bytecode ? std::move(bytecode) : compile_bytecode(prog);
     FR_REQUIRE_MSG(&bytecode_->program() == prog_,
                    "bytecode compiled from a different program");
@@ -28,7 +28,7 @@ FireResult EventManager::dispatch(const RuleBase& rb,
       if (&c.source() == &rb) hit = &c;
     FR_ASSERT_MSG(hit != nullptr, "rule base missing from compiled program");
     r = hit->fire(interp_, env_, args);
-  } else if (mode_ == ExecMode::Vm) {
+  } else if (mode_ == ExecMode::Vm || mode_ == ExecMode::Aot) {
     r = vm_->fire(static_cast<int>(&rb - prog_->rule_bases.data()), args);
   } else {
     r = interp_.fire(env_, rb, args);

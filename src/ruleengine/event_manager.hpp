@@ -22,6 +22,9 @@ enum class ExecMode {
   Interpret,  // reference AST interpreter
   Table,      // compiled ARON rule tables (RBR kernel)
   Vm,         // bytecode VM (premise chains + register frames)
+  Aot,        // host-side AOT decision table (ruleengine/aot.hpp); inside
+              // the EventManager this behaves exactly like Vm — the table
+              // lives in the routing host, the VM serves fallback points
 };
 
 class EventManager {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "routing/rule_driven.hpp"
 #include "topology/graph_algo.hpp"
 
 namespace flexrouter {
@@ -87,6 +88,10 @@ std::string SimResult::to_string() const {
        << " unrecoverable=" << packets_unrecoverable
        << " kills=" << worms_killed << " avail=" << availability;
   }
+  // Swap metrics likewise appear only when a swap committed.
+  if (rule_swaps > 0) {
+    os << " | swaps=" << rule_swaps << " swap_gated=" << swap_gated_cycles;
+  }
   if (deadlock_suspected) os << " [DEADLOCK SUSPECTED]";
   return os.str();
 }
@@ -105,6 +110,60 @@ void Simulator::set_fault_schedule(const FaultSchedule& schedule) {
   events_ = schedule.events();  // sorted copy
   next_event_ = 0;
   if (!events_.empty()) lifecycle_ = true;
+}
+
+void Simulator::schedule_rule_swap(Cycle at, std::string program_source,
+                                   RuleSwapPolicy policy) {
+  FR_REQUIRE_MSG(
+      dynamic_cast<RuleDrivenRouting*>(&net_->algorithm()) != nullptr,
+      "schedule_rule_swap needs a rule-driven routing algorithm");
+  FR_REQUIRE_MSG(at >= now_, "rule swap scheduled in the past");
+  RuleSwap s;
+  s.at = at;
+  s.source = std::move(program_source);
+  s.policy = policy;
+  const auto pos = std::upper_bound(
+      swaps_.begin() + static_cast<std::ptrdiff_t>(next_swap_), swaps_.end(),
+      s.at, [](Cycle a, const RuleSwap& b) { return a < b.at; });
+  swaps_.insert(pos, std::move(s));
+}
+
+void Simulator::process_rule_swaps(SimResult& result) {
+  if (!swap_work_pending()) return;
+  if (!swap_draining_) {
+    if (next_swap_ >= swaps_.size() || swaps_[next_swap_].at > now_) return;
+    const RuleSwap& s = swaps_[next_swap_];
+    auto* rd = dynamic_cast<RuleDrivenRouting*>(&net_->algorithm());
+    FR_REQUIRE_MSG(rd != nullptr,
+                   "scheduled rule swap needs a rule-driven routing algorithm");
+    // Build the pending image now (parse + compile + AOT fill); modeled as
+    // concurrent with operation, so it costs no simulated cycles. A bad
+    // program throws here, before any packet routes under it.
+    if (!rd->swap_prepared()) rd->prepare_swap(s.source);
+    const bool quiescent =
+        s.policy == RuleSwapPolicy::Quiescent ||
+        (s.policy == RuleSwapPolicy::Auto && !rd->swap_target_stateless());
+    if (!quiescent) {
+      // Immediate: commit between cycles, zero gated cycles. Sound for
+      // stateless programs — every hop decides independently and deadlock
+      // freedom lives in the host escape layer, which survives the swap.
+      rd->commit_swap();
+      ++next_swap_;
+      ++result.rule_swaps;
+      return;
+    }
+    swap_draining_ = true;  // open the quiescent gate (injection stops)
+    swap_started_ = now_;
+  }
+  if (net_->idle()) {
+    auto* rd = dynamic_cast<RuleDrivenRouting*>(&net_->algorithm());
+    FR_ASSERT(rd != nullptr);
+    rd->commit_swap();
+    swap_draining_ = false;
+    ++next_swap_;
+    ++result.rule_swaps;
+    result.swap_gated_cycles += now_ - swap_started_;
+  }
 }
 
 void Simulator::refresh_components() {
@@ -169,6 +228,12 @@ Cycle Simulator::jump_span(Cycle remaining) const {
   if (detect_at_ - now_ < jump) jump = detect_at_ - now_;
   if (next_event_ < events_.size() && events_[next_event_].at - now_ < jump)
     jump = events_[next_event_].at - now_;
+  // A scheduled rule swap is a boundary too: the jump must not overshoot
+  // its due cycle (a due-but-draining swap has at <= now_ and binds nothing
+  // — the commit happens at idle, which an inert network reaches anyway).
+  if (next_swap_ < swaps_.size() && swaps_[next_swap_].at > now_ &&
+      swaps_[next_swap_].at - now_ < jump)
+    jump = swaps_[next_swap_].at - now_;
   return jump < 1 ? 1 : jump;
 }
 
@@ -195,7 +260,8 @@ SimResult Simulator::run() {
       fire_due_faults(result);
       update_recovery(result);
     }
-    if (rstate_ == RecoveryState::Normal) {
+    process_rule_swaps(result);
+    if (rstate_ == RecoveryState::Normal && !swap_draining_) {
       if (lifecycle_) flush_retry_queue(result);
       inject_offered_load(false);
     }
@@ -226,7 +292,8 @@ SimResult Simulator::run() {
       fire_due_faults(result);
       update_recovery(result);
     }
-    if (rstate_ == RecoveryState::Normal) {
+    process_rule_swaps(result);
+    if (rstate_ == RecoveryState::Normal && !swap_draining_) {
       if (lifecycle_) flush_retry_queue(result);
       inject_offered_load(true);
     } else {
@@ -238,7 +305,8 @@ SimResult Simulator::run() {
                              : 1;
       // The else-branch above already gated this cycle; the jumped-over
       // ones are gated too (only Detecting jumps more than one).
-      if (rstate_ != RecoveryState::Normal) gated_measure_cycles_ += jump - 1;
+      if (rstate_ != RecoveryState::Normal || swap_draining_)
+        gated_measure_cycles_ += jump - 1;
       net_->skip_cycle();
       now_ += jump;
       c += jump - 1;
@@ -262,7 +330,7 @@ SimResult Simulator::run() {
   std::int64_t last_movement = net_->total_flit_movements();
   Cycle stall = 0;
   Cycle drained = 0;
-  while (measured_outstanding_ > 0 ||
+  while (measured_outstanding_ > 0 || swap_draining_ ||
          (lifecycle_ && (rstate_ != RecoveryState::Normal ||
                          !retry_queue_.empty() || net_->recovery_pending()))) {
     if (drained++ > cfg_.drain_limit) {
@@ -275,6 +343,7 @@ SimResult Simulator::run() {
       update_recovery(result);
       if (rstate_ == RecoveryState::Normal) flush_retry_queue(result);
     }
+    process_rule_swaps(result);
     net_->step(now_++);
     count_measured_deliveries();
     if (lifecycle_) process_losses(result);

@@ -91,6 +91,12 @@ struct SimResult {
   int worms_killed = 0;  // watchdog victim kills
   int reconfig_exchanges = 0;
 
+  // --- Rule hot-swap metrics (schedule_rule_swap; zero without one) -------
+  int rule_swaps = 0;  // program swaps committed during this run
+  /// Cycles injection was gated by a quiescent swap drain (immediate swaps
+  /// gate nothing). The swap-downtime figure bench/rule_hotswap reports.
+  Cycle swap_gated_cycles = 0;
+
   /// Deadlock-watchdog diagnostics: the blocked wait-for chain captured
   /// the first time the watchdog fired (empty if it never did). Channel
   /// order follows the chain: each entry waits on the next.
@@ -113,6 +119,28 @@ class Simulator {
   /// (the simulator clock keeps advancing across run() calls). Enables
   /// the structured watchdog implicitly.
   void set_fault_schedule(const FaultSchedule& schedule);
+
+  /// How a scheduled rule swap commits once its new image is ready.
+  /// Immediate installs it at the next cycle boundary with zero gated
+  /// cycles — sound for stateless programs, where every hop decides
+  /// independently and deadlock freedom comes from the host escape layer.
+  /// Quiescent runs the PR 5 gate→drain→swap→resume path: injection is
+  /// gated until the network empties, then the image commits — the safe
+  /// default for stateful programs (their per-node registers restart
+  /// fresh, which no in-flight worm may straddle). Auto picks Immediate
+  /// when static analysis proved the *new* program stateless, Quiescent
+  /// otherwise.
+  enum class RuleSwapPolicy { Auto, Immediate, Quiescent };
+
+  /// Schedule a live rule-program swap at absolute cycle `at` (>= now).
+  /// The network's routing algorithm must be a RuleDrivenRouting. Loading
+  /// and compiling the new program (including the AOT table fill) is
+  /// modeled off the router's critical path — the paper's reprogramming
+  /// story: rule sets stream in while the old ones keep deciding — so
+  /// only the commit costs simulated cycles, per the policy above. Swaps
+  /// whose cycle falls beyond this run() stay armed for the next one.
+  void schedule_rule_swap(Cycle at, std::string program_source,
+                          RuleSwapPolicy policy = RuleSwapPolicy::Auto);
 
   /// Run warmup + measurement + drain. May be called repeatedly; the clock
   /// keeps advancing (fault injection between runs via quiesce()).
@@ -163,6 +191,14 @@ class Simulator {
   void finalize_unrecoverable(PacketId root, bool measured_root,
                               SimResult& result);
 
+  /// Start due swaps, run the quiescent gate, commit when allowed. Called
+  /// at the top of every simulated cycle in all three phases; cheap no-op
+  /// while nothing is due or draining.
+  void process_rule_swaps(SimResult& result);
+  bool swap_work_pending() const {
+    return swap_draining_ || next_swap_ < swaps_.size();
+  }
+
   void mark_measured(PacketId id) {
     if (static_cast<std::size_t>(id) >= measured_flag_.size())
       measured_flag_.resize(static_cast<std::size_t>(id) + 1, 0);
@@ -207,6 +243,18 @@ class Simulator {
   bool wd_armed_ = false;
   std::int64_t wd_last_movement_ = 0;
   Cycle wd_stall_ = 0;
+
+  /// Scheduled rule swaps, sorted by cycle; the consumed prefix is
+  /// [0, next_swap_). swap_draining_ marks an open quiescent gate.
+  struct RuleSwap {
+    Cycle at = 0;
+    std::string source;
+    RuleSwapPolicy policy = RuleSwapPolicy::Auto;
+  };
+  std::vector<RuleSwap> swaps_;
+  std::size_t next_swap_ = 0;
+  bool swap_draining_ = false;
+  Cycle swap_started_ = 0;
 };
 
 }  // namespace flexrouter

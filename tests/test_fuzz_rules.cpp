@@ -164,6 +164,9 @@ TEST_P(RuleFuzz, CompiledTableMatchesInterpreter) {
   EventManager direct(prog, ExecMode::Interpret);
   EventManager table(prog, ExecMode::Table);
   EventManager vm(prog, ExecMode::Vm);
+  // Aot at the engine level must behave exactly as the VM (the decision
+  // table lives a layer up, in RuleDrivenRouting).
+  EventManager aot(prog, ExecMode::Aot);
 
   Rng rng(GetParam().seed ^ 0xf00dULL);
   std::int64_t sig_idx = 0, tiny = 0, big = 0;
@@ -180,6 +183,7 @@ TEST_P(RuleFuzz, CompiledTableMatchesInterpreter) {
   direct.set_input_provider(inputs);
   table.set_input_provider(inputs);
   vm.set_input_provider(inputs);
+  aot.set_input_provider(inputs);
 
   for (int iter = 0; iter < 400; ++iter) {
     sig_idx = static_cast<std::int64_t>(rng.next_below(3));
@@ -191,7 +195,8 @@ TEST_P(RuleFuzz, CompiledTableMatchesInterpreter) {
     const FireResult a = direct.fire("step", {d});
     const FireResult b = table.fire("step", {d});
     const FireResult c = vm.fire("step", {d});
-    for (const FireResult* other : {&b, &c}) {
+    const FireResult e = aot.fire("step", {d});
+    for (const FireResult* other : {&b, &c, &e}) {
       ASSERT_EQ(a.rule_index, other->rule_index) << "iteration " << iter;
       ASSERT_EQ(a.returned.has_value(), other->returned.has_value());
       if (a.returned) {
@@ -207,6 +212,7 @@ TEST_P(RuleFuzz, CompiledTableMatchesInterpreter) {
     }
     ASSERT_TRUE(direct.env() == table.env()) << "iteration " << iter;
     ASSERT_TRUE(direct.env() == vm.env()) << "iteration " << iter;
+    ASSERT_TRUE(direct.env() == aot.env()) << "iteration " << iter;
   }
 }
 
@@ -238,6 +244,7 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
   EventManager direct(prog, ExecMode::Interpret);
   EventManager table(prog, ExecMode::Table);
   EventManager vm(prog, ExecMode::Vm);
+  EventManager aot(prog, ExecMode::Aot);
 
   Rng rng(0xc0ffee);
   // Memoized random inputs: one value per (name, indices) per iteration.
@@ -262,6 +269,7 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
   direct.set_input_provider(inputs);
   table.set_input_provider(inputs);
   vm.set_input_provider(inputs);
+  aot.set_input_provider(inputs);
 
   for (int iter = 0; iter < 600; ++iter) {
     memo.clear();
@@ -271,8 +279,8 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
     for (const Param& p : rb.params)
       args.push_back(p.domain.value_at(rng.next_below(p.domain.cardinality())));
 
-    std::optional<FireResult> a, b, c;
-    bool a_threw = false, b_threw = false, c_threw = false;
+    std::optional<FireResult> a, b, c, d;
+    bool a_threw = false, b_threw = false, c_threw = false, d_threw = false;
     try {
       a = direct.fire(rb.name, args);
     } catch (const ContractViolation&) {
@@ -288,17 +296,24 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
     } catch (const ContractViolation&) {
       c_threw = true;
     }
+    try {
+      d = aot.fire(rb.name, args);
+    } catch (const ContractViolation&) {
+      d_threw = true;
+    }
     ASSERT_EQ(a_threw, b_threw) << rb.name << " iteration " << iter;
     ASSERT_EQ(a_threw, c_threw) << rb.name << " iteration " << iter;
+    ASSERT_EQ(a_threw, d_threw) << rb.name << " iteration " << iter;
     if (a_threw) {
       // A domain-range violation may have committed partial state in one
       // engine's env copy semantics; resynchronise all to keep comparing.
       direct.reset_state();
       table.reset_state();
       vm.reset_state();
+      aot.reset_state();
       continue;
     }
-    for (const auto* other : {&b, &c}) {
+    for (const auto* other : {&b, &c, &d}) {
       ASSERT_EQ(a->rule_index, (*other)->rule_index)
           << rb.name << " iter " << iter;
       ASSERT_EQ(a->returned.has_value(), (*other)->returned.has_value());
@@ -314,14 +329,17 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
       direct.drain();
       table.drain();
       vm.drain();
+      aot.drain();
     } catch (const ContractViolation&) {
       direct.reset_state();
       table.reset_state();
       vm.reset_state();
+      aot.reset_state();
       continue;
     }
     ASSERT_TRUE(direct.env() == table.env()) << rb.name << " iter " << iter;
     ASSERT_TRUE(direct.env() == vm.env()) << rb.name << " iter " << iter;
+    ASSERT_TRUE(direct.env() == aot.env()) << rb.name << " iter " << iter;
   }
 }
 

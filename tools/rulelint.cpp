@@ -5,6 +5,12 @@
 // certification). With files, lints each rule program source.
 //
 //   rulelint [--json] [--werror] [--no-deadlock] [file...]
+//   rulelint --emit-table [--json]
+//
+// --emit-table AOT-compiles every runnable corpus decision program to its
+// decision table and dumps table stats (entries, bytes, fallback fraction).
+// The gate fails unless every program gets an active table with zero
+// presentable premise points left to the VM fallback.
 //
 // Exit status: 0 when clean (no errors; with --werror also no warnings),
 // 1 when findings fail the gate, 2 on usage errors.
@@ -80,9 +86,43 @@ void print_json(const std::vector<AnalysisReport>& reports, std::ostream& os) {
 
 int usage(std::ostream& os, int code) {
   os << "usage: rulelint [--json] [--werror] [--no-deadlock] [file...]\n"
+        "       rulelint --emit-table [--json]\n"
         "Lints the built-in rule-base corpus, or the given rule program\n"
-        "sources. --werror fails on warnings as well as errors.\n";
+        "sources. --werror fails on warnings as well as errors.\n"
+        "--emit-table dumps the AOT decision table stats for every runnable\n"
+        "corpus program and fails if any table is inactive or leaves\n"
+        "presentable premise points to the VM fallback.\n";
   return code;
+}
+
+int emit_table(bool json) {
+  const std::vector<flexrouter::ruleanalysis::TableReport> reports =
+      flexrouter::ruleanalysis::emit_table_corpus();
+  bool clean = !reports.empty();
+  for (const auto& r : reports)
+    if (!r.active || r.fallback != 0) clean = false;
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto& r = reports[i];
+      std::cout << (i ? ",\n " : "\n ") << "{\"program\": \""
+                << json_escape(r.program) << "\", \"active\": "
+                << (r.active ? "true" : "false")
+                << ", \"entries\": " << r.entries
+                << ", \"resolved\": " << r.resolved
+                << ", \"unreachable\": " << r.unreachable
+                << ", \"fallback\": " << r.fallback << ", \"bytes\": "
+                << r.bytes << ", \"fallback_fraction\": "
+                << r.fallback_fraction << "}";
+    }
+    std::cout << "\n]\n";
+  } else {
+    std::cout << flexrouter::ruleanalysis::to_string(reports)
+              << (clean ? "rulelint: all tables active, 0% fallback"
+                        : "rulelint: FAILED (inactive table or VM fallback)")
+              << "\n";
+  }
+  return clean ? 0 : 1;
 }
 
 }  // namespace
@@ -90,12 +130,15 @@ int usage(std::ostream& os, int code) {
 int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
+  bool table = false;
   CorpusLintOptions opts;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--emit-table") {
+      table = true;
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg == "--no-deadlock") {
@@ -108,6 +151,14 @@ int main(int argc, char** argv) {
     } else {
       files.push_back(arg);
     }
+  }
+
+  if (table) {
+    if (!files.empty()) {
+      std::cerr << "rulelint: --emit-table takes no file arguments\n";
+      return usage(std::cerr, 2);
+    }
+    return emit_table(json);
   }
 
   std::vector<AnalysisReport> reports;
