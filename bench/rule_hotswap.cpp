@@ -5,13 +5,21 @@
 // the system level with the AOT tier active: a complete routing-program
 // swap is scheduled in the middle of the measurement window, the new image
 // (parse + compile + AOT table fill) is built off the critical path, and
-// the commit runs either Immediate (stateless programs, between two
-// cycles) or Quiescent (gate injection, drain, swap, resume).
+// the commit runs Immediate (stateless programs, between two cycles),
+// Quiescent (gate injection, drain, swap, resume), or Rolling (commit
+// shard by shard at barrier boundaries — no injection gate at all, only
+// the per-node cycles spent waiting for the rolling front are charged).
 //
 // Reported per scenario: swap downtime (cycles injection was gated by the
-// drain), post-swap throughput, and the accounting identity
+// drain), gated node-cycles (the rolling currency), post-swap throughput,
+// and the accounting identity
 //     delivered + unrecoverable == injected
 // (a swap must not lose packets).
+//
+// A second section scales the same swap to the 4096-node 12-cube, where
+// the AOT tier runs compressed (xor-fold dest classes): Rolling must gate
+// strictly fewer node-cycles than Quiescent there, while staying
+// bit-identical across 1/2/4/8 rolling commit shards.
 //
 // Also checked, because they are the contracts the swap must not break:
 //   - an Immediate self-swap perturbs nothing: the SimResult is
@@ -52,8 +60,10 @@ bool bit_identical(const SimResult& a, const SimResult& b,
         a.blocked_chain[i].packet != b.blocked_chain[i].packet)
       return false;
   }
-  if (swap_metrics && (a.rule_swaps != b.rule_swaps ||
-                       a.swap_gated_cycles != b.swap_gated_cycles))
+  if (swap_metrics &&
+      (a.rule_swaps != b.rule_swaps ||
+       a.swap_gated_cycles != b.swap_gated_cycles ||
+       a.swap_gated_node_cycles != b.swap_gated_node_cycles))
     return false;
   return a.injected_packets == b.injected_packets &&
          a.delivered_packets == b.delivered_packets &&
@@ -115,6 +125,42 @@ SimResult run_swap_point(const Scenario& sc, double rate, Cycle warmup,
   return r;
 }
 
+/// The 4096-node point: 12-cube, same lsb->msb program swap, with the AOT
+/// tier on the compressed (xor-fold) table — the full premise space no
+/// longer fits an eager direct table at this scale. `exec_shards` is the
+/// network's spatial execution sharding; the rolling commit schedule is
+/// deterministic and decoupled from it (SimConfig::rolling_shards stays at
+/// its default), so results must not depend on it. The injection rate is
+/// lower than the 6-cube point so the large fabric stays affordable in
+/// --smoke.
+SimResult run_large_swap_point(Simulator::RuleSwapPolicy policy,
+                               int exec_shards, Cycle warmup, Cycle measure,
+                               std::uint64_t seed,
+                               RuleDrivenRouting::AotTierInfo* tier_out,
+                               rules::AotTable::Stats* stats_out = nullptr) {
+  constexpr int kDim = 12;
+  Hypercube topo(kDim);
+  RuleDrivenRouting algo(rulebases::ecube_route_source(kDim), 1,
+                         ExecMode::Aot);
+  UniformTraffic tr(topo);
+  NetworkConfig ncfg;
+  ncfg.shards = exec_shards;
+  Network net(topo, algo, ncfg);
+  if (tier_out != nullptr) *tier_out = algo.aot_tier_info();
+  SimConfig cfg;
+  cfg.injection_rate = 0.02;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = measure;
+  cfg.seed = seed;
+  Simulator sim(net, tr, cfg);
+  sim.schedule_rule_swap(warmup + measure / 2,
+                         rulebases::ecube_msb_route_source(kDim), policy);
+  SimResult r = sim.run();
+  if (stats_out != nullptr) *stats_out = algo.aot_stats();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,13 +186,14 @@ int main(int argc, char** argv) {
       {"lsb->msb, quiescent", true, Simulator::RuleSwapPolicy::Quiescent},
       {"self-swap, immediate", true, Simulator::RuleSwapPolicy::Auto,
        /*self_swap=*/true},
+      {"lsb->msb, rolling", true, Simulator::RuleSwapPolicy::Rolling},
   };
-  constexpr int kScenarios = 4;
+  constexpr int kScenarios = 5;
 
   // --- 1. swap downtime + post-swap throughput + accounting --------------
   SimResult res[kScenarios];
   bench::print_row({"scenario", "delivered", "swaps", "downtime",
-                    "throughput", "avail"},
+                    "node-cyc", "throughput", "avail"},
                    14);
   for (int s = 0; s < kScenarios; ++s) {
     rules::AotTable::Stats st;
@@ -157,6 +204,7 @@ int main(int argc, char** argv) {
     bench::print_row({scenarios[s].name, frac.str(),
                       std::to_string(r.rule_swaps),
                       std::to_string(r.swap_gated_cycles),
+                      std::to_string(r.swap_gated_node_cycles),
                       bench::fmt(r.throughput, 4),
                       bench::fmt(r.availability, 4)},
                      14);
@@ -202,9 +250,28 @@ int main(int argc, char** argv) {
               << ")\n";
     return 1;
   }
+  // Rolling never gates injection — its whole cost is node-cycles spent by
+  // nodes waiting for the commit front, and that must undercut what the
+  // quiescent drain charges (gated cycles x every node in the fabric).
+  if (res[4].swap_gated_cycles != 0) {
+    std::cerr << "DOWNTIME VIOLATION: rolling swap gated injection for "
+              << res[4].swap_gated_cycles << " cycles\n";
+    return 1;
+  }
+  const Cycle quiescent_node_cycles = res[2].swap_gated_node_cycles;
+  if (res[4].swap_gated_node_cycles == 0 ||
+      res[4].swap_gated_node_cycles >= quiescent_node_cycles) {
+    std::cerr << "DOWNTIME VIOLATION: rolling gated "
+              << res[4].swap_gated_node_cycles
+              << " node-cycles, quiescent gated " << quiescent_node_cycles
+              << " (rolling must gate strictly fewer, nonzero)\n";
+    return 1;
+  }
   std::cout << "downtime bounds: immediate = 0, quiescent drain = "
             << res[2].swap_gated_cycles << " cycles < " << measure
-            << "-cycle window\n";
+            << "-cycle window; rolling gated 0 cycles, "
+            << res[4].swap_gated_node_cycles << " node-cycles < quiescent's "
+            << quiescent_node_cycles << "\n";
 
   // --- 2. immediate self-swap perturbs nothing ---------------------------
   // Same seed, same traffic, same (re-installed) program: every decision
@@ -256,6 +323,95 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- 4. 4096-node fabric: rolling vs quiescent at scale ----------------
+  // Quiescent charges every one of the 4096 nodes for the whole drain;
+  // Rolling charges only the nodes still behind the commit front. At this
+  // scale that gap is the whole point of the policy, so Rolling must gate
+  // strictly fewer node-cycles — and produce a bit-identical SimResult at
+  // every execution shard count (the commit schedule is deterministic and
+  // decoupled from execution sharding).
+  const Cycle lwarm = smoke ? 100 : 400;
+  const Cycle lmeas = smoke ? 400 : 1600;
+  RuleDrivenRouting::AotTierInfo large_tier;
+  rules::AotTable::Stats large_st;
+  const SimResult lq =
+      run_large_swap_point(Simulator::RuleSwapPolicy::Quiescent, 1, lwarm,
+                           lmeas, 91, &large_tier, &large_st);
+  std::cout << "\n4096-node 12-cube, lsb->msb swap [tier "
+            << RuleDrivenRouting::tier_name(large_tier.tier) << ", "
+            << rules::to_string(large_tier.classifier) << ", "
+            << bench::fmt(large_tier.compression_ratio, 0)
+            << "x compression]\n";
+  if (large_tier.tier != RuleDrivenRouting::AotTier::Compressed) {
+    std::cerr << "TIER REGRESSION: 12-cube e-cube expected the compressed "
+              << "tier, got "
+              << RuleDrivenRouting::tier_name(large_tier.tier) << " ("
+              << large_tier.reason << ")\n";
+    return 1;
+  }
+  if (large_st.entries == 0 || large_st.fallback != 0) {
+    std::cerr << "AOT REGRESSION: 12-cube post-run table entries="
+              << large_st.entries << " fallback=" << large_st.fallback
+              << "\n";
+    return 1;
+  }
+  bench::print_row({"policy", "shards", "delivered", "downtime", "node-cyc",
+                    "identical"},
+                   14);
+  std::ostringstream lq_frac;
+  lq_frac << lq.delivered_packets << "/" << lq.injected_packets;
+  bench::print_row({"quiescent", "-", lq_frac.str(),
+                    std::to_string(lq.swap_gated_cycles),
+                    std::to_string(lq.swap_gated_node_cycles), "-"},
+                   14);
+  SimResult lr;  // the rolling result (identical at every shard count)
+  for (const int shards : {1, 2, 4, 8}) {
+    const SimResult r = run_large_swap_point(
+        Simulator::RuleSwapPolicy::Rolling, shards, lwarm, lmeas, 91,
+        nullptr);
+    const bool identical =
+        shards == 1 || bit_identical(r, lr, /*swap_metrics=*/true);
+    if (shards == 1) lr = r;
+    std::ostringstream frac;
+    frac << r.delivered_packets << "/" << r.injected_packets;
+    bench::print_row({"rolling", std::to_string(shards), frac.str(),
+                      std::to_string(r.swap_gated_cycles),
+                      std::to_string(r.swap_gated_node_cycles),
+                      shards == 1 ? "-" : (identical ? "yes" : "NO")},
+                     14);
+    if (!identical) {
+      std::cerr << "DETERMINISM VIOLATION: rolling result differs at "
+                << shards << " execution shards\n";
+      return 1;
+    }
+    if (r.rule_swaps != 1 ||
+        r.delivered_packets + r.packets_unrecoverable != r.injected_packets) {
+      std::cerr << "SWAP FAILURE: 12-cube rolling at " << shards
+                << " shards: swaps=" << r.rule_swaps << ", accounting "
+                << r.delivered_packets << "+" << r.packets_unrecoverable
+                << " != " << r.injected_packets << "\n";
+      return 1;
+    }
+  }
+  if (lr.swap_gated_cycles != 0 || lr.swap_gated_node_cycles == 0 ||
+      lr.swap_gated_node_cycles >= lq.swap_gated_node_cycles) {
+    std::cerr << "SCALE VIOLATION: 12-cube rolling gated "
+              << lr.swap_gated_cycles << " cycles / "
+              << lr.swap_gated_node_cycles
+              << " node-cycles vs quiescent's "
+              << lq.swap_gated_node_cycles
+              << " (rolling must gate 0 cycles and strictly fewer "
+              << "node-cycles)\n";
+    return 1;
+  }
+  std::cout << "scale bounds: rolling gated " << lr.swap_gated_node_cycles
+            << " node-cycles vs quiescent's " << lq.swap_gated_node_cycles
+            << " ("
+            << bench::fmt(static_cast<double>(lq.swap_gated_node_cycles) /
+                              static_cast<double>(lr.swap_gated_node_cycles),
+                          1)
+            << "x) on 4096 nodes\n";
+
   if (!json_path.empty()) {
     std::ofstream os(json_path);
     os.precision(17);
@@ -268,11 +424,17 @@ int main(int argc, char** argv) {
          << ", \"delivered\": " << r.delivered_packets
          << ", \"rule_swaps\": " << r.rule_swaps
          << ", \"swap_gated_cycles\": " << r.swap_gated_cycles
+         << ", \"swap_gated_node_cycles\": " << r.swap_gated_node_cycles
          << ", \"throughput\": " << r.throughput
          << ", \"availability\": " << r.availability << "}"
          << (s + 1 < kScenarios ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ],\n  \"large_fabric\": {\"nodes\": 4096, \"tier\": \""
+       << RuleDrivenRouting::tier_name(large_tier.tier)
+       << "\", \"compression_ratio\": " << large_tier.compression_ratio
+       << ", \"quiescent_gated_node_cycles\": " << lq.swap_gated_node_cycles
+       << ", \"rolling_gated_node_cycles\": " << lr.swap_gated_node_cycles
+       << "}\n";
     std::cout << "wrote " << json_path << "\n";
   }
   return 0;

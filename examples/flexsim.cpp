@@ -38,13 +38,23 @@
 //
 // Rule-engine keys (need a *-rules algorithm; contract error otherwise):
 //   exec_mode  = interp | vm | aot             (decision backend; default
-//                                               aot, the pre-resolved table)
+//                                               aot, the pre-resolved table;
+//                                               the summary line reports the
+//                                               AOT tier actually chosen —
+//                                               direct/compressed/lazy — or
+//                                               why the VM kept serving)
 //   swap_rules_at = 2000,new_rules.txt         (live hot-swap: at the cycle,
 //                                               load the rule program from
 //                                               the file and commit it under
 //                                               traffic — quiescent drain
 //                                               for stateful programs,
 //                                               between-cycles otherwise)
+//   swap_policy = auto | immediate | quiescent | rolling
+//                                              (commit policy for the swap;
+//                                               rolling drains and flips one
+//                                               spatial shard at a time)
+//   rolling_shards = 8                         (shards a rolling swap drains
+//                                               sequentially)
 //
 // A multi-point sweep (rates with more than one entry) runs on the
 // deterministic SweepRunner: one independent replica per offered load,
@@ -123,6 +133,32 @@ rules::ExecMode parse_exec_mode(const std::string& mode) {
   if (mode == "aot") return rules::ExecMode::Aot;
   throw std::invalid_argument("exec_mode must be interp, vm or aot (got '" +
                               mode + "')");
+}
+
+Simulator::RuleSwapPolicy parse_swap_policy(const std::string& policy) {
+  if (policy == "auto") return Simulator::RuleSwapPolicy::Auto;
+  if (policy == "immediate") return Simulator::RuleSwapPolicy::Immediate;
+  if (policy == "quiescent") return Simulator::RuleSwapPolicy::Quiescent;
+  if (policy == "rolling") return Simulator::RuleSwapPolicy::Rolling;
+  throw std::invalid_argument(
+      "swap_policy must be auto, immediate, quiescent or rolling (got '" +
+      policy + "')");
+}
+
+/// One-line AOT tier report for the summary: which tier serves decisions
+/// and — when the VM kept serving — why the tables stayed off.
+std::string tier_summary(const RuleDrivenRouting& rd) {
+  const RuleDrivenRouting::AotTierInfo ti = rd.aot_tier_info();
+  std::ostringstream os;
+  os << " [tier " << RuleDrivenRouting::tier_name(ti.tier);
+  if (ti.classifier != rules::DestClassifier::None)
+    os << ", " << rules::to_string(ti.classifier);
+  if (ti.compression_ratio > 1.0)
+    os << ", " << ti.compression_ratio << "x compression";
+  if (ti.tier == RuleDrivenRouting::AotTier::Vm && !ti.reason.empty())
+    os << ": " << ti.reason;
+  os << "]";
+  return os.str();
 }
 
 /// The *-rules algorithms need the topology's construction parameters (the
@@ -217,8 +253,16 @@ int main(int argc, char** argv) {
   rules::ExecMode exec_mode = rules::ExecMode::Aot;
   Cycle swap_at = 0;
   std::string swap_source;
+  auto swap_policy = Simulator::RuleSwapPolicy::Auto;
   try {
     if (!exec_mode_s.empty()) exec_mode = parse_exec_mode(exec_mode_s);
+    const std::string policy_s = cfg.get_string("swap_policy", "");
+    if (!policy_s.empty()) {
+      if (swap_spec.empty())
+        throw std::invalid_argument(
+            "swap_policy needs a scheduled swap (swap_rules_at)");
+      swap_policy = parse_swap_policy(policy_s);
+    }
     if (!swap_spec.empty()) {
       const std::size_t comma = swap_spec.find(',');
       if (comma == std::string::npos)
@@ -253,6 +297,7 @@ int main(int argc, char** argv) {
   base.detection_delay = cfg.get_int("detection_delay", 0);
   base.max_retries = static_cast<int>(cfg.get_int("max_retries", 3));
   base.idle_skip = cfg.get_bool("idle_skip", false);
+  base.rolling_shards = static_cast<int>(cfg.get_int("rolling_shards", 8));
 
   NetworkConfig ncfg;
   ncfg.shards = static_cast<int>(cfg.get_int("shards", 1));
@@ -273,6 +318,7 @@ int main(int argc, char** argv) {
   // in load.
   int exchanges = 0;
   std::string link_report;
+  std::string tier_report;  // AOT tier of the first point's algorithm
   std::vector<SweepPoint> points;
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const double rate = rates[i];
@@ -289,12 +335,16 @@ int main(int argc, char** argv) {
         });
         if (first_point) exchanges = ex;  // identical on every point
       }
+      if (first_point)
+        if (const auto* rd = dynamic_cast<const RuleDrivenRouting*>(algo.get()))
+          tier_report = tier_summary(*rd);
       SimConfig scfg = base;
       scfg.injection_rate = rate;
       scfg.seed = single ? seed : derived_seed;
       Simulator sim(net, *traffic, scfg);
       if (!schedule.empty()) sim.set_fault_schedule(schedule);
-      if (!swap_source.empty()) sim.schedule_rule_swap(swap_at, swap_source);
+      if (!swap_source.empty())
+        sim.schedule_rule_swap(swap_at, swap_source, swap_policy);
       SimResult r = sim.run();
       if (single && cfg.get_bool("show_links", false)) {
         std::ostringstream os;
@@ -333,11 +383,17 @@ int main(int argc, char** argv) {
   if (ncfg.shards > 1) std::cout << ", " << ncfg.shards << " shards";
   if (base.idle_skip) std::cout << ", idle-skip";
   if (rule_driven_name(aname))
-    std::cout << ", exec " << (exec_mode_s.empty() ? "aot" : exec_mode_s);
-  if (!swap_source.empty())
+    std::cout << ", exec " << (exec_mode_s.empty() ? "aot" : exec_mode_s)
+              << tier_report;
+  if (!swap_source.empty()) {
     std::cout << ", rule swap at cycle " << swap_at << " ("
               << results[0].rule_swaps << " committed, "
-              << results[0].swap_gated_cycles << " gated cycles)";
+              << results[0].swap_gated_cycles << " gated cycles";
+    if (results[0].swap_gated_node_cycles > 0)
+      std::cout << ", " << results[0].swap_gated_node_cycles
+                << " gated node-cycles";
+    std::cout << ")";
+  }
   if (!single)
     std::cout << ", sweep of " << rates.size() << " loads on "
               << runner.num_threads() << " threads";

@@ -1,6 +1,9 @@
 #include "routing/rule_driven.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
+#include <string>
 
 #include "ruleengine/parser.hpp"
 #include "ruleengine/validate.hpp"
@@ -158,6 +161,9 @@ std::unique_ptr<RuleDrivenRouting::Image> RuleDrivenRouting::build_image(
                   cache_safe_input);
   im->cache_enabled = has_vm && im->tabulable;
   im->caches.assign(static_cast<std::size_t>(topo_->num_nodes()), NodeCache{});
+  // Dest-axis classification (syntactic; fill_aot applies host gates). The
+  // verdict rides on the image so rulelint / flexsim can explain the tier.
+  im->classify = rules::classify_dest_axis(*im->program, route_base_);
   return im;
 }
 
@@ -165,26 +171,99 @@ void RuleDrivenRouting::attach(const Topology& topo, const FaultSet& faults) {
   topo_ = &topo;
   mesh_ = dynamic_cast<const Mesh*>(&topo);
   faults_ = &faults;
+  // Flattened coordinates for the offset-sign classifier's hot path (one
+  // int16 load per axis instead of a divmod through the Mesh interface).
+  coords_x_.clear();
+  coords_y_.clear();
+  if (mesh_ != nullptr && mesh_->dims() == 2) {
+    const NodeId n_nodes = topo.num_nodes();
+    coords_x_.resize(static_cast<std::size_t>(n_nodes));
+    coords_y_.resize(static_cast<std::size_t>(n_nodes));
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      coords_x_[static_cast<std::size_t>(n)] =
+          static_cast<std::int16_t>(mesh_->x_of(n));
+      coords_y_[static_cast<std::size_t>(n)] =
+          static_cast<std::int16_t>(mesh_->y_of(n));
+    }
+  }
   if (escape_vc_ >= 0) escape_.rebuild(faults);
   pending_.reset();
+  rolling_ = false;
+  node_on_pending_.clear();
   img_ = build_image(source_);
   fill_aot(*img_);
   refresh_aot_view();
 }
 
 void RuleDrivenRouting::fill_aot(Image& im) const {
-  if (mode_ != rules::ExecMode::Aot || !im.tabulable) return;
-  const rules::AotTable::Dims dims{
+  if (mode_ != rules::ExecMode::Aot || !im.tabulable) {
+    // Record why the VM tier stayed — this used to be silent, which made a
+    // kept-alive VM indistinguishable from a deliberate one in rulelint
+    // --emit-table and flexsim output.
+    im.tier = AotTier::Vm;
+    if (mode_ != rules::ExecMode::Aot)
+      im.tier_reason = "exec mode is not Aot";
+    else if (!im.stateless)
+      im.tier_reason = "program writes rule state";
+    else
+      im.tier_reason = "reads inputs outside the premise point";
+    return;
+  }
+  const rules::AotTable::Dims full{
       topo_->num_nodes(), topo_->num_nodes(),
       topo_->degree() + 2,  // in_port in -1 .. degree (degree = injection)
       vcs_ + 1,             // in_vc in -1 .. vcs-1
   };
-  if (!rules::AotTable::within_budget(dims, kAotMaxEntries)) return;
+  im.full_entries = full.entry_count();
   const std::uint64_t epoch = faults_->epoch();
-  if (!im.aot.empty() && im.aot_epoch == epoch) return;  // already fresh
+  const bool direct_fresh = !im.aot.empty() && im.aot_epoch == epoch;
+  const bool lazy_fresh =
+      im.lazy != nullptr && im.lazy_active && im.lazy->epoch == epoch;
+  if (direct_fresh || lazy_fresh) return;  // already fresh
   FR_ASSERT_MSG(escape_vc_ < 0 || escape_.built_for_epoch() == epoch,
                 "AOT fill needs the escape table rebuilt first");
 
+  // Tier ladder: direct -> compressed -> lazy. A tabulable program always
+  // gets *some* table tier — the lazy sub-tables fit any fabric by
+  // construction — so the VM tier above is reserved for programs the
+  // soundness analysis rejects.
+  if (rules::AotTable::within_budget(full, aot_budget_)) {
+    fill_direct(im, full);
+    im.aot_epoch = epoch;
+    im.tier = AotTier::Direct;
+    im.classifier_used = rules::DestClassifier::None;
+    im.tier_reason = "full premise space (" + std::to_string(im.full_entries) +
+                     " entries) fits the budget";
+    im.lazy_active = false;
+    return;
+  }
+  if (compress_wanted_ && im.classify.kind != rules::DestClassifier::None) {
+    if (fill_compressed(im, full)) {
+      im.aot_epoch = epoch;
+      im.tier = AotTier::Compressed;
+      im.classifier_used = im.classify.kind;
+      im.lazy_active = false;
+      return;  // fill_compressed recorded the classifier verdict as reason
+    }
+    // fill_compressed left its demotion reason in tier_reason; fall through.
+  } else if (!compress_wanted_) {
+    im.tier_reason = "dest-class compression disabled";
+  } else {
+    im.tier_reason = im.classify.reason;
+  }
+  setup_lazy(im, full);
+  im.aot.clear();
+  im.aot_epoch = epoch;
+  im.tier = AotTier::Lazy;
+  im.classifier_used = rules::DestClassifier::None;
+  im.tier_reason = "full premise space (" + std::to_string(im.full_entries) +
+                   " entries) over budget (" + std::to_string(aot_budget_) +
+                   "); " + im.tier_reason;
+  im.lazy_active = true;
+}
+
+void RuleDrivenRouting::fill_direct(Image& im,
+                                    const rules::AotTable::Dims& dims) const {
   // Evaluate the decision once per premise point through the very engine
   // the fallback path uses — the table is bit-identical to the VM by
   // construction. Nearly every entry packs its candidates inline; the
@@ -238,22 +317,347 @@ void RuleDrivenRouting::fill_aot(Image& im) const {
       }
     }
   }
-  im.aot_epoch = epoch;
+}
+
+bool RuleDrivenRouting::fill_compressed(
+    Image& im, const rules::AotTable::Dims& full) const {
+  const NodeId n_nodes = topo_->num_nodes();
+  const rules::DestClassifier kind = im.classify.kind;
+  rules::AotTable::Dims dims;
+  if (kind == rules::DestClassifier::XorFold) {
+    // Both id axes collapse to one xor-class axis. bit_ceil keeps every
+    // node ^ dest in range when the node count is not a power of two.
+    dims = {1,
+            static_cast<std::int32_t>(
+                std::bit_ceil(static_cast<std::uint32_t>(n_nodes))),
+            full.ports, full.vcs};
+  } else {
+    if (mesh_ == nullptr || mesh_->dims() != 2) {
+      im.tier_reason = "offset-sign classifier needs a 2-D mesh host";
+      return false;
+    }
+    dims = {n_nodes, 9, full.ports, full.vcs};
+  }
+  if (!rules::AotTable::within_budget(dims, aot_budget_)) {
+    im.tier_reason = "compressed table (" +
+                     std::to_string(dims.entry_count()) +
+                     " entries) still over budget";
+    return false;
+  }
+
+  im.aot.reset(dims, 256);
+  RouteContext ctx;
+  ctx.path_len = 0;
+  ctx.misrouted = false;
+  rules::AotCand buf[kMaxCandidates];
+
+  // Reset the VM callback slot after a fill-time throw (same contract as
+  // the direct fill: ContractViolation / EvalError mark the point
+  // unreachable; anything else is a build bug).
+  auto absorb_throw = [&](const std::exception& e, NodeId node) {
+    if (dynamic_cast<const ContractViolation*>(&e) == nullptr &&
+        dynamic_cast<const rules::EvalError*>(&e) == nullptr)
+      throw;  // NOLINT(cert-err60-cpp) — rethrow of the active exception
+    DecisionSlot& slot = im.slots[static_cast<std::size_t>(node)];
+    slot.ctx = nullptr;
+    slot.decision = nullptr;
+    slot.scratch.clear();
+  };
+
+  // Fill one class row from its representative (node, dest) member.
+  auto eval_into = [&](std::uint64_t flat, NodeId node, NodeId dest) {
+    ctx.node = node;
+    ctx.src = node;
+    ctx.dest = dest;
+    try {
+      const RouteDecision d = compute_route(im, ctx);
+      if (d.steps < 1 || d.steps > 0xffff || d.mark_misrouted) return;
+      for (std::size_t i = 0; i < d.candidates.size(); ++i)
+        buf[i] = {d.candidates[i].port, d.candidates[i].vc,
+                  d.candidates[i].priority};
+      im.aot.set_entry(flat, d.steps, buf, d.candidates.size());
+    } catch (const std::exception& e) {
+      absorb_throw(e, node);
+      im.aot.mark_unreachable(flat);
+    }
+  };
+
+  if (kind == rules::DestClassifier::XorFold) {
+    for (std::int32_t c = 0; c < dims.dests; ++c) {
+      // Any (n, n ^ c) pair is a member of class c; classes with no member
+      // under the id bound (non-power-of-two fabrics) are unpresentable.
+      NodeId rep = -1;
+      for (NodeId n = 0; n < n_nodes; ++n)
+        if ((n ^ c) < n_nodes) {
+          rep = n;
+          break;
+        }
+      for (std::int32_t pa = 0; pa < dims.ports; ++pa) {
+        ctx.in_port = pa - 1;
+        for (std::int32_t va = 0; va < dims.vcs; ++va) {
+          ctx.in_vc = va - 1;
+          const std::uint64_t flat = im.aot.flat_index(0, c, pa, va);
+          if (rep < 0)
+            im.aot.mark_unreachable(flat);
+          else
+            eval_into(flat, rep, rep ^ c);
+        }
+      }
+    }
+  } else {
+    const int w = mesh_->radix(0);
+    const int h = mesh_->radix(1);
+    for (NodeId node = 0; node < n_nodes; ++node) {
+      const int x = mesh_->x_of(node);
+      const int y = mesh_->y_of(node);
+      for (std::int32_t cls = 0; cls < 9; ++cls) {
+        const int sx = cls % 3 - 1;
+        const int sy = cls / 3 - 1;
+        // The nearest dest with these offset signs; a sign pair pointing
+        // off the mesh edge has no member at all.
+        const int dx = x + sx;
+        const int dy = y + sy;
+        const bool presentable = dx >= 0 && dx < w && dy >= 0 && dy < h;
+        for (std::int32_t pa = 0; pa < dims.ports; ++pa) {
+          ctx.in_port = pa - 1;
+          for (std::int32_t va = 0; va < dims.vcs; ++va) {
+            ctx.in_vc = va - 1;
+            const std::uint64_t flat = im.aot.flat_index(node, cls, pa, va);
+            if (!presentable)
+              im.aot.mark_unreachable(flat);
+            else
+              eval_into(flat, node, mesh_->at(dx, dy));
+          }
+        }
+      }
+    }
+  }
+
+  // Validate against the VM: the classifier proof says every member of a
+  // class row decides like the representative; a proof bug must demote, not
+  // mis-route. Only resolved rows need checking — unresolved rows fall back
+  // to the VM per decision and are correct by construction. Exhaustive when
+  // the uncompressed walk is small (the forced-compression test sizes);
+  // sampled member witnesses per row beyond that.
+  std::vector<rules::AotCand> dec_cands;
+  auto matches = [&](std::uint64_t flat, NodeId node, NodeId dest,
+                     std::int32_t pa, std::int32_t va) {
+    int steps = 0;
+    if (!im.aot.decode(flat, steps, dec_cands)) return true;
+    ctx.node = node;
+    ctx.src = node;
+    ctx.dest = dest;
+    ctx.in_port = pa - 1;
+    ctx.in_vc = va - 1;
+    try {
+      const RouteDecision d = compute_route(im, ctx);
+      if (d.steps != steps || d.mark_misrouted ||
+          d.candidates.size() != dec_cands.size())
+        return false;
+      for (std::size_t i = 0; i < dec_cands.size(); ++i)
+        if (d.candidates[i].port != dec_cands[i].port ||
+            d.candidates[i].vc != dec_cands[i].vc ||
+            d.candidates[i].priority != dec_cands[i].priority)
+          return false;
+      return true;
+    } catch (const std::exception& e) {
+      absorb_throw(e, node);
+      return false;  // a member throws where the row stored a decision
+    }
+  };
+  auto flat_of = [&](NodeId node, NodeId dest, std::int32_t pa,
+                     std::int32_t va) {
+    if (kind == rules::DestClassifier::XorFold)
+      return im.aot.flat_index(0, node ^ dest, pa, va);
+    const int ddx = mesh_->x_of(dest) - mesh_->x_of(node);
+    const int ddy = mesh_->y_of(dest) - mesh_->y_of(node);
+    const std::int32_t cls =
+        ((ddy > 0) - (ddy < 0) + 1) * 3 + ((ddx > 0) - (ddx < 0) + 1);
+    return im.aot.flat_index(node, cls, pa, va);
+  };
+  auto validate = [&]() {
+    if (full.entry_count() <= kAotMaxEntries) {
+      for (NodeId node = 0; node < n_nodes; ++node)
+        for (NodeId dest = 0; dest < n_nodes; ++dest)
+          for (std::int32_t pa = 0; pa < full.ports; ++pa)
+            for (std::int32_t va = 0; va < full.vcs; ++va)
+              if (!matches(flat_of(node, dest, pa, va), node, dest, pa, va))
+                return false;
+      return true;
+    }
+    // Sampled: up to two distinct members per class row, every (pa, va).
+    if (kind == rules::DestClassifier::XorFold) {
+      for (std::int32_t c = 0; c < dims.dests; ++c) {
+        int picked = 0;
+        for (NodeId n = 0; n < n_nodes && picked < 2; ++n) {
+          if ((n ^ c) >= n_nodes) continue;
+          ++picked;
+          for (std::int32_t pa = 0; pa < dims.ports; ++pa)
+            for (std::int32_t va = 0; va < dims.vcs; ++va)
+              if (!matches(im.aot.flat_index(0, c, pa, va), n, n ^ c, pa, va))
+                return false;
+        }
+      }
+      return true;
+    }
+    const int w = mesh_->radix(0);
+    const int h = mesh_->radix(1);
+    for (NodeId node = 0; node < n_nodes; ++node) {
+      const int x = mesh_->x_of(node);
+      const int y = mesh_->y_of(node);
+      for (std::int32_t cls = 0; cls < 9; ++cls) {
+        const int sx = cls % 3 - 1;
+        const int sy = cls / 3 - 1;
+        if (x + sx < 0 || x + sx >= w || y + sy < 0 || y + sy >= h) continue;
+        // Witness 1: the nearest member (the fill's representative).
+        // Witness 2: two steps out along each nonzero axis where the mesh
+        // allows — a member the fill never evaluated.
+        const NodeId w1 = mesh_->at(x + sx, y + sy);
+        const int x2 = sx == 0 || x + 2 * sx < 0 || x + 2 * sx >= w
+                           ? x + sx
+                           : x + 2 * sx;
+        const int y2 = sy == 0 || y + 2 * sy < 0 || y + 2 * sy >= h
+                           ? y + sy
+                           : y + 2 * sy;
+        const NodeId w2 = mesh_->at(sx == 0 ? x : x2, sy == 0 ? y : y2);
+        for (std::int32_t pa = 0; pa < dims.ports; ++pa)
+          for (std::int32_t va = 0; va < dims.vcs; ++va) {
+            const std::uint64_t flat = im.aot.flat_index(node, cls, pa, va);
+            if (!matches(flat, node, w1, pa, va)) return false;
+            if (w2 != w1 && !matches(flat, node, w2, pa, va)) return false;
+          }
+      }
+    }
+    return true;
+  };
+  if (!validate()) {
+    im.aot.clear();
+    im.tier_reason = "compressed layout failed VM validation (" +
+                     std::string(rules::to_string(kind)) + "); demoted";
+    return false;
+  }
+  im.tier_reason = im.classify.reason;
+  return true;
+}
+
+void RuleDrivenRouting::setup_lazy(Image& im,
+                                   const rules::AotTable::Dims& full) const {
+  const NodeId n_nodes = topo_->num_nodes();
+  if (im.lazy == nullptr) im.lazy = std::make_unique<LazyState>();
+  LazyState& ls = *im.lazy;
+  std::uint64_t per = aot_budget_ / static_cast<std::uint64_t>(n_nodes);
+  per = std::bit_floor(std::max<std::uint64_t>(per, kLazyMinPerNode));
+  ls.sets = static_cast<std::uint32_t>(per / 2);
+  ls.capacity = per;
+  ls.ports = full.ports;
+  ls.vcs = full.vcs;
+  ls.id_bound = full.nodes;
+  ls.epoch = faults_->epoch();
+  if (ls.nodes.size() != static_cast<std::size_t>(n_nodes)) {
+    ls.nodes.clear();
+    ls.nodes.resize(static_cast<std::size_t>(n_nodes));
+  } else {
+    // Epoch refill: drop stale decisions but keep the buffers (no
+    // steady-state allocation across fault epochs) and the cumulative
+    // counters.
+    for (std::unique_ptr<LazyNode>& np : ls.nodes)
+      if (np != nullptr) {
+        if (np->slots.size() != static_cast<std::size_t>(per))
+          np->slots.assign(static_cast<std::size_t>(per), LazySlot{});
+        else
+          std::fill(np->slots.begin(), np->slots.end(), LazySlot{});
+      }
+  }
+}
+
+void RuleDrivenRouting::route_lazy_miss(const RouteContext& ctx,
+                                        RouteDecision& d,
+                                        std::uint64_t key) const {
+  Image& im = *img_;
+  LazyState& ls = *im.lazy;
+  std::unique_ptr<LazyNode>& np = ls.nodes[static_cast<std::size_t>(ctx.node)];
+  if (np == nullptr) {
+    // First touch of this node: allocate its sub-table. Node-scoped, so
+    // concurrent first touches on distinct nodes never race (the nodes
+    // vector itself was pre-sized at setup and is never resized).
+    np = std::make_unique<LazyNode>();
+    np->slots.assign(static_cast<std::size_t>(ls.capacity), LazySlot{});
+  }
+  LazyNode& ln = *np;
+  ++ln.misses;
+  // Throws (premise points the engine rejects) propagate uncached —
+  // identical to what the VM tier does for the same context.
+  d = compute_route(im, ctx);
+  // Only inline-packable decisions are stored: an arena would grow under
+  // traffic (breaking the steady-state zero-allocation property) and could
+  // not be reclaimed on eviction. Oversized decisions recompute each time.
+  bool storable = d.steps >= 1 && d.steps <= 0xffff && !d.mark_misrouted &&
+                  d.candidates.size() <= rules::AotEntry::kInlineCands;
+  for (std::size_t i = 0; storable && i < d.candidates.size(); ++i) {
+    const RouteCandidate& c = d.candidates[i];
+    storable = c.port >= std::numeric_limits<std::int8_t>::min() &&
+               c.port <= std::numeric_limits<std::int8_t>::max() &&
+               c.vc >= std::numeric_limits<std::int8_t>::min() &&
+               c.vc <= std::numeric_limits<std::int8_t>::max() &&
+               c.priority >= std::numeric_limits<std::int16_t>::min() &&
+               c.priority <= std::numeric_limits<std::int16_t>::max();
+  }
+  if (!storable) {
+    ++ln.uncacheable;
+    return;
+  }
+  rules::AotEntry e{};
+  e.steps = static_cast<std::uint16_t>(d.steps);
+  e.count = static_cast<std::uint16_t>(d.candidates.size());
+  for (std::size_t i = 0; i < d.candidates.size(); ++i)
+    e.inl[i] = {static_cast<std::int8_t>(d.candidates[i].port),
+                static_cast<std::int8_t>(d.candidates[i].vc),
+                static_cast<std::int16_t>(d.candidates[i].priority)};
+  const std::uint64_t hh = (key * 0x9E3779B97F4A7C15ull) >> 32;
+  const std::size_t base = static_cast<std::size_t>(
+      (hh & (static_cast<std::uint64_t>(ls.sets) - 1)) * 2);
+  LazySlot* way = &ln.slots[base];
+  if (way->tag != 0) {
+    if (ln.slots[base + 1].tag == 0) {
+      way = &ln.slots[base + 1];
+    } else {
+      // Both ways live: evict a deterministic, hash-chosen way. Contents
+      // may then depend on decision order (which varies with sharding),
+      // but the table only affects speed — every stored entry replays a
+      // bit-identical VM decision, and misses recompute through the VM.
+      way = &ln.slots[base + ((hh >> 17) & 1)];
+      ++ln.evictions;
+    }
+  }
+  way->tag = key + 1;
+  way->e = e;
 }
 
 void RuleDrivenRouting::refresh_aot_view() const {
   aot_view_ = AotView{};
-  if (img_ == nullptr || img_->aot.empty()) return;
-  const rules::AotTable& t = img_->aot;
-  aot_view_.entries = t.entries_raw();
-  aot_view_.arena = t.arena_raw();
-  aot_view_.nodes = t.dims().nodes;
-  aot_view_.dests = t.dims().dests;
-  aot_view_.ports = t.dims().ports;
-  aot_view_.vcs = t.dims().vcs;
-  aot_view_.node_stride = t.node_stride();
-  aot_view_.dest_stride = t.dest_stride();
-  aot_view_.epoch = img_->aot_epoch;
+  // During a rolling commit the network runs a mix of two programs; the
+  // tables are image-global, so every decision goes through the fallback
+  // path until finish_rolling_commit() restores the view.
+  if (img_ == nullptr || rolling_) return;
+  Image& im = *img_;
+  if (!im.aot.empty()) {
+    const rules::AotTable& t = im.aot;
+    aot_view_.entries = t.entries_raw();
+    aot_view_.arena = t.arena_raw();
+    aot_view_.nodes = t.dims().nodes;
+    aot_view_.dests = t.dims().dests;
+    aot_view_.ports = t.dims().ports;
+    aot_view_.vcs = t.dims().vcs;
+    aot_view_.node_stride = t.node_stride();
+    aot_view_.dest_stride = t.dest_stride();
+    aot_view_.epoch = im.aot_epoch;
+    aot_view_.classifier = im.classifier_used;
+    aot_view_.id_bound = topo_->num_nodes();
+    aot_view_.xs = coords_x_.empty() ? nullptr : coords_x_.data();
+    aot_view_.ys = coords_y_.empty() ? nullptr : coords_y_.data();
+  } else if (im.lazy != nullptr && im.lazy_active) {
+    aot_view_.lazy = im.lazy.get();
+  }
 }
 
 void RuleDrivenRouting::prepare_swap(std::string program_source) {
@@ -278,6 +682,30 @@ void RuleDrivenRouting::commit_swap() {
   refresh_aot_view();
 }
 
+void RuleDrivenRouting::begin_rolling_commit() {
+  FR_REQUIRE_MSG(pending_ != nullptr,
+                 "begin_rolling_commit() without prepare_swap()");
+  FR_REQUIRE_MSG(!rolling_, "rolling commit already active");
+  rolling_ = true;
+  node_on_pending_.assign(static_cast<std::size_t>(topo_->num_nodes()), 0);
+  refresh_aot_view();  // drops the tables for the mixed-network window
+}
+
+void RuleDrivenRouting::commit_swap_node(NodeId n) {
+  FR_REQUIRE_MSG(rolling_, "commit_swap_node() outside a rolling commit");
+  FR_REQUIRE(topo_ != nullptr && topo_->valid_node(n));
+  node_on_pending_[static_cast<std::size_t>(n)] = 1;
+}
+
+void RuleDrivenRouting::finish_rolling_commit() {
+  FR_REQUIRE_MSG(rolling_, "finish_rolling_commit() outside a rolling commit");
+  rolling_ = false;
+  node_on_pending_.clear();
+  // commit_swap() refills for any epoch that slipped mid-roll, installs
+  // the pending image wholesale and restores the table view.
+  commit_swap();
+}
+
 rules::EventManager& RuleDrivenRouting::machine(NodeId n) const {
   FR_REQUIRE(topo_ != nullptr && topo_->valid_node(n));
   // Handing out a machine lets the caller mutate rule state behind the
@@ -285,8 +713,10 @@ rules::EventManager& RuleDrivenRouting::machine(NodeId n) const {
   // env-version tags; the AOT path deliberately carries no per-decision
   // check). Drop the table conservatively: decisions fall back to the
   // VM/cache tiers until the next fill (reconfigure or swap) rebuilds it.
-  if (img_ != nullptr && !img_->aot.empty()) {
+  if (img_ != nullptr &&
+      (!img_->aot.empty() || (img_->lazy != nullptr && img_->lazy_active))) {
     img_->aot.clear();
+    img_->lazy_active = false;
     refresh_aot_view();
   }
   return *img_->machines[static_cast<std::size_t>(n)];
@@ -317,6 +747,48 @@ void RuleDrivenRouting::clear_decision_cache() const {
 
 rules::AotTable::Stats RuleDrivenRouting::aot_stats() const {
   return img_ != nullptr ? img_->aot.stats() : rules::AotTable::Stats{};
+}
+
+RuleDrivenRouting::AotTierInfo RuleDrivenRouting::aot_tier_info() const {
+  AotTierInfo info;
+  if (img_ == nullptr) {
+    info.reason = "not attached";
+    return info;
+  }
+  const Image& im = *img_;
+  info.tier = im.tier;
+  info.classifier = im.classifier_used;
+  info.reason = im.tier_reason;
+  info.full_entries = im.full_entries;
+  switch (im.tier) {
+    case AotTier::Direct:
+    case AotTier::Compressed:
+      info.table_entries = im.aot.dims().entry_count();
+      break;
+    case AotTier::Lazy: {
+      const LazyState& ls = *im.lazy;
+      info.lazy_capacity_per_node = ls.capacity;
+      // Report the allocation bound (every node touched), not the current
+      // footprint — the ratio then does not depend on traffic history.
+      info.table_entries =
+          ls.capacity * static_cast<std::uint64_t>(ls.nodes.size());
+      for (const std::unique_ptr<LazyNode>& np : ls.nodes)
+        if (np != nullptr) {
+          ++info.lazy_nodes_allocated;
+          info.lazy_hits += np->hits;
+          info.lazy_misses += np->misses;
+          info.lazy_evictions += np->evictions;
+          info.lazy_uncacheable += np->uncacheable;
+        }
+      break;
+    }
+    case AotTier::Vm:
+      break;
+  }
+  if (info.table_entries > 0)
+    info.compression_ratio = static_cast<double>(info.full_entries) /
+                             static_cast<double>(info.table_entries);
+  return info;
 }
 
 Value RuleDrivenRouting::input_by_code(InCode code, const RouteContext& ctx,
@@ -557,7 +1029,12 @@ void RuleDrivenRouting::route_fallback(const RouteContext& ctx,
   FR_REQUIRE_MSG(escape_vc_ < 0 ||
                      escape_.built_for_epoch() == faults_->epoch(),
                  "stale escape table: reconfigure() missed an epoch");
-  Image& im = *img_;
+  // Rolling commit window: nodes already flipped decide with the pending
+  // program, the rest with the active one.
+  Image& im =
+      rolling_ && node_on_pending_[static_cast<std::size_t>(ctx.node)] != 0
+          ? *pending_
+          : *img_;
   if (!im.cache_enabled || !cache_wanted_) {
     d = compute_route(im, ctx);
     return;

@@ -38,15 +38,34 @@
 //    determined by the key, the topology and the fault set; cached entries
 //    are invalidated by FaultSet::epoch() and by rule-register writes
 //    (RuleEnv::version()).
-//  * ExecMode::Aot additionally pre-resolves, at attach/reconfigure time,
-//    every premise point (node, dest, in_port, in_vc) through the VM into
-//    one flat AotTable (ruleengine/aot.hpp) — route() becomes a strided
-//    load plus a candidate copy, bit-identical to the VM by construction
-//    (the table stores what the VM answered). The same soundness analysis
-//    gates it; unsound or over-budget programs silently keep the VM+cache
-//    tiers, out-of-range premise points fall back per decision, and a
-//    machine() poke drops the whole table until the next fill (the
-//    conservative analogue of the cache's env-version tags).
+//  * ExecMode::Aot additionally pre-resolves premise points
+//    (node, dest, in_port, in_vc) through the VM into decision tables —
+//    route() becomes a strided load plus a candidate copy, bit-identical
+//    to the VM by construction (the tables store what the VM answered).
+//    Tier selection walks a ladder at fill time:
+//      1. direct   — a flat LUT over the full premise space, when it fits
+//                    the entry budget (the PR 7 layout, unchanged).
+//      2. compressed — when a dest-axis classifier applies (see
+//                    ruleengine/aot_classify.hpp: xor-fold for e-cube
+//                    programs, offset-sign for DOR/NARA-style mesh
+//                    programs), the dest axis collapses to O(degree)
+//                    classes and the table fits fabrics the direct layout
+//                    cannot. Validated point-by-point against the VM during
+//                    fill (exhaustive when the uncompressed space fits the
+//                    budget, sampled witnesses beyond); any mismatch
+//                    demotes to the lazy tier.
+//      3. lazy     — fixed-size per-node sub-tables (2-way set-associative,
+//                    tagged by premise key) filled on first touch from the
+//                    miss path, so steady-state traffic converges to table
+//                    latency without ever paying a full 400M-point fill.
+//                    Node-scoped, hence race-free under sharded stepping.
+//      4. VM       — non-tabulable programs only; the chosen tier and the
+//                    reason are recorded on the image and surfaced through
+//                    aot_tier_info() (rulelint --emit-table, flexsim).
+//    The same soundness analysis gates every table tier; out-of-range
+//    premise points fall back per decision, and a machine() poke drops the
+//    tables until the next fill (the conservative analogue of the cache's
+//    env-version tags).
 //
 // Hot swap: prepare_swap() parses, compiles and AOT-fills a complete
 // pending execution image for a new program while the active image keeps
@@ -65,6 +84,7 @@
 
 #include "common/assert.hpp"
 #include "ruleengine/aot.hpp"
+#include "ruleengine/aot_classify.hpp"
 #include "ruleengine/event_manager.hpp"
 #include "routing/routing.hpp"
 #include "routing/updown.hpp"
@@ -74,10 +94,48 @@ namespace flexrouter {
 
 class RuleDrivenRouting final : public RoutingAlgorithm {
  public:
-  /// Premise spaces above this entry count keep the VM + cache tiers (the
+  /// Default AOT entry budget: the direct LUT, a compressed table, or the
+  /// sum of the lazy per-node sub-tables must fit this many entries (the
   /// paper's exponential-blow-up discussion applies to the decision table
-  /// exactly as to the ARON kernel).
+  /// exactly as to the ARON kernel). Tests and benches narrow it with
+  /// set_aot_budget() to force the compressed / lazy tiers at small sizes.
   static constexpr std::uint64_t kAotMaxEntries = std::uint64_t{1} << 22;
+  /// Floor on the lazy tier's per-node sub-table capacity (entries; the
+  /// budget divided across nodes never shrinks a sub-table below this).
+  static constexpr std::uint32_t kLazyMinPerNode = 64;
+
+  /// Which execution tier serves decisions after the last fill. Vm means no
+  /// table at all — the reason is recorded in aot_tier_info().reason.
+  enum class AotTier : std::uint8_t { Vm, Direct, Compressed, Lazy };
+  static const char* tier_name(AotTier t) {
+    switch (t) {
+      case AotTier::Vm: return "vm";
+      case AotTier::Direct: return "direct";
+      case AotTier::Compressed: return "compressed";
+      case AotTier::Lazy: return "lazy";
+    }
+    return "?";
+  }
+
+  /// Tier-selection report for rulelint --emit-table, flexsim and tests.
+  struct AotTierInfo {
+    AotTier tier = AotTier::Vm;
+    rules::DestClassifier classifier = rules::DestClassifier::None;
+    /// Why this tier: the classifier's applicability verdict, the budget
+    /// arithmetic, or — for the VM tier — what kept the tables off.
+    std::string reason;
+    std::uint64_t full_entries = 0;   // uncompressed premise-space size
+    std::uint64_t table_entries = 0;  // entries actually allocated
+    /// full_entries / table_entries (1.0 for the direct tier).
+    double compression_ratio = 1.0;
+    // Lazy-tier counters (zero elsewhere).
+    std::uint64_t lazy_capacity_per_node = 0;
+    std::uint64_t lazy_nodes_allocated = 0;
+    std::int64_t lazy_hits = 0;
+    std::int64_t lazy_misses = 0;
+    std::int64_t lazy_evictions = 0;
+    std::int64_t lazy_uncacheable = 0;
+  };
 
   /// `escape_vc` >= 0 equips the rule program with a hardware escape layer
   /// (a deterministic up*/down* table rebuilt each diagnosis phase, exposed
@@ -117,12 +175,28 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   std::int64_t decision_cache_misses() const;
   void clear_decision_cache() const;
 
-  /// True when decisions are being served from an AOT table (false also
-  /// after a machine() poke dropped the table pending the next fill).
-  bool aot_active() const { return aot_view_.entries != nullptr; }
+  /// True when decisions are being served from an AOT tier (direct,
+  /// compressed or lazy tables; false also after a machine() poke dropped
+  /// the tables pending the next fill).
+  bool aot_active() const {
+    return aot_view_.entries != nullptr || aot_view_.lazy != nullptr;
+  }
   /// Table statistics of the active image (empty stats when no table —
   /// fallback_fraction() reports 1.0 then). For rulelint and benches.
   rules::AotTable::Stats aot_stats() const;
+  /// Tier report of the active image: which tier serves decisions, the
+  /// classifier verdict, compression ratio and lazy counters.
+  AotTierInfo aot_tier_info() const;
+
+  /// Narrow (or widen) the AOT entry budget; effective at the next fill
+  /// (attach / reconfigure / prepare_swap). Tests force the compressed and
+  /// lazy tiers at small fabric sizes this way.
+  void set_aot_budget(std::uint64_t entries) { aot_budget_ = entries; }
+  std::uint64_t aot_budget() const { return aot_budget_; }
+  /// Disable dest-class compression (benches compare the lazy tier against
+  /// the compressed one on the same program). Effective at the next fill.
+  void set_aot_compression_enabled(bool on) { compress_wanted_ = on; }
+  bool aot_compression_enabled() const { return compress_wanted_; }
 
   // --- hot swap -------------------------------------------------------------
   /// Build a complete execution image (parse, validate, compile and — in
@@ -142,6 +216,24 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   /// is in flight (the simulator commits between cycles or at quiescence).
   void commit_swap();
   void abort_swap() { pending_.reset(); }
+
+  // --- rolling swap commit --------------------------------------------------
+  /// Per-shard rolling commit: instead of gating the whole network until
+  /// quiescence, the simulator drains one ShardPlan shard at a time and
+  /// flips its nodes to the prepared program as each goes quiet. Between
+  /// begin and finish, route() serves every decision through the fallback
+  /// path (the AOT view is dropped — tables are image-global and cannot
+  /// represent a mixed network), picking the pending image for nodes
+  /// already committed and the active one for the rest.
+  void begin_rolling_commit();
+  /// Flip one node to the prepared program (its decisions now come from the
+  /// pending image). The caller must guarantee the node is quiet — no
+  /// buffered flits, nothing in its injection queue.
+  void commit_swap_node(NodeId n);
+  /// All nodes flipped: install the pending image wholesale (commit_swap)
+  /// and restore the table tiers.
+  void finish_rolling_commit();
+  bool rolling_commit_active() const { return rolling_; }
 
  private:
   /// Catalog slot of one declared input, resolved once at attach().
@@ -177,6 +269,43 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
     std::int64_t cache_misses = 0;
   };
 
+  /// One lazy sub-table slot: a tagged AOT entry. tag == 0 is empty; a
+  /// stored key k is tagged k + 1 so key 0 is representable.
+  struct LazySlot {
+    std::uint64_t tag = 0;
+    rules::AotEntry e{};
+  };
+
+  /// One node's lazy sub-table: 2-way set-associative over the node's
+  /// (dest, in_port, in_vc) premise key, filled from the miss path. All
+  /// mutation is node-scoped (a node belongs to exactly one shard), so the
+  /// lazy tier is race-free under sharded stepping for the same reason
+  /// DecisionSlot is. Counters live here, not on LazyState, for that
+  /// same reason.
+  struct LazyNode {
+    std::vector<LazySlot> slots;  // sets * 2
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    /// Decisions the entry encoding cannot hold (oversized candidate set,
+    /// steps out of uint16 range, mark_misrouted) — recomputed every time.
+    std::int64_t uncacheable = 0;
+  };
+
+  /// Lazy tier state: per-node sub-tables allocated on first touch, so an
+  /// idle node costs nothing. The nodes vector itself is pre-sized at
+  /// setup — first-touch allocation swaps a unique_ptr in place and never
+  /// resizes, keeping concurrent touches on distinct nodes race-free.
+  struct LazyState {
+    std::uint32_t sets = 0;          // per node; power of two
+    std::uint64_t capacity = 0;      // sets * 2, for reporting
+    std::int32_t ports = 0;          // full premise axes (key layout)
+    std::int32_t vcs = 0;
+    std::int32_t id_bound = 0;       // nodes == dests == num_nodes
+    std::uint64_t epoch = ~std::uint64_t{0};
+    std::vector<std::unique_ptr<LazyNode>> nodes;
+  };
+
   /// Everything scoped to one rule program: the unit of hot swap. The
   /// active image serves traffic; prepare_swap() builds a pending one on
   /// the side and commit_swap() exchanges the unique_ptrs. Host-scoped
@@ -199,9 +328,18 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
     std::vector<std::unique_ptr<rules::EventManager>> machines;
     std::vector<DecisionSlot> slots;    // one per node
     std::vector<NodeCache> caches;      // one per node
-    // AOT tier (ExecMode::Aot + tabulable + within budget only).
+    // AOT tier ladder (ExecMode::Aot + tabulable only). `aot` holds the
+    // direct or compressed table; `lazy` the per-node sub-tables. The
+    // chosen tier and why are recorded for aot_tier_info().
     rules::AotTable aot;
     std::uint64_t aot_epoch = ~std::uint64_t{0};
+    AotTier tier = AotTier::Vm;
+    std::string tier_reason;
+    rules::DestClassAnalysis classify;              // syntactic verdict
+    rules::DestClassifier classifier_used = rules::DestClassifier::None;
+    std::uint64_t full_entries = 0;  // uncompressed premise-space size
+    std::unique_ptr<LazyState> lazy;
+    bool lazy_active = false;  // false after a machine() poke
   };
 
   /// Snapshot of the active image's AOT table, flattened into the routing
@@ -219,6 +357,18 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
     std::uint64_t node_stride = 0;
     std::uint64_t dest_stride = 0;
     std::uint64_t epoch = ~std::uint64_t{0};
+    /// Compressed tier: how route() derives the dest-axis index. For
+    /// XorFold nodes==1 (node axis collapsed; node_stride==0) and
+    /// dests==the class count; id_bound carries the real node-id bound the
+    /// dims no longer encode. xs/ys point at the host's coordinate arrays
+    /// (OffsetSign2D sign computation without a Mesh call).
+    rules::DestClassifier classifier = rules::DestClassifier::None;
+    std::int32_t id_bound = 0;
+    const std::int16_t* xs = nullptr;
+    const std::int16_t* ys = nullptr;
+    /// Lazy tier (mutually exclusive with entries != nullptr). Mutable
+    /// through the view: the sub-tables are node-scoped (see LazyNode).
+    LazyState* lazy = nullptr;
   };
 
   rules::Value input_value(const RouteContext& ctx, const std::string& name,
@@ -233,9 +383,24 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
                          std::size_t nargs);
   void add_candidate(RouteDecision& d, PortId port, VcId vc, int prio) const;
   std::unique_ptr<Image> build_image(std::string program_source) const;
-  /// (Re)fill the image's AOT table for the current fault epoch; no-op
-  /// when the image is not AOT-eligible or the table is already fresh.
+  /// (Re)fill the image's AOT tier for the current fault epoch; no-op when
+  /// the image is not AOT-eligible or the tables are already fresh. Walks
+  /// the tier ladder: direct -> compressed -> lazy -> VM.
   void fill_aot(Image& im) const;
+  /// Fill `im.aot` as a direct LUT over the full premise space.
+  void fill_direct(Image& im, const rules::AotTable::Dims& dims) const;
+  /// Fill `im.aot` in the compressed layout for `im.classify.kind` and
+  /// validate it against the VM. Returns false (leaving the table cleared)
+  /// on any validation mismatch — caller demotes to lazy.
+  bool fill_compressed(Image& im, const rules::AotTable::Dims& full) const;
+  /// (Re)initialise the lazy tier: size the sub-tables from the budget and
+  /// clear any stale contents (buffers are kept across epochs).
+  void setup_lazy(Image& im, const rules::AotTable::Dims& full) const;
+  /// Lazy-tier miss: compute through the VM, store when the entry encoding
+  /// can hold the decision, and fill `d`. Out of line — the hit path stays
+  /// small enough to inline.
+  void route_lazy_miss(const RouteContext& ctx, RouteDecision& d,
+                       std::uint64_t key) const;
   /// Re-point aot_view_ at the active image's table (null when it has
   /// none). Call after anything that changes img_ or its table.
   void refresh_aot_view() const;
@@ -254,8 +419,18 @@ class RuleDrivenRouting final : public RoutingAlgorithm {
   const Mesh* mesh_ = nullptr;  // non-null on 2-D meshes
   const FaultSet* faults_ = nullptr;
   bool cache_wanted_ = true;  // host switch (benches measure cold paths)
+  std::uint64_t aot_budget_ = kAotMaxEntries;
+  bool compress_wanted_ = true;
+  /// Node coordinates flattened for the OffsetSign2D hot path (2-D meshes
+  /// only; empty otherwise). Host-scoped: rebuilt at attach().
+  std::vector<std::int16_t> coords_x_;
+  std::vector<std::int16_t> coords_y_;
   std::unique_ptr<Image> img_;      // active; null before attach()
   std::unique_ptr<Image> pending_;  // prepared swap target, if any
+  /// Rolling-commit window: nodes flagged here route from pending_, the
+  /// rest from img_. Only mutated in the simulator's serial swap phase.
+  bool rolling_ = false;
+  std::vector<char> node_on_pending_;
   /// Mutable: machine() (a const accessor) drops the view when it hands
   /// out mutable rule state. Only mutated in single-threaded phases
   /// (attach / reconfigure / commit / test pokes), never during stepping.
@@ -271,6 +446,8 @@ inline RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
   // into the caller's slot, which costs more than the table lookup itself.
   RouteDecision d;
   const AotView& av = aot_view_;
+  const std::int32_t pa = ctx.in_port + 1;  // port axis: -1 collapses to 0
+  const std::int32_t va = ctx.in_vc + 1;    // vc axis: likewise
   if (av.entries != nullptr) {
     // A non-null view implies attach() ran, and table freshness implies
     // escape-layer freshness (fill_aot asserts the escape table was
@@ -278,19 +455,32 @@ inline RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
     // subsumes the attach/escape preconditions route_fallback() enforces.
     FR_REQUIRE_MSG(av.epoch == faults_->epoch(),
                    "stale AOT table: reconfigure() missed an epoch");
-    const std::int32_t pa = ctx.in_port + 1;  // port axis: -1 collapses to 0
-    const std::int32_t va = ctx.in_vc + 1;    // vc axis: likewise
     // The range test doubles as the bounds proof for the raw-indexed
-    // lookup; anything outside the table is a VM premise point.
+    // lookup (and for the coordinate arrays the sign classifier reads);
+    // anything outside the table is a VM premise point.
     if (static_cast<std::uint32_t>(ctx.node) <
-            static_cast<std::uint32_t>(av.nodes) &&
+            static_cast<std::uint32_t>(av.id_bound) &&
         static_cast<std::uint32_t>(ctx.dest) <
-            static_cast<std::uint32_t>(av.dests) &&
+            static_cast<std::uint32_t>(av.id_bound) &&
         static_cast<std::uint32_t>(pa) < static_cast<std::uint32_t>(av.ports) &&
         static_cast<std::uint32_t>(va) < static_cast<std::uint32_t>(av.vcs)) {
+      // Dest-axis index: the raw dest id (direct), the xor class (both id
+      // axes collapse — node_stride is 0 then), or the 2-D offset-sign
+      // class. Node ids < id_bound keep every class in range by
+      // construction (xor of two k-bit ids is k-bit; signs yield 0..8).
+      std::int32_t dc = ctx.dest;
+      std::int32_t node_ax = ctx.node;
+      if (av.classifier == rules::DestClassifier::XorFold) {
+        dc = ctx.node ^ ctx.dest;
+        node_ax = 0;
+      } else if (av.classifier == rules::DestClassifier::OffsetSign2D) {
+        const std::int32_t dx = av.xs[ctx.dest] - av.xs[ctx.node];
+        const std::int32_t dy = av.ys[ctx.dest] - av.ys[ctx.node];
+        dc = ((dy > 0) - (dy < 0) + 1) * 3 + ((dx > 0) - (dx < 0) + 1);
+      }
       const std::uint64_t flat =
-          static_cast<std::uint64_t>(ctx.node) * av.node_stride +
-          static_cast<std::uint64_t>(ctx.dest) * av.dest_stride +
+          static_cast<std::uint64_t>(node_ax) * av.node_stride +
+          static_cast<std::uint64_t>(dc) * av.dest_stride +
           static_cast<std::uint64_t>(pa) * static_cast<std::uint64_t>(av.vcs) +
           static_cast<std::uint64_t>(va);
       const rules::AotEntry e = av.entries[flat];
@@ -321,6 +511,52 @@ inline RouteDecision RuleDrivenRouting::route(const RouteContext& ctx) const {
         d.steps = e.steps;
         return d;
       }
+    }
+  } else if (av.lazy != nullptr) {
+    LazyState& ls = *av.lazy;
+    FR_REQUIRE_MSG(ls.epoch == faults_->epoch(),
+                   "stale lazy AOT tier: reconfigure() missed an epoch");
+    if (static_cast<std::uint32_t>(ctx.node) <
+            static_cast<std::uint32_t>(ls.id_bound) &&
+        static_cast<std::uint32_t>(ctx.dest) <
+            static_cast<std::uint32_t>(ls.id_bound) &&
+        static_cast<std::uint32_t>(pa) < static_cast<std::uint32_t>(ls.ports) &&
+        static_cast<std::uint32_t>(va) < static_cast<std::uint32_t>(ls.vcs)) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(ctx.dest) *
+               static_cast<std::uint64_t>(ls.ports) +
+           static_cast<std::uint64_t>(pa)) *
+              static_cast<std::uint64_t>(ls.vcs) +
+          static_cast<std::uint64_t>(va);
+      LazyNode* ln = ls.nodes[static_cast<std::size_t>(ctx.node)].get();
+      if (ln != nullptr) {
+        // 2-way probe: Fibonacci-hash the key, check both ways of the set.
+        const std::uint64_t h = (key * 0x9E3779B97F4A7C15ull) >> 32;
+        const std::uint64_t base =
+            (h & (static_cast<std::uint64_t>(ls.sets) - 1)) * 2;
+        const std::uint64_t tag = key + 1;  // 0 = empty slot
+        const LazySlot* s = &ln->slots[static_cast<std::size_t>(base)];
+        if (s->tag != tag) {
+          ++s;
+          if (s->tag != tag) s = nullptr;
+        }
+        if (s != nullptr) {
+          // Lazy entries are inline-only (route_lazy_miss never stores an
+          // arena decision), so the hit unpack has no arena branch.
+          const rules::AotEntry e = s->e;
+          RouteCandidate* dst = d.candidates.resize_for_overwrite(e.count);
+          for (std::uint32_t i = 0; i < rules::AotEntry::kInlineCands; ++i) {
+            dst[i].port = e.inl[i].port;
+            dst[i].vc = e.inl[i].vc;
+            dst[i].priority = e.inl[i].priority;
+          }
+          d.steps = e.steps;
+          ++ln->hits;
+          return d;
+        }
+      }
+      route_lazy_miss(ctx, d, key);
+      return d;
     }
   }
   route_fallback(ctx, d);

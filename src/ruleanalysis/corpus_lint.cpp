@@ -148,13 +148,20 @@ std::vector<TableReport> emit_table_corpus() {
     VcId escape_vc;
   };
   // The runnable decision programs at the sizes the differential tests and
-  // benches use. Each AOT-compiles against its own topology (topology_of on
-  // the program's constants) with a clean fault set.
+  // benches use, plus the 4096-node fabrics the tier ladder exists for
+  // (64x64 meshes and 12-cubes blow the direct budget; the compressed and
+  // lazy tiers must absorb them). Each AOT-compiles against its own
+  // topology (topology_of on the program's constants) with a clean fault
+  // set.
   const Case cases[] = {
       {rulebases::nara_route_source(8, 8), 2, -1},
       {rulebases::ft_mesh_route_source(8, 8), 3, 2},
       {rulebases::ecube_route_source(6), 1, -1},
       {rulebases::ecube_msb_route_source(6), 1, -1},
+      {rulebases::nara_route_source(64, 64), 2, -1},
+      {rulebases::ft_mesh_route_source(64, 64), 3, 2},
+      {rulebases::ecube_route_source(12), 1, -1},
+      {rulebases::ecube_msb_route_source(12), 1, -1},
   };
   std::vector<TableReport> out;
   for (const Case& c : cases) {
@@ -174,13 +181,27 @@ std::vector<TableReport> emit_table_corpus() {
     algo.attach(*topo, faults);
     rep.program += " @ " + topo->name();
     rep.active = algo.aot_active();
-    const rules::AotTable::Stats st = algo.aot_stats();
-    rep.entries = st.entries;
-    rep.resolved = st.resolved;
-    rep.unreachable = st.unreachable;
-    rep.fallback = st.fallback;
-    rep.bytes = st.bytes;
-    rep.fallback_fraction = st.fallback_fraction();
+    const RuleDrivenRouting::AotTierInfo ti = algo.aot_tier_info();
+    rep.tier = RuleDrivenRouting::tier_name(ti.tier);
+    rep.classifier = rules::to_string(ti.classifier);
+    rep.tier_reason = ti.reason;
+    rep.full_entries = ti.full_entries;
+    rep.compression_ratio = ti.compression_ratio;
+    if (ti.tier == RuleDrivenRouting::AotTier::Lazy) {
+      // The lazy tier has no eager fill to account: report the allocation
+      // bound (the budget split across nodes) as the table size.
+      rep.entries = ti.table_entries;
+      rep.bytes = ti.table_entries * sizeof(rules::AotEntry);
+      rep.fallback_fraction = 0.0;
+    } else {
+      const rules::AotTable::Stats st = algo.aot_stats();
+      rep.entries = st.entries;
+      rep.resolved = st.resolved;
+      rep.unreachable = st.unreachable;
+      rep.fallback = st.fallback;
+      rep.bytes = st.bytes;
+      rep.fallback_fraction = st.fallback_fraction();
+    }
     out.push_back(std::move(rep));
   }
   return out;
@@ -191,7 +212,20 @@ std::string to_string(const std::vector<TableReport>& reports) {
   for (const TableReport& r : reports) {
     os << r.program << ": ";
     if (!r.active) {
-      os << "NO TABLE (VM fallback serves every decision)\n";
+      os << "NO TABLE (VM fallback serves every decision; "
+         << (r.tier_reason.empty() ? "no reason recorded" : r.tier_reason)
+         << ")\n";
+      continue;
+    }
+    os << "tier " << r.tier;
+    if (r.classifier != "none") os << " [" << r.classifier << "]";
+    if (r.compression_ratio > 1.0)
+      os << " " << r.compression_ratio << "x compression";
+    os << ", ";
+    if (r.tier == "lazy") {
+      os << r.entries << " entries allocated (of " << r.full_entries
+         << " premise points; filled on first touch), " << r.bytes
+         << " bytes\n";
       continue;
     }
     os << r.entries << " entries (" << r.resolved << " resolved, "

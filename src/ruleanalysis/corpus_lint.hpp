@@ -43,9 +43,16 @@ CorpusLintResult lint_corpus(const CorpusLintOptions& opts = {});
 /// (rulelint --emit-table / the aot_table_corpus ctest).
 struct TableReport {
   std::string program;            // program @ the topology it was built for
-  bool active = false;            // a table is serving (analysis accepted,
-                                  // premise space within budget)
-  std::uint64_t entries = 0;      // premise points tabulated
+  bool active = false;            // a table tier is serving (analysis
+                                  // accepted; direct, compressed or lazy)
+  std::string tier = "vm";        // chosen tier: vm/direct/compressed/lazy
+  std::string classifier = "none";  // dest-class classifier, if any
+  std::string tier_reason;        // why this tier (budget arithmetic,
+                                  // classifier verdict, VM keep-alive cause)
+  std::uint64_t full_entries = 0;  // uncompressed premise-space size
+  double compression_ratio = 1.0;  // full_entries / allocated entries
+  std::uint64_t entries = 0;      // premise points tabulated (direct and
+                                  // compressed; lazy allocation bound)
   std::uint64_t resolved = 0;     // entries with a stored decision
   std::uint64_t unreachable = 0;  // points no packet can present
   std::uint64_t fallback = 0;     // presentable points left to the VM
@@ -53,10 +60,13 @@ struct TableReport {
   double fallback_fraction = 1.0;
 };
 
-/// AOT-compile every runnable decision program of the corpus at the sizes
-/// the differential tests use and report its table. The shipped-corpus
-/// gate: each report must be `active` with `fallback == 0` (every
-/// presentable premise point pre-resolved).
+/// AOT-compile every runnable decision program of the corpus — at the sizes
+/// the differential tests use AND at the 4096-node scale (64x64 meshes,
+/// 12-cubes) — and report its table. The shipped-corpus gate: each report
+/// must reach a non-VM tier, and the eager tiers (direct/compressed) must
+/// leave zero presentable premise points to the VM fallback. The lazy tier
+/// fills from the miss path, so its fallback counter is structurally zero
+/// only after traffic; the gate checks tier, not fill state, there.
 std::vector<TableReport> emit_table_corpus();
 
 std::string to_string(const std::vector<TableReport>& reports);

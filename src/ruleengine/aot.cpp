@@ -63,6 +63,24 @@ void AotTable::mark_unreachable(std::uint64_t flat) {
   e.count = kUnreachableCount;
 }
 
+bool AotTable::decode(std::uint64_t flat, int& steps,
+                      std::vector<AotCand>& cands) const {
+  FR_REQUIRE(flat < entries_.size());
+  const AotEntry& e = entries_[static_cast<std::size_t>(flat)];
+  cands.clear();
+  if (e.steps == 0) return false;
+  steps = e.steps;
+  if (e.count & AotEntry::kArenaFlag) {
+    const std::uint32_t n = e.count & (AotEntry::kArenaFlag - 1u);
+    cands.insert(cands.end(), arena_.begin() + e.first,
+                 arena_.begin() + e.first + n);
+  } else {
+    for (std::uint32_t i = 0; i < e.count; ++i)
+      cands.push_back({e.inl[i].port, e.inl[i].vc, e.inl[i].priority});
+  }
+  return true;
+}
+
 AotTable::Stats AotTable::stats() const {
   Stats s;
   s.entries = entries_.size();

@@ -123,6 +123,12 @@ class AotTable {
   const AotEntry* entries_raw() const { return entries_.data(); }
   const AotCand* arena_raw() const { return arena_.data(); }
 
+  /// Decode one entry into (steps, candidates); false when the entry is
+  /// unresolved (fallback or unreachable). For fill-time validation of the
+  /// compressed layout and for tests — the hot path unpacks inline.
+  bool decode(std::uint64_t flat, int& steps,
+              std::vector<AotCand>& cands) const;
+
   Stats stats() const;
 
  private:

@@ -1,0 +1,241 @@
+#include "ruleengine/aot_classify.hpp"
+
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace flexrouter::rules {
+
+namespace {
+
+bool is_plain_ref(const ExprPtr& e, const char* name) {
+  return e != nullptr && e->kind == Expr::Kind::Ref && e->args.empty() &&
+         e->name == name;
+}
+
+/// `xor(node, dest)` in either argument order.
+bool is_xor_node_dest(const Expr& e) {
+  if (e.kind != Expr::Kind::Ref || e.name != "xor" || e.args.size() != 2)
+    return false;
+  return (is_plain_ref(e.args[0], "node") && is_plain_ref(e.args[1], "dest")) ||
+         (is_plain_ref(e.args[0], "dest") && is_plain_ref(e.args[1], "node"));
+}
+
+/// `node = dest` / `node <> dest` (either order) — equivalent to testing
+/// xor-class 0, so it is XorFold-sanctioned.
+bool is_node_dest_eq(const Expr& e) {
+  if (e.kind != Expr::Kind::Binary ||
+      (e.bin_op != BinOp::Eq && e.bin_op != BinOp::Ne))
+    return false;
+  return (is_plain_ref(e.lhs, "node") && is_plain_ref(e.rhs, "dest")) ||
+         (is_plain_ref(e.lhs, "dest") && is_plain_ref(e.rhs, "node"));
+}
+
+/// A direct comparison between one coordinate input and its destination
+/// counterpart (either order) — a function of the offset sign alone.
+bool is_axis_sign_cmp(const Expr& e, const char* pos, const char* des) {
+  if (e.kind != Expr::Kind::Binary) return false;
+  switch (e.bin_op) {
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      break;
+    default:
+      return false;
+  }
+  return (is_plain_ref(e.lhs, pos) && is_plain_ref(e.rhs, des)) ||
+         (is_plain_ref(e.lhs, des) && is_plain_ref(e.rhs, pos));
+}
+
+/// Collect every rule base reachable from `root`: subbase references in
+/// expressions plus emitted events that land on rule bases — the same
+/// conservative traversal analyze_reachable uses.
+std::vector<const RuleBase*> reachable_bases(const Program& prog,
+                                             const std::string& root) {
+  std::set<const RuleBase*> visited;
+  std::vector<const RuleBase*> work, out;
+  auto enqueue = [&](const RuleBase* rb) {
+    if (rb != nullptr && visited.insert(rb).second) work.push_back(rb);
+  };
+  std::function<void(const ExprPtr&)> walk_expr = [&](const ExprPtr& e) {
+    if (e == nullptr) return;
+    if (e->kind == Expr::Kind::Ref) enqueue(prog.find_rule_base(e->name));
+    for (const ExprPtr& a : e->args) walk_expr(a);
+    walk_expr(e->lhs);
+    walk_expr(e->rhs);
+  };
+  std::function<void(const std::vector<Cmd>&)> walk_cmds =
+      [&](const std::vector<Cmd>& cmds) {
+        for (const Cmd& c : cmds) {
+          if (c.kind == Cmd::Kind::Emit) enqueue(prog.find_rule_base(c.target));
+          for (const ExprPtr& a : c.args) walk_expr(a);
+          walk_expr(c.value);
+          walk_expr(c.domain);
+          walk_cmds(c.body);
+        }
+      };
+  enqueue(prog.find_rule_base(root));
+  while (!work.empty()) {
+    const RuleBase* rb = work.back();
+    work.pop_back();
+    out.push_back(rb);
+    for (const Rule& r : rb->rules) {
+      walk_expr(r.premise);
+      walk_cmds(r.conclusion);
+    }
+  }
+  return out;
+}
+
+/// Recursive usage checker: `sanctioned` recognises whole subtrees whose
+/// value is provably class-determined (they are not descended into);
+/// `forbidden_ref` rejects any other appearance of the restricted inputs.
+/// On rejection `blocker` carries the offending expression's text.
+struct UsageChecker {
+  const Program& prog;
+  std::function<bool(const Expr&)> sanctioned;
+  std::function<bool(const Expr&)> forbidden_ref;
+  std::string blocker;
+
+  bool ok(const ExprPtr& e) {
+    if (e == nullptr) return true;
+    if (sanctioned(*e)) return true;
+    if (e->kind == Expr::Kind::Ref && forbidden_ref(*e)) {
+      blocker = to_string(*e, prog.syms);
+      return false;
+    }
+    for (const ExprPtr& a : e->args)
+      if (!ok(a)) return false;
+    return ok(e->lhs) && ok(e->rhs);
+  }
+
+  bool ok_cmds(const std::vector<Cmd>& cmds) {
+    for (const Cmd& c : cmds) {
+      for (const ExprPtr& a : c.args)
+        if (!ok(a)) return false;
+      if (!ok(c.value) || !ok(c.domain)) return false;
+      if (!ok_cmds(c.body)) return false;
+    }
+    return true;
+  }
+
+  bool ok_rules(const std::vector<const RuleBase*>& bases) {
+    for (const RuleBase* rb : bases)
+      for (const Rule& r : rb->rules) {
+        if (!ok(r.premise)) return false;
+        if (!ok_cmds(r.conclusion)) return false;
+      }
+    return true;
+  }
+};
+
+/// Inputs read anywhere in the reachable rules (names, not usage contexts).
+std::set<std::string> inputs_read(const Program& prog,
+                                  const std::vector<const RuleBase*>& bases) {
+  std::set<std::string> reads;
+  for (const RuleBase* rb : bases)
+    for (const Rule& r : rb->rules)
+      for_each_expr(r, [&](const Expr& e) {
+        if (e.kind == Expr::Kind::Ref && prog.find_input(e.name) != nullptr)
+          reads.insert(e.name);
+      });
+  return reads;
+}
+
+bool subset_of(const std::set<std::string>& reads,
+               std::initializer_list<const char*> allowed,
+               std::string& offender) {
+  for (const std::string& r : reads) {
+    bool ok = false;
+    for (const char* a : allowed)
+      if (r == a) {
+        ok = true;
+        break;
+      }
+    if (!ok) {
+      offender = r;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(DestClassifier c) {
+  switch (c) {
+    case DestClassifier::None: return "none";
+    case DestClassifier::XorFold: return "xor-fold";
+    case DestClassifier::OffsetSign2D: return "offset-sign-2d";
+  }
+  return "?";
+}
+
+DestClassAnalysis classify_dest_axis(const Program& prog,
+                                     const std::string& root) {
+  DestClassAnalysis out;
+  const std::vector<const RuleBase*> bases = reachable_bases(prog, root);
+  if (bases.empty()) {
+    out.reason = "decision rule base '" + root + "' not found";
+    return out;
+  }
+  const std::set<std::string> reads = inputs_read(prog, bases);
+
+  // XorFold first: when it applies it collapses both id axes, so it always
+  // yields the smaller table. Every other input must be premise-axis
+  // determined — node-scoped reads (link_ok, xpos…) would break the node
+  // collapse.
+  std::string offender;
+  std::string xor_blocker;
+  if (subset_of(reads, {"node", "dest", "in_port", "in_vc", "injected"},
+                offender)) {
+    UsageChecker xc{
+        prog,
+        [](const Expr& e) { return is_xor_node_dest(e) || is_node_dest_eq(e); },
+        [](const Expr& e) { return e.name == "node" || e.name == "dest"; },
+        {}};
+    if (xc.ok_rules(bases)) {
+      out.kind = DestClassifier::XorFold;
+      out.reason =
+          "node/dest read only through xor(node, dest) and node = dest tests";
+      return out;
+    }
+    xor_blocker = "reads raw node/dest bits: " + xc.blocker;
+  }
+
+  // OffsetSign2D keeps the node axis, so node-determined inputs are fine;
+  // only raw destination reads (dest, xdes/ydes outside a sign comparison,
+  // dest_reachable, the escape_* family) block it.
+  if (!subset_of(reads,
+                 {"node", "xpos", "ypos", "xdes", "ydes", "in_port", "in_vc",
+                  "injected", "link_ok"},
+                 offender)) {
+    out.reason = !xor_blocker.empty()
+                     ? xor_blocker
+                     : "reads '" + offender + "', which depends on raw dest bits";
+    return out;
+  }
+  UsageChecker oc{prog,
+                  [](const Expr& e) {
+                    return is_axis_sign_cmp(e, "xpos", "xdes") ||
+                           is_axis_sign_cmp(e, "ypos", "ydes");
+                  },
+                  [](const Expr& e) {
+                    return e.name == "xdes" || e.name == "ydes";
+                  },
+                  {}};
+  if (oc.ok_rules(bases)) {
+    out.kind = DestClassifier::OffsetSign2D;
+    out.reason =
+        "xdes/ydes read only in sign comparisons against xpos/ypos";
+    return out;
+  }
+  out.reason = "reads a destination coordinate outside a sign comparison: " +
+               oc.blocker;
+  return out;
+}
+
+}  // namespace flexrouter::rules

@@ -1,0 +1,55 @@
+// Dest-axis classification for the AOT decision table: static proofs that a
+// routing program's decision depends on the destination only through a small
+// derived quantity, so the table's dest axis can collapse from N node ids to
+// O(degree) classes. Two classifiers are recognised:
+//
+//  * XorFold — every read of `node` / `dest` occurs inside `xor(node, dest)`
+//    or as a direct `node = dest` / `node <> dest` comparison, and no other
+//    node-dependent input is read. The decision is then a function of
+//    (node ^ dest, in_port, in_vc) alone — both id axes collapse to one
+//    xor-class axis (e-cube / dimension-order programs on hypercubes).
+//  * OffsetSign2D — every read of `xdes` / `ydes` occurs as a direct
+//    comparison against `xpos` / `ypos` respectively. Any comparison between
+//    a position and the matching destination coordinate is a function of the
+//    per-axis offset *sign*, so the dest axis collapses to the nine
+//    (sgn dx, sgn dy) combinations while the node axis stays (node-scoped
+//    inputs like link_ok remain legal) — DOR / NARA-style mesh programs.
+//
+// The analysis is conservative: it walks every rule reachable from the
+// decision rule base (the same traversal as analyze_reachable) and rejects
+// on the first read it cannot prove class-determined — e.g. ft_mesh_rules'
+// `escape_port`, which depends on raw destination bits. The host validates
+// the verdict point-by-point against the VM during the table fill and
+// demotes to the lazy tier on any mismatch, so a classifier bug can cost
+// performance but never correctness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ruleengine/ast.hpp"
+
+namespace flexrouter::rules {
+
+enum class DestClassifier : std::uint8_t {
+  None = 0,      // dest axis cannot be collapsed
+  XorFold,       // class = node ^ dest (node axis collapses too)
+  OffsetSign2D,  // class = (sgn(ydes-ypos), sgn(xdes-xpos)); node axis stays
+};
+
+const char* to_string(DestClassifier c);
+
+struct DestClassAnalysis {
+  DestClassifier kind = DestClassifier::None;
+  /// Human-readable verdict: which proof succeeded, or the first read that
+  /// blocked both (surfaced by rulelint --emit-table and flexsim).
+  std::string reason;
+};
+
+/// Decide whether the premise space reachable from rule base `root` admits
+/// a dest-axis classifier. Purely syntactic — host applicability (2-D mesh
+/// for OffsetSign2D, tabulable program) is the caller's business.
+DestClassAnalysis classify_dest_axis(const Program& prog,
+                                     const std::string& root);
+
+}  // namespace flexrouter::rules

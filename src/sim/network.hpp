@@ -195,6 +195,16 @@ class Network {
     return *routers_[static_cast<std::size_t>(n)];
   }
 
+  /// No flit buffered in this node's router and nothing queued for
+  /// injection there. Sound commit point for a per-node program flip: a
+  /// routing decision only ever happens for a flit buffered at the node,
+  /// so a quiet node has no decision in flight — flits still on incoming
+  /// links will be decided by whatever program is installed on arrival.
+  bool node_quiet(NodeId n) const {
+    return routers_[static_cast<std::size_t>(n)]->empty() &&
+           injection_queues_[static_cast<std::size_t>(n)].empty();
+  }
+
   /// Aggregate router statistics over all nodes.
   RouterStats aggregate_stats() const;
 

@@ -91,6 +91,8 @@ std::string SimResult::to_string() const {
   // Swap metrics likewise appear only when a swap committed.
   if (rule_swaps > 0) {
     os << " | swaps=" << rule_swaps << " swap_gated=" << swap_gated_cycles;
+    if (swap_gated_node_cycles > 0)
+      os << " swap_gated_nodes=" << swap_gated_node_cycles;
   }
   if (deadlock_suspected) os << " [DEADLOCK SUSPECTED]";
   return os.str();
@@ -130,7 +132,7 @@ void Simulator::schedule_rule_swap(Cycle at, std::string program_source,
 
 void Simulator::process_rule_swaps(SimResult& result) {
   if (!swap_work_pending()) return;
-  if (!swap_draining_) {
+  if (!swap_draining_ && !rolling_active_) {
     if (next_swap_ >= swaps_.size() || swaps_[next_swap_].at > now_) return;
     const RuleSwap& s = swaps_[next_swap_];
     auto* rd = dynamic_cast<RuleDrivenRouting*>(&net_->algorithm());
@@ -140,22 +142,37 @@ void Simulator::process_rule_swaps(SimResult& result) {
     // concurrent with operation, so it costs no simulated cycles. A bad
     // program throws here, before any packet routes under it.
     if (!rd->swap_prepared()) rd->prepare_swap(s.source);
-    const bool quiescent =
-        s.policy == RuleSwapPolicy::Quiescent ||
-        (s.policy == RuleSwapPolicy::Auto && !rd->swap_target_stateless());
-    if (!quiescent) {
-      // Immediate: commit between cycles, zero gated cycles. Sound for
-      // stateless programs — every hop decides independently and deadlock
-      // freedom lives in the host escape layer, which survives the swap.
-      rd->commit_swap();
-      ++next_swap_;
-      ++result.rule_swaps;
-      return;
+    if (s.policy == RuleSwapPolicy::Rolling) {
+      rolling_active_ = true;
+      swap_started_ = now_;
+      const int shards = std::min(
+          cfg_.rolling_shards < 1 ? 1 : cfg_.rolling_shards,
+          static_cast<int>(net_->topology().num_nodes()));
+      rolling_plan_ = plan_shards(net_->topology(), shards);
+      rolling_shard_ = 0;
+      rolling_committed_.assign(
+          static_cast<std::size_t>(net_->topology().num_nodes()), 0);
+      rd->begin_rolling_commit();
+      // Fall through to the commit sweep: already-quiet nodes of the first
+      // shard flip this very cycle.
+    } else {
+      const bool quiescent =
+          s.policy == RuleSwapPolicy::Quiescent ||
+          (s.policy == RuleSwapPolicy::Auto && !rd->swap_target_stateless());
+      if (!quiescent) {
+        // Immediate: commit between cycles, zero gated cycles. Sound for
+        // stateless programs — every hop decides independently and deadlock
+        // freedom lives in the host escape layer, which survives the swap.
+        rd->commit_swap();
+        ++next_swap_;
+        ++result.rule_swaps;
+        return;
+      }
+      swap_draining_ = true;  // open the quiescent gate (injection stops)
+      swap_started_ = now_;
     }
-    swap_draining_ = true;  // open the quiescent gate (injection stops)
-    swap_started_ = now_;
   }
-  if (net_->idle()) {
+  if (swap_draining_ && net_->idle()) {
     auto* rd = dynamic_cast<RuleDrivenRouting*>(&net_->algorithm());
     FR_ASSERT(rd != nullptr);
     rd->commit_swap();
@@ -163,6 +180,45 @@ void Simulator::process_rule_swaps(SimResult& result) {
     ++next_swap_;
     ++result.rule_swaps;
     result.swap_gated_cycles += now_ - swap_started_;
+    // The quiescent gate stops every node for the whole drain window — the
+    // node-cycle figure Rolling is compared against.
+    result.swap_gated_node_cycles +=
+        (now_ - swap_started_) *
+        static_cast<Cycle>(net_->topology().num_nodes());
+  }
+  if (rolling_active_) {
+    auto* rd = dynamic_cast<RuleDrivenRouting*>(&net_->algorithm());
+    FR_ASSERT(rd != nullptr);
+    // Commit every quiet node of the draining shard; when the shard is
+    // fully flipped move to the next (looping — the next shard may already
+    // be quiet this same cycle).
+    while (rolling_shard_ < static_cast<std::size_t>(rolling_plan_.num_shards)) {
+      bool all_committed = true;
+      for (const NodeId n : rolling_plan_.nodes[rolling_shard_]) {
+        if (rolling_committed_[static_cast<std::size_t>(n)] != 0) continue;
+        if (net_->node_quiet(n)) {
+          rd->commit_swap_node(n);
+          rolling_committed_[static_cast<std::size_t>(n)] = 1;
+        } else {
+          all_committed = false;
+        }
+      }
+      if (!all_committed) break;
+      ++rolling_shard_;
+    }
+    if (rolling_shard_ >= static_cast<std::size_t>(rolling_plan_.num_shards)) {
+      rd->finish_rolling_commit();
+      rolling_active_ = false;
+      ++next_swap_;
+      ++result.rule_swaps;
+    } else {
+      // Node-cycle downtime accounting: only the draining shard's
+      // still-uncommitted nodes are injection-gated this cycle.
+      Cycle gated = 0;
+      for (const NodeId n : rolling_plan_.nodes[rolling_shard_])
+        if (rolling_committed_[static_cast<std::size_t>(n)] == 0) ++gated;
+      result.swap_gated_node_cycles += gated;
+    }
   }
 }
 
@@ -195,6 +251,12 @@ void Simulator::inject_offered_load(bool measured) {
     // up at the next quiescent commit (gated on lifecycle_ so the fault-free
     // RNG stream is untouched).
     if (lifecycle_ && net_->node_live_killed(n)) continue;
+    // A rolling swap gates only the draining shard's uncommitted nodes —
+    // the availability win over the quiescent policy. Skipped before the
+    // RNG draw, like the kill skip above; the gate set is deterministic
+    // (plan + network state), so results stay bit-identical across
+    // execution shard counts.
+    if (rolling_active_ && rolling_gated(n)) continue;
     if (!rng_.next_bool(packet_prob)) continue;
     const int length = bimodal && rng_.next_bool(cfg_.long_packet_fraction)
                            ? cfg_.long_packet_length
@@ -330,7 +392,7 @@ SimResult Simulator::run() {
   std::int64_t last_movement = net_->total_flit_movements();
   Cycle stall = 0;
   Cycle drained = 0;
-  while (measured_outstanding_ > 0 || swap_draining_ ||
+  while (measured_outstanding_ > 0 || swap_draining_ || rolling_active_ ||
          (lifecycle_ && (rstate_ != RecoveryState::Normal ||
                          !retry_queue_.empty() || net_->recovery_pending()))) {
     if (drained++ > cfg_.drain_limit) {

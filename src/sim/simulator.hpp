@@ -10,6 +10,7 @@
 #include "sim/fault_schedule.hpp"
 #include "sim/network.hpp"
 #include "sim/traffic.hpp"
+#include "topology/shard_plan.hpp"
 
 namespace flexrouter {
 
@@ -44,6 +45,13 @@ struct SimConfig {
   /// structured recovery: dump the blocked worm chain, kill the victim
   /// worm, retransmit it. Implied by a non-empty fault schedule.
   bool structured_watchdog = false;
+
+  // --- Rolling rule-swap commits (RuleSwapPolicy::Rolling) --------------
+  /// How many spatial shards a rolling swap drains sequentially. This is a
+  /// property of the *swap*, deliberately decoupled from the execution
+  /// shard count (NetworkConfig::shards) so results stay bit-identical
+  /// whatever parallelism the run uses. Clamped to the node count.
+  int rolling_shards = 8;
 
   // --- Event-driven idle skipping ---------------------------------------
   /// Skip network steps while the network is inert (no flits, no queued
@@ -96,6 +104,12 @@ struct SimResult {
   /// Cycles injection was gated by a quiescent swap drain (immediate swaps
   /// gate nothing). The swap-downtime figure bench/rule_hotswap reports.
   Cycle swap_gated_cycles = 0;
+  /// Node-cycles of gated injection — the per-node-resolution downtime
+  /// figure that makes policies comparable: a quiescent drain gates every
+  /// node for the whole window (cycles * num_nodes), a rolling commit only
+  /// the current shard's uncommitted nodes each cycle. Immediate swaps
+  /// gate nothing.
+  Cycle swap_gated_node_cycles = 0;
 
   /// Deadlock-watchdog diagnostics: the blocked wait-for chain captured
   /// the first time the watchdog fired (empty if it never did). Channel
@@ -129,8 +143,17 @@ class Simulator {
   /// default for stateful programs (their per-node registers restart
   /// fresh, which no in-flight worm may straddle). Auto picks Immediate
   /// when static analysis proved the *new* program stateless, Quiescent
-  /// otherwise.
-  enum class RuleSwapPolicy { Auto, Immediate, Quiescent };
+  /// otherwise. Rolling drains and commits one spatial shard
+  /// (SimConfig::rolling_shards, plan_shards partition) at a time: only
+  /// the currently-draining shard's uncommitted nodes stop injecting, and
+  /// each flips to the new program the cycle it goes quiet — the rest of
+  /// the fabric keeps running. The two programs coexist until the last
+  /// shard commits, so Rolling is for swaps whose old and new programs
+  /// may safely mix in flight (stateless programs under a shared escape
+  /// layer — the same condition that makes Immediate sound, paid at
+  /// per-shard granularity to bound how much of the fabric ever runs a
+  /// half-installed rollout).
+  enum class RuleSwapPolicy { Auto, Immediate, Quiescent, Rolling };
 
   /// Schedule a live rule-program swap at absolute cycle `at` (>= now).
   /// The network's routing algorithm must be a RuleDrivenRouting. Loading
@@ -196,7 +219,15 @@ class Simulator {
   /// while nothing is due or draining.
   void process_rule_swaps(SimResult& result);
   bool swap_work_pending() const {
-    return swap_draining_ || next_swap_ < swaps_.size();
+    return swap_draining_ || rolling_active_ || next_swap_ < swaps_.size();
+  }
+  /// True while node `n` must not inject: it belongs to the shard a
+  /// rolling swap is currently draining and has not flipped yet.
+  bool rolling_gated(NodeId n) const {
+    return rolling_active_ &&
+           rolling_plan_.shard_of[static_cast<std::size_t>(n)] ==
+               static_cast<int>(rolling_shard_) &&
+           rolling_committed_[static_cast<std::size_t>(n)] == 0;
   }
 
   void mark_measured(PacketId id) {
@@ -255,6 +286,13 @@ class Simulator {
   std::size_t next_swap_ = 0;
   bool swap_draining_ = false;
   Cycle swap_started_ = 0;
+  /// Rolling-commit state (RuleSwapPolicy::Rolling): shards are drained in
+  /// plan order; a node flips the cycle it goes quiet. All mutation happens
+  /// in the serial pre-step phase (process_rule_swaps).
+  bool rolling_active_ = false;
+  ShardPlan rolling_plan_;
+  std::size_t rolling_shard_ = 0;
+  std::vector<char> rolling_committed_;  // per node
 };
 
 }  // namespace flexrouter

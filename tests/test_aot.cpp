@@ -16,12 +16,20 @@
 //    threads and 1/2/4 spatial shards.
 //  * Quiescent swap accounting: a real program change drains, commits, and
 //    loses nothing.
+//  * Tier ladder: a narrowed budget forces the compressed (classifier) or
+//    lazy (per-node sub-table) tier, which must stay in lockstep with the
+//    direct table and the VM over the full premise space; a second identical
+//    pass over the lazy tier's working set allocates nothing.
+//  * Rolling swap commits: per-shard commits produce bit-identical
+//    SimResults at 1/2/4/8 execution shards and gate strictly fewer
+//    node-cycles than a quiescent drain of the same swap.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <optional>
 #include <sstream>
 
+#include "common/alloc_counter.hpp"
 #include "common/rng.hpp"
 #include "routing/rule_driven.hpp"
 #include "rulebases/corpus.hpp"
@@ -168,6 +176,143 @@ INSTANTIATE_TEST_SUITE_P(Corpus, AotCorpusLockstep, ::testing::Range(0, 4),
                                corpus_cases()[info.param].name);
                          });
 
+// ------------------------------------------------------ forced tier ladder
+// Halving the budget below the full premise space forces the fill off the
+// direct tier: onto the compressed table where a classifier applies
+// (nara -> offset-sign, ecube/ecube_msb -> xor-fold), onto the lazy
+// sub-tables where none does (ft_mesh reads escape_port). Either way the
+// forced tier must stay in lockstep with the direct table and the VM over
+// the complete premise space, fault-free and after link kills.
+class AotForcedTierLockstep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AotForcedTierLockstep, ForcedTierAgreesWithDirectAndVm) {
+  CorpusCase cs = std::move(corpus_cases()[GetParam()]);
+  SCOPED_TRACE(cs.name);
+  FaultSet f(*cs.topo);
+  RuleDrivenRouting vm(cs.source, cs.vcs, ExecMode::Vm, "route",
+                       cs.escape_vc);
+  RuleDrivenRouting direct(cs.source, cs.vcs, ExecMode::Aot, "route",
+                           cs.escape_vc);
+  RuleDrivenRouting forced(cs.source, cs.vcs, ExecMode::Aot, "route",
+                           cs.escape_vc);
+  vm.attach(*cs.topo, f);
+  direct.attach(*cs.topo, f);
+  ASSERT_EQ(direct.aot_tier_info().tier, RuleDrivenRouting::AotTier::Direct);
+
+  const std::uint64_t full = direct.aot_tier_info().full_entries;
+  ASSERT_GT(full, 0u);
+  forced.set_aot_budget(full / 2);
+  forced.attach(*cs.topo, f);
+  const RuleDrivenRouting::AotTierInfo ti = forced.aot_tier_info();
+  if (ti.classifier != rules::DestClassifier::None) {
+    EXPECT_EQ(ti.tier, RuleDrivenRouting::AotTier::Compressed)
+        << ti.reason;
+    EXPECT_GT(ti.compression_ratio, 1.0);
+    EXPECT_EQ(forced.aot_stats().fallback, 0u);
+  } else {
+    EXPECT_EQ(ti.tier, RuleDrivenRouting::AotTier::Lazy) << ti.reason;
+    EXPECT_GE(ti.lazy_capacity_per_node,
+              RuleDrivenRouting::kLazyMinPerNode);
+  }
+  ASSERT_TRUE(forced.aot_active());
+
+  lockstep_premise_space(*cs.topo, vm, direct, forced, cs.vcs);
+
+  Rng rng(7);
+  inject_random_link_faults(f, 4, rng);
+  vm.reconfigure();
+  direct.reconfigure();
+  forced.reconfigure();
+  ASSERT_TRUE(forced.aot_active());
+  EXPECT_EQ(forced.aot_tier_info().tier, ti.tier)
+      << "tier choice changed across the epoch";
+  lockstep_premise_space(*cs.topo, vm, direct, forced, cs.vcs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, AotForcedTierLockstep,
+                         ::testing::Range(0, 4), [](const auto& info) {
+                           return std::string(
+                               corpus_cases()[info.param].name);
+                         });
+
+// The lazy tier must converge: a second identical pass over a working set
+// that fits the sub-tables is pure hits — no new misses, no evictions and
+// (the steady-state property the tier exists for) no heap allocation.
+TEST(AotLazyTier, SecondPassOverWorkingSetAllocatesNothing) {
+  Mesh m = Mesh::two_d(8, 8);
+  FaultSet f(m);
+  RuleDrivenRouting vm(rulebases::ft_mesh_route_source(8, 8), 3,
+                       ExecMode::Vm, "route", /*escape_vc=*/2);
+  RuleDrivenRouting lazy(rulebases::ft_mesh_route_source(8, 8), 3,
+                         ExecMode::Aot, "route", /*escape_vc=*/2);
+  vm.attach(m, f);
+  // ft_mesh rejects both classifiers (escape_port reads raw dest bits), so
+  // an over-narrow budget lands on the lazy tier directly.
+  lazy.set_aot_budget(1 << 15);
+  lazy.attach(m, f);
+  ASSERT_EQ(lazy.aot_tier_info().tier, RuleDrivenRouting::AotTier::Lazy)
+      << lazy.aot_tier_info().reason;
+
+  // A bounded per-node working set (8 dests x every arrival). Only storable
+  // points are kept: throwing and non-inline-packable decisions recompute
+  // through the VM on every touch by design, which would read as "misses"
+  // below. The first pass fills the sub-tables, checks VM identity, and
+  // records the storable contexts so the measured second pass can drive the
+  // lazy engine alone.
+  std::vector<RouteContext> working_set;
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    for (int k = 1; k <= 8; ++k) {
+      for (PortId p = -1; p <= m.degree(); ++p) {
+        for (VcId v = -1; v < 3; ++v) {
+          RouteContext ctx;
+          ctx.node = n;
+          ctx.dest = (n + k * 7) % m.num_nodes();
+          ctx.src = n;
+          ctx.in_port = p;
+          ctx.in_vc = v;
+          const PointResult want = route_point(vm, ctx);
+          if (want.threw || want.d.mark_misrouted ||
+              want.d.candidates.size() > rules::AotEntry::kInlineCands)
+            continue;
+          working_set.push_back(ctx);
+          const PointResult got = route_point(lazy, ctx);
+          expect_same(want, got, "lazy", ctx);
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  const std::int64_t swept = static_cast<std::int64_t>(working_set.size());
+  const RuleDrivenRouting::AotTierInfo warm = lazy.aot_tier_info();
+  EXPECT_GT(warm.lazy_misses, 0);
+  EXPECT_GT(warm.lazy_nodes_allocated, 0u);
+
+  const std::int64_t allocs_before = heap_alloc_count();
+  for (const RouteContext& ctx : working_set)
+    route_point(lazy, ctx);  // second pass: hits, bar set conflicts
+  const std::int64_t allocs_after = heap_alloc_count();
+  const RuleDrivenRouting::AotTierInfo converged = lazy.aot_tier_info();
+  // 2-way sets leave a residue of conflict misses (three keys hashed into
+  // one set evict each other forever); convergence means the second pass
+  // hits for all but that residue — bound it at 2% of the working set.
+  const std::int64_t second_pass_misses =
+      converged.lazy_misses - warm.lazy_misses;
+  EXPECT_LT(second_pass_misses, swept / 50)
+      << "second pass missed broadly: the working set did not converge";
+  EXPECT_GT(converged.lazy_hits - warm.lazy_hits, swept * 9 / 10);
+  // The steady-state property the tier exists for: serving a stored entry
+  // never touches the heap (RouteDecision is a StaticVector; the sub-table
+  // probe is a strided load). Only the conflict residue may allocate — a
+  // recompute re-runs the VM, which builds its evaluation state on the
+  // heap — so the delta is bounded per miss, not per point. A hit-path
+  // allocation would scale with `swept` and blow through this bound.
+  if (heap_alloc_counting_enabled()) {
+    EXPECT_LE(allocs_after - allocs_before, second_pass_misses * 64)
+        << "lazy hit path touched the heap (" << swept << " points, "
+        << second_pass_misses << " conflict misses)";
+  }
+}
+
 // ------------------------------------------------- fuzzed routing programs
 // Random stateless decision programs over the premise-keyed input catalog:
 // bit tests on node/dest, arrival port/vc comparisons and link health, with
@@ -270,7 +415,17 @@ TEST(AotFuzz, RandomRoutingProgramsAgreeAcrossTiers) {
 }
 
 // ------------------------------------------------------ hot-swap identity
-bool bit_identical(const SimResult& a, const SimResult& b) {
+/// `swap_metrics` also compares the swap accounting — used when both runs
+/// schedule the same swap (the self-swap-vs-baseline checks compare a
+/// swapped run against an unswapped one, where those fields differ by
+/// construction).
+bool bit_identical(const SimResult& a, const SimResult& b,
+                   bool swap_metrics = false) {
+  if (swap_metrics &&
+      (a.rule_swaps != b.rule_swaps ||
+       a.swap_gated_cycles != b.swap_gated_cycles ||
+       a.swap_gated_node_cycles != b.swap_gated_node_cycles))
+    return false;
   if (a.blocked_chain.size() != b.blocked_chain.size()) return false;
   for (std::size_t i = 0; i < a.blocked_chain.size(); ++i) {
     if (a.blocked_chain[i].node != b.blocked_chain[i].node ||
@@ -345,7 +500,7 @@ TEST(AotHotSwap, SelfSwapBitIdenticalAcrossShardCounts) {
   for (const int shards : {2, 4}) {
     const SimResult sharded = run_mesh_point(13, shards, at, source);
     EXPECT_EQ(sharded.rule_swaps, 1);
-    EXPECT_TRUE(bit_identical(sharded, one))
+    EXPECT_TRUE(bit_identical(sharded, one, /*swap_metrics=*/true))
         << "self-swap differs at " << shards << " shards";
   }
 }
@@ -372,7 +527,8 @@ TEST(AotHotSwap, SelfSwapBitIdenticalAcrossSweepThreads) {
       continue;
     }
     for (std::size_t i = 0; i < results.size(); ++i)
-      EXPECT_TRUE(bit_identical(results[i], reference[i]))
+      EXPECT_TRUE(bit_identical(results[i], reference[i],
+                                /*swap_metrics=*/true))
           << "point " << i << " differs at " << threads << " threads";
   }
 }
@@ -402,6 +558,111 @@ TEST(AotHotSwap, QuiescentProgramChangeDrainsAndLosesNothing) {
   EXPECT_EQ(r.delivered_packets + r.packets_unrecoverable,
             r.injected_packets);
   // The swapped-in program is serving from a fresh, complete table.
+  EXPECT_TRUE(algo.aot_active());
+  EXPECT_EQ(algo.aot_stats().fallback, 0u);
+}
+
+// ---------------------------------------------------- rolling swap commits
+// The per-shard rolling policy drains one spatial shard at a time: only
+// the draining shard's uncommitted nodes stop injecting, so the downtime
+// (gated node-cycles) must come in strictly under a quiescent drain of the
+// same swap, with the whole-network injection gate never engaging.
+TEST(AotRollingSwap, GatesStrictlyFewerNodeCyclesThanQuiescent) {
+  const std::string source = rulebases::ft_mesh_route_source(6, 6);
+  const Cycle at = kWarmup + kMeasure / 2;
+  const SimResult quiescent =
+      run_mesh_point(17, 1, at, source, Simulator::RuleSwapPolicy::Quiescent);
+  const SimResult rolling =
+      run_mesh_point(17, 1, at, source, Simulator::RuleSwapPolicy::Rolling);
+  ASSERT_EQ(quiescent.rule_swaps, 1);
+  ASSERT_EQ(rolling.rule_swaps, 1);
+  // Quiescent gates the whole network for the drain; rolling never engages
+  // the global gate and pays only per-shard drains.
+  EXPECT_GT(quiescent.swap_gated_cycles, 0);
+  EXPECT_EQ(rolling.swap_gated_cycles, 0);
+  EXPECT_GT(rolling.swap_gated_node_cycles, 0);
+  EXPECT_LT(rolling.swap_gated_node_cycles, quiescent.swap_gated_node_cycles);
+  EXPECT_FALSE(rolling.deadlock_suspected);
+  EXPECT_EQ(rolling.delivered_packets + rolling.packets_unrecoverable,
+            rolling.injected_packets);
+}
+
+// Rolling commits happen in the simulator's serial pre-step phase and the
+// drain order is a property of the plan, not of the execution parallelism:
+// the SimResult must be bit-identical at any shard count.
+TEST(AotRollingSwap, BitIdenticalAcrossShardCounts) {
+  const std::string source = rulebases::ft_mesh_route_source(6, 6);
+  const Cycle at = kWarmup + kMeasure / 2;
+  const SimResult one =
+      run_mesh_point(19, 1, at, source, Simulator::RuleSwapPolicy::Rolling);
+  ASSERT_EQ(one.rule_swaps, 1);
+  EXPECT_GT(one.swap_gated_node_cycles, 0);
+  for (const int shards : {2, 4, 8}) {
+    const SimResult sharded = run_mesh_point(
+        19, shards, at, source, Simulator::RuleSwapPolicy::Rolling);
+    EXPECT_TRUE(bit_identical(sharded, one, /*swap_metrics=*/true))
+        << "rolling swap differs at " << shards << " execution shards";
+  }
+}
+
+TEST(AotRollingSwap, BitIdenticalAcrossSweepThreads) {
+  const std::string source = rulebases::ft_mesh_route_source(6, 6);
+  std::vector<SweepPoint> points;
+  for (const Cycle at : {Cycle{40}, kWarmup + kMeasure / 2}) {
+    for (const int shards : {1, 2}) {
+      points.push_back({[at, shards, source](std::uint64_t seed) {
+        return run_mesh_point(seed, shards, at, source,
+                              Simulator::RuleSwapPolicy::Rolling);
+      }});
+    }
+  }
+  std::vector<SimResult> reference;
+  for (const int threads : {1, 2, 4, 8}) {
+    SweepOptions opts;
+    opts.num_threads = threads;
+    opts.base_seed = 23;
+    SweepRunner runner(opts);
+    const std::vector<SimResult> results = runner.run(points);
+    if (threads == 1) {
+      reference = results;
+      continue;
+    }
+    for (std::size_t i = 0; i < results.size(); ++i)
+      EXPECT_TRUE(bit_identical(results[i], reference[i],
+                                /*swap_metrics=*/true))
+          << "rolling point " << i << " differs at " << threads
+          << " threads";
+  }
+}
+
+// A rolling swap to a DIFFERENT program: the two programs coexist while
+// the shards drain, and the swapped-in program ends up serving from a
+// fresh, complete table with nothing lost in flight.
+TEST(AotRollingSwap, ProgramChangeCommitsAndLosesNothing) {
+  constexpr int kDim = 4;
+  Hypercube topo(kDim);
+  RuleDrivenRouting algo(rulebases::ecube_route_source(kDim), 1,
+                         ExecMode::Aot);
+  UniformTraffic tr(topo);
+  Network net(topo, algo);
+  SimConfig cfg;
+  cfg.injection_rate = 0.10;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = kWarmup;
+  cfg.measure_cycles = kMeasure;
+  cfg.seed = 29;
+  Simulator sim(net, tr, cfg);
+  sim.schedule_rule_swap(kWarmup + kMeasure / 2,
+                         rulebases::ecube_msb_route_source(kDim),
+                         Simulator::RuleSwapPolicy::Rolling);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.rule_swaps, 1);
+  EXPECT_EQ(r.swap_gated_cycles, 0);
+  EXPECT_GT(r.swap_gated_node_cycles, 0);
+  EXPECT_FALSE(r.deadlock_suspected);
+  EXPECT_EQ(r.delivered_packets + r.packets_unrecoverable,
+            r.injected_packets);
+  EXPECT_FALSE(algo.rolling_commit_active());
   EXPECT_TRUE(algo.aot_active());
   EXPECT_EQ(algo.aot_stats().fallback, 0u);
 }

@@ -2,16 +2,20 @@
 // programs are executed both by the reference interpreter and through the
 // compiled ARON tables; any divergence in selected rule, state effects,
 // emitted events or RETURN values is a compiler bug. Also fuzzes the lexer/
-// parser for crash-freedom on corrupted sources.
+// parser for crash-freedom on corrupted sources, and the compressed AOT
+// tier against the VM on randomly generated classifier-eligible routing
+// programs.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "routing/rule_driven.hpp"
 #include "rulebases/corpus.hpp"
 #include "ruleengine/event_manager.hpp"
 #include "ruleengine/lexer.hpp"
 #include "ruleengine/parser.hpp"
+#include "topology/hypercube.hpp"
 
 namespace flexrouter::rules {
 namespace {
@@ -345,6 +349,156 @@ TEST_P(CorpusFuzz, BothEnginesAgreeOnRandomInputs) {
 
 INSTANTIATE_TEST_SUITE_P(Programs, CorpusFuzz,
                          ::testing::Values("nafta", "route_c"));
+
+// ------------------------------------------- compressed-tier routing fuzz
+// Random e-cube-shaped decision programs: every node/dest read sits inside
+// xor(node, dest) or a direct node-dest comparison, which is exactly the
+// shape the XorFold classifier must accept. A budget below the full
+// premise space then forces the compressed table; the fill's exhaustive
+// validation plus an external premise-space walk require it bit-identical
+// to the VM. The lane is gated on classifier applicability — a program the
+// classifier (conservatively) rejects is skipped, not failed — but the
+// generator's shapes should qualify essentially always.
+class XorRouteGenerator {
+ public:
+  explicit XorRouteGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    std::ostringstream os;
+    os << "PROGRAM fuzzxor;\n"
+       << "CONSTANT dim = " << kDim << "\n"
+       << "CONSTANT maxnode = " << ((1 << kDim) - 1) << "\n"
+       << "INPUT node IN 0 TO maxnode\n"
+       << "INPUT dest IN 0 TO maxnode\n"
+       << "INPUT in_port IN 0 TO dim\n"
+       << "INPUT in_vc IN 0 TO 1\n"
+       << "ON route\n";
+    const int rules = 2 + static_cast<int>(rng_.next_below(5));
+    for (int r = 0; r < rules; ++r)
+      os << "  IF " << premise() << " THEN " << conclusion() << ";\n";
+    // Catch-all that reads no id input raw (a bare `node >= 0` would
+    // rightly block the classifier).
+    os << "  IF in_port >= 0 THEN !cand(dim, 0, 0);\n"
+       << "END route;\n";
+    return os.str();
+  }
+
+  static constexpr int kDim = 3;
+
+ private:
+  std::string premise() {
+    const int atoms = 1 + static_cast<int>(rng_.next_below(3));
+    std::ostringstream os;
+    for (int i = 0; i < atoms; ++i) {
+      if (i) os << (rng_.next_bool(0.8) ? " AND " : " OR ");
+      switch (rng_.next_below(4)) {
+        case 0:
+          os << "bit(xor(node, dest), " << rng_.next_below(kDim)
+             << ") = " << rng_.next_below(2);
+          break;
+        case 1:
+          os << "in_vc = " << rng_.next_below(2);
+          break;
+        case 2:
+          os << "in_port " << cmp() << " " << rng_.next_below(kDim + 1);
+          break;
+        default:
+          os << "node " << (rng_.next_bool(0.5) ? "=" : "<>") << " dest";
+          break;
+      }
+    }
+    return os.str();
+  }
+
+  std::string conclusion() {
+    const int cands = 1 + static_cast<int>(rng_.next_below(3));
+    std::ostringstream os;
+    for (int i = 0; i < cands; ++i) {
+      if (i) os << ", ";
+      os << "!cand(" << rng_.next_below(kDim + 1) << ", "
+         << rng_.next_below(2) << ", " << rng_.next_below(4) << ")";
+    }
+    return os.str();
+  }
+
+  std::string cmp() {
+    static const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+    return ops[rng_.next_below(6)];
+  }
+
+  Rng rng_;
+};
+
+TEST(CompressedFuzz, XorFoldProgramsMatchVmOverFullPremiseSpace) {
+  constexpr int kDim = XorRouteGenerator::kDim;
+  flexrouter::Hypercube topo(kDim);
+  // Full premise space: N * N * (degree + 2) * (vcs + 1).
+  const std::uint64_t full = std::uint64_t{1} << (2 * kDim);
+  const std::uint64_t full_entries =
+      full * static_cast<std::uint64_t>(kDim + 2) * 3;
+  int compressed = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    XorRouteGenerator gen(seed * 52361);
+    const std::string source = gen.generate();
+    SCOPED_TRACE(source);
+    flexrouter::FaultSet f(topo);
+    flexrouter::RuleDrivenRouting vm(source, 2, ExecMode::Vm);
+    flexrouter::RuleDrivenRouting aot(source, 2, ExecMode::Aot);
+    aot.set_aot_budget(full_entries / 2);
+    vm.attach(topo, f);
+    aot.attach(topo, f);
+    const auto ti = aot.aot_tier_info();
+    if (ti.classifier == DestClassifier::None) continue;  // gated lane
+    // An eligible program must land on the compressed table, not demote:
+    // at this size the fill validates every premise point exhaustively, so
+    // a demotion here means the classifier accepted a shape it shouldn't.
+    ASSERT_EQ(ti.tier, flexrouter::RuleDrivenRouting::AotTier::Compressed)
+        << ti.reason;
+    ++compressed;
+    for (flexrouter::NodeId n = 0; n < topo.num_nodes(); ++n) {
+      for (flexrouter::NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+        for (flexrouter::PortId p = -1; p <= topo.degree(); ++p) {
+          for (flexrouter::VcId v = -1; v < 2; ++v) {
+            flexrouter::RouteContext ctx;
+            ctx.node = n;
+            ctx.dest = dst;
+            ctx.src = n;
+            ctx.in_port = p;
+            ctx.in_vc = v;
+            bool vm_threw = false, aot_threw = false;
+            flexrouter::RouteDecision want, got;
+            try {
+              want = vm.route(ctx);
+            } catch (const ContractViolation&) {
+              vm_threw = true;
+            } catch (const EvalError&) {
+              vm_threw = true;
+            }
+            try {
+              got = aot.route(ctx);
+            } catch (const ContractViolation&) {
+              aot_threw = true;
+            } catch (const EvalError&) {
+              aot_threw = true;
+            }
+            ASSERT_EQ(vm_threw, aot_threw)
+                << "node=" << n << " dest=" << dst << " p=" << p
+                << " v=" << v;
+            if (vm_threw) continue;
+            ASSERT_EQ(want.steps, got.steps)
+                << "node=" << n << " dest=" << dst << " p=" << p
+                << " v=" << v;
+            ASSERT_EQ(want.candidates.size(), got.candidates.size());
+            for (std::size_t i = 0; i < want.candidates.size(); ++i)
+              ASSERT_TRUE(want.candidates[i] == got.candidates[i])
+                  << "cand " << i << " node=" << n << " dest=" << dst;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(compressed, 15);
+}
 
 // ---------------------------------------------------------- parser fuzzing
 TEST(ParserFuzz, CorruptedSourcesNeverCrash) {

@@ -7,10 +7,12 @@
 //   rulelint [--json] [--werror] [--no-deadlock] [file...]
 //   rulelint --emit-table [--json]
 //
-// --emit-table AOT-compiles every runnable corpus decision program to its
-// decision table and dumps table stats (entries, bytes, fallback fraction).
-// The gate fails unless every program gets an active table with zero
-// presentable premise points left to the VM fallback.
+// --emit-table AOT-compiles every runnable corpus decision program — at the
+// differential-test sizes and at the 4096-node scale — and dumps table stats
+// (chosen tier, classifier, compression ratio, entries, bytes, fallback
+// fraction). The gate fails unless every program reaches a non-VM tier, and
+// the eager tiers (direct/compressed) leave zero presentable premise points
+// to the VM fallback.
 //
 // Exit status: 0 when clean (no errors; with --werror also no warnings),
 // 1 when findings fail the gate, 2 on usage errors.
@@ -89,9 +91,11 @@ int usage(std::ostream& os, int code) {
         "       rulelint --emit-table [--json]\n"
         "Lints the built-in rule-base corpus, or the given rule program\n"
         "sources. --werror fails on warnings as well as errors.\n"
-        "--emit-table dumps the AOT decision table stats for every runnable\n"
-        "corpus program and fails if any table is inactive or leaves\n"
-        "presentable premise points to the VM fallback.\n";
+        "--emit-table dumps the AOT decision table stats (tier, classifier,\n"
+        "compression ratio) for every runnable corpus program — including\n"
+        "the 4096-node fabrics — and fails if any program stays on the VM\n"
+        "tier or an eager table leaves presentable premise points to the VM\n"
+        "fallback.\n";
   return code;
 }
 
@@ -99,15 +103,26 @@ int emit_table(bool json) {
   const std::vector<flexrouter::ruleanalysis::TableReport> reports =
       flexrouter::ruleanalysis::emit_table_corpus();
   bool clean = !reports.empty();
-  for (const auto& r : reports)
-    if (!r.active || r.fallback != 0) clean = false;
+  for (const auto& r : reports) {
+    // Every shipped program must reach a table tier. The eager tiers must
+    // additionally pre-resolve every presentable point; the lazy tier fills
+    // from the miss path, so only the tier choice is gated there.
+    if (!r.active || r.tier == "vm") clean = false;
+    if ((r.tier == "direct" || r.tier == "compressed") && r.fallback != 0)
+      clean = false;
+  }
   if (json) {
     std::cout << "[";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const auto& r = reports[i];
       std::cout << (i ? ",\n " : "\n ") << "{\"program\": \""
                 << json_escape(r.program) << "\", \"active\": "
-                << (r.active ? "true" : "false")
+                << (r.active ? "true" : "false") << ", \"tier\": \""
+                << json_escape(r.tier) << "\", \"classifier\": \""
+                << json_escape(r.classifier) << "\", \"tier_reason\": \""
+                << json_escape(r.tier_reason)
+                << "\", \"full_entries\": " << r.full_entries
+                << ", \"compression_ratio\": " << r.compression_ratio
                 << ", \"entries\": " << r.entries
                 << ", \"resolved\": " << r.resolved
                 << ", \"unreachable\": " << r.unreachable
@@ -118,8 +133,10 @@ int emit_table(bool json) {
     std::cout << "\n]\n";
   } else {
     std::cout << flexrouter::ruleanalysis::to_string(reports)
-              << (clean ? "rulelint: all tables active, 0% fallback"
-                        : "rulelint: FAILED (inactive table or VM fallback)")
+              << (clean ? "rulelint: all programs on a table tier, eager "
+                          "tables 0% fallback"
+                        : "rulelint: FAILED (VM tier or eager-table "
+                          "fallback)")
               << "\n";
   }
   return clean ? 0 : 1;
