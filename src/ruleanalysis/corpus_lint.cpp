@@ -236,6 +236,52 @@ std::string to_string(const std::vector<TableReport>& reports) {
   return os.str();
 }
 
+std::optional<FaultCertReport> fault_cert_source(const std::string& source,
+                                                 const FaultCertOptions& opts) {
+  rules::Program prog;
+  try {
+    prog = rules::parse_program(source);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!rules::validate_program(prog).empty()) return std::nullopt;
+  const auto model = model_for(prog);
+  if (!model) return std::nullopt;
+  const std::unique_ptr<Topology> topo = topology_of(prog);
+  if (topo == nullptr) return std::nullopt;
+  return certify_faults(prog, *model, *topo, opts);
+}
+
+FaultCertCorpusResult fault_cert_corpus(const FaultCertOptions& opts) {
+  FaultCertCorpusResult out;
+  // The same programs and home test-scale topologies lint_corpus certifies.
+  const std::string sources[] = {
+      rulebases::nara_route_source(8, 8),
+      rulebases::ecube_route_source(3),
+      rulebases::ft_mesh_route_source(4, 4),
+      rulebases::nafta_program_source(4, 4),
+      rulebases::nara_program_source(4, 4),
+      rulebases::route_c_program_source(3, 2),
+      rulebases::route_c_nft_program_source(3, 2),
+  };
+  for (const std::string& src : sources)
+    if (auto rep = fault_cert_source(src, opts))
+      out.reports.push_back(std::move(*rep));
+  return out;
+}
+
+bool FaultCertCorpusResult::clean(bool werror) const {
+  for (const FaultCertReport& r : reports)
+    if (!r.clean(werror)) return false;
+  return true;
+}
+
+std::string FaultCertCorpusResult::to_string() const {
+  std::ostringstream os;
+  for (const FaultCertReport& r : reports) os << r.to_string();
+  return os.str();
+}
+
 bool CorpusLintResult::clean(bool werror) const {
   for (const AnalysisReport& r : reports)
     if (!r.clean(werror)) return false;

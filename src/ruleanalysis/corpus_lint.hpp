@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ruleanalysis/analyzer.hpp"
 #include "ruleanalysis/deadlock.hpp"
+#include "ruleanalysis/fault_cert.hpp"
 
 namespace flexrouter::ruleanalysis {
 
@@ -38,6 +40,26 @@ struct CorpusLintResult {
 /// the sizes the differential tests use, the Table 1/2 accounting corpora
 /// at a closure-friendly 4x4 / d=3, plus a faulted ft_mesh certification.
 CorpusLintResult lint_corpus(const CorpusLintOptions& opts = {});
+
+/// Fault-certify one rule program source on the topology its constants
+/// describe (rulelint --faults, mutation tests). nullopt when the source
+/// does not parse/validate, has no deadlock model, or names no topology.
+std::optional<FaultCertReport> fault_cert_source(
+    const std::string& source, const FaultCertOptions& opts = {});
+
+struct FaultCertCorpusResult {
+  std::vector<FaultCertReport> reports;
+
+  bool clean(bool werror) const;
+  std::string to_string() const;
+};
+
+/// The per-program k-fault certificate over the shipped corpus, each on its
+/// home test-scale topology (the same sizes lint_corpus certifies). The CI
+/// gate: with max_faults = 1 and --werror every report must be clean —
+/// programs that claim fault tolerance must certify it, and programs that
+/// claim none may only degrade to note-level findings.
+FaultCertCorpusResult fault_cert_corpus(const FaultCertOptions& opts = {});
 
 /// One runnable rule base AOT-compiled to its decision table
 /// (rulelint --emit-table / the aot_table_corpus ctest).

@@ -1,101 +1,57 @@
 #include "ruleanalysis/deadlock.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstddef>
 #include <optional>
 #include <set>
 #include <sstream>
 #include <string>
-#include <tuple>
 #include <utility>
 #include <vector>
 
-#include "routing/updown.hpp"
-#include "ruleengine/env.hpp"
-#include "ruleengine/interp.hpp"
-#include "topology/graph_algo.hpp"
+#include "ruleanalysis/decision_enum.hpp"
 #include "topology/mesh.hpp"
 
 namespace flexrouter::ruleanalysis {
 namespace {
 
-// One free (non-catalog) input signal discovered while evaluating a rule:
-// its declared domain is enumerated so the rule's may/must-fire status is
-// exact over the inputs it actually reads.
-struct Unknown {
-  std::string name;
-  std::int64_t flat = -1;  // flattened index, -1 = scalar
-  std::vector<rules::Value> vals;
-  std::size_t cur = 0;
-};
-
-constexpr std::uint64_t kMaxCombos = 4096;
-constexpr std::uint64_t kMaxUnknownCardinality = 16;
-
 class Certifier {
  public:
   Certifier(const rules::Program& prog, const DeadlockModel& model,
             const Topology& topo, const FaultSet& faults)
-      : prog_(prog),
-        model_(model),
-        topo_(topo),
-        faults_(faults),
-        interp_(prog),
-        env_(prog) {}
+      : model_(model), topo_(topo), faults_(faults), enum_(prog, model, topo) {}
 
   DeadlockCertificate run() {
-    rb_ = prog_.find_rule_base(model_.route_base);
-    if (rb_ == nullptr) {
-      note_unmodeled("rule base '" + model_.route_base +
-                     "' not found; nothing to certify");
+    if (!enum_.ok()) {
+      note(enum_.error());
       return finish();
     }
-    if (!rb_->params.empty()) {
-      note_unmodeled("certified rule base has parameters; headers cannot be "
-                     "enumerated");
-      return finish();
-    }
-    mesh_ = dynamic_cast<const Mesh*>(&topo_);
-    if (model_.injection == InjectionVcs::BySignDy &&
-        (mesh_ == nullptr || mesh_->dims() != 2)) {
-      note_unmodeled("BySignDy injection requires a 2-D mesh");
-      return finish();
-    }
-    if (model_.escape_vc >= 0) escape_.rebuild(faults_);
-    interp_.set_input_provider(
-        [this](const std::string& n, const std::vector<rules::Value>& i) {
-          return provide(n, i);
-        });
-
-    if (model_.style == DecisionStyle::DirsetMask) {
-      for (const auto& [cls, vc] : model_.class_vcs) included_vcs_.insert(vc);
-    } else {
-      for (int v = 0; v < model_.num_vcs; ++v) included_vcs_.insert(v);
-    }
+    enum_.set_faults(faults_);
 
     // Intern every usable channel up front so isolated channels still count.
     for (NodeId n = 0; n < topo_.num_nodes(); ++n)
       for (PortId p = 0; p < topo_.degree(); ++p)
         if (faults_.link_usable(n, p))
-          for (const VcId vc : included_vcs_) graph_.channel_id({n, p, vc});
+          for (const VcId vc : enum_.included_vcs()) graph_.channel_id({n, p, vc});
 
     // Seed the closure with every injectable header, then follow rule
     // decisions hop by hop. States are (occupied channel, destination).
+    const Mesh* mesh = enum_.mesh();
     for (NodeId s = 0; s < topo_.num_nodes(); ++s) {
       if (faults_.node_faulty(s)) continue;
       for (NodeId d = 0; d < topo_.num_nodes(); ++d) {
         if (d == s || faults_.node_faulty(d)) continue;
-        if (!connected(faults_, s, d)) continue;
+        if (!enum_.connected_now(s, d)) continue;
         switch (model_.injection) {
           case InjectionVcs::Zero:
             expand(-1, s, d, topo_.degree(), 0);
             break;
           case InjectionVcs::All:
-            for (const VcId vc : included_vcs_)
+            for (const VcId vc : enum_.included_vcs())
               expand(-1, s, d, topo_.degree(), vc);
             break;
           case InjectionVcs::BySignDy: {
-            const int dy = mesh_->y_of(d) - mesh_->y_of(s);
+            const int dy = mesh->y_of(d) - mesh->y_of(s);
             if (dy >= 0) expand(-1, s, d, topo_.degree(), 1);
             if (dy <= 0) expand(-1, s, d, topo_.degree(), 0);
             break;
@@ -113,266 +69,13 @@ class Certifier {
     }
 
     cert_.report = graph_.check();
-    cert_.decisions = memo_.size();
+    cert_.decisions = enum_.evaluated();
     return finish();
   }
 
  private:
-  using Cand = std::pair<PortId, VcId>;
-  using DecisionKey = std::tuple<NodeId, NodeId, PortId, VcId>;
-
-  // ---- input model -------------------------------------------------------
-
-  /// Catalog inputs the host computes from the decision header, mirroring
-  /// RuleDrivenRouting::input_value. nullopt = free input.
-  std::optional<rules::Value> known_input(const std::string& name,
-                                          const std::vector<rules::Value>& idx) {
-    using rules::Value;
-    const PortId degree = topo_.degree();
-    if (name == "node") return Value::make_int(node_);
-    if (name == "dest") return Value::make_int(dest_);
-    if (name == "in_port") return Value::make_int(in_port_);
-    if (name == "in_vc") return Value::make_int(std::max<VcId>(in_vc_, 0));
-    if (name == "injected")
-      return Value::make_bool(in_port_ < 0 || in_port_ >= degree);
-    if (name == "link_ok" && idx.size() == 1) {
-      const auto p = static_cast<PortId>(idx[0].as_int());
-      if (p < 0 || p >= degree) return Value::make_bool(false);
-      return Value::make_bool(faults_.link_usable(node_, p));
-    }
-    if (name == "dest_reachable")
-      return Value::make_bool(connected(faults_, node_, dest_));
-    if (model_.escape_vc >= 0) {
-      const bool on_escape = in_vc_ == model_.escape_vc && in_port_ >= 0 &&
-                             in_port_ < degree;
-      if (name == "on_escape") return Value::make_bool(on_escape);
-      if (name == "escape_ok")
-        return Value::make_bool(escape_.reachable(node_, dest_));
-      if (name == "escape_port") {
-        if (dest_ == node_ || !escape_.reachable(node_, dest_))
-          return Value::make_int(degree);
-        UpDownTable::Phase phase = UpDownTable::Phase::Up;
-        if (on_escape) {
-          const NodeId prev = topo_.neighbor(node_, in_port_);
-          phase = escape_.is_up_move(prev,
-                                     topo_.reverse_port(node_, in_port_))
-                      ? UpDownTable::Phase::Up
-                      : UpDownTable::Phase::Down;
-        }
-        return Value::make_int(escape_.next_hops(node_, dest_, phase)[0]);
-      }
-    }
-    if (mesh_ != nullptr && mesh_->dims() == 2) {
-      if (name == "xpos") return Value::make_int(mesh_->x_of(node_));
-      if (name == "ypos") return Value::make_int(mesh_->y_of(node_));
-      if (name == "xdes") return Value::make_int(mesh_->x_of(dest_));
-      if (name == "ydes") return Value::make_int(mesh_->y_of(dest_));
-    }
-    // Hypercube dimension-correction masks (ROUTE_C, [Kon90] convention:
-    // ascending sets 0->1 bits, descending clears 1->0 bits).
-    const std::int64_t all = (std::int64_t{1} << degree) - 1;
-    if (name == "up_mask") return Value::make_int(dest_ & ~node_ & all);
-    if (name == "down_mask") return Value::make_int(node_ & ~dest_ & all);
-    return std::nullopt;
-  }
-
-  rules::Value provide(const std::string& name,
-                       const std::vector<rules::Value>& idx) {
-    if (auto v = known_input(name, idx)) return *v;
-    const rules::InputDecl* decl = prog_.find_input(name);
-    FR_REQUIRE(decl != nullptr);  // eval_ref resolved it as an input
-    std::int64_t flat = -1;
-    if (!decl->index_domains.empty()) {
-      flat = 0;
-      for (std::size_t i = 0; i < idx.size(); ++i) {
-        const rules::Domain& d = decl->index_domains[i];
-        flat = flat * static_cast<std::int64_t>(d.cardinality()) +
-               static_cast<std::int64_t>(d.index_of(idx[i]));
-      }
-    }
-    const auto key = std::make_pair(name, flat);
-    auto it = uix_.find(key);
-    if (it == uix_.end()) {
-      Unknown u;
-      u.name = name;
-      u.flat = flat;
-      if (decl->domain.cardinality() <= kMaxUnknownCardinality) {
-        u.vals = decl->domain.enumerate();
-      } else {
-        u.vals = {decl->domain.value_at(0)};
-        note_unmodeled("free input '" + name +
-                       "' has a domain too large to enumerate");
-      }
-      it = uix_.emplace(key, unknowns_.size()).first;
-      unknowns_.push_back(std::move(u));
-      discovered_ = true;
-    }
-    const Unknown& u = unknowns_[it->second];
-    return u.vals[u.cur];
-  }
-
-  bool advance() {
-    for (Unknown& u : unknowns_) {
-      if (++u.cur < u.vals.size()) return true;
-      u.cur = 0;
-    }
-    return false;
-  }
-
-  // ---- decision enumeration ---------------------------------------------
-
-  /// Channels a header (dest, arrived at `node` via in_port/in_vc) may
-  /// request, over-approximated by may/must-fire analysis of the rules.
-  const std::vector<Cand>& decide(NodeId node, NodeId dest, PortId in_port,
-                                  VcId in_vc) {
-    // Programs without an escape layer never read in_port directly, so the
-    // memo key only needs the injected/in-flight distinction.
-    const PortId key_port =
-        model_.escape_vc >= 0
-            ? in_port
-            : (in_port < 0 || in_port >= topo_.degree() ? topo_.degree()
-                                                        : PortId{0});
-    const DecisionKey key{node, dest, key_port, in_vc};
-    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
-    node_ = node;
-    dest_ = dest;
-    in_port_ = in_port;
-    in_vc_ = in_vc;
-
-    std::set<Cand> acc;
-    for (const rules::Rule& r : rb_->rules) {
-      bool may = false;
-      bool must = true;
-      std::set<Cand> cs;
-      unknowns_.clear();
-      uix_.clear();
-      // Fixpoint: free inputs are discovered while evaluating, so re-sweep
-      // until a full enumeration pass discovers nothing new.
-      for (int iter = 0; iter < 8; ++iter) {
-        discovered_ = false;
-        for (Unknown& u : unknowns_) u.cur = 0;
-        may = false;
-        must = true;
-        cs.clear();
-        std::uint64_t combos = 0;
-        bool more = true;
-        while (more) {
-          if (++combos > kMaxCombos) {
-            note_unmodeled("free-input space of a premise exceeds the "
-                           "enumeration budget");
-            must = false;
-            break;
-          }
-          bool fires = false;
-          try {
-            fires = interp_.eval_expr(env_, r.premise, binds_).as_bool();
-          } catch (const std::exception& e) {
-            note_unmodeled(std::string("premise not evaluable: ") + e.what());
-            must = false;
-          }
-          if (fires) {
-            may = true;
-            try {
-              collect_cmds(r.conclusion, cs);
-            } catch (const std::exception& e) {
-              note_unmodeled(std::string("conclusion not evaluable: ") +
-                             e.what());
-            }
-          } else {
-            must = false;
-          }
-          more = advance();
-        }
-        if (!discovered_) break;
-      }
-      if (may) acc.insert(cs.begin(), cs.end());
-      if (may && must) break;  // later rules are unreachable
-    }
-    auto& slot = memo_[key];
-    slot.assign(acc.begin(), acc.end());
-    return slot;
-  }
-
-  rules::Value eval(const rules::ExprPtr& e) {
-    return interp_.eval_expr(env_, e, binds_);
-  }
-
-  void collect_cmds(const std::vector<rules::Cmd>& cmds, std::set<Cand>& out) {
-    for (const rules::Cmd& c : cmds) collect_cmd(c, out);
-  }
-
-  void collect_cmd(const rules::Cmd& c, std::set<Cand>& out) {
-    using CK = rules::Cmd::Kind;
-    switch (c.kind) {
-      case CK::Assign:
-        return;  // register writes induce no channel request
-      case CK::Return: {
-        if (model_.style != DecisionStyle::ReturnPort) return;
-        const rules::Value v = eval(c.value);
-        const PortId port =
-            v.is_sym() ? static_cast<PortId>(rb_->returns->sym_rank(v.as_sym()))
-                       : static_cast<PortId>(v.as_int());
-        add_cand(port, std::max<VcId>(in_vc_, 0), out);
-        return;
-      }
-      case CK::Emit: {
-        if (model_.style == DecisionStyle::CandEvents && c.target == "cand" &&
-            c.args.size() >= 2) {
-          add_cand(static_cast<PortId>(eval(c.args[0]).as_int()),
-                   static_cast<VcId>(eval(c.args[1]).as_int()), out);
-        } else if (model_.style == DecisionStyle::DirsetMask &&
-                   c.target == "dirset" && c.args.size() >= 2) {
-          const std::int64_t mask = eval(c.args[0]).as_int();
-          const std::int64_t cls = eval(c.args[1]).as_int();
-          const auto it = model_.class_vcs.find(cls);
-          if (it == model_.class_vcs.end()) {
-            excluded_classes_.insert(cls);
-            return;
-          }
-          for (PortId p = 0; p < topo_.degree(); ++p)
-            if ((mask >> p) & 1) add_cand(p, it->second, out);
-        }
-        return;
-      }
-      case CK::ForAll: {
-        const rules::Value dom = eval(c.domain);
-        std::vector<rules::Value> vals;
-        if (dom.is_set()) {
-          vals = dom.as_set().elements();
-        } else {
-          const std::int64_t n = dom.as_int();
-          FR_REQUIRE_MSG(n >= 0 && n <= 64, "FORALL range out of bounds");
-          for (std::int64_t i = 0; i < n; ++i)
-            vals.push_back(rules::Value::make_int(i));
-        }
-        for (const rules::Value& v : vals) {
-          binds_.emplace_back(c.bound, v);
-          collect_cmds(c.body, out);
-          binds_.pop_back();
-        }
-        return;
-      }
-    }
-  }
-
-  void add_cand(PortId port, VcId vc, std::set<Cand>& out) {
-    if (port == topo_.degree()) return;  // local delivery
-    if (port < 0 || port > topo_.degree()) {
-      note_unmodeled("rule requests a port outside the router");
-      return;
-    }
-    if (vc < 0 || vc >= model_.num_vcs) {
-      note_unmodeled("rule requests a VC outside the model");
-      return;
-    }
-    if (!included_vcs_.count(vc)) return;
-    out.insert({port, vc});
-  }
-
-  // ---- closure -----------------------------------------------------------
-
   void expand(int from, NodeId node, NodeId dest, PortId in_port, VcId in_vc) {
-    for (const auto& [p, vc] : decide(node, dest, in_port, in_vc)) {
+    for (const auto& [p, vc] : enum_.decide(node, dest, in_port, in_vc).cands) {
       if (!faults_.link_usable(node, p)) continue;  // arbiter masks dead links
       const int to = graph_.channel_id({node, p, vc});
       if (from >= 0) graph_.add_edge(from, to);
@@ -380,10 +83,8 @@ class Certifier {
     }
   }
 
-  // ---- reporting ---------------------------------------------------------
-
-  void note_unmodeled(const std::string& msg) {
-    if (unmodeled_.insert(msg).second) cert_.modeled = false;
+  void note(const std::string& msg) {
+    if (extra_notes_.insert(msg).second) cert_.modeled = false;
   }
 
   DeadlockCertificate finish() {
@@ -397,17 +98,10 @@ class Certifier {
           << cert_.report.num_channels << " channels, "
           << cert_.report.num_edges << " edges)";
       f.message = msg.str();
-      std::ostringstream wit;
-      for (const Channel& c : cert_.report.cycle)
-        wit << "(" << c.node << ":" << c.port << "/" << c.vc << ") -> ";
-      if (!cert_.report.cycle.empty())
-        wit << "(" << cert_.report.cycle.front().node << ":"
-            << cert_.report.cycle.front().port << "/"
-            << cert_.report.cycle.front().vc << ")";
-      f.witness = wit.str();
+      f.witness = format_cycle_witness(cert_.report.cycle, faults_);
       cert_.findings.push_back(std::move(f));
     }
-    if (!excluded_classes_.empty()) {
+    if (!enum_.excluded_classes().empty()) {
       Finding f;
       f.cls = DiagClass::DeadlockUnmodeled;
       f.severity = Severity::Note;
@@ -415,7 +109,7 @@ class Certifier {
       std::ostringstream msg;
       msg << "command classes {";
       bool first = true;
-      for (const std::int64_t c : excluded_classes_) {
+      for (const std::int64_t c : enum_.excluded_classes()) {
         if (!first) msg << ", ";
         msg << c;
         first = false;
@@ -424,7 +118,9 @@ class Certifier {
       f.message = msg.str();
       cert_.findings.push_back(std::move(f));
     }
-    for (const std::string& m : unmodeled_) {
+    std::set<std::string> notes = extra_notes_;
+    notes.insert(enum_.unmodeled().begin(), enum_.unmodeled().end());
+    for (const std::string& m : notes) {
       Finding f;
       f.cls = DiagClass::DeadlockUnmodeled;
       f.severity = Severity::Note;
@@ -432,42 +128,60 @@ class Certifier {
       f.message = m;
       cert_.findings.push_back(std::move(f));
     }
+    if (!enum_.modeled()) cert_.modeled = false;
     return std::move(cert_);
   }
 
-  const rules::Program& prog_;
   const DeadlockModel& model_;
   const Topology& topo_;
   const FaultSet& faults_;
-  rules::Interpreter interp_;
-  rules::RuleEnv env_;
-  const rules::RuleBase* rb_ = nullptr;
-  const Mesh* mesh_ = nullptr;
-  UpDownTable escape_;
+  DecisionEnumerator enum_;
 
-  // Current decision header (read by the input provider).
-  NodeId node_ = 0;
-  NodeId dest_ = 0;
-  PortId in_port_ = 0;
-  VcId in_vc_ = 0;
-
-  std::vector<Unknown> unknowns_;
-  std::map<std::pair<std::string, std::int64_t>, std::size_t> uix_;
-  bool discovered_ = false;
-  std::vector<std::pair<std::string, rules::Value>> binds_;
-
-  std::set<VcId> included_vcs_;
   ChannelDepGraph graph_;
-  std::map<DecisionKey, std::vector<Cand>> memo_;
   std::set<std::pair<int, NodeId>> seen_;
   std::vector<std::pair<int, NodeId>> frontier_;
 
-  std::set<std::int64_t> excluded_classes_;
-  std::set<std::string> unmodeled_;
+  std::set<std::string> extra_notes_;
   DeadlockCertificate cert_;
 };
 
 }  // namespace
+
+std::string describe_faults(const FaultSet& faults) {
+  if (faults.fault_free()) return "no faults";
+  std::ostringstream os;
+  os << "faults={";
+  bool first = true;
+  for (const LinkRef& l : faults.faulty_links()) {
+    if (!first) os << ", ";
+    os << "link " << l.node << ":" << l.port;
+    first = false;
+  }
+  for (const NodeId n : faults.faulty_nodes()) {
+    if (!first) os << ", ";
+    os << "node " << n;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string format_cycle_witness(const std::vector<Channel>& cycle,
+                                 const FaultSet& faults) {
+  std::ostringstream wit;
+  const std::size_t shown =
+      std::min<std::size_t>(cycle.size(), kMaxWitnessChannels);
+  for (std::size_t i = 0; i < shown; ++i)
+    wit << "(" << cycle[i].node << ":" << cycle[i].port << "/" << cycle[i].vc
+        << ") -> ";
+  if (cycle.size() > shown)
+    wit << "... +" << (cycle.size() - shown) << " more -> ";
+  if (!cycle.empty())
+    wit << "(" << cycle.front().node << ":" << cycle.front().port << "/"
+        << cycle.front().vc << ")";
+  if (!faults.fault_free()) wit << " under " << describe_faults(faults);
+  return wit.str();
+}
 
 std::optional<DeadlockModel> model_for(const rules::Program& prog) {
   DeadlockModel m;
@@ -488,6 +202,10 @@ std::optional<DeadlockModel> model_for(const rules::Program& prog) {
     m.style = DecisionStyle::CandEvents;
     m.num_vcs = 3;
     m.escape_vc = 2;
+    // The escape layer reroutes around any fault pattern that leaves the
+    // mesh connected; two arbitrary faults never cut more than a corner
+    // off a >=4x4 mesh, so the program claims 2-fault tolerance.
+    m.fault_tolerance = 2;
     return m;
   }
   if (prog.name == "nafta" || prog.name == "nara") {
@@ -495,6 +213,13 @@ std::optional<DeadlockModel> model_for(const rules::Program& prog) {
     m.style = DecisionStyle::ReturnPort;
     m.injection = InjectionVcs::BySignDy;
     m.num_vcs = 2;
+    if (prog.name == "nafta") {
+      // NAFTA switches to the fault-tolerant decision base when a minimal
+      // output is broken (paper Table 1 row 2); NARA has no such base and
+      // claims nothing.
+      m.ft_route_base = "in_message_ft";
+      m.fault_tolerance = 1;
+    }
     return m;
   }
   if (prog.name == "route_c" || prog.name == "route_c_nft") {

@@ -17,6 +17,7 @@
 // algorithms, so static and dynamic verdicts are directly comparable.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -59,6 +60,18 @@ struct DeadlockModel {
   /// DirsetMask only: class id -> VC. Classes absent here (ROUTE_C's
   /// escape/misroute commands) are excluded and reported as a note.
   std::map<std::int64_t, int> class_vcs;
+  /// Declared fault-tolerance claim of the program: static connectivity
+  /// failures under fault sets of at most this many elements are
+  /// certification errors; beyond it they demote to notes (the program
+  /// never promised to survive them). Deadlock and progress failures are
+  /// errors at every fault count.
+  int fault_tolerance = 0;
+  /// Fault-mode companion rule base (NAFTA's `in_message_ft`): under a
+  /// non-empty fault set its may-candidates are unioned into the
+  /// connectivity check only — the dependency graph and progress measure
+  /// still cover just the primary base (reported as a note), mirroring the
+  /// excluded-class treatment of ROUTE_C.
+  std::string ft_route_base;
 };
 
 /// The certifier's verdict. `report.acyclic` is the deadlock-freedom
@@ -73,6 +86,19 @@ struct DeadlockCertificate {
   /// Distinct (node, dest, in_port, in_vc) decision headers evaluated.
   std::uint64_t decisions = 0;
 };
+
+/// Witness channels printed per dependency cycle before eliding the rest
+/// as "+M more" (large faulted CDGs can otherwise dump unbounded lists).
+inline constexpr std::size_t kMaxWitnessChannels = 16;
+
+/// "faults={link n:p, node m, ...}" (or "no faults") — the fault-set tag
+/// every faulted witness carries.
+std::string describe_faults(const FaultSet& faults);
+
+/// A dependency-cycle witness capped at kMaxWitnessChannels channels and
+/// tagged with the fault set that produced it.
+std::string format_cycle_witness(const std::vector<Channel>& cycle,
+                                 const FaultSet& faults);
 
 /// The built-in model for a corpus program, keyed by PROGRAM name;
 /// nullopt when the program has no routing rule base to certify.

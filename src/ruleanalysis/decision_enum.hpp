@@ -1,0 +1,260 @@
+// May/must decision enumeration of rule programs under an abstract input
+// model — the engine shared by the static deadlock certifier (deadlock.cpp)
+// and the k-fault certification engine (fault_cert.cpp).
+//
+// A decision header (node, dest, in_port, in_vc) fixes the catalog inputs
+// the host computes (coordinates, link health, escape-layer signals); every
+// other input is enumerated over its declared domain. The channels of every
+// may-firing rule up to and including the first must-firing one are
+// collected, so the candidate relation over-approximates the live router:
+// a dependency edge is never missed.
+//
+// Three additions over the PR 4 certifier make fault sweeps tractable:
+//  * every fault-sensitive catalog read (link_ok, link_fault,
+//    dest_reachable, escape_ok, escape_port) is recorded with its observed
+//    value, so a healthy baseline decision can be revalidated under a new
+//    fault set in O(reads) instead of re-enumerated — programs that read no
+//    fault inputs reuse their entire baseline;
+//  * decisions carry a `delivers` flag (a local-port candidate at the
+//    destination), driving the static connectivity property;
+//  * an abstract mode evaluates a header under an explicit valuation of
+//    the fault-sensitive inputs instead of a concrete FaultSet — the
+//    equivariance check behind orbit reduction sweeps all valuations, so a
+//    symmetry is only trusted where every faulted branch was compared.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "routing/updown.hpp"
+#include "ruleanalysis/deadlock.hpp"
+#include "ruleengine/ast.hpp"
+#include "ruleengine/env.hpp"
+#include "ruleengine/interp.hpp"
+#include "topology/fault_model.hpp"
+#include "topology/mesh.hpp"
+#include "topology/topology.hpp"
+
+namespace flexrouter::ruleanalysis {
+
+/// One fault-sensitive catalog read observed while enumerating a decision.
+/// A baseline decision stays valid under a different fault set iff every
+/// recorded read recomputes to the same value there.
+struct CatalogRead {
+  enum class Kind : std::uint8_t {
+    LinkOk,         // link_usable(node, port) — also backs link_fault
+    DestReachable,  // connected(faults, node, dest)
+    EscapeOk,       // escape table reaches (node, dest)
+    EscapePort,     // next escape hop (or degree when unroutable)
+  };
+  Kind kind = Kind::LinkOk;
+  PortId port = kInvalidPort;  // LinkOk only: the queried port
+  std::int32_t value = 0;
+  bool operator==(const CatalogRead&) const = default;
+  bool operator<(const CatalogRead& o) const {
+    return std::tie(kind, port, value) < std::tie(o.kind, o.port, o.value);
+  }
+};
+
+using Cand = std::pair<PortId, VcId>;
+
+/// The enumerated may-candidate set of one decision header.
+struct EnumeratedDecision {
+  std::vector<Cand> cands;     // primary route-base candidates
+  std::vector<Cand> ft_cands;  // fault-mode companion base (connectivity
+                               // union only; empty without an ft base)
+  /// A local-port candidate fired with node == dest: the header is
+  /// consumed here.
+  bool delivers = false;
+  std::vector<CatalogRead> reads;
+};
+
+/// Sentinel port of escape-layer candidates in abstract mode: the concrete
+/// escape next hop is tree-dependent, so the equivariance check compares
+/// escape candidates as presence tokens (sound because the escape_port
+/// audit proves the symbol only ever names the port of an escape-VC emit).
+inline constexpr PortId kAbstractEscapePort = -2;
+
+/// A decision under an explicit fault-input valuation (abstract mode).
+struct AbstractDecision {
+  std::vector<Cand> cands;
+  std::vector<Cand> ft_cands;
+  bool delivers = false;
+  /// An escape-VC candidate appeared whose port is not the audited
+  /// escape_port symbol (breaks the token abstraction), or a non-escape
+  /// candidate fired from an on-escape header (breaks stickiness).
+  bool escape_violation = false;
+  bool operator==(const AbstractDecision&) const = default;
+};
+
+/// Which fault-sensitive catalog inputs the certified rule bases reference;
+/// these are the axes of the abstract-valuation grid.
+struct FaultInputAxes {
+  bool link_bits = false;       // link_ok or link_fault
+  bool dest_reachable = false;
+  bool escape_ok = false;
+  bool escape_port = false;
+};
+
+class DecisionEnumerator {
+ public:
+  /// The program must have passed validation. `ok()` is false when the
+  /// model cannot be enumerated (missing base, parameters, BySignDy off a
+  /// 2-D mesh); `error()` says why.
+  DecisionEnumerator(const rules::Program& prog, const DeadlockModel& model,
+                     const Topology& topo);
+
+  DecisionEnumerator(const DecisionEnumerator&) = delete;
+  DecisionEnumerator& operator=(const DecisionEnumerator&) = delete;
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Switch the concrete fault state: copies the set, recomputes
+  /// components, rebuilds the escape table and drops the per-fault-set
+  /// overlay. The healthy baseline memo is kept for reuse.
+  void set_faults(const FaultSet& faults);
+  const FaultSet& faults() const { return faults_; }
+
+  /// Reuse another enumerator's healthy baseline read-only (parallel orbit
+  /// workers share the warmed baseline of the main enumerator). The base
+  /// must outlive this object and must not be mutated concurrently.
+  void share_baseline(const DecisionEnumerator* base) { shared_ = base; }
+
+  /// May-candidates of a header under the current fault set. References
+  /// stay valid until the enumerator is destroyed or set_faults is called
+  /// (baseline entries survive set_faults).
+  const EnumeratedDecision& decide(NodeId node, NodeId dest, PortId in_port,
+                                   VcId in_vc);
+
+  /// Abstract-mode decision: fault-sensitive inputs come from `valuation`
+  /// (bit p = link_ok(p) for p < degree, bit degree = dest_reachable, bit
+  /// degree+1 = escape_ok) instead of the fault set. Memoized.
+  const AbstractDecision& decide_abstract(NodeId node, NodeId dest,
+                                          PortId in_port, VcId in_vc,
+                                          std::uint32_t valuation);
+
+  /// Injection-seed VCs of a (src, dest) pair under the model.
+  void seed_vcs(NodeId s, NodeId d, std::vector<VcId>& out) const;
+
+  /// Both endpoints alive and in the same component of the current faults.
+  bool connected_now(NodeId a, NodeId b) const {
+    const auto ca = comp_[static_cast<std::size_t>(a)];
+    return ca >= 0 && ca == comp_[static_cast<std::size_t>(b)];
+  }
+
+  const rules::Program& program() const { return prog_; }
+  const DeadlockModel& model() const { return model_; }
+  const Topology& topo() const { return topo_; }
+  const Mesh* mesh() const { return mesh_; }
+  const UpDownTable& escape() const { return escape_; }
+  const std::set<VcId>& included_vcs() const { return included_vcs_; }
+  bool has_ft_base() const { return ft_rb_ != nullptr; }
+  const FaultInputAxes& axes() const { return axes_; }
+  /// True when the escape_port symbol provably appears only as the port of
+  /// escape-VC cand emits (or is never used): the abstract escape token and
+  /// the member-transport argument for escape channels are then sound.
+  bool escape_port_audited() const { return escape_port_audited_; }
+
+  std::uint64_t evaluated() const { return evaluated_; }
+  std::uint64_t reused() const { return reused_; }
+  std::uint64_t baseline_size() const { return baseline_.size(); }
+  void reset_counters() { evaluated_ = reused_ = 0; }
+
+  const std::set<std::string>& unmodeled() const { return unmodeled_; }
+  const std::set<std::int64_t>& excluded_classes() const {
+    return excluded_classes_;
+  }
+  bool modeled() const { return modeled_; }
+  /// Fold another enumerator's notes into this one (worker aggregation).
+  void merge_notes(const DecisionEnumerator& other);
+
+ private:
+  struct Unknown {
+    std::string name;
+    std::int64_t flat = -1;  // flattened index, -1 = scalar
+    std::vector<rules::Value> vals;
+    std::size_t cur = 0;
+  };
+  using DecisionKey = std::tuple<NodeId, NodeId, PortId, VcId>;
+  using AbstractKey = std::pair<DecisionKey, std::uint32_t>;
+
+  DecisionKey make_key(NodeId node, NodeId dest, PortId in_port,
+                       VcId in_vc) const;
+  std::optional<rules::Value> known_input(const std::string& name,
+                                          const std::vector<rules::Value>& idx);
+  rules::Value provide(const std::string& name,
+                       const std::vector<rules::Value>& idx);
+  bool advance();
+  void enumerate_base(const rules::RuleBase& rb, bool is_ft,
+                      std::set<Cand>& out);
+  rules::Value eval(const rules::ExprPtr& e);
+  void collect_cmds(const std::vector<rules::Cmd>& cmds, bool is_ft,
+                    std::set<Cand>& out);
+  void collect_cmd(const rules::Cmd& c, bool is_ft, std::set<Cand>& out);
+  void add_cand(PortId port, VcId vc, std::set<Cand>& out);
+  void record(CatalogRead::Kind kind, PortId port, std::int32_t value);
+  /// Recompute every recorded read under the current fault state; true iff
+  /// all values match (the baseline decision transfers).
+  bool validate(const DecisionKey& key, const EnumeratedDecision& d);
+  std::int32_t recompute(const CatalogRead& r) const;
+  void note_unmodeled(const std::string& msg);
+  void scan_axes();
+  /// Audit that `escape_port` only ever appears verbatim as the port of an
+  /// escape-VC cand emit (and every escape-VC cand emit uses it); on
+  /// failure the token abstraction is off and a note is recorded.
+  void audit_escape_port();
+
+  const rules::Program& prog_;
+  const DeadlockModel& model_;
+  const Topology& topo_;
+  FaultSet faults_;
+  std::vector<int> comp_;
+  rules::Interpreter interp_;
+  rules::RuleEnv env_;
+  const rules::RuleBase* rb_ = nullptr;
+  const rules::RuleBase* ft_rb_ = nullptr;
+  const Mesh* mesh_ = nullptr;
+  UpDownTable escape_;
+  std::string error_;
+  FaultInputAxes axes_;
+  bool escape_port_audited_ = false;
+
+  // Current decision header (read by the input provider).
+  NodeId node_ = 0;
+  NodeId dest_ = 0;
+  PortId in_port_ = 0;
+  VcId in_vc_ = 0;
+  bool abstract_ = false;
+  std::uint32_t valuation_ = 0;
+  bool delivers_ = false;
+  bool escape_violation_ = false;
+  std::vector<CatalogRead> reads_;
+
+  std::vector<Unknown> unknowns_;
+  std::map<std::pair<std::string, std::int64_t>, std::size_t> uix_;
+  bool discovered_ = false;
+  std::vector<std::pair<std::string, rules::Value>> binds_;
+
+  std::set<VcId> included_vcs_;
+  std::map<DecisionKey, EnumeratedDecision> baseline_;
+  const DecisionEnumerator* shared_ = nullptr;
+  std::map<DecisionKey, const EnumeratedDecision*> overlay_;
+  std::deque<EnumeratedDecision> overlay_owned_;
+  std::map<AbstractKey, AbstractDecision> abs_memo_;
+
+  std::uint64_t evaluated_ = 0;
+  std::uint64_t reused_ = 0;
+  std::set<std::int64_t> excluded_classes_;
+  std::set<std::string> unmodeled_;
+  bool modeled_ = true;
+};
+
+}  // namespace flexrouter::ruleanalysis

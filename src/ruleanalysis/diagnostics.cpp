@@ -15,6 +15,8 @@ const char* to_string(DiagClass c) {
     case DiagClass::StateBlowup: return "state-blowup";
     case DiagClass::DeadlockCycle: return "deadlock-cycle";
     case DiagClass::DeadlockUnmodeled: return "deadlock-unmodeled";
+    case DiagClass::Blackhole: return "blackhole";
+    case DiagClass::LivelockCycle: return "livelock-cycle";
   }
   return "?";
 }

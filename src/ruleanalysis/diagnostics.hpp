@@ -23,6 +23,10 @@ enum class DiagClass {
   StateBlowup,    // abstract state space exceeded the budget; pass skipped
   DeadlockCycle,  // static channel-dependency graph has a cycle (witness)
   DeadlockUnmodeled,  // program shape outside the certifier's input model
+  Blackhole,      // reachable decision state with no usable candidate (or a
+                  // destination arrival no delivery rule consumes)
+  LivelockCycle,  // per-destination decision relation has a static cycle:
+                  // no well-founded progress measure exists
 };
 
 enum class Severity { Note, Warning, Error };

@@ -1,0 +1,82 @@
+#include "sim/witness_replay.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "routing/rule_driven.hpp"
+#include "ruleengine/parser.hpp"
+#include "sim/fault_schedule.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace flexrouter {
+namespace {
+
+std::int64_t int_constant(const rules::Program& prog, const std::string& name,
+                          std::int64_t fallback) {
+  const auto it = prog.constants.find(name);
+  if (it == prog.constants.end() || !it->second.is_int()) return fallback;
+  return it->second.as_int();
+}
+
+std::unique_ptr<Topology> topology_of(const rules::Program& prog) {
+  if (prog.constants.count("width") && prog.constants.count("height")) {
+    const auto w = static_cast<int>(int_constant(prog, "width", 0));
+    const auto h = static_cast<int>(int_constant(prog, "height", 0));
+    if (w >= 2 && h >= 2) return std::make_unique<Mesh>(Mesh::two_d(w, h));
+  }
+  if (prog.constants.count("dim")) {
+    const auto d = static_cast<int>(int_constant(prog, "dim", 0));
+    if (d >= 1 && d <= 16) return std::make_unique<Hypercube>(d);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+WitnessReplayResult replay_fault_pattern(
+    const std::string& source, const ruleanalysis::FaultPattern& pattern,
+    const WitnessReplayOptions& opts) {
+  const rules::Program prog = rules::parse_program(source);
+  const std::unique_ptr<Topology> topo = topology_of(prog);
+  FR_REQUIRE_MSG(topo != nullptr,
+                 "witness replay: program constants describe no topology");
+
+  RuleDrivenRouting algo(source, opts.num_vcs, rules::ExecMode::Interpret,
+                         opts.route_base, opts.escape_vc);
+  Network net(*topo, algo);
+  UniformTraffic traffic(*topo);
+  SimConfig cfg;
+  cfg.injection_rate = opts.injection_rate;
+  cfg.packet_length = opts.packet_length;
+  cfg.warmup_cycles = opts.warmup_cycles;
+  cfg.measure_cycles = opts.measure_cycles;
+  cfg.seed = opts.seed;
+  FaultSchedule schedule;
+  for (const LinkRef& l : pattern.links)
+    schedule.fail_link_at(opts.fault_cycle, l.node, l.port);
+  for (const NodeId n : pattern.nodes)
+    schedule.fail_node_at(opts.fault_cycle, n);
+
+  Simulator sim(net, traffic, cfg);
+  sim.set_fault_schedule(schedule);
+
+  WitnessReplayResult res;
+  res.sim = sim.run();
+  res.failure = res.sim.deadlock_suspected ||
+                res.sim.packets_unrecoverable > 0 ||
+                res.sim.delivered_packets < res.sim.injected_packets;
+  std::ostringstream os;
+  os << "replay of " << pattern.to_string() << " on " << prog.name << ": "
+     << (res.failure ? "FAILED" : "delivered") << " ("
+     << res.sim.delivered_packets << "/" << res.sim.injected_packets
+     << " delivered, " << res.sim.packets_unrecoverable << " unrecoverable"
+     << (res.sim.deadlock_suspected ? ", deadlock suspected" : "") << ")";
+  res.summary = os.str();
+  return res;
+}
+
+}  // namespace flexrouter

@@ -319,6 +319,36 @@ TEST(RulelintAgreement, RouteCCertificateMatchesNativeAlgorithm) {
   EXPECT_EQ(cert.report.acyclic, dynamic.acyclic);
 }
 
+TEST(RulelintAgreement, FaultedOrbitSampleMatchesDynamicCdg) {
+  // The k = 1 certifier and the live channel-dependency checker must agree
+  // on acyclicity over faulted orbits: the static certificate reports zero
+  // deadlock failures across every k = 1 orbit, so a live router rebuilt
+  // under each sampled fault pattern must present an acyclic CDG too.
+  const std::string src = rulebases::ft_mesh_route_source(4, 4);
+  const auto report = ruleanalysis::fault_cert_source(src);
+  ASSERT_TRUE(report.has_value());
+  for (const auto& regime : report->regimes)
+    EXPECT_EQ(regime.deadlock_failures, 0u) << regime.name;
+
+  Mesh m = Mesh::two_d(4, 4);
+  std::vector<ruleanalysis::FaultPattern> sample = report->certified_samples;
+  ruleanalysis::FaultPattern corner, interior;
+  corner.nodes.push_back(m.at(0, 0));
+  interior.nodes.push_back(m.at(1, 2));
+  sample.push_back(corner);
+  sample.push_back(interior);
+  ASSERT_GT(sample.size(), 2u);
+  for (const auto& pattern : sample) {
+    const FaultSet faults = pattern.to_fault_set(m);
+    RuleDrivenRouting algo(src, 3, rules::ExecMode::Interpret, "route",
+                           /*escape_vc=*/2);
+    algo.attach(m, faults);
+    algo.reconfigure();
+    EXPECT_TRUE(check_full_cdg(m, faults, algo).acyclic)
+        << "dynamic CDG cyclic under " << pattern.to_string();
+  }
+}
+
 TEST(RulelintAgreement, FaultedFtMeshStaysCertified) {
   const std::string src = rulebases::ft_mesh_route_source(4, 4);
   const auto prog = rules::parse_program(src);
