@@ -1,0 +1,543 @@
+// Chaos-campaign engine — availability SLO distributions under fault
+// storms beyond fail-stop.
+//
+// Thousands of seeded fault patterns per (algorithm x topology x regime)
+// are fanned out on the SweepRunner and aggregated into a scorecard that
+// ranks all registered routing algorithms per fault regime. Five regimes:
+//
+//   fail_stop  one or two random fail-stop link kills (the PR 5 baseline)
+//   repair     a link dies, then comes back and must be re-adopted
+//   flap       an intermittent link with seeded on/off duty cycles
+//   failslow   random links throttled to a fraction of their bandwidth
+//              (no recovery window — the pure degraded-service regime)
+//   storm      a correlated regional kill: a 2-node block on grids, a
+//              1-subcube on hypercubes
+//
+// Hard invariants, checked on EVERY replica:
+//   - accounting identity: delivered + unrecoverable == injected and
+//     lost == retransmitted + unrecoverable (nothing vanishes),
+//   - no watchdog abort: deadlock_suspected must be false — structured
+//     recovery has to converge even for non-fault-tolerant algorithms.
+//
+// The scorecard (availability mean/p50/min, recovery-time p50/p99/max from
+// the pooled per-event samples, worst blocked chain) must serialise to a
+// byte-identical JSON at 1, 2, 4 and 8 sweep worker threads.
+//
+// Usage:
+//   ./chaos_campaign                 # full campaign (nightly CI)
+//   ./chaos_campaign --smoke        # small pattern counts for PR CI
+//   ./chaos_campaign --patterns N   # override patterns per cell
+//   ./chaos_campaign --json FILE    # write the scorecard
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "common/alloc_counter.hpp"
+#include "common/rng.hpp"
+#include "routing/nafta.hpp"
+#include "topology/graph_algo.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/torus.hpp"
+
+namespace {
+
+using namespace flexrouter;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+enum class Regime { FailStop, Repair, Flap, FailSlow, Storm };
+constexpr Regime kRegimes[] = {Regime::FailStop, Regime::Repair, Regime::Flap,
+                               Regime::FailSlow, Regime::Storm};
+const char* regime_name(Regime r) {
+  switch (r) {
+    case Regime::FailStop: return "fail_stop";
+    case Regime::Repair: return "repair";
+    case Regime::Flap: return "flap";
+    case Regime::FailSlow: return "failslow";
+    case Regime::Storm: return "storm";
+  }
+  return "?";
+}
+
+/// Each algorithm runs on its native topology (16 nodes everywhere so the
+/// regimes are comparable): hypercube algorithms on the 4-cube, the torus
+/// router on a 4x4 torus, everything else on a 4x4 mesh.
+std::unique_ptr<Topology> make_topology(const std::string& algo) {
+  if (algo == "ecube" || algo == "route_c" || algo == "route_c_nft")
+    return std::make_unique<Hypercube>(4);
+  if (algo == "dor-torus")
+    return std::make_unique<Torus>(std::vector<int>{4, 4});
+  return std::make_unique<Mesh>(std::vector<int>{4, 4});
+}
+
+/// One seeded fault pattern. All randomness comes from a SplitMix64 stream
+/// derived from the replica seed and a per-regime salt, so a pattern is
+/// fully determined by (regime, topology, seed) and replicas of a parallel
+/// sweep carry identical schedules.
+FaultSchedule build_schedule(Regime reg, const Topology& topo, Cycle warmup,
+                             Cycle measure, std::uint64_t seed) {
+  FaultSchedule s;
+  SplitMix64 sm(seed ^ (0x9d5c0c5bULL + static_cast<std::uint64_t>(reg)));
+  const std::vector<LinkRef> links = topo.undirected_links();
+  const auto rand_link = [&] {
+    return links[sm.next_below(static_cast<std::uint64_t>(links.size()))];
+  };
+  const auto rand_cycle = [&] {
+    // Somewhere in the middle half of the measurement window, so damage
+    // lands under measured traffic and recovery can finish inside the run.
+    return warmup + measure / 4 +
+           static_cast<Cycle>(
+               sm.next_below(static_cast<std::uint64_t>(measure / 2)));
+  };
+  switch (reg) {
+    case Regime::FailStop: {
+      const int kills = 1 + static_cast<int>(sm.next_below(2));
+      for (int i = 0; i < kills; ++i) {
+        const LinkRef l = rand_link();
+        s.fail_link_at(rand_cycle(), l.node, l.port);
+      }
+      break;
+    }
+    case Regime::Repair: {
+      const LinkRef l = rand_link();
+      s.fail_link_at(warmup + measure / 4, l.node, l.port);
+      s.repair_link_at(warmup + (3 * measure) / 4, l.node, l.port);
+      break;
+    }
+    case Regime::Flap: {
+      const LinkRef l = rand_link();
+      s.add_flapping_link(l.node, l.port, warmup + measure / 4,
+                          warmup + measure, static_cast<double>(measure) / 10,
+                          static_cast<double>(measure) / 5, sm.next());
+      break;
+    }
+    case Regime::FailSlow: {
+      const int slows = 1 + static_cast<int>(sm.next_below(3));
+      for (int i = 0; i < slows; ++i) {
+        const LinkRef l = rand_link();
+        const int factor = 4 + static_cast<int>(sm.next_below(13));
+        s.degrade_link_at(rand_cycle(), l.node, l.port, factor);
+      }
+      break;
+    }
+    case Regime::Storm: {
+      const Cycle at = warmup + measure / 4;
+      if (const auto* cube = dynamic_cast<const Hypercube*>(&topo)) {
+        // 1-subcube: fix all but one address bit — two correlated kills.
+        const auto all =
+            (std::uint64_t{1} << static_cast<unsigned>(cube->dimension())) -
+            1;
+        const std::uint64_t free_bit =
+            std::uint64_t{1} << sm.next_below(
+                static_cast<std::uint64_t>(cube->dimension()));
+        const std::uint64_t mask = all ^ free_bit;
+        s.add_subcube_storm(topo, at, mask, sm.next() & mask);
+      } else {
+        // 2x1 block at a random grid position (Mesh or Torus).
+        const int x = static_cast<int>(sm.next_below(3));
+        const int y = static_cast<int>(sm.next_below(4));
+        s.add_region_storm(topo, at, {x, y}, {x + 1, y});
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+SimResult run_point(const std::string& algo_name, Regime reg, Cycle warmup,
+                    Cycle measure, std::uint64_t seed) {
+  const std::unique_ptr<Topology> topo = make_topology(algo_name);
+  const std::unique_ptr<RoutingAlgorithm> algo = make_algorithm(algo_name);
+  UniformTraffic tr(*topo);
+  Network net(*topo, *algo);
+  SimConfig cfg;
+  cfg.injection_rate = 0.06;
+  cfg.packet_length = 4;
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = measure;
+  // Campaign tuning: a tight watchdog window lets structured recovery kill
+  // wedged worms quickly (non-fault-tolerant algorithms produce many under
+  // storms), and a generous drain budget fits all those kill rounds.
+  cfg.watchdog_window = 150;
+  cfg.drain_limit = 200000;
+  cfg.seed = seed;
+  Simulator sim(net, tr, cfg);
+  sim.set_fault_schedule(build_schedule(reg, *topo, warmup, measure, seed));
+  return sim.run();
+}
+
+/// Per-(algorithm x regime) aggregate. Every accumulation walks the sweep
+/// results in point order, so the stats are bit-identical whatever thread
+/// count produced them.
+struct Cell {
+  std::string algo;
+  int patterns = 0;
+  std::vector<double> avails;
+  std::vector<Cycle> recovery;  // pooled per-event samples
+  std::int64_t injected = 0, delivered = 0, unrecoverable = 0, lost = 0;
+  std::int64_t retransmitted = 0;
+  int repair_events = 0, degrade_events = 0, worms_killed = 0;
+  int deadlocks = 0, accounting_violations = 0;
+  std::size_t worst_blocked_chain = 0;
+  double p99_latency_sum = 0.0;
+
+  void absorb(const SimResult& r) {
+    ++patterns;
+    avails.push_back(r.availability);
+    recovery.insert(recovery.end(), r.recovery_durations.begin(),
+                    r.recovery_durations.end());
+    injected += r.injected_packets;
+    delivered += r.delivered_packets;
+    unrecoverable += r.packets_unrecoverable;
+    lost += r.packets_lost;
+    retransmitted += r.packets_retransmitted;
+    repair_events += r.repair_events;
+    degrade_events += r.degrade_events;
+    worms_killed += r.worms_killed;
+    if (r.deadlock_suspected) ++deadlocks;
+    if (r.delivered_packets + r.packets_unrecoverable != r.injected_packets ||
+        r.packets_lost !=
+            r.packets_retransmitted + r.packets_unrecoverable)
+      ++accounting_violations;
+    worst_blocked_chain = std::max(worst_blocked_chain,
+                                   r.blocked_chain.size());
+    p99_latency_sum += r.p99_latency;
+  }
+
+  double avail_mean() const {
+    double sum = 0.0;
+    for (const double a : avails) sum += a;
+    return patterns > 0 ? sum / patterns : 1.0;
+  }
+  double avail_quantile(double q) const {
+    if (avails.empty()) return 1.0;
+    std::vector<double> v = avails;
+    std::sort(v.begin(), v.end());
+    const auto idx = std::min(
+        v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(
+                                                       v.size())));
+    return v[idx];
+  }
+  double avail_min() const {
+    double m = 1.0;
+    for (const double a : avails) m = std::min(m, a);
+    return m;
+  }
+  Cycle recovery_quantile(double q) const {
+    if (recovery.empty()) return 0;
+    std::vector<Cycle> v = recovery;
+    std::sort(v.begin(), v.end());
+    const auto idx = std::min(
+        v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(
+                                                       v.size())));
+    return v[idx];
+  }
+  Cycle recovery_max() const {
+    Cycle m = 0;
+    for (const Cycle c : recovery) m = std::max(m, c);
+    return m;
+  }
+  double p99_latency_mean() const {
+    return patterns > 0 ? p99_latency_sum / patterns : 0.0;
+  }
+};
+
+/// Ranking inside a regime: highest mean availability first; ties (the
+/// failslow regime gates nothing, so every algorithm sits at 1.0) break on
+/// mean p99 latency, then on name, so the order is total and
+/// deterministic.
+bool ranks_before(const Cell& a, const Cell& b) {
+  if (a.avail_mean() != b.avail_mean()) return a.avail_mean() > b.avail_mean();
+  if (a.p99_latency_mean() != b.p99_latency_mean())
+    return a.p99_latency_mean() < b.p99_latency_mean();
+  return a.algo < b.algo;
+}
+
+/// Serialise the full scorecard. The byte string is the bit-identity
+/// artifact: campaigns at different thread counts must produce the same
+/// bytes, and nightly CI archives it for cross-PR diffing.
+std::string scorecard_json(
+    const std::vector<std::vector<Cell>>& cells_by_regime, int patterns,
+    bool smoke) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+     << ",\n  \"patterns_per_cell\": " << patterns << ",\n  \"regimes\": [\n";
+  for (std::size_t ri = 0; ri < cells_by_regime.size(); ++ri) {
+    std::vector<Cell> ranked = cells_by_regime[ri];
+    std::sort(ranked.begin(), ranked.end(), ranks_before);
+    os << "    {\"regime\": \"" << regime_name(kRegimes[ri])
+       << "\", \"ranking\": [\n";
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      const Cell& c = ranked[i];
+      os << "      {\"algorithm\": \"" << c.algo << "\""
+         << ", \"availability_mean\": " << c.avail_mean()
+         << ", \"availability_p50\": " << c.avail_quantile(0.50)
+         << ", \"availability_min\": " << c.avail_min()
+         << ", \"recovery_p50\": " << c.recovery_quantile(0.50)
+         << ", \"recovery_p99\": " << c.recovery_quantile(0.99)
+         << ", \"recovery_max\": " << c.recovery_max()
+         << ", \"worst_blocked_chain\": " << c.worst_blocked_chain
+         << ", \"p99_latency_mean\": " << c.p99_latency_mean()
+         << ", \"injected\": " << c.injected
+         << ", \"delivered\": " << c.delivered
+         << ", \"unrecoverable\": " << c.unrecoverable
+         << ", \"lost\": " << c.lost
+         << ", \"retransmitted\": " << c.retransmitted
+         << ", \"repair_events\": " << c.repair_events
+         << ", \"degrade_events\": " << c.degrade_events
+         << ", \"worms_killed\": " << c.worms_killed
+         << ", \"deadlocks\": " << c.deadlocks << "}"
+         << (i + 1 < ranked.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (ri + 1 < cells_by_regime.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+/// Zero-allocation steady state across the full chaos lifecycle: degrade,
+/// live kill + drain + commit, repair + drain + commit — then the network
+/// must run off the pre-reserved pools again.
+bool run_alloc_guard() {
+  Mesh m = Mesh::two_d(8, 8);
+  Nafta algo;
+  UniformTraffic tr(m);
+  NetworkConfig ncfg;
+  ncfg.expected_packets = 16384;
+  Network net(m, algo, ncfg);
+  std::vector<int> comp = components(net.faults());
+  Rng rng(42);
+  Cycle now = 0;
+  const double packet_prob = 0.10 / 4.0;
+  const auto inject = [&] {
+    for (NodeId s = 0; s < m.num_nodes(); ++s) {
+      if (!net.faults().node_ok(s)) continue;
+      if (!rng.next_bool(packet_prob)) continue;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const NodeId cand = tr.dest(s, rng);
+        if (cand == s) continue;
+        if (comp[static_cast<std::size_t>(cand)] ==
+            comp[static_cast<std::size_t>(s)]) {
+          net.send(s, cand, 4, now);
+          break;
+        }
+      }
+    }
+  };
+  // Hand-driven equivalent of the Simulator's drain watchdog: a worm whose
+  // only candidates cross dead hardware wedges against the stale routing
+  // tables, so a stalled window gets the same structured victim kill
+  // (lowest packet id in the blocked wait-for chain).
+  const auto drain_and_commit = [&]() -> bool {
+    std::int64_t last_moved = net.total_flit_movements();
+    Cycle stall = 0;
+    for (int c = 0; c < 20000 && !net.idle(); ++c) {
+      net.step(now++);
+      const std::int64_t moved = net.total_flit_movements();
+      if (moved != last_moved) {
+        last_moved = moved;
+        stall = 0;
+        continue;
+      }
+      if (++stall > 200) {
+        PacketId victim = -1;
+        for (const Network::BlockedChannel& ch : net.blocked_chain()) {
+          if (ch.packet < 0) continue;
+          const PacketRecord& rec = net.record(ch.packet);
+          if (rec.done() || rec.lost) continue;
+          if (victim < 0 || ch.packet < victim) victim = ch.packet;
+        }
+        if (victim >= 0) net.kill_packet(victim);
+        stall = 0;
+      }
+    }
+    if (!net.idle()) return false;
+    net.commit_pending_faults();
+    comp = components(net.faults());
+    return true;
+  };
+  for (int c = 0; c < 300; ++c) {
+    inject();
+    net.step(now++);
+  }
+  // Live kill with its quiescent commit first (hand-driven drains have no
+  // watchdog, so the kill runs from the proven healthy-table state), then
+  // the fail-slow throttle (applied live, no drain needed — and once the
+  // tables know the dead link, a throttled link only delays worms, it
+  // cannot wedge them), then the repair with its own commit.
+  net.kill_link_live(m.at(3, 3), port_of(Compass::East));
+  if (!drain_and_commit()) {
+    std::cerr << "alloc guard: network failed to drain after live kill\n";
+    return false;
+  }
+  net.degrade_link_live(m.at(5, 5), port_of(Compass::East), 4);
+  for (int c = 0; c < 300; ++c) {
+    inject();
+    net.step(now++);
+  }
+  if (!net.repair_link_live(m.at(3, 3), port_of(Compass::East))) {
+    std::cerr << "alloc guard: repair of the killed link did not queue\n";
+    return false;
+  }
+  if (!drain_and_commit()) {
+    std::cerr << "alloc guard: network failed to drain before repair\n";
+    return false;
+  }
+  for (int c = 0; c < 400; ++c) {  // regrow pools to the new steady state
+    inject();
+    net.step(now++);
+  }
+  int clean = 0;
+  for (int window = 0; window < 30 && clean < 3; ++window) {
+    const std::int64_t before = heap_alloc_count();
+    for (int c = 0; c < 100; ++c) {
+      inject();
+      net.step(now++);
+    }
+    const std::int64_t grew = heap_alloc_count() - before;
+    clean = grew == 0 ? clean + 1 : 0;
+  }
+  if (clean < 3) {
+    std::cerr << "ALLOCATION REGRESSION: post-chaos steady-state cycles "
+                 "still allocate\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flexrouter;
+  bool smoke = false;
+  int patterns = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    if (std::strcmp(argv[i], "--patterns") == 0 && i + 1 < argc)
+      patterns = std::atoi(argv[++i]);
+  }
+  if (patterns <= 0) patterns = smoke ? 8 : 1000;
+  const Cycle warmup = smoke ? 150 : 200;
+  const Cycle measure = smoke ? 600 : 1200;
+
+  bench::print_header("Chaos campaign — fault storms beyond fail-stop");
+
+  if (heap_alloc_counting_enabled()) {
+    if (!run_alloc_guard()) return 1;
+    std::cout << "alloc guard: post-chaos steady state allocation-free\n\n";
+  }
+
+  const std::vector<std::string> algos = algorithm_names();
+  const std::size_t num_regimes = std::size(kRegimes);
+
+  // One sweep point per (regime, algorithm, pattern), flattened in that
+  // order; the point's derived seed is the pattern seed.
+  std::vector<SweepPoint> points;
+  points.reserve(num_regimes * algos.size() *
+                 static_cast<std::size_t>(patterns));
+  for (std::size_t ri = 0; ri < num_regimes; ++ri) {
+    const Regime reg = kRegimes[ri];
+    for (const std::string& algo : algos) {
+      for (int p = 0; p < patterns; ++p) {
+        points.push_back({[algo, reg, warmup, measure](std::uint64_t seed) {
+          return run_point(algo, reg, warmup, measure, seed);
+        }});
+      }
+    }
+  }
+  std::cout << points.size() << " replicas: " << num_regimes << " regimes x "
+            << algos.size() << " algorithms x " << patterns
+            << " fault patterns\n\n";
+
+  std::string reference_json;
+  bench::print_row({"threads", "wall s", "scorecard"}, 12);
+  for (const int threads : {1, 2, 4, 8}) {
+    SweepOptions opts;
+    opts.num_threads = threads;
+    opts.base_seed = 1898;  // the paper's router, the campaign's seed
+    SweepRunner runner(opts);
+    const auto t0 = Clock::now();
+    const std::vector<SimResult> results = runner.run(points);
+    const double wall = seconds_since(t0);
+
+    // Aggregate in point order (index-ordered results: thread-count
+    // independent), then serialise.
+    std::vector<std::vector<Cell>> cells(num_regimes);
+    std::size_t idx = 0;
+    int violations = 0, deadlocks = 0;
+    for (std::size_t ri = 0; ri < num_regimes; ++ri) {
+      cells[ri].resize(algos.size());
+      for (std::size_t ai = 0; ai < algos.size(); ++ai) {
+        cells[ri][ai].algo = algos[ai];
+        for (int p = 0; p < patterns; ++p) cells[ri][ai].absorb(results[idx++]);
+        violations += cells[ri][ai].accounting_violations;
+        deadlocks += cells[ri][ai].deadlocks;
+      }
+    }
+    const std::string json = scorecard_json(cells, patterns, smoke);
+    const bool identical = reference_json.empty() || json == reference_json;
+    if (reference_json.empty()) reference_json = json;
+    bench::print_row({std::to_string(threads), bench::fmt(wall, 2),
+                      identical ? "identical" : "DIVERGED"},
+                     12);
+    if (violations > 0) {
+      std::cerr << "ACCOUNTING VIOLATION: " << violations
+                << " replicas broke delivered + unrecoverable == injected\n";
+      return 1;
+    }
+    if (deadlocks > 0) {
+      std::cerr << "RECOVERY FAILURE: " << deadlocks
+                << " replicas aborted on the watchdog\n";
+      return 1;
+    }
+    if (!identical) {
+      std::cerr << "DETERMINISM VIOLATION: scorecard differs at " << threads
+                << " threads\n";
+      return 1;
+    }
+
+    // Print the ranking tables once (they are identical afterwards).
+    if (threads == 1) {
+      for (std::size_t ri = 0; ri < num_regimes; ++ri) {
+        std::vector<Cell> ranked = cells[ri];
+        std::sort(ranked.begin(), ranked.end(), ranks_before);
+        std::cout << "\n--- regime: " << regime_name(kRegimes[ri]) << " ---\n";
+        bench::print_row({"algorithm", "avail", "av p50", "av min", "rec p50",
+                          "rec p99", "rec max", "chain", "unrec"},
+                         10);
+        for (const Cell& c : ranked) {
+          bench::print_row(
+              {c.algo, bench::fmt(c.avail_mean(), 4),
+               bench::fmt(c.avail_quantile(0.50), 4),
+               bench::fmt(c.avail_min(), 4),
+               std::to_string(c.recovery_quantile(0.50)),
+               std::to_string(c.recovery_quantile(0.99)),
+               std::to_string(c.recovery_max()),
+               std::to_string(c.worst_blocked_chain),
+               std::to_string(c.unrecoverable)},
+              10);
+        }
+      }
+      std::cout << "\naccounting identity held on every replica; no watchdog "
+                   "aborts\n\n";
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << reference_json;
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

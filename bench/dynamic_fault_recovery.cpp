@@ -152,9 +152,33 @@ bool run_alloc_guard() {
     net.step(now++);
   }
   // Live kill, quiescent drain, control-plane commit — the lifecycle the
-  // Simulator's recovery controller performs, driven by hand.
+  // Simulator's recovery controller performs, driven by hand, including
+  // its drain watchdog: a worm whose only candidates cross the dead link
+  // wedges against the stale routing tables, so a stalled window gets the
+  // same structured victim kill (lowest packet id in the blocked chain).
   net.kill_link_live(m.at(3, 3), port_of(Compass::East));
-  for (int c = 0; c < 20000 && !net.idle(); ++c) net.step(now++);
+  std::int64_t last_moved = net.total_flit_movements();
+  Cycle stall = 0;
+  for (int c = 0; c < 20000 && !net.idle(); ++c) {
+    net.step(now++);
+    const std::int64_t moved = net.total_flit_movements();
+    if (moved != last_moved) {
+      last_moved = moved;
+      stall = 0;
+      continue;
+    }
+    if (++stall > 200) {
+      PacketId victim = -1;
+      for (const Network::BlockedChannel& ch : net.blocked_chain()) {
+        if (ch.packet < 0) continue;
+        const PacketRecord& rec = net.record(ch.packet);
+        if (rec.done() || rec.lost) continue;
+        if (victim < 0 || ch.packet < victim) victim = ch.packet;
+      }
+      if (victim >= 0) net.kill_packet(victim);
+      stall = 0;
+    }
+  }
   if (!net.idle()) {
     std::cerr << "alloc guard: network failed to drain after live kill\n";
     return false;

@@ -33,6 +33,19 @@
 // Live fault lifecycle (optional; arms the recovery controller):
 //   fault_at   = 1500:link:27:1,2200:node:12   (timed mid-run kill events:
 //                <cycle>:link:<node>:<port> or <cycle>:node:<id>)
+//   repair_after = 800                         (repair every fault_at kill
+//                                               that many cycles after it
+//                                               lands; needs fault_at)
+//   flap       = 27:1:1500:120:260             (intermittent link
+//                <node>:<port>:<first_down>:<down_mean>:<up_mean> —
+//                seeded on/off duty cycles until warmup + measure)
+//   failslow   = 1500:27:1:8                   (<cycle>:<node>:<port>:<factor>
+//                comma list: throttle the link to 1/factor bandwidth;
+//                factor >= 2)
+//   fault_regime = fail_stop | repair | flap | failslow | storm
+//                                              (one seeded chaos pattern in
+//                                               the campaign's vocabulary;
+//                                               conflicts with fault_at)
 //   detection_delay = 0                        (cycles before diagnosis)
 //   max_retries     = 3                        (abort-and-retransmit budget)
 //
@@ -66,6 +79,7 @@
 #include <sstream>
 
 #include "common/config.hpp"
+#include "common/rng.hpp"
 #include "routing/dor_torus.hpp"
 #include "routing/negative_hop.hpp"
 #include "routing/rule_driven.hpp"
@@ -120,6 +134,119 @@ FaultSchedule parse_fault_schedule(const std::string& spec) {
     }
   }
   return schedule;
+}
+
+/// `repair_after = N`: schedule a matching repair N cycles after every
+/// fault_at kill, turning each fail-stop event into a die -> reintegrate
+/// round trip.
+void append_repairs(FaultSchedule& schedule, Cycle delay) {
+  const std::vector<FaultEvent> kills = schedule.events();  // copied: we push
+  for (const FaultEvent& e : kills) {
+    if (e.kind == FaultEvent::Kind::LinkFault)
+      schedule.repair_link_at(e.at + delay, e.node, e.port);
+    else if (e.kind == FaultEvent::Kind::NodeFault)
+      schedule.repair_node_at(e.at + delay, e.node);
+  }
+}
+
+/// `flap = <node>:<port>:<first_down>:<down_mean>:<up_mean>` — an
+/// intermittent link flapping until the end of the measurement window.
+void parse_flap(FaultSchedule& schedule, const std::string& spec,
+                Cycle horizon, std::uint64_t seed) {
+  std::istringstream fields(spec);
+  std::string node_s, port_s, first_s, down_s, up_s;
+  if (!(std::getline(fields, node_s, ':') &&
+        std::getline(fields, port_s, ':') &&
+        std::getline(fields, first_s, ':') &&
+        std::getline(fields, down_s, ':') && std::getline(fields, up_s)))
+    throw std::invalid_argument(
+        "flap must be <node>:<port>:<first_down>:<down_mean>:<up_mean> "
+        "(got '" +
+        spec + "')");
+  schedule.add_flapping_link(std::stoi(node_s), std::stoi(port_s),
+                             std::stoll(first_s), horizon, std::stod(down_s),
+                             std::stod(up_s), seed ^ 0xf1a9ULL);
+}
+
+/// `failslow = <cycle>:<node>:<port>:<factor>,...` — throttle links to one
+/// flit per `factor` cycles. A factor below 2 is a contract error: a
+/// fail-slow link still moves flits, it is just slower.
+void parse_failslow(FaultSchedule& schedule, const std::string& spec) {
+  std::istringstream is(spec);
+  std::string entry;
+  while (std::getline(is, entry, ',')) {
+    if (entry.empty()) continue;
+    std::istringstream fields(entry);
+    std::string cycle_s, node_s, port_s, factor_s;
+    if (!(std::getline(fields, cycle_s, ':') &&
+          std::getline(fields, node_s, ':') &&
+          std::getline(fields, port_s, ':') &&
+          std::getline(fields, factor_s)))
+      throw std::invalid_argument("failslow entry '" + entry +
+                                  "' must be <cycle>:<node>:<port>:<factor>");
+    const int factor = std::stoi(factor_s);
+    if (factor < 2)
+      throw std::invalid_argument(
+          "failslow entry '" + entry +
+          "': factor must be >= 2 (a fail-slow link still moves flits)");
+    schedule.degrade_link_at(std::stoll(cycle_s), std::stoi(node_s),
+                             std::stoi(port_s), factor);
+  }
+}
+
+/// `fault_regime = ...`: one seeded pattern from the chaos campaign's
+/// vocabulary, sized to this run's warmup/measure window.
+FaultSchedule build_regime_schedule(const std::string& regime,
+                                    const Topology& topo, Cycle warmup,
+                                    Cycle measure, std::uint64_t seed) {
+  FaultSchedule s;
+  SplitMix64 sm(seed ^ 0xc4a05ULL);
+  const std::vector<LinkRef> links = topo.undirected_links();
+  const LinkRef l =
+      links[sm.next_below(static_cast<std::uint64_t>(links.size()))];
+  const Cycle t1 = warmup + measure / 4;
+  if (regime == "fail_stop") {
+    s.fail_link_at(t1, l.node, l.port);
+  } else if (regime == "repair") {
+    s.fail_link_at(t1, l.node, l.port);
+    s.repair_link_at(warmup + (3 * measure) / 4, l.node, l.port);
+  } else if (regime == "flap") {
+    s.add_flapping_link(l.node, l.port, t1, warmup + measure,
+                        static_cast<double>(measure) / 10,
+                        static_cast<double>(measure) / 5, sm.next());
+  } else if (regime == "failslow") {
+    s.degrade_link_at(t1, l.node, l.port, 8);
+  } else if (regime == "storm") {
+    if (const auto* cube = dynamic_cast<const Hypercube*>(&topo)) {
+      const auto all =
+          (std::uint64_t{1} << static_cast<unsigned>(cube->dimension())) - 1;
+      const std::uint64_t free_bit =
+          std::uint64_t{1}
+          << sm.next_below(static_cast<std::uint64_t>(cube->dimension()));
+      const std::uint64_t mask = all ^ free_bit;
+      s.add_subcube_storm(topo, t1, mask, sm.next() & mask);
+    } else {
+      int rx = 0, ry = 0;
+      if (const auto* mesh = dynamic_cast<const Mesh*>(&topo)) {
+        rx = mesh->radix(0);
+        ry = mesh->radix(1);
+      } else if (const auto* tor = dynamic_cast<const Torus*>(&topo)) {
+        rx = tor->radix(0);
+        ry = tor->radix(1);
+      }
+      const int x =
+          static_cast<int>(sm.next_below(static_cast<std::uint64_t>(rx - 1)));
+      const int y =
+          static_cast<int>(sm.next_below(static_cast<std::uint64_t>(ry)));
+      s.add_region_storm(topo, t1, {x, y}, {x + 1, y});
+    }
+  } else {
+    throw std::invalid_argument(
+        "fault_regime must be fail_stop, repair, flap, failslow or storm "
+        "(got '" +
+        regime + "')");
+  }
+  return s;
 }
 
 bool rule_driven_name(const std::string& aname) {
@@ -308,6 +435,29 @@ int main(int argc, char** argv) {
   FaultSchedule schedule;
   try {
     schedule = parse_fault_schedule(cfg.get_string("fault_at", ""));
+    const std::string regime = cfg.get_string("fault_regime", "");
+    if (!regime.empty()) {
+      if (!schedule.empty())
+        throw std::invalid_argument(
+            "fault_regime generates its own schedule and conflicts with "
+            "fault_at — pick one");
+      schedule = build_regime_schedule(regime, *topo, base.warmup_cycles,
+                                       base.measure_cycles, seed);
+    }
+    const Cycle repair_after = cfg.get_int("repair_after", 0);
+    if (repair_after < 0)
+      throw std::invalid_argument("repair_after must be >= 0");
+    if (repair_after > 0) {
+      if (cfg.get_string("fault_at", "").empty())
+        throw std::invalid_argument(
+            "repair_after needs fault_at kill events to repair");
+      append_repairs(schedule, repair_after);
+    }
+    const std::string flap_spec = cfg.get_string("flap", "");
+    if (!flap_spec.empty())
+      parse_flap(schedule, flap_spec,
+                 base.warmup_cycles + base.measure_cycles, seed);
+    parse_failslow(schedule, cfg.get_string("failslow", ""));
   } catch (const std::exception& e) {
     std::cerr << "config error: " << e.what() << "\n";
     return 2;

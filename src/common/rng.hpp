@@ -6,13 +6,17 @@
 // for seeding, and explicit bounded-integer / unit-double derivations.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "common/assert.hpp"
 
 namespace flexrouter {
 
-/// SplitMix64 — used to expand a single seed into generator state.
+/// SplitMix64 — used to expand a single seed into generator state, and as
+/// the stream generator for pre-materialised event schedules (fault
+/// arrivals), where a tiny state and trivially reproducible sequence matter
+/// more than xoshiro's period.
 class SplitMix64 {
  public:
   explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
@@ -24,9 +28,57 @@ class SplitMix64 {
     return z ^ (z >> 31);
   }
 
+  /// Uniform integer in [0, bound), bound > 0 — Lemire with rejection,
+  /// same derivation as Rng::next_below.
+  std::uint64_t next_below(std::uint64_t bound) {
+    FR_REQUIRE(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) — same 53-bit derivation as Rng::next_unit.
+  double next_unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
  private:
   std::uint64_t state_;
 };
+
+/// Bit-portable natural logarithm for event-stream generation (x > 0,
+/// finite). std::log's last-ulp rounding differs across libm
+/// implementations, which is enough to shift an exponential inter-arrival
+/// draw across an integer cycle boundary and desynchronise "identical"
+/// schedules between platforms. This evaluation uses only IEEE-754
+/// +,-,*,/ (all exactly specified) on a frexp decomposition:
+///   x = m * 2^e, m in [0.5, 1)   =>   ln x = e*ln2 + 2*atanh((m-1)/(m+1))
+/// with the atanh series summed over a fixed iteration count, so every
+/// conforming platform computes the identical double.
+inline double det_log(double x) {
+  FR_REQUIRE(x > 0.0 && std::isfinite(x));
+  int e = 0;
+  const double m = std::frexp(x, &e);  // exact: pure exponent extraction
+  const double t = (m - 1.0) / (m + 1.0);  // in (-1/3, 0]
+  const double t2 = t * t;
+  double term = t;
+  double sum = 0.0;
+  for (int k = 1; k <= 37; k += 2) {  // |t| <= 1/3: converges past 1 ulp
+    sum += term / static_cast<double>(k);
+    term *= t2;
+  }
+  constexpr double kLn2 = 0x1.62e42fefa39efp-1;  // round-to-nearest ln 2
+  return static_cast<double>(e) * kLn2 + 2.0 * sum;
+}
 
 /// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
 class Rng {

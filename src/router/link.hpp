@@ -83,6 +83,7 @@ class Link {
     s.vc = vc;
     s.flit = flit;
     ++flits_in_flight_;
+    if (throttle_ > 1) next_free_ = now + throttle_;
     info_.record_transfer(now);
   }
 
@@ -155,6 +156,7 @@ class Link {
       s.vc = pending_vc_;
       s.flit = pending_flit_;
       ++flits_in_flight_;
+      if (throttle_ > 1) next_free_ = now + throttle_;
       info_.record_transfer(now);
       pending_vc_ = kInvalidVc;
     }
@@ -197,6 +199,29 @@ class Link {
   /// for the control plane's quiescent reconfiguration.
   bool failed() const { return failed_; }
 
+  /// Live repair: the channel hardware rejoins service. The pipeline was
+  /// emptied by fail(), so the shift registers are already clean; routing
+  /// state re-adopts the channel at the next quiescent reconfiguration.
+  void repair() { failed_ = false; }
+
+  /// Fail-slow throttle (assumption i relaxed): a degraded channel still
+  /// transmits without destruction but accepts at most one flit per
+  /// `factor` cycles. factor == 1 is full speed. Orthogonal to failed() —
+  /// the throttle persists across fail/repair, matching hardware whose
+  /// degradation is physical (a dropped lane), not protocol state.
+  void set_throttle(int factor) {
+    FR_REQUIRE(factor >= 1);
+    throttle_ = factor;
+  }
+  int throttle() const { return throttle_; }
+
+  /// Can the sender put a flit on the wire at `now`? Full-speed links
+  /// always can (the common path stays branch-predictable and untouched by
+  /// the fail-slow feature); a throttled link enforces its duty cycle.
+  bool can_accept(Cycle now) const {
+    return throttle_ <= 1 || now >= next_free_;
+  }
+
   LinkInfoUnit& info() { return info_; }
   const LinkInfoUnit& info() const { return info_; }
 
@@ -226,6 +251,8 @@ class Link {
   int flits_in_flight_ = 0;
   int credits_in_flight_ = 0;
   bool failed_ = false;
+  int throttle_ = 1;      // flits per `throttle_` cycles; 1 == full speed
+  Cycle next_free_ = 0;   // earliest cycle a throttled link accepts again
   /// Shard-boundary staging (set_deferred): written only by the sending
   /// router's shard during the parallel phase, drained at the barrier.
   bool deferred_ = false;

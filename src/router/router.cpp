@@ -354,6 +354,12 @@ void Router::stage_sa_st(Cycle now, std::vector<Flit>& ejected) {
     InputVc& in = inputs_[static_cast<std::size_t>(idx)];
     const PortId out = in.out_port;
     if (out != local_port() && ovc(out, in.out_vc).credits <= 0) continue;
+    // Fail-slow: a throttled link refuses the wire until its duty cycle
+    // allows another flit; the worm stalls in place (backpressure), it is
+    // never destroyed.
+    if (out != local_port() &&
+        !out_links_[static_cast<std::size_t>(out)]->can_accept(now))
+      continue;
     // Misroute boost applies to the head flit only. Pre-store flits
     // carried a header copy frozen at injection time, so body flits
     // always saw misrouted == false; keep that arbitration behaviour

@@ -558,6 +558,37 @@ void Network::finalize_lost(PacketSlot s) {
   store_.release(s);
 }
 
+bool Network::projected_link_marked(NodeId node, PortId port) const {
+  const NodeId peer = topo_->neighbor(node, port);
+  FR_ASSERT(peer != kInvalidNode);
+  const LinkRef key = node < peer
+                          ? LinkRef{node, port}
+                          : LinkRef{peer, topo_->reverse_port(node, port)};
+  bool marked = faults_.link_marked_faulty(node, port);
+  for (const PendingMutation& m : pending_mutations_) {
+    if (m.op != PendingMutation::Op::KillLink &&
+        m.op != PendingMutation::Op::RepairLink)
+      continue;
+    const NodeId mpeer = topo_->neighbor(m.node, m.port);
+    const LinkRef mkey =
+        m.node < mpeer ? LinkRef{m.node, m.port}
+                       : LinkRef{mpeer, topo_->reverse_port(m.node, m.port)};
+    if (mkey.node != key.node || mkey.port != key.port) continue;
+    marked = m.op == PendingMutation::Op::KillLink;
+  }
+  return marked;
+}
+
+bool Network::projected_node_faulty(NodeId node) const {
+  bool faulty = faults_.node_faulty(node);
+  for (const PendingMutation& m : pending_mutations_) {
+    if (m.node != node) continue;
+    if (m.op == PendingMutation::Op::KillNode) faulty = true;
+    if (m.op == PendingMutation::Op::RepairNode) faulty = false;
+  }
+  return faulty;
+}
+
 void Network::kill_link_live(NodeId node, PortId port) {
   FR_REQUIRE(topo_->valid_node(node) && topo_->valid_port(port));
   const NodeId peer = topo_->neighbor(node, port);
@@ -566,75 +597,122 @@ void Network::kill_link_live(NodeId node, PortId port) {
   const PortId rport = topo_->reverse_port(node, port);
   const std::ptrdiff_t rev = link_index(peer, rport);
   FR_ASSERT(fwd >= 0 && rev >= 0);
-  if (links_[static_cast<std::size_t>(fwd)]->failed() &&
-      links_[static_cast<std::size_t>(rev)]->failed())
-    return;  // already dead (e.g. via a node kill)
+  const bool hw_dead = links_[static_cast<std::size_t>(fwd)]->failed() &&
+                       links_[static_cast<std::size_t>(rev)]->failed();
+  if (hw_dead && (projected_link_marked(node, port) ||
+                  projected_node_faulty(node) || projected_node_faulty(peer)))
+    return;  // already dead and staying dead (e.g. via a node kill)
 
-  // Damage the data plane: both directions die together (assumption i).
-  // Flits inside the channel are destroyed; worms committed through the
-  // dead channel on either side are orphaned, so their upstream fragments
-  // truncate hop by hop and their buffers/VCs/slots come back.
-  destroyed_scratch_.clear();
-  links_[static_cast<std::size_t>(fwd)]->fail(destroyed_scratch_);
-  links_[static_cast<std::size_t>(rev)]->fail(destroyed_scratch_);
-  orphan_scratch_.clear();
-  routers_[static_cast<std::size_t>(node)]->kill_output_port(port,
-                                                            orphan_scratch_);
-  routers_[static_cast<std::size_t>(peer)]->kill_output_port(rport,
-                                                             orphan_scratch_);
-  for (const PacketSlot s : orphan_scratch_) poison_slot(s);
-  for (const Flit& f : destroyed_scratch_) poison_slot(f.slot);
-  for (const Flit& f : destroyed_scratch_) {
-    ++network_dropped_flits_;
-    account_dropped_flit(f.slot);
+  if (!hw_dead) {
+    // Damage the data plane: both directions die together (assumption i).
+    // Flits inside the channel are destroyed; worms committed through the
+    // dead channel on either side are orphaned, so their upstream fragments
+    // truncate hop by hop and their buffers/VCs/slots come back.
+    destroyed_scratch_.clear();
+    links_[static_cast<std::size_t>(fwd)]->fail(destroyed_scratch_);
+    links_[static_cast<std::size_t>(rev)]->fail(destroyed_scratch_);
+    orphan_scratch_.clear();
+    routers_[static_cast<std::size_t>(node)]->kill_output_port(
+        port, orphan_scratch_);
+    routers_[static_cast<std::size_t>(peer)]->kill_output_port(
+        rport, orphan_scratch_);
+    for (const PacketSlot s : orphan_scratch_) poison_slot(s);
+    for (const Flit& f : destroyed_scratch_) poison_slot(f.slot);
+    for (const Flit& f : destroyed_scratch_) {
+      ++network_dropped_flits_;
+      account_dropped_flit(f.slot);
+    }
   }
-  pending_link_faults_.push_back({node, port});
+  pending_mutations_.push_back(
+      {PendingMutation::Op::KillLink, node, port});
   activate(node);
   activate(peer);
 }
 
 void Network::kill_node_live(NodeId node) {
   FR_REQUIRE(topo_->valid_node(node));
-  if (live_killed_[static_cast<std::size_t>(node)]) return;
-  live_killed_[static_cast<std::size_t>(node)] = 1;
+  const bool hw_dead = live_killed_[static_cast<std::size_t>(node)] != 0;
+  if (hw_dead && projected_node_faulty(node))
+    return;  // already dead and staying dead
+  if (!hw_dead) {
+    live_killed_[static_cast<std::size_t>(node)] = 1;
 
-  destroyed_scratch_.clear();
-  orphan_scratch_.clear();
-  // Every live packet sourced at or destined to the dead node is orphaned
-  // (fault assumption iii no longer holds for it).
-  store_.for_each_live([&](PacketSlot s, const Header& h) {
-    if (h.src == node || h.dest == node) orphan_scratch_.push_back(s);
-  });
-  // Adjacent channels die with the node; neighbours' worms committed
-  // toward it are orphaned.
-  for (PortId p = 0; p < topo_->degree(); ++p) {
-    const NodeId peer = topo_->neighbor(node, p);
-    if (peer == kInvalidNode) continue;
-    const PortId rport = topo_->reverse_port(node, p);
-    links_[static_cast<std::size_t>(link_index(node, p))]->fail(
+    destroyed_scratch_.clear();
+    orphan_scratch_.clear();
+    // Every live packet sourced at or destined to the dead node is orphaned
+    // (fault assumption iii no longer holds for it).
+    store_.for_each_live([&](PacketSlot s, const Header& h) {
+      if (h.src == node || h.dest == node) orphan_scratch_.push_back(s);
+    });
+    // Adjacent channels die with the node; neighbours' worms committed
+    // toward it are orphaned.
+    for (PortId p = 0; p < topo_->degree(); ++p) {
+      const NodeId peer = topo_->neighbor(node, p);
+      if (peer == kInvalidNode) continue;
+      const PortId rport = topo_->reverse_port(node, p);
+      links_[static_cast<std::size_t>(link_index(node, p))]->fail(
+          destroyed_scratch_);
+      links_[static_cast<std::size_t>(link_index(peer, rport))]->fail(
+          destroyed_scratch_);
+      routers_[static_cast<std::size_t>(peer)]->kill_output_port(
+          rport, orphan_scratch_);
+      activate(peer);
+    }
+    // The dead router's buffered flits and its local injection queue vanish.
+    routers_[static_cast<std::size_t>(node)]->destroy_all_flits(
         destroyed_scratch_);
-    links_[static_cast<std::size_t>(link_index(peer, rport))]->fail(
-        destroyed_scratch_);
-    routers_[static_cast<std::size_t>(peer)]->kill_output_port(
-        rport, orphan_scratch_);
-    activate(peer);
-  }
-  // The dead router's buffered flits and its local injection queue vanish.
-  routers_[static_cast<std::size_t>(node)]->destroy_all_flits(
-      destroyed_scratch_);
-  auto& queue = injection_queues_[static_cast<std::size_t>(node)];
-  while (!queue.empty()) {
-    destroyed_scratch_.push_back(queue.front());
-    queue.pop_front();
-  }
+    auto& queue = injection_queues_[static_cast<std::size_t>(node)];
+    while (!queue.empty()) {
+      destroyed_scratch_.push_back(queue.front());
+      queue.pop_front();
+    }
 
-  for (const PacketSlot s : orphan_scratch_) poison_slot(s);
-  for (const Flit& f : destroyed_scratch_) poison_slot(f.slot);
-  for (const Flit& f : destroyed_scratch_) {
-    ++network_dropped_flits_;
-    account_dropped_flit(f.slot);
+    for (const PacketSlot s : orphan_scratch_) poison_slot(s);
+    for (const Flit& f : destroyed_scratch_) poison_slot(f.slot);
+    for (const Flit& f : destroyed_scratch_) {
+      ++network_dropped_flits_;
+      account_dropped_flit(f.slot);
+    }
   }
-  pending_node_faults_.push_back(node);
+  pending_mutations_.push_back(
+      {PendingMutation::Op::KillNode, node, kInvalidPort});
+}
+
+bool Network::repair_link_live(NodeId node, PortId port) {
+  FR_REQUIRE(topo_->valid_node(node) && topo_->valid_port(port));
+  const NodeId peer = topo_->neighbor(node, port);
+  FR_REQUIRE_MSG(peer != kInvalidNode, "live repair of an unconnected port");
+  // Only a link that is (projected) marked faulty has anything to repair;
+  // a channel dead solely because an endpoint node died is the node
+  // repair's business.
+  if (!projected_link_marked(node, port)) return false;
+  pending_mutations_.push_back(
+      {PendingMutation::Op::RepairLink, node, port});
+  activate(node);
+  activate(peer);
+  return true;
+}
+
+bool Network::repair_node_live(NodeId node) {
+  FR_REQUIRE(topo_->valid_node(node));
+  if (!projected_node_faulty(node)) return false;
+  pending_mutations_.push_back(
+      {PendingMutation::Op::RepairNode, node, kInvalidPort});
+  activate(node);
+  return true;
+}
+
+void Network::degrade_link_live(NodeId node, PortId port, int factor) {
+  FR_REQUIRE(topo_->valid_node(node) && topo_->valid_port(port));
+  const NodeId peer = topo_->neighbor(node, port);
+  FR_REQUIRE_MSG(peer != kInvalidNode, "degrade of an unconnected port");
+  faults_.degrade_link(node, port, factor);
+  const std::ptrdiff_t fwd = link_index(node, port);
+  const std::ptrdiff_t rev =
+      link_index(peer, topo_->reverse_port(node, port));
+  FR_ASSERT(fwd >= 0 && rev >= 0);
+  links_[static_cast<std::size_t>(fwd)]->set_throttle(factor);
+  links_[static_cast<std::size_t>(rev)]->set_throttle(factor);
 }
 
 void Network::kill_packet(PacketId id) {
@@ -647,14 +725,64 @@ void Network::kill_packet(PacketId id) {
 
 int Network::commit_pending_faults() {
   FR_REQUIRE_MSG(recovery_pending(), "no pending live damage to commit");
-  return apply_faults([this](FaultSet& f) {
-    for (const LinkRef& l : pending_link_faults_)
-      if (!f.link_marked_faulty(l.node, l.port)) f.fail_link(l.node, l.port);
-    for (const NodeId n : pending_node_faults_)
-      if (!f.node_faulty(n)) f.fail_node(n);
-    pending_link_faults_.clear();
-    pending_node_faults_.clear();
+  // Undirected links whose hardware state may change at this commit: the
+  // links named by link mutations plus every link adjacent to a node
+  // mutation. Only these are re-synced below — links made faulty by a
+  // static apply_faults call keep their hardware untouched, as before.
+  std::vector<LinkRef> touched;
+  for (const PendingMutation& m : pending_mutations_) {
+    switch (m.op) {
+      case PendingMutation::Op::KillLink:
+      case PendingMutation::Op::RepairLink:
+        touched.push_back({m.node, m.port});
+        break;
+      case PendingMutation::Op::KillNode:
+      case PendingMutation::Op::RepairNode:
+        for (PortId p = 0; p < topo_->degree(); ++p)
+          if (topo_->neighbor(m.node, p) != kInvalidNode)
+            touched.push_back({m.node, p});
+        break;
+    }
+  }
+  const int exchanges = apply_faults([this](FaultSet& f) {
+    // Replay in arrival order: interleaved kill/repair sequences on one
+    // resource resolve to the state of the last event.
+    for (const PendingMutation& m : pending_mutations_) {
+      switch (m.op) {
+        case PendingMutation::Op::KillLink:
+          if (!f.link_marked_faulty(m.node, m.port))
+            f.fail_link(m.node, m.port);
+          break;
+        case PendingMutation::Op::KillNode:
+          if (!f.node_faulty(m.node)) f.fail_node(m.node);
+          break;
+        case PendingMutation::Op::RepairLink:
+          if (f.link_marked_faulty(m.node, m.port))
+            f.repair_link(m.node, m.port);
+          break;
+        case PendingMutation::Op::RepairNode:
+          if (f.node_faulty(m.node)) f.repair_node(m.node);
+          live_killed_[static_cast<std::size_t>(m.node)] = 0;
+          break;
+      }
+    }
+    pending_mutations_.clear();
   });
+  // Hardware sync for the touched links: a channel whose endpoints are
+  // both healthy and which carries no faulty mark rejoins service (the
+  // network is idle, so the shift registers are already empty). Channels
+  // that remain dead keep their failed state from the live kill.
+  for (const LinkRef& l : touched) {
+    const NodeId peer = topo_->neighbor(l.node, l.port);
+    if (faults_.link_marked_faulty(l.node, l.port) ||
+        faults_.node_faulty(l.node) || faults_.node_faulty(peer))
+      continue;
+    links_[static_cast<std::size_t>(link_index(l.node, l.port))]->repair();
+    links_[static_cast<std::size_t>(
+               link_index(peer, topo_->reverse_port(l.node, l.port)))]
+        ->repair();
+  }
+  return exchanges;
 }
 
 std::vector<Network::BlockedChannel> Network::blocked_channels() const {
@@ -739,6 +867,7 @@ std::vector<Network::LinkLoad> Network::link_utilization(Cycle elapsed) const {
     l.port = link_sources_[i].port;
     l.utilization = static_cast<double>(links_[i]->info().flits_total()) /
                     static_cast<double>(elapsed);
+    l.degrade = links_[i]->throttle();
     out.push_back(l);
   }
   std::sort(out.begin(), out.end(), [](const LinkLoad& a, const LinkLoad& b) {

@@ -139,10 +139,27 @@ class Network {
   /// and crossbar claims free up hop by hop.
   void kill_packet(PacketId id);
 
-  /// Damage recorded by live kills but not yet applied to the FaultSet.
-  bool recovery_pending() const {
-    return !pending_link_faults_.empty() || !pending_node_faults_.empty();
-  }
+  /// Queue a repair of the undirected channel at (node, port): the link
+  /// hardware rejoins service at the next quiescent commit — repairs ride
+  /// the same detect -> drain -> reconfigure path as kills, because
+  /// re-adopting a channel also invalidates propagated routing state. The
+  /// data plane is untouched until the commit. Returns false (and queues
+  /// nothing) when the link is not projected dead at commit time, so
+  /// repairing a healthy channel never opens a recovery window.
+  bool repair_link_live(NodeId node, PortId port);
+  /// Queue a node repair (same commit semantics). The node's injection
+  /// queue and router return to service at the commit. Returns false when
+  /// the node is not projected faulty.
+  bool repair_node_live(NodeId node);
+  /// Fail-slow: throttle both directions of the channel at (node, port) to
+  /// one flit per `factor` cycles, effective immediately — degradation
+  /// destroys nothing and needs no drain, no reconfiguration, no epoch
+  /// bump. factor == 1 restores full bandwidth.
+  void degrade_link_live(NodeId node, PortId port, int factor);
+
+  /// Damage recorded by live kills (or queued repairs) but not yet applied
+  /// to the FaultSet.
+  bool recovery_pending() const { return !pending_mutations_.empty(); }
   /// Node killed live (dead hardware), whether or not the FaultSet has
   /// caught up yet. Traffic sources must treat it as faulty immediately.
   bool node_live_killed(NodeId node) const {
@@ -214,6 +231,9 @@ class Network {
     NodeId from = kInvalidNode;
     PortId port = kInvalidPort;
     double utilization = 0.0;
+    /// Fail-slow factor from the link hardware (1 == full speed), so the
+    /// load-measurement units expose degradation alongside utilisation.
+    int degrade = 1;
   };
   std::vector<LinkLoad> link_utilization(Cycle elapsed) const;
   /// Summary over all links: (max, mean) utilisation.
@@ -228,6 +248,23 @@ class Network {
   /// apply_faults helpers (out of line so the template stays minimal).
   void begin_fault_mutation();
   int finish_fault_mutation();
+
+  /// One queued control-plane mutation. Kills and repairs are kept in one
+  /// ordered list and replayed in arrival order at the commit, so
+  /// interleaved kill/repair/kill sequences on one resource (a flapping
+  /// link firing faster than the network can drain) resolve to the state
+  /// of the *last* event, not whichever queue happened to replay second.
+  struct PendingMutation {
+    enum class Op { KillLink, KillNode, RepairLink, RepairNode };
+    Op op;
+    NodeId node = kInvalidNode;
+    PortId port = kInvalidPort;  // link ops only
+  };
+  /// Projected control-plane state at the next commit: current FaultSet
+  /// state with the pending mutation queue replayed on top. Used to decide
+  /// whether a new kill/repair is a no-op.
+  bool projected_link_marked(NodeId node, PortId port) const;
+  bool projected_node_faulty(NodeId node) const;
 
   /// Index into links_ for the directed channel (u, p); kInvalidNode-free
   /// lookup built at construction. -1 when no link exists.
@@ -356,8 +393,7 @@ class Network {
   /// Live-fault state: directed-link lookup, damage pending control-plane
   /// commit, loss accounting, and kill-time scratch.
   std::vector<std::ptrdiff_t> link_lookup_;  // (node, port) -> links_ index
-  std::vector<LinkRef> pending_link_faults_;
-  std::vector<NodeId> pending_node_faults_;
+  std::vector<PendingMutation> pending_mutations_;
   std::vector<char> live_killed_;  // per node
   std::vector<PacketId> lost_log_;
   std::int64_t network_dropped_flits_ = 0;  // destroyed in links/queues/nodes

@@ -87,6 +87,8 @@ std::string SimResult::to_string() const {
        << " retx=" << packets_retransmitted
        << " unrecoverable=" << packets_unrecoverable
        << " kills=" << worms_killed << " avail=" << availability;
+    if (repair_events > 0) os << " repairs=" << repair_events;
+    if (degrade_events > 0) os << " degrades=" << degrade_events;
   }
   // Swap metrics likewise appear only when a swap committed.
   if (rule_swaps > 0) {
@@ -496,13 +498,39 @@ SimResult Simulator::run() {
 void Simulator::fire_due_faults(SimResult& result) {
   while (next_event_ < events_.size() && events_[next_event_].at <= now_) {
     const FaultEvent& e = events_[next_event_++];
-    if (e.kind == FaultEvent::Kind::LinkFault) {
-      net_->kill_link_live(e.node, e.port);
-    } else {
-      net_->kill_node_live(e.node);
+    // Kills always open a recovery window; repairs only when they queued a
+    // revival (repairing a healthy resource is a no-op, not a diagnosis);
+    // fail-slow degradation is applied live and never opens one.
+    bool opens_recovery = false;
+    switch (e.kind) {
+      case FaultEvent::Kind::LinkFault:
+        net_->kill_link_live(e.node, e.port);
+        ++result.fault_events;
+        opens_recovery = true;
+        break;
+      case FaultEvent::Kind::NodeFault:
+        net_->kill_node_live(e.node);
+        ++result.fault_events;
+        opens_recovery = true;
+        break;
+      case FaultEvent::Kind::LinkRepair:
+        if (net_->repair_link_live(e.node, e.port)) {
+          ++result.repair_events;
+          opens_recovery = true;
+        }
+        break;
+      case FaultEvent::Kind::NodeRepair:
+        if (net_->repair_node_live(e.node)) {
+          ++result.repair_events;
+          opens_recovery = true;
+        }
+        break;
+      case FaultEvent::Kind::LinkDegrade:
+        net_->degrade_link_live(e.node, e.port, e.factor);
+        ++result.degrade_events;
+        break;
     }
-    ++result.fault_events;
-    if (rstate_ == RecoveryState::Normal) {
+    if (opens_recovery && rstate_ == RecoveryState::Normal) {
       rstate_ = RecoveryState::Detecting;
       detect_at_ = now_ + cfg_.detection_delay;
       recovery_started_ = now_;
@@ -521,6 +549,7 @@ void Simulator::update_recovery(SimResult& result) {
     if (net_->recovery_pending())
       result.reconfig_exchanges += net_->commit_pending_faults();
     result.recovery_cycles += now_ - recovery_started_;
+    result.recovery_durations.push_back(now_ - recovery_started_);
     rstate_ = RecoveryState::Normal;
   }
 }

@@ -89,10 +89,17 @@ struct SimResult {
   std::int64_t packets_retransmitted = 0;  // resends issued
   std::int64_t packets_unrecoverable = 0;  // originals abandoned for good
   int fault_events = 0;     // schedule events fired during this run
+  int repair_events = 0;    // repair events that actually queued a revival
+  int degrade_events = 0;   // fail-slow throttle changes applied
   int recovery_events = 0;  // diagnosis phases opened
   /// Total cycles from each fault event to the end of its quiescent
   /// diagnosis (recovery cycles per event = this / recovery_events).
   Cycle recovery_cycles = 0;
+  /// Per-recovery durations (fault firing -> quiescent commit), one entry
+  /// per completed diagnosis phase, in completion order — the raw samples
+  /// behind availability / recovery-time distributions (p50/p99/max).
+  /// Sums to recovery_cycles for phases completed inside this run.
+  std::vector<Cycle> recovery_durations;
   /// Fraction of the measured window with injection open (not gated by a
   /// diagnosis phase).
   double availability = 1.0;

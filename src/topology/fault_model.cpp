@@ -72,9 +72,30 @@ void FaultSet::repair_node(NodeId node) {
 void FaultSet::clear() {
   std::fill(node_faulty_.begin(), node_faulty_.end(), 0);
   faulty_links_.clear();
+  degraded_links_.clear();
   num_node_faults_ = 0;
   ++epoch_;
   rebuild_usable();
+}
+
+void FaultSet::degrade_link(NodeId node, PortId port, int factor) {
+  FR_REQUIRE_MSG(factor >= 1, "degradation factor must be >= 1");
+  // No epoch bump, no usable_ rebuild: a degraded link is still usable, so
+  // cached routing decisions stay valid and no reconfiguration is needed.
+  if (factor == 1) {
+    degraded_links_.erase(canonical(node, port));
+  } else {
+    degraded_links_[canonical(node, port)] = factor;
+  }
+}
+
+int FaultSet::link_degrade_factor(NodeId node, PortId port) const {
+  const auto it = degraded_links_.find(canonical(node, port));
+  return it == degraded_links_.end() ? 1 : it->second;
+}
+
+std::vector<std::pair<LinkRef, int>> FaultSet::degraded_links() const {
+  return {degraded_links_.begin(), degraded_links_.end()};
 }
 
 bool FaultSet::node_faulty(NodeId node) const {

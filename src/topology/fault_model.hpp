@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "topology/topology.hpp"
@@ -35,10 +37,23 @@ class FaultSet {
   /// unusable implicitly.
   void fail_node(NodeId node);
 
-  /// Repair — used by reconfiguration experiments.
+  /// Repair — used by reconfiguration experiments and the chaos-campaign
+  /// repair regime.
   void repair_link(NodeId node, PortId port);
   void repair_node(NodeId node);
   void clear();
+
+  /// Fail-slow dimension, orthogonal to dead/alive: the bidirectional link
+  /// at (node, port) carries at most one flit per `factor` cycles
+  /// (factor >= 2); factor == 1 erases the entry (full speed). Degradation
+  /// never makes a link unusable, so it does NOT bump the epoch or rebuild
+  /// the usability table — routing state stays valid, only the data plane
+  /// and the load-measurement units see the slowdown.
+  void degrade_link(NodeId node, PortId port, int factor);
+  /// Current degradation factor (1 == full speed).
+  int link_degrade_factor(NodeId node, PortId port) const;
+  /// All degraded links in canonical form with their factors.
+  std::vector<std::pair<LinkRef, int>> degraded_links() const;
 
   bool node_faulty(NodeId node) const;
   bool node_ok(NodeId node) const { return !node_faulty(node); }
@@ -92,6 +107,7 @@ class FaultSet {
   std::vector<char> node_faulty_;
   std::vector<char> usable_;
   std::set<LinkRef> faulty_links_;
+  std::map<LinkRef, int> degraded_links_;
   int num_node_faults_ = 0;
   std::uint64_t epoch_ = 0;
 };
